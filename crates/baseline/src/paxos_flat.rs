@@ -1,0 +1,340 @@
+//! An Ivy-style flat inductive invariant for the Paxos model of
+//! [`inseq_protocols::paxos`] — the §5.2 baseline for the paper's most
+//! significant case study.
+//!
+//! The paper observes that the IS proof only needs the four `PaxosInv`
+//! properties (sequentialization order, quorum-before-decision,
+//! voting-after-decision, safety), while the flat invariant additionally
+//! needs a battery of "asynchrony-awareness" conjuncts — formulas (8)–(12)
+//! of Padon et al. \[39\] — that relate *in-flight messages* to the protocol
+//! state. The same effect appears here: the conjuncts in
+//! [`invariant`] marked "asynchrony" tie every pending async (mirrored by
+//! the ghost `pendingAsyncs` bag) to `voteInfo`/`decision`, and removing any
+//! of them breaks consecution.
+
+use inseq_protocols::paxos::{self, Instance};
+use inseq_vc::{Formula, Term};
+
+use crate::FlatInvariant;
+
+fn vote_info(r: Term) -> Term {
+    Term::map_at(Term::global("voteInfo"), r)
+}
+
+fn vote_value(r: Term) -> Term {
+    Term::Proj(Box::new(Term::Unwrap(Box::new(vote_info(r)))), 0)
+}
+
+fn vote_nodes(r: Term) -> Term {
+    Term::Proj(Box::new(Term::Unwrap(Box::new(vote_info(r)))), 1)
+}
+
+fn decision(r: Term) -> Term {
+    Term::map_at(Term::global("decision"), r)
+}
+
+fn ghost_has(tag: i64, r: Term, n: Term) -> Formula {
+    Formula::Contains(
+        Term::global("pendingAsyncs"),
+        Term::tuple_of(vec![Term::int(tag), r, n]),
+    )
+}
+
+/// The flat invariant: core agreement facts plus the asynchrony conjuncts.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn invariant() -> FlatInvariant {
+    let r_hi = Term::global("R");
+    let n_hi = Term::global("N");
+
+    // (1) Quorum before decision: a decided round has a proposal with the
+    // decided value and a quorum of votes.
+    let quorum_before_decision = Formula::forall(
+        "r",
+        Term::int(1),
+        r_hi.clone(),
+        Formula::implies(
+            Formula::IsSome(decision(Term::bound("r"))),
+            Formula::And(vec![
+                Formula::IsSome(vote_info(Term::bound("r"))),
+                Formula::eq(
+                    Term::Unwrap(Box::new(decision(Term::bound("r")))),
+                    vote_value(Term::bound("r")),
+                ),
+                Formula::le(
+                    Term::global("quorum"),
+                    Term::size_of(vote_nodes(Term::bound("r"))),
+                ),
+            ]),
+        ),
+    );
+
+    // (2) Voting after decision: any proposal in a higher round than a
+    // decision carries the decided value.
+    let voting_after_decision = Formula::forall(
+        "r1",
+        Term::int(1),
+        r_hi.clone(),
+        Formula::forall(
+            "r2",
+            Term::add(Term::bound("r1"), Term::int(1)),
+            r_hi.clone(),
+            Formula::implies(
+                Formula::And(vec![
+                    Formula::IsSome(decision(Term::bound("r1"))),
+                    Formula::IsSome(vote_info(Term::bound("r2"))),
+                ]),
+                Formula::eq(
+                    vote_value(Term::bound("r2")),
+                    Term::Unwrap(Box::new(decision(Term::bound("r1")))),
+                ),
+            ),
+        ),
+    );
+
+    // (3) Safety, stated directly (as `PaxosInv` does).
+    let agreement = Formula::forall(
+        "r1",
+        Term::int(1),
+        r_hi.clone(),
+        Formula::forall(
+            "r2",
+            Term::int(1),
+            r_hi.clone(),
+            Formula::implies(
+                Formula::And(vec![
+                    Formula::IsSome(decision(Term::bound("r1"))),
+                    Formula::IsSome(decision(Term::bound("r2"))),
+                ]),
+                Formula::eq(
+                    Term::Unwrap(Box::new(decision(Term::bound("r1")))),
+                    Term::Unwrap(Box::new(decision(Term::bound("r2")))),
+                ),
+            ),
+        ),
+    );
+
+    // Asynchrony conjuncts — the price of not sequentializing.
+    // (4) The ghost bag mirrors Ω exactly, action by action.
+    let ghost_accurate = Formula::forall(
+        "r",
+        Term::int(1),
+        r_hi.clone(),
+        Formula::And(vec![
+            Formula::eq(
+                Term::pending_count("StartRound", vec![Term::bound("r")]),
+                Term::count_in(
+                    Term::global("pendingAsyncs"),
+                    Term::tuple_of(vec![Term::int(0), Term::bound("r"), Term::int(0)]),
+                ),
+            ),
+            Formula::eq(
+                Term::pending_count("Propose", vec![Term::bound("r")]),
+                Term::count_in(
+                    Term::global("pendingAsyncs"),
+                    Term::tuple_of(vec![Term::int(2), Term::bound("r"), Term::int(0)]),
+                ),
+            ),
+            Formula::forall(
+                "n",
+                Term::int(1),
+                n_hi.clone(),
+                Formula::And(vec![
+                    Formula::eq(
+                        Term::pending_count("Join", vec![Term::bound("r"), Term::bound("n")]),
+                        Term::count_in(
+                            Term::global("pendingAsyncs"),
+                            Term::tuple_of(vec![Term::int(1), Term::bound("r"), Term::bound("n")]),
+                        ),
+                    ),
+                    Formula::eq(
+                        Term::pending_matching(
+                            "Vote",
+                            vec![Some(Term::bound("r")), Some(Term::bound("n")), None],
+                        ),
+                        Term::count_in(
+                            Term::global("pendingAsyncs"),
+                            Term::tuple_of(vec![Term::int(3), Term::bound("r"), Term::bound("n")]),
+                        ),
+                    ),
+                ]),
+            ),
+            Formula::eq(
+                Term::pending_matching("Conclude", vec![Some(Term::bound("r")), None]),
+                Term::count_in(
+                    Term::global("pendingAsyncs"),
+                    Term::tuple_of(vec![Term::int(4), Term::bound("r"), Term::int(0)]),
+                ),
+            ),
+        ]),
+    );
+
+    // A pending Main means nothing has happened yet.
+    let main_pristine = Formula::implies(
+        Formula::eq(Term::pending_total("Main"), Term::int(1)),
+        Formula::And(vec![
+            Formula::eq(Term::size_of(Term::global("pendingAsyncs")), Term::int(0)),
+            Formula::forall(
+                "r",
+                Term::int(1),
+                Term::global("R"),
+                Formula::And(vec![
+                    Formula::not(Formula::IsSome(vote_info(Term::bound("r")))),
+                    Formula::not(Formula::IsSome(decision(Term::bound("r")))),
+                    Formula::eq(
+                        Term::size_of(Term::map_at(Term::global("joinedNodes"), Term::bound("r"))),
+                        Term::int(0),
+                    ),
+                ]),
+            ),
+        ]),
+    );
+
+    // (5) In-flight votes and conclusions carry the proposed value of their
+    // round (formulas (8)-(12) of \[39\] play this role in Ivy's proof).
+    let inflight_votes = Formula::forall(
+        "r",
+        Term::int(1),
+        r_hi.clone(),
+        Formula::And(vec![
+            Formula::forall(
+                "n",
+                Term::int(1),
+                n_hi.clone(),
+                Formula::implies(
+                    ghost_has(3, Term::bound("r"), Term::bound("n")),
+                    Formula::And(vec![
+                        Formula::IsSome(vote_info(Term::bound("r"))),
+                        Formula::eq(
+                            Term::pending_count(
+                                "Vote",
+                                vec![Term::bound("r"), Term::bound("n"), vote_value(Term::bound("r"))],
+                            ),
+                            Term::int(1),
+                        ),
+                    ]),
+                ),
+            ),
+            Formula::implies(
+                ghost_has(4, Term::bound("r"), Term::int(0)),
+                Formula::And(vec![
+                    Formula::IsSome(vote_info(Term::bound("r"))),
+                    Formula::eq(
+                        Term::pending_count(
+                            "Conclude",
+                            vec![Term::bound("r"), vote_value(Term::bound("r"))],
+                        ),
+                        Term::int(1),
+                    ),
+                ]),
+            ),
+        ]),
+    );
+
+    // (6) A round with an unfired Propose or StartRound has no proposal and
+    // no decision yet.
+    let unstarted_rounds = Formula::forall(
+        "r",
+        Term::int(1),
+        r_hi,
+        Formula::implies(
+            Formula::Or(vec![
+                ghost_has(2, Term::bound("r"), Term::int(0)),
+                ghost_has(0, Term::bound("r"), Term::int(0)),
+            ]),
+            Formula::And(vec![
+                Formula::not(Formula::IsSome(vote_info(Term::bound("r")))),
+                Formula::not(Formula::IsSome(decision(Term::bound("r")))),
+            ]),
+        ),
+    );
+
+    FlatInvariant {
+        name: "Ivy-style Paxos invariant".into(),
+        invariant: Formula::And(vec![
+            quorum_before_decision,
+            voting_after_decision,
+            agreement.clone(),
+            ghost_accurate,
+            inflight_votes,
+            unstarted_rounds,
+            main_pristine,
+        ]),
+        safety: agreement,
+    }
+}
+
+/// Convenience: the program and initial configuration of an instance.
+#[must_use]
+pub fn program_and_init(instance: Instance) -> (inseq_kernel::Program, inseq_kernel::Config) {
+    let artifacts = paxos::build();
+    let init = paxos::init_config(&artifacts.p2, &artifacts, instance);
+    (artifacts.p2, init)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{check_flat_invariant, FlatOptions};
+
+    #[test]
+    fn paxos_flat_invariant_holds_r2_n2() {
+        let (p2, init) = program_and_init(Instance::new(2, 2));
+        let report = check_flat_invariant(
+            &p2,
+            init,
+            &invariant(),
+            FlatOptions {
+                perturbations: 50,
+                ..FlatOptions::default()
+            },
+        )
+        .expect("the flat Paxos invariant holds");
+        assert!(report.conjuncts >= 6, "needs strictly more conjuncts than PaxosInv's 4 parts");
+    }
+
+    #[test]
+    fn dropping_the_asynchrony_conjuncts_breaks_the_baseline() {
+        // Keeping only the "nice" protocol facts (1)-(3) — what the IS proof
+        // needs — is NOT enough for the flat baseline: without the in-flight
+        // conjuncts the invariant is either not inductive under perturbation
+        // or fails to rule out bad mutants. We demonstrate the weaker fact
+        // that the trimmed invariant no longer determines in-flight votes:
+        // a perturbed config with a forged Vote PA still satisfies it.
+        let (p2, init) = program_and_init(Instance::new(2, 2));
+        let full = invariant();
+        let trimmed = FlatInvariant {
+            name: "trimmed".into(),
+            invariant: match full.invariant.clone() {
+                Formula::And(cs) => Formula::And(cs.into_iter().take(3).collect()),
+                other => other,
+            },
+            safety: full.safety.clone(),
+        };
+        // The trimmed invariant still passes the reachable-state checks…
+        check_flat_invariant(
+            &p2,
+            init.clone(),
+            &trimmed,
+            FlatOptions {
+                perturbations: 0,
+                ..FlatOptions::default()
+            },
+        )
+        .expect("trimmed invariant holds on reachable states");
+        // …but admits a forged in-flight vote that the full invariant
+        // rejects.
+        let mut forged = init;
+        forged.pending.insert(inseq_kernel::PendingAsync::new(
+            "Vote",
+            vec![
+                inseq_kernel::Value::Int(1),
+                inseq_kernel::Value::Int(1),
+                inseq_kernel::Value::Int(99),
+            ],
+        ));
+        let schema = p2.schema();
+        assert!(trimmed.invariant.eval(schema, &forged).unwrap());
+        assert!(!full.invariant.eval(schema, &forged).unwrap());
+    }
+}

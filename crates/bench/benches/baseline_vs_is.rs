@@ -1,0 +1,68 @@
+//! The §5.2 invariant-complexity comparison as a bench: checking the IS
+//! artifacts vs checking the flat inductive invariant, for broadcast
+//! consensus and Paxos.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use inseq_baseline::{broadcast_flat, check_flat_invariant, paxos_flat, FlatOptions};
+use inseq_bench::instances;
+use inseq_protocols::{broadcast, paxos};
+
+fn bench_broadcast(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline_vs_is/broadcast");
+    group.sample_size(10);
+    let instance = instances::broadcast();
+
+    group.bench_function("is_iterated", |b| {
+        let artifacts = broadcast::build();
+        b.iter(|| {
+            broadcast::iterated_chain(&artifacts, &instance)
+                .run()
+                .expect("IS holds")
+        });
+    });
+    group.bench_function("flat_invariant_2", |b| {
+        let artifacts = broadcast_flat::build();
+        let inv = broadcast_flat::invariant();
+        b.iter(|| {
+            let init = broadcast_flat::init_config(&artifacts, &instance.values);
+            check_flat_invariant(&artifacts.p2, init, &inv, FlatOptions::default())
+                .expect("invariant (2) holds")
+        });
+    });
+    group.finish();
+}
+
+fn bench_paxos(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline_vs_is/paxos");
+    group.sample_size(10);
+    let instance = instances::paxos();
+
+    group.bench_function("is_paxos_inv", |b| {
+        let artifacts = paxos::build();
+        b.iter(|| {
+            paxos::application(&artifacts, instance)
+                .check()
+                .expect("IS holds")
+        });
+    });
+    group.bench_function("flat_ivy_style", |b| {
+        let inv = paxos_flat::invariant();
+        b.iter(|| {
+            let (p2, init) = paxos_flat::program_and_init(instance);
+            check_flat_invariant(
+                &p2,
+                init,
+                &inv,
+                FlatOptions {
+                    perturbations: 50,
+                    ..FlatOptions::default()
+                },
+            )
+            .expect("flat invariant holds")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_broadcast, bench_paxos);
+criterion_main!(benches);

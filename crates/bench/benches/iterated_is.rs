@@ -1,0 +1,34 @@
+//! The §5.3 ablation: one-shot IS (a single application with the stronger
+//! `CollectAbs` gate) vs iterated IS (two applications with the weakened
+//! gate) on broadcast consensus.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use inseq_bench::instances;
+use inseq_protocols::broadcast;
+
+fn bench_iterated(c: &mut Criterion) {
+    let mut group = c.benchmark_group("iterated_is/broadcast");
+    group.sample_size(10);
+    let instance = instances::broadcast();
+
+    group.bench_function("one_shot", |b| {
+        let artifacts = broadcast::build();
+        b.iter(|| {
+            broadcast::oneshot_application(&artifacts, &instance)
+                .check()
+                .expect("one-shot IS holds")
+        });
+    });
+    group.bench_function("iterated", |b| {
+        let artifacts = broadcast::build();
+        b.iter(|| {
+            broadcast::iterated_chain(&artifacts, &instance)
+                .run()
+                .expect("iterated IS holds")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_iterated);
+criterion_main!(benches);

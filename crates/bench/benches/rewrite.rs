@@ -1,0 +1,45 @@
+//! Bench for the Fig. 2 witness construction: rewriting every terminating
+//! behaviour of `P` into an execution of the sequentialized `P'`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use inseq_bench::instances;
+use inseq_core::rewrite::find_witness_executions;
+use inseq_protocols::{broadcast, two_phase_commit};
+
+fn bench_rewrite(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rewrite");
+    group.sample_size(10);
+
+    group.bench_function("broadcast_witnesses", |b| {
+        let instance = instances::broadcast();
+        let artifacts = broadcast::build();
+        let outcome = broadcast::iterated_chain(&artifacts, &instance)
+            .run()
+            .expect("IS holds");
+        b.iter(|| {
+            let init = broadcast::init_config(&artifacts.p2, &artifacts, &instance);
+            find_witness_executions(&artifacts.p2, &outcome.program, init, 4_000_000)
+                .expect("witnesses exist")
+                .len()
+        });
+    });
+
+    group.bench_function("two_phase_commit_witnesses", |b| {
+        let instance = instances::two_phase_commit();
+        let artifacts = two_phase_commit::build();
+        let (p_prime, _) = two_phase_commit::application(&artifacts, &instance)
+            .check_and_apply()
+            .expect("IS holds");
+        b.iter(|| {
+            let init = two_phase_commit::init_config(&artifacts.p2, &artifacts, &instance);
+            find_witness_executions(&artifacts.p2, &p_prime, init, 4_000_000)
+                .expect("witnesses exist")
+                .len()
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_rewrite);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Scaling sweep: verification time as a function of instance size, for the
+//! IS pipeline and for raw reachability of the concurrent program. Shows
+//! (a) the expected exponential growth of explicit-state checking and
+//! (b) that IS-checking on `P'` stays far below exploring `P`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use inseq_kernel::Explorer;
+use inseq_protocols::{broadcast, ping_pong, producer_consumer};
+
+fn bench_broadcast_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling/broadcast");
+    group.sample_size(10);
+    for n in [2usize, 3] {
+        let values: Vec<i64> = (1..=n as i64).map(|i| i * 10 + (i % 3)).collect();
+        let instance = broadcast::Instance::new(&values);
+        group.bench_with_input(BenchmarkId::new("is_pipeline", n), &instance, |b, inst| {
+            let artifacts = broadcast::build();
+            b.iter(|| {
+                broadcast::iterated_chain(&artifacts, inst)
+                    .run()
+                    .expect("IS holds")
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("raw_reachability_p2", n), &instance, |b, inst| {
+            let artifacts = broadcast::build();
+            b.iter(|| {
+                let init = broadcast::init_config(&artifacts.p2, &artifacts, inst);
+                Explorer::new(&artifacts.p2)
+                    .explore([init])
+                    .expect("within budget")
+                    .config_count()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_pingpong_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling/ping_pong");
+    group.sample_size(10);
+    for k in [2i64, 4, 8, 16] {
+        let instance = ping_pong::Instance::new(k);
+        group.bench_with_input(BenchmarkId::new("is_application", k), &instance, |b, inst| {
+            let artifacts = ping_pong::build();
+            b.iter(|| ping_pong::application(&artifacts, *inst).check().expect("IS holds"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_prodcons_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling/producer_consumer");
+    group.sample_size(10);
+    for k in [2i64, 4, 6, 8] {
+        let instance = producer_consumer::Instance::new(k);
+        group.bench_with_input(BenchmarkId::new("is_application", k), &instance, |b, inst| {
+            let artifacts = producer_consumer::build();
+            b.iter(|| {
+                producer_consumer::application(&artifacts, *inst)
+                    .check()
+                    .expect("IS holds")
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("raw_reachability_p2", k), &instance, |b, inst| {
+            let artifacts = producer_consumer::build();
+            b.iter(|| {
+                let init = producer_consumer::init_config(&artifacts.p2, &artifacts, *inst);
+                Explorer::new(&artifacts.p2)
+                    .explore([init])
+                    .expect("within budget")
+                    .config_count()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_broadcast_scaling,
+    bench_pingpong_scaling,
+    bench_prodcons_scaling
+);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion benches for the Table 1 rows: the full verification pipeline
+//! of each protocol on its reference instance.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use inseq_bench::instances;
+use inseq_protocols::{
+    broadcast, chang_roberts, n_buyer, paxos, ping_pong, producer_consumer, two_phase_commit,
+};
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+
+    group.bench_function("broadcast_consensus", |b| {
+        let instance = instances::broadcast();
+        b.iter(|| broadcast::verify(&instance).expect("verifies"));
+    });
+    group.bench_function("ping_pong", |b| {
+        let instance = instances::ping_pong();
+        b.iter(|| ping_pong::verify(instance).expect("verifies"));
+    });
+    group.bench_function("producer_consumer", |b| {
+        let instance = instances::producer_consumer();
+        b.iter(|| producer_consumer::verify(instance).expect("verifies"));
+    });
+    group.bench_function("n_buyer", |b| {
+        let instance = instances::n_buyer();
+        b.iter(|| n_buyer::verify(&instance).expect("verifies"));
+    });
+    group.bench_function("chang_roberts", |b| {
+        let instance = instances::chang_roberts();
+        b.iter(|| chang_roberts::verify(&instance).expect("verifies"));
+    });
+    group.bench_function("two_phase_commit", |b| {
+        let instance = instances::two_phase_commit();
+        b.iter(|| two_phase_commit::verify(&instance).expect("verifies"));
+    });
+    group.bench_function("paxos", |b| {
+        let instance = instances::paxos();
+        b.iter(|| paxos::verify(instance).expect("verifies"));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Probe: how far does the Paxos IS check scale on this machine?
+//!
+//! Prints the wall-clock of the full IS premise check for growing instance
+//! sizes. Useful for picking bench instances; see EXPERIMENTS.md for the
+//! recorded results (R=2,N=2 ≈ 0.5 s; R=3,N=2 ≈ 42 s; R=2,N=3 > 10 min).
+//!
+//! ```text
+//! cargo run --release -p inseq-bench --example paxos_scaling_probe
+//! ```
+
+fn main() {
+    let artifacts = inseq_protocols::paxos::build();
+    for (r, n) in [(1i64, 2i64), (2, 2), (3, 2)] {
+        let inst = inseq_protocols::paxos::Instance::new(r, n);
+        let t = std::time::Instant::now();
+        match inseq_protocols::paxos::application(&artifacts, inst).check() {
+            Ok(rep) => println!("R={r} N={n}: ok in {:?} ({rep})", t.elapsed()),
+            Err(e) => println!("R={r} N={n}: {e} after {:?}", t.elapsed()),
+        }
+    }
+}

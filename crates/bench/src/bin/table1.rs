@@ -1,0 +1,81 @@
+//! Regenerates the paper's Table 1 (and, with `--compare`, the §5.2
+//! invariant-complexity comparison).
+//!
+//! ```text
+//! cargo run --release -p inseq-bench --bin table1 [-- --compare]
+//! ```
+
+use std::process::ExitCode;
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn rows_as_json(rows: &[inseq_protocols::common::CaseReport]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&format!(
+            "  {{\"example\": \"{}\", \"instance\": \"{}\", \"is_applications\": {}, \
+             \"loc_total\": {}, \"loc_is\": {}, \"loc_impl\": {}, \"time_seconds\": {:.6}}}",
+            json_escape(&r.name),
+            json_escape(&r.instance),
+            r.is_applications,
+            r.loc_total,
+            r.loc_is,
+            r.loc_impl,
+            r.time.as_secs_f64()
+        ));
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+fn main() -> ExitCode {
+    let compare = std::env::args().any(|a| a == "--compare");
+    let json = std::env::args().any(|a| a == "--json");
+
+    if json {
+        match inseq_bench::table1_rows() {
+            Ok(rows) => {
+                print!("{}", rows_as_json(&rows));
+                return ExitCode::SUCCESS;
+            }
+            Err(e) => {
+                eprintln!("Table 1 generation failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    println!("Reproduction of Table 1 (Kragl et al., PLDI 2020)");
+    println!("columns: #IS applications, pretty-printed LOC (total / IS artifacts / impl), time\n");
+    match inseq_bench::table1_rows() {
+        Ok(rows) => print!("{}", inseq_bench::render_table1(&rows)),
+        Err(e) => {
+            eprintln!("Table 1 generation failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if compare {
+        println!("\n§5.2 invariant-complexity comparison (IS artifacts vs flat inductive invariants)\n");
+        match inseq_bench::broadcast_comparison() {
+            Ok(c) => println!("{c}\n"),
+            Err(e) => {
+                eprintln!("broadcast comparison failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        match inseq_bench::paxos_comparison() {
+            Ok(c) => println!("{c}"),
+            Err(e) => {
+                eprintln!("paxos comparison failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,264 @@
+//! Benchmark harness regenerating the paper's evaluation (§5): the Table 1
+//! rows, the §5.2 invariant-complexity comparison, the §5.3 iterated-IS
+//! ablation, and a scaling sweep over instance sizes.
+//!
+//! The reference instances below are the largest that our explicit-state
+//! checker (the SMT substitute, see DESIGN.md §2) verifies in interactive
+//! time; EXPERIMENTS.md records the measured numbers next to the paper's.
+
+#![forbid(unsafe_code)]
+#![allow(clippy::result_large_err)] // pipeline errors embed case reports
+#![warn(missing_docs)]
+
+use std::time::Duration;
+
+use inseq_baseline::{check_flat_invariant, broadcast_flat, paxos_flat, FlatOptions};
+use inseq_protocols::common::{CaseError, CaseReport};
+use inseq_protocols::{
+    broadcast, chang_roberts, n_buyer, paxos, ping_pong, producer_consumer, two_phase_commit,
+};
+
+/// The reference instance of each protocol (the sizes used for the Table 1
+/// reproduction).
+pub mod instances {
+    use super::*;
+
+    /// Broadcast consensus: `n = 3`, distinct values.
+    #[must_use]
+    pub fn broadcast() -> broadcast::Instance {
+        broadcast::Instance::new(&[3, 1, 2])
+    }
+
+    /// Ping-Pong: `K = 4` rounds.
+    #[must_use]
+    pub fn ping_pong() -> ping_pong::Instance {
+        ping_pong::Instance::new(4)
+    }
+
+    /// Producer-Consumer: `K = 4` items.
+    #[must_use]
+    pub fn producer_consumer() -> producer_consumer::Instance {
+        producer_consumer::Instance::new(4)
+    }
+
+    /// N-Buyer: three buyers, affordable price.
+    #[must_use]
+    pub fn n_buyer() -> n_buyer::Instance {
+        n_buyer::Instance::new(10, &[6, 6, 9])
+    }
+
+    /// Chang-Roberts: a ring of three nodes with the maximum in the middle.
+    #[must_use]
+    pub fn chang_roberts() -> chang_roberts::Instance {
+        chang_roberts::Instance::new(&[10, 30, 20])
+    }
+
+    /// Two-phase commit: three participants with an early abort.
+    #[must_use]
+    pub fn two_phase_commit() -> two_phase_commit::Instance {
+        two_phase_commit::Instance::new(&[true, false, true])
+    }
+
+    /// Paxos: two rounds, two acceptors.
+    #[must_use]
+    pub fn paxos() -> paxos::Instance {
+        paxos::Instance::new(2, 2)
+    }
+}
+
+/// Runs the full verification pipeline of every protocol on its reference
+/// instance — the rows of our Table 1.
+///
+/// # Errors
+///
+/// Returns the first failing case.
+pub fn table1_rows() -> Result<Vec<CaseReport>, CaseError> {
+    Ok(vec![
+        broadcast::verify(&instances::broadcast())?,
+        ping_pong::verify(instances::ping_pong())?,
+        producer_consumer::verify(instances::producer_consumer())?,
+        n_buyer::verify(&instances::n_buyer())?,
+        chang_roberts::verify(&instances::chang_roberts())?,
+        two_phase_commit::verify(&instances::two_phase_commit())?,
+        paxos::verify(instances::paxos())?,
+    ])
+}
+
+/// Renders Table 1 rows in the paper's column layout.
+#[must_use]
+pub fn render_table1(rows: &[CaseReport]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<22} {:>4} {:>6} {:>6} {:>6} {:>10}   {}\n",
+        "Example", "#IS", "Total", "IS", "Impl", "Time", "Instance"
+    ));
+    out.push_str(&format!("{}\n", "-".repeat(78)));
+    for row in rows {
+        out.push_str(&format!("{row}\n"));
+    }
+    out
+}
+
+/// One side of the §5.2 invariant-complexity comparison.
+#[derive(Debug, Clone)]
+pub struct ComparisonSide {
+    /// Which artifact this measures.
+    pub label: String,
+    /// Proof-artifact size: DSL LOC for IS, formula complexity for flat.
+    pub artifact_size: usize,
+    /// Top-level pieces: IS applications or invariant conjuncts.
+    pub pieces: usize,
+    /// Wall-clock checking time.
+    pub time: Duration,
+}
+
+/// The §5.2 comparison for one protocol: IS artifacts vs the flat invariant.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// Protocol name.
+    pub protocol: String,
+    /// The IS side.
+    pub is_side: ComparisonSide,
+    /// The flat-invariant side.
+    pub flat_side: ComparisonSide,
+}
+
+impl std::fmt::Display for Comparison {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{}:\n  IS    artifacts: size {:>4}, {:>2} application(s), {:>9.3}s",
+            self.protocol,
+            self.is_side.artifact_size,
+            self.is_side.pieces,
+            self.is_side.time.as_secs_f64()
+        )?;
+        write!(
+            f,
+            "  flat  invariant: size {:>4}, {:>2} conjunct(s),    {:>9.3}s",
+            self.flat_side.artifact_size,
+            self.flat_side.pieces,
+            self.flat_side.time.as_secs_f64()
+        )
+    }
+}
+
+/// The broadcast-consensus §5.2 comparison: the iterated IS proof vs the
+/// paper's invariant (2).
+///
+/// # Errors
+///
+/// Returns a description of the failing side.
+pub fn broadcast_comparison() -> Result<Comparison, String> {
+    let instance = instances::broadcast();
+    // IS side.
+    let artifacts = broadcast::build();
+    let (chain_result, is_time) = inseq_protocols::common::timed(|| {
+        broadcast::iterated_chain(&artifacts, &instance).run()
+    });
+    let outcome = chain_result.map_err(|e| e.to_string())?;
+    let is_loc: usize = [
+        &artifacts.main_seq,
+        &artifacts.inv_broadcast,
+        &artifacts.main_mid,
+        &artifacts.inv_collect,
+        &artifacts.collect_abs_weak,
+    ]
+    .iter()
+    .map(|a| inseq_lang::action_loc(a))
+    .sum();
+    // Flat side.
+    let flat = broadcast_flat::build();
+    let inv = broadcast_flat::invariant();
+    let init = broadcast_flat::init_config(&flat, &instance.values);
+    let report = check_flat_invariant(&flat.p2, init, &inv, FlatOptions::default())
+        .map_err(|e| e.to_string())?;
+    Ok(Comparison {
+        protocol: "Broadcast consensus".into(),
+        is_side: ComparisonSide {
+            label: "iterated IS".into(),
+            artifact_size: is_loc,
+            pieces: outcome.reports.len(),
+            time: is_time,
+        },
+        flat_side: ComparisonSide {
+            label: inv.name,
+            artifact_size: report.complexity,
+            pieces: report.conjuncts,
+            time: report.time,
+        },
+    })
+}
+
+/// The Paxos §5.2 comparison: `PaxosInv` + abstractions vs the Ivy-style
+/// flat invariant.
+///
+/// # Errors
+///
+/// Returns a description of the failing side.
+pub fn paxos_comparison() -> Result<Comparison, String> {
+    let instance = instances::paxos();
+    let artifacts = paxos::build();
+    let (check_result, is_time) = inseq_protocols::common::timed(|| {
+        paxos::application(&artifacts, instance).check()
+    });
+    check_result.map_err(|e| e.to_string())?;
+    let is_loc: usize = [
+        &artifacts.round_seq,
+        &artifacts.main_seq,
+        &artifacts.inv,
+        &artifacts.start_round_abs,
+        &artifacts.join_abs,
+        &artifacts.propose_abs,
+        &artifacts.vote_abs,
+        &artifacts.conclude_abs,
+    ]
+    .iter()
+    .map(|a| inseq_lang::action_loc(a))
+    .sum();
+    let inv = paxos_flat::invariant();
+    let (p2, init) = paxos_flat::program_and_init(instance);
+    let report = check_flat_invariant(
+        &p2,
+        init,
+        &inv,
+        FlatOptions {
+            perturbations: 50,
+            ..FlatOptions::default()
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    Ok(Comparison {
+        protocol: "Paxos".into(),
+        is_side: ComparisonSide {
+            label: "IS (PaxosInv + 5 abstractions)".into(),
+            artifact_size: is_loc,
+            pieces: 1,
+            time: is_time,
+        },
+        flat_side: ComparisonSide {
+            label: inv.name,
+            artifact_size: report.complexity,
+            pieces: report.conjuncts,
+            time: report.time,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_instances_are_well_formed() {
+        assert_eq!(instances::broadcast().n, 3);
+        assert_eq!(instances::paxos().quorum(), 2);
+    }
+
+    #[test]
+    fn render_produces_one_line_per_row() {
+        let rows = vec![];
+        let text = render_table1(&rows);
+        assert!(text.contains("#IS"));
+    }
+}

@@ -1,0 +1,459 @@
+//! Constructive evidence for the IS soundness theorem on explored instances
+//! (Fig. 2, Lemmas 4.2–4.3 of the paper).
+//!
+//! The theorem states that every terminating `P`-execution has a
+//! `P'`-execution with the same final store (and failures are preserved).
+//! On a finite instance this conclusion is directly checkable: for every
+//! terminating store of `P` we *construct* a witnessing `P'`-execution. The
+//! paper proves the theorem by permuting the `P`-execution step by step
+//! (commuting left movers, absorbing them into the invariant action); here
+//! the witness is found by search over `P'`, which certifies the same
+//! end-to-end guarantee on the instance.
+
+use inseq_kernel::{Config, Execution, ExploreError, Explorer, GlobalStore, Program};
+
+/// A terminating store of `P` together with a `P'`-execution reaching it.
+#[derive(Debug, Clone)]
+pub struct RewriteWitness {
+    /// The shared final global store.
+    pub terminal: GlobalStore,
+    /// The witnessing execution of `P'` (the paper's `π'`).
+    pub witness: Execution,
+}
+
+/// Errors of the witness construction.
+#[derive(Debug)]
+pub enum RewriteError {
+    /// A terminating store of `P` has no `P'`-execution — the transformed
+    /// program does not preserve this behaviour (IS would have rejected).
+    NoWitness {
+        /// The unpreserved terminating store.
+        terminal: GlobalStore,
+    },
+    /// Exploration failed.
+    Exploration(ExploreError),
+}
+
+impl std::fmt::Display for RewriteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RewriteError::NoWitness { terminal } => write!(
+                f,
+                "terminating store {terminal} of P has no witnessing execution in P'"
+            ),
+            RewriteError::Exploration(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for RewriteError {}
+
+impl From<ExploreError> for RewriteError {
+    fn from(e: ExploreError) -> Self {
+        RewriteError::Exploration(e)
+    }
+}
+
+/// For every terminating store of `p` (from `init`), constructs a
+/// `p_prime`-execution ending in the same store.
+///
+/// # Errors
+///
+/// Returns [`RewriteError::NoWitness`] when some behaviour is unpreserved
+/// and [`RewriteError::Exploration`] when a state space exceeds `budget`.
+pub fn find_witness_executions(
+    p: &Program,
+    p_prime: &Program,
+    init: Config,
+    budget: usize,
+) -> Result<Vec<RewriteWitness>, RewriteError> {
+    let exp_p = Explorer::new(p).with_budget(budget).explore([init.clone()])?;
+    let exp_pp = Explorer::new(p_prime)
+        .with_budget(budget)
+        .explore([init])?;
+    let mut witnesses = Vec::new();
+    for terminal in exp_p.terminal_stores() {
+        let target = Config::new(terminal.clone(), inseq_kernel::Multiset::new());
+        match exp_pp.execution_reaching(&target) {
+            Some(witness) => witnesses.push(RewriteWitness {
+                terminal: terminal.clone(),
+                witness,
+            }),
+            None => {
+                return Err(RewriteError::NoWitness {
+                    terminal: terminal.clone(),
+                })
+            }
+        }
+    }
+    Ok(witnesses)
+}
+
+// ---------------------------------------------------------------------------
+// The constructive permutation of Fig. 2 / Lemma 4.3.
+// ---------------------------------------------------------------------------
+
+use inseq_kernel::{ActionOutcome, ActionSemantics, Multiset, PendingAsync, Step, Transition};
+use std::sync::Arc;
+
+use crate::rule::{InvariantTransition, IsApplication};
+
+/// Errors of the permutation construction. Each variant corresponds to the
+/// IS premise whose failure would make the rewriting step impossible — on a
+/// checked application none of them can occur (Theorem 4.4).
+#[derive(Debug)]
+pub enum PermutationError {
+    /// The execution does not start with a transition of the target action.
+    DoesNotStartWithTarget,
+    /// No invariant transition simulates the target's first step — (I1)
+    /// would have failed.
+    NoInvariantBase,
+    /// The choice function returned nothing or a PA outside the created set.
+    ChoiceInvalid,
+    /// The chosen pending async never executes in the suffix (impossible in
+    /// a terminating execution).
+    ChosenNeverExecutes(PendingAsync),
+    /// The abstraction cannot reproduce the chosen PA's original step —
+    /// `A ≼ α(A)` would have failed.
+    AbstractionCannotSimulate(PendingAsync),
+    /// A left-commutation step failed — (LM) would have failed.
+    CannotCommute {
+        /// The abstraction step being moved left.
+        mover: PendingAsync,
+        /// The step it failed to commute past.
+        past: PendingAsync,
+    },
+    /// The composed transition is not an invariant transition — (I3) would
+    /// have failed.
+    NotAbsorbable(PendingAsync),
+    /// The final invariant transition is not matched by the replacement —
+    /// (I2) would have failed.
+    ReplacementCannotFinish,
+    /// The input execution is internally inconsistent.
+    MalformedExecution(String),
+}
+
+impl std::fmt::Display for PermutationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PermutationError::DoesNotStartWithTarget => {
+                write!(f, "execution does not start with the target action")
+            }
+            PermutationError::NoInvariantBase => {
+                write!(f, "no invariant transition simulates the first step (I1)")
+            }
+            PermutationError::ChoiceInvalid => write!(f, "invalid choice function result"),
+            PermutationError::ChosenNeverExecutes(pa) => {
+                write!(f, "chosen pending async {pa} never executes in the suffix")
+            }
+            PermutationError::AbstractionCannotSimulate(pa) => {
+                write!(f, "abstraction cannot simulate the step of {pa}")
+            }
+            PermutationError::CannotCommute { mover, past } => {
+                write!(f, "cannot commute {mover} to the left of {past} (LM)")
+            }
+            PermutationError::NotAbsorbable(pa) => {
+                write!(f, "absorbing {pa} leaves the invariant (I3)")
+            }
+            PermutationError::ReplacementCannotFinish => {
+                write!(f, "final invariant transition is not a replacement transition (I2)")
+            }
+            PermutationError::MalformedExecution(msg) => write!(f, "malformed execution: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PermutationError {}
+
+/// The pending asyncs created by a step, reconstructed from its
+/// configurations.
+fn created_by(step: &Step) -> Result<Multiset<PendingAsync>, PermutationError> {
+    let consumed = step
+        .before
+        .pending
+        .without(&step.fired)
+        .ok_or_else(|| {
+            PermutationError::MalformedExecution(format!(
+                "fired PA {} not pending before its step",
+                step.fired
+            ))
+        })?;
+    step.after.pending.checked_sub(&consumed).ok_or_else(|| {
+        PermutationError::MalformedExecution("step removed unrelated pending asyncs".into())
+    })
+}
+
+/// Rewrites a **terminating** execution of `P` (starting with a step of the
+/// target action `M`) into the corresponding execution of `P' = P[M ↦ M']`,
+/// by the exact procedure of Fig. 2: simulate `M` by the invariant action,
+/// then repeatedly pick the next eliminated pending async with the choice
+/// function, replace its step by the abstraction's, commute it stepwise to
+/// the front, and absorb it into the invariant transition; finish by
+/// replacing the invariant with `M'`.
+///
+/// The returned execution fires `M` once (now denoting `M'`) followed by the
+/// surviving non-eliminated steps, and ends in the same configuration as the
+/// input.
+///
+/// # Errors
+///
+/// Returns a [`PermutationError`] naming the IS premise whose violation
+/// blocked the rewriting; on an application whose [`IsApplication::check`]
+/// passed, rewriting any terminating execution of a checked instance
+/// succeeds.
+#[allow(clippy::too_many_lines)]
+pub fn permute_execution(
+    app: &IsApplication,
+    exec: &Execution,
+) -> Result<Execution, PermutationError> {
+    let program = app.program();
+    let invariant = app
+        .invariant_action()
+        .ok_or(PermutationError::NoInvariantBase)?;
+    let replacement = app
+        .replacement_action()
+        .ok_or(PermutationError::ReplacementCannotFinish)?;
+    let choice = app.choice_fn().ok_or(PermutationError::ChoiceInvalid)?;
+
+    let first = exec
+        .steps
+        .first()
+        .ok_or(PermutationError::DoesNotStartWithTarget)?;
+    if &first.fired.action != app.target() {
+        return Err(PermutationError::DoesNotStartWithTarget);
+    }
+    let input_globals = first.before.globals.clone();
+    let args = first.fired.args.clone();
+    let ambient = first
+        .before
+        .pending
+        .without(&first.fired)
+        .ok_or_else(|| PermutationError::MalformedExecution("target PA not pending".into()))?;
+
+    // All invariant transitions from the input store — the search space for
+    // the base case and every absorption.
+    let i_transitions: Vec<Transition> = match invariant.eval(&input_globals, &args) {
+        ActionOutcome::Failure { .. } => return Err(PermutationError::NoInvariantBase),
+        ActionOutcome::Transitions(ts) => ts,
+    };
+
+    // Base case (Fig. 2 ① → ②): the invariant simulates M's first step.
+    let m_created = created_by(first)?;
+    let mut current = i_transitions
+        .iter()
+        .find(|t| t.globals == first.after.globals && t.created == m_created)
+        .cloned()
+        .ok_or(PermutationError::NoInvariantBase)?;
+    let mut suffix: Vec<Step> = exec.steps[1..].to_vec();
+
+    loop {
+        let pas_to_e: Vec<PendingAsync> = current
+            .created
+            .distinct()
+            .filter(|pa| app.eliminated().contains(&pa.action))
+            .cloned()
+            .collect();
+        if pas_to_e.is_empty() {
+            break;
+        }
+        // Select the next PA to sequentialize (Fig. 2's boxed PA).
+        let view = InvariantTransition {
+            input_globals: &input_globals,
+            args: &args,
+            output_globals: &current.globals,
+            created: &current.created,
+        };
+        let chosen = choice(&view).ok_or(PermutationError::ChoiceInvalid)?;
+        if !current.created.contains(&chosen) {
+            return Err(PermutationError::ChoiceInvalid);
+        }
+        let alpha = app
+            .abstraction_of(&chosen.action)
+            .map_err(|_| PermutationError::ChoiceInvalid)?;
+
+        // Find where the chosen PA executes in the suffix (Case 2.2.1 of
+        // Lemma 4.2 — in a terminating execution it must).
+        let j = suffix
+            .iter()
+            .position(|s| s.fired == chosen)
+            .ok_or_else(|| PermutationError::ChosenNeverExecutes(chosen.clone()))?;
+
+        // Replace step j's semantics by the abstraction: its endpoints stay,
+        // but commuting now uses α(A)'s transitions. Verify α can simulate.
+        let j_created = created_by(&suffix[j])?;
+        let can_simulate = match alpha.eval(&suffix[j].before.globals, &chosen.args) {
+            ActionOutcome::Failure { .. } => false,
+            ActionOutcome::Transitions(ts) => ts
+                .iter()
+                .any(|t| t.globals == suffix[j].after.globals && t.created == j_created),
+        };
+        if !can_simulate {
+            return Err(PermutationError::AbstractionCannotSimulate(chosen));
+        }
+
+        // Commute the abstraction step left, one swap at a time (Fig. 2
+        // ② → ③).
+        let mut pos = j;
+        while pos > 0 {
+            let x_step = suffix[pos - 1].clone();
+            let l_step = suffix[pos].clone();
+            let x_created = created_by(&x_step)?;
+            let l_created = created_by(&l_step)?;
+            // New order: l first from x_step.before, then x.
+            let l_trans = match alpha.eval(&x_step.before.globals, &chosen.args) {
+                ActionOutcome::Failure { .. } => None,
+                ActionOutcome::Transitions(ts) => {
+                    ts.into_iter().find(|t| t.created == l_created)
+                }
+            };
+            let Some(l_trans) = l_trans else {
+                return Err(PermutationError::CannotCommute {
+                    mover: chosen,
+                    past: x_step.fired,
+                });
+            };
+            let mid_pending = x_step
+                .before
+                .pending
+                .without(&l_step.fired)
+                .ok_or_else(|| {
+                    PermutationError::MalformedExecution(
+                        "moved PA not pending at swap point".into(),
+                    )
+                })?
+                .union(&l_trans.created);
+            let mid = Config::new(l_trans.globals, mid_pending);
+            // x must now reach the old end configuration from mid.
+            let x_action = program
+                .action(&x_step.fired.action)
+                .map_err(|e| PermutationError::MalformedExecution(e.to_string()))?;
+            let x_ok = match x_action.eval(&mid.globals, &x_step.fired.args) {
+                ActionOutcome::Failure { .. } => false,
+                ActionOutcome::Transitions(ts) => ts
+                    .iter()
+                    .any(|t| t.globals == l_step.after.globals && t.created == x_created),
+            };
+            if !x_ok {
+                return Err(PermutationError::CannotCommute {
+                    mover: chosen,
+                    past: x_step.fired,
+                });
+            }
+            suffix[pos - 1] = Step {
+                before: x_step.before.clone(),
+                fired: l_step.fired.clone(),
+                after: mid.clone(),
+            };
+            suffix[pos] = Step {
+                before: mid,
+                fired: x_step.fired.clone(),
+                after: l_step.after.clone(),
+            };
+            pos -= 1;
+        }
+
+        // Absorb the front abstraction step into the invariant (Fig. 2
+        // ③ → ④): the composite must itself be an invariant transition.
+        let front = suffix.remove(0);
+        let front_created = created_by(&front)?;
+        let absorbed_created = current
+            .created
+            .without(&chosen)
+            .ok_or(PermutationError::ChoiceInvalid)?
+            .union(&front_created);
+        current = i_transitions
+            .iter()
+            .find(|t| t.globals == front.after.globals && t.created == absorbed_created)
+            .cloned()
+            .ok_or_else(|| PermutationError::NotAbsorbable(chosen.clone()))?;
+    }
+
+    // Final step (Fig. 2 ⑤ → ⑥): the invariant transition without PAs to E
+    // must be a transition of M'.
+    let finish_ok = match replacement.eval(&input_globals, &args) {
+        ActionOutcome::Failure { .. } => false,
+        ActionOutcome::Transitions(ts) => ts
+            .iter()
+            .any(|t| t.globals == current.globals && t.created == current.created),
+    };
+    if !finish_ok {
+        return Err(PermutationError::ReplacementCannotFinish);
+    }
+
+    let mut steps = Vec::with_capacity(suffix.len() + 1);
+    steps.push(Step {
+        before: Config::new(input_globals, ambient.with(first.fired.clone())),
+        fired: first.fired.clone(),
+        after: Config::new(current.globals.clone(), ambient.union(&current.created)),
+    });
+    steps.extend(suffix);
+    Ok(Execution { steps })
+}
+
+/// Validates that `exec` is a legal execution of `program`: every step fires
+/// a pending async whose action can take exactly that transition.
+///
+/// # Errors
+///
+/// Returns a description of the first illegal step.
+pub fn validate_execution(program: &Program, exec: &Execution) -> Result<(), String> {
+    for (idx, step) in exec.steps.iter().enumerate() {
+        if !step.before.pending.contains(&step.fired) {
+            return Err(format!("step {idx}: fired PA {} not pending", step.fired));
+        }
+        let action: &Arc<dyn ActionSemantics> = program
+            .action(&step.fired.action)
+            .map_err(|e| format!("step {idx}: {e}"))?;
+        let created = created_by(step).map_err(|e| format!("step {idx}: {e}"))?;
+        match action.eval(&step.before.globals, &step.fired.args) {
+            ActionOutcome::Failure { reason } => {
+                return Err(format!("step {idx}: action fails: {reason}"))
+            }
+            ActionOutcome::Transitions(ts) => {
+                if !ts
+                    .iter()
+                    .any(|t| t.globals == step.after.globals && t.created == created)
+                {
+                    return Err(format!(
+                        "step {idx}: no transition of {} matches",
+                        step.fired
+                    ));
+                }
+            }
+        }
+        if idx + 1 < exec.steps.len() && exec.steps[idx + 1].before != step.after {
+            return Err(format!("step {idx}: configurations do not chain"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inseq_kernel::demo::counter_program;
+
+    #[test]
+    fn reflexive_witnesses_exist() {
+        let p = counter_program();
+        let init = p.initial_config(vec![]).unwrap();
+        let ws = find_witness_executions(&p, &p, init, 100_000).unwrap();
+        assert_eq!(ws.len(), 1);
+        assert!(ws[0].witness.last().unwrap().is_terminal());
+        assert_eq!(&ws[0].witness.last().unwrap().globals, &ws[0].terminal);
+    }
+
+    #[test]
+    fn validate_rejects_garbage() {
+        let p = counter_program();
+        let init = p.initial_config(vec![]).unwrap();
+        let bogus = Execution {
+            steps: vec![Step {
+                before: init.clone(),
+                fired: PendingAsync::new("Nope", vec![]),
+                after: init,
+            }],
+        };
+        assert!(validate_execution(&p, &bogus).is_err());
+    }
+}

@@ -1,0 +1,705 @@
+//! The IS proof rule (Fig. 3 of the paper): premises, checker, and the
+//! `P[M ↦ M']` transformation.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::error::Error;
+use std::fmt;
+use std::sync::Arc;
+
+use inseq_kernel::{
+    ActionName, ActionOutcome, ActionSemantics, Config, Explorer, GlobalStore, Multiset,
+    PendingAsync, Program, StateUniverse, Transition, Value,
+};
+use inseq_mover::{MoverChecker, MoverViolation};
+use inseq_refine::{check_action_refinement, RefinementViolation};
+
+use crate::measure::Measure;
+
+/// A transition of the invariant action, as seen by the choice function:
+/// the paper's `t = (σ, g, Ω) ∈ τ_I` with `σ` split into its global store
+/// and the action arguments.
+#[derive(Debug, Clone, Copy)]
+pub struct InvariantTransition<'a> {
+    /// Global part of the input store `σ`.
+    pub input_globals: &'a GlobalStore,
+    /// Local part of the input store (the arguments of `M`).
+    pub args: &'a [Value],
+    /// The output global store `g`.
+    pub output_globals: &'a GlobalStore,
+    /// The created pending asyncs `Ω`.
+    pub created: &'a Multiset<PendingAsync>,
+}
+
+/// The choice function `f`: selects, from every invariant transition that
+/// creates pending asyncs to `E`, the single one to eliminate next.
+pub type ChoiceFn = Arc<dyn Fn(&InvariantTransition<'_>) -> Option<PendingAsync> + Send + Sync>;
+
+/// A violated IS premise, with a concrete witness. Each variant names at
+/// most two actions, mirroring the targeted error messages of the paper's
+/// CIVL integration (§5.1).
+#[derive(Debug)]
+pub enum IsViolation {
+    /// A structural precondition failed (unknown action, missing artifact).
+    Structural {
+        /// Description of the problem.
+        message: String,
+    },
+    /// Premise `A ≼ α(A)` failed for an eliminated action.
+    AbstractionNotSound {
+        /// The eliminated action.
+        action: ActionName,
+        /// The refinement counterexample.
+        violation: RefinementViolation,
+    },
+    /// Premise (I1) failed: `M` is not summarised by the invariant action.
+    NotInvariantBase {
+        /// The refinement counterexample.
+        violation: RefinementViolation,
+    },
+    /// Premise (I2) failed on gates: the invariant action fails from a store
+    /// where the replacement `M'` does not.
+    ReplacementGateTooWeak {
+        /// The input store.
+        store: GlobalStore,
+        /// The arguments of `M`.
+        args: Vec<Value>,
+        /// The invariant action's failure.
+        reason: String,
+    },
+    /// Premise (I2) failed on transitions: a PA-free invariant transition is
+    /// not a transition of the replacement `M'`.
+    ReplacementMissesTransition {
+        /// The input store.
+        store: GlobalStore,
+        /// The arguments of `M`.
+        args: Vec<Value>,
+        /// The end store of the missing transition.
+        target: GlobalStore,
+    },
+    /// The choice function returned nothing (or an invalid PA) for a
+    /// transition with pending asyncs to `E`.
+    ChoiceInvalid {
+        /// Description of the offending transition and returned value.
+        message: String,
+    },
+    /// Premise (I3), first half: the abstraction's gate does not hold right
+    /// after the invariant transition that the choice function extends.
+    AbstractionGateNotDischarged {
+        /// The eliminated action.
+        action: ActionName,
+        /// The store after the invariant transition.
+        store: GlobalStore,
+        /// The chosen PA's arguments.
+        args: Vec<Value>,
+        /// The gate failure.
+        reason: String,
+    },
+    /// Premise (I3), second half: composing the invariant transition with a
+    /// step of the chosen abstraction leaves the invariant.
+    NotInductive {
+        /// The eliminated action whose elimination broke inductiveness.
+        action: ActionName,
+        /// The input store of the invariant transition.
+        store: GlobalStore,
+        /// The arguments of `M`.
+        args: Vec<Value>,
+        /// The end store of the composed transition.
+        target: GlobalStore,
+    },
+    /// Premise (LM) failed: an abstraction is not a left mover w.r.t. the
+    /// program.
+    NotLeftMover {
+        /// The eliminated action.
+        action: ActionName,
+        /// The mover counterexample.
+        violation: MoverViolation,
+    },
+    /// Premise (CO) failed: an abstraction cannot always step while
+    /// decreasing the well-founded measure.
+    CooperationViolated {
+        /// The eliminated action.
+        action: ActionName,
+        /// The store from which no decreasing step exists.
+        store: GlobalStore,
+        /// The PA's arguments.
+        args: Vec<Value>,
+        /// The measure in use.
+        measure: String,
+    },
+    /// Exploration failed (budget, unknown action, …).
+    Exploration {
+        /// Description of the failure.
+        message: String,
+    },
+}
+
+impl fmt::Display for IsViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsViolation::Structural { message } => write!(f, "IS structural error: {message}"),
+            IsViolation::AbstractionNotSound { action, violation } => {
+                write!(f, "`{action}` does not refine its abstraction: {violation}")
+            }
+            IsViolation::NotInvariantBase { violation } => {
+                write!(f, "(I1) target action is not summarised by the invariant action: {violation}")
+            }
+            IsViolation::ReplacementGateTooWeak { store, args, reason } => write!(
+                f,
+                "(I2) invariant action fails at {store} (args {args:?}) where the \
+                 replacement does not: {reason}"
+            ),
+            IsViolation::ReplacementMissesTransition { store, args, target } => write!(
+                f,
+                "(I2) PA-free invariant transition {store} -> {target} (args {args:?}) \
+                 is not a transition of the replacement"
+            ),
+            IsViolation::ChoiceInvalid { message } => write!(f, "choice function invalid: {message}"),
+            IsViolation::AbstractionGateNotDischarged {
+                action,
+                store,
+                args,
+                reason,
+            } => write!(
+                f,
+                "(I3) gate of the abstraction of `{action}` (args {args:?}) does not hold \
+                 after the invariant transition ending at {store}: {reason}"
+            ),
+            IsViolation::NotInductive {
+                action,
+                store,
+                args,
+                target,
+            } => write!(
+                f,
+                "(I3) invariant is not inductive: absorbing `{action}` from {store} \
+                 (args {args:?}) reaches {target}, which the invariant cannot produce \
+                 in a single transition"
+            ),
+            IsViolation::NotLeftMover { action, violation } => write!(
+                f,
+                "(LM) abstraction of `{action}` is not a left mover: {violation}"
+            ),
+            IsViolation::CooperationViolated {
+                action,
+                store,
+                args,
+                measure,
+            } => write!(
+                f,
+                "(CO) abstraction of `{action}` (args {args:?}) cannot step from {store} \
+                 while decreasing the measure {measure}"
+            ),
+            IsViolation::Exploration { message } => write!(f, "exploration error: {message}"),
+        }
+    }
+}
+
+impl Error for IsViolation {}
+
+/// Statistics of a successful IS check, for reporting and benchmarking.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IsReport {
+    /// Configurations reachable in the program instance(s).
+    pub reachable_configs: usize,
+    /// `(store, args)` inputs at which the target action was checked.
+    pub target_inputs: usize,
+    /// Invariant transitions examined (the sequentialization prefixes).
+    pub invariant_transitions: usize,
+    /// Invariant transitions still carrying PAs to `E` (induction steps).
+    pub induction_steps: usize,
+    /// Eliminated actions.
+    pub eliminated_actions: usize,
+    /// Stores in the quantification universe.
+    pub universe_stores: usize,
+}
+
+impl fmt::Display for IsReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "IS ok: {} reachable configs, {} target inputs, {} invariant transitions \
+             ({} induction steps), {} eliminated actions, {} universe stores",
+            self.reachable_configs,
+            self.target_inputs,
+            self.invariant_transitions,
+            self.induction_steps,
+            self.eliminated_actions,
+            self.universe_stores
+        )
+    }
+}
+
+/// One application of the IS proof rule: the given `(P, M, E)` frame plus the
+/// invented artifacts `(I, M', f, α, ≫)` and the finite instance(s) to check
+/// them on.
+///
+/// Construct with [`IsApplication::new`], configure with the builder
+/// methods, then call [`check`](IsApplication::check) and
+/// [`apply`](IsApplication::apply).
+#[derive(Clone)]
+pub struct IsApplication {
+    program: Program,
+    target: ActionName,
+    eliminated: BTreeSet<ActionName>,
+    invariant: Option<Arc<dyn ActionSemantics>>,
+    replacement: Option<Arc<dyn ActionSemantics>>,
+    choice: Option<ChoiceFn>,
+    abstractions: BTreeMap<ActionName, Arc<dyn ActionSemantics>>,
+    measure: Measure,
+    instances: Vec<Config>,
+    budget: usize,
+}
+
+impl fmt::Debug for IsApplication {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("IsApplication")
+            .field("target", &self.target)
+            .field("eliminated", &self.eliminated)
+            .field("instances", &self.instances.len())
+            .finish()
+    }
+}
+
+impl IsApplication {
+    /// Starts an IS application on `program`, rewriting action `target`.
+    #[must_use]
+    pub fn new(program: Program, target: impl Into<ActionName>) -> Self {
+        IsApplication {
+            program,
+            target: target.into(),
+            eliminated: BTreeSet::new(),
+            invariant: None,
+            replacement: None,
+            choice: None,
+            abstractions: BTreeMap::new(),
+            measure: Measure::pending_async_count(),
+            instances: Vec::new(),
+            budget: inseq_kernel::DEFAULT_CONFIG_BUDGET,
+        }
+    }
+
+    /// Adds an action to the eliminated set `E`.
+    #[must_use]
+    pub fn eliminate(mut self, action: impl Into<ActionName>) -> Self {
+        self.eliminated.insert(action.into());
+        self
+    }
+
+    /// Sets the invariant action `I`.
+    #[must_use]
+    pub fn invariant(mut self, invariant: Arc<dyn ActionSemantics>) -> Self {
+        self.invariant = Some(invariant);
+        self
+    }
+
+    /// Sets the replacement action `M'`.
+    #[must_use]
+    pub fn replacement(mut self, replacement: Arc<dyn ActionSemantics>) -> Self {
+        self.replacement = Some(replacement);
+        self
+    }
+
+    /// Sets the choice function `f`.
+    #[must_use]
+    pub fn choice<F>(mut self, f: F) -> Self
+    where
+        F: Fn(&InvariantTransition<'_>) -> Option<PendingAsync> + Send + Sync + 'static,
+    {
+        self.choice = Some(Arc::new(f));
+        self
+    }
+
+    /// Supplies the abstraction `α(action)`. Eliminated actions without an
+    /// explicit abstraction default to themselves (`α(A) = P(A)`).
+    #[must_use]
+    pub fn abstraction(
+        mut self,
+        action: impl Into<ActionName>,
+        abstraction: Arc<dyn ActionSemantics>,
+    ) -> Self {
+        self.abstractions.insert(action.into(), abstraction);
+        self
+    }
+
+    /// Sets the well-founded measure `≫` (defaults to the PA count).
+    #[must_use]
+    pub fn measure(mut self, measure: Measure) -> Self {
+        self.measure = measure;
+        self
+    }
+
+    /// Adds a finite instance: an initialized configuration of `P` over
+    /// which all premises are checked.
+    #[must_use]
+    pub fn instance(mut self, init: Config) -> Self {
+        self.instances.push(init);
+        self
+    }
+
+    /// Bounds each exploration (default: the kernel's budget).
+    #[must_use]
+    pub fn budget(mut self, budget: usize) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// The program `P` this application operates on.
+    #[must_use]
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    pub(crate) fn set_program(&mut self, program: Program) {
+        self.program = program;
+    }
+
+    /// The target action name `M`.
+    #[must_use]
+    pub fn target(&self) -> &ActionName {
+        &self.target
+    }
+
+    /// The eliminated set `E`.
+    #[must_use]
+    pub fn eliminated(&self) -> &BTreeSet<ActionName> {
+        &self.eliminated
+    }
+
+    /// The invariant action `I`, if set.
+    #[must_use]
+    pub fn invariant_action(&self) -> Option<&Arc<dyn ActionSemantics>> {
+        self.invariant.as_ref()
+    }
+
+    /// The replacement action `M'`, if set.
+    #[must_use]
+    pub fn replacement_action(&self) -> Option<&Arc<dyn ActionSemantics>> {
+        self.replacement.as_ref()
+    }
+
+    /// The choice function, if set.
+    #[must_use]
+    pub fn choice_fn(&self) -> Option<&ChoiceFn> {
+        self.choice.as_ref()
+    }
+
+    /// `α(action)`, defaulting to the program's own action; `Err` when the
+    /// action is unknown.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsViolation::Structural`] for unknown actions.
+    pub fn abstraction_of(
+        &self,
+        action: &ActionName,
+    ) -> Result<Arc<dyn ActionSemantics>, IsViolation> {
+        self.alpha(action)
+    }
+
+    /// The transformed program `P' = P[M ↦ M']`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no replacement was supplied.
+    #[must_use]
+    pub fn apply(&self) -> Program {
+        let replacement = self
+            .replacement
+            .as_ref()
+            .expect("IS application has no replacement action");
+        self.program
+            .with_action(self.target.clone(), Arc::clone(replacement))
+    }
+
+    /// Checks all premises of the IS rule (Fig. 3) on the configured
+    /// instances.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated premise with a concrete witness.
+    pub fn check(&self) -> Result<IsReport, IsViolation> {
+        let invariant = self.require(self.invariant.as_ref(), "invariant action `I`")?;
+        let replacement = self.require(self.replacement.as_ref(), "replacement action `M'`")?;
+        let choice = self
+            .choice
+            .as_ref()
+            .ok_or_else(|| IsViolation::Structural {
+                message: "no choice function supplied".into(),
+            })?;
+        self.structural_checks()?;
+
+        // Explore the program instances; build the base quantification
+        // universe from all reachable configurations.
+        let mut report = IsReport {
+            eliminated_actions: self.eliminated.len(),
+            ..IsReport::default()
+        };
+        let mut universe = StateUniverse::new();
+        let explorer = Explorer::new(&self.program).with_budget(self.budget);
+        let exploration = explorer
+            .explore(self.instances.iter().cloned())
+            .map_err(|e| IsViolation::Exploration {
+                message: e.to_string(),
+            })?;
+        report.reachable_configs = exploration.config_count();
+        universe.absorb(&exploration);
+
+        // The inputs at which M is invoked.
+        let target_inputs: Vec<(GlobalStore, Vec<Value>)> = universe
+            .enabled_at(&self.target)
+            .cloned()
+            .collect();
+        report.target_inputs = target_inputs.len();
+
+        // Evaluate the invariant action at each target input; its
+        // transitions are the partial sequentializations. Absorb the
+        // resulting pseudo-configurations into the universe: the (LM) and
+        // (CO) conditions must hold at these sequential-context stores even
+        // though P itself may never reach them.
+        let mut inv_transitions: Vec<(GlobalStore, Vec<Value>, BTreeSet<Transition>)> = Vec::new();
+        for (g, args) in &target_inputs {
+            match invariant.eval(g, args) {
+                ActionOutcome::Failure { .. } => {
+                    // ρ_I may be narrower than ρ_M only where M' also fails;
+                    // checked by (I2). Record no transitions here.
+                    inv_transitions.push((g.clone(), args.clone(), BTreeSet::new()));
+                }
+                ActionOutcome::Transitions(ts) => {
+                    let set: BTreeSet<Transition> = ts.into_iter().collect();
+                    for t in &set {
+                        universe.absorb_config(&Config::new(t.globals.clone(), t.created.clone()));
+                    }
+                    report.invariant_transitions += set.len();
+                    inv_transitions.push((g.clone(), args.clone(), set));
+                }
+            }
+        }
+        report.universe_stores = universe.store_count();
+
+        // Premise: A ≼ α(A) for each A ∈ E.
+        for action_name in &self.eliminated {
+            let concrete = self
+                .program
+                .action(action_name)
+                .map_err(|e| IsViolation::Structural { message: e.to_string() })?;
+            let alpha = self.alpha(action_name)?;
+            let inputs: Vec<(GlobalStore, Vec<Value>)> =
+                universe.enabled_at(action_name).cloned().collect();
+            check_action_refinement(
+                concrete,
+                &alpha,
+                inputs.iter().map(|(g, a)| (g, a.as_slice())),
+            )
+            .map_err(|violation| IsViolation::AbstractionNotSound {
+                action: action_name.clone(),
+                violation,
+            })?;
+        }
+
+        // (I1): M ≼ I at every target input.
+        let target_action = self
+            .program
+            .action(&self.target)
+            .map_err(|e| IsViolation::Structural { message: e.to_string() })?;
+        check_action_refinement(
+            target_action,
+            invariant,
+            target_inputs.iter().map(|(g, a)| (g, a.as_slice())),
+        )
+        .map_err(|violation| IsViolation::NotInvariantBase { violation })?;
+
+        // (I2): I restricted to PA_E-free transitions refines M'.
+        for (g, args, i_ts) in &inv_transitions {
+            let m_prime = replacement.eval(g, args);
+            let m_ts = match m_prime {
+                ActionOutcome::Failure { .. } => continue, // M' fails: vacuous
+                ActionOutcome::Transitions(ts) => ts,
+            };
+            // ρ_{M'} holds here, so ρ_I must as well.
+            if let ActionOutcome::Failure { reason } = invariant.eval(g, args) {
+                return Err(IsViolation::ReplacementGateTooWeak {
+                    store: g.clone(),
+                    args: args.clone(),
+                    reason,
+                });
+            }
+            for t in i_ts {
+                if self.pa_e(&t.created).is_empty() && !m_ts.contains(t) {
+                    return Err(IsViolation::ReplacementMissesTransition {
+                        store: g.clone(),
+                        args: args.clone(),
+                        target: t.globals.clone(),
+                    });
+                }
+            }
+        }
+
+        // (I3): induction step — absorb the chosen PA into the invariant.
+        for (g, args, i_ts) in &inv_transitions {
+            for t in i_ts {
+                let pas_to_e = self.pa_e(&t.created);
+                if pas_to_e.is_empty() {
+                    continue;
+                }
+                report.induction_steps += 1;
+                let view = InvariantTransition {
+                    input_globals: g,
+                    args,
+                    output_globals: &t.globals,
+                    created: &t.created,
+                };
+                let chosen = choice(&view).ok_or_else(|| IsViolation::ChoiceInvalid {
+                    message: format!(
+                        "no PA chosen for a transition to {} creating {}",
+                        t.globals, t.created
+                    ),
+                })?;
+                if !self.eliminated.contains(&chosen.action) || !t.created.contains(&chosen) {
+                    return Err(IsViolation::ChoiceInvalid {
+                        message: format!(
+                            "chosen PA {chosen} is not a created pending async to E in {}",
+                            t.created
+                        ),
+                    });
+                }
+                let alpha = self.alpha(&chosen.action)?;
+                let alpha_ts = match alpha.eval(&t.globals, &chosen.args) {
+                    ActionOutcome::Failure { reason } => {
+                        return Err(IsViolation::AbstractionGateNotDischarged {
+                            action: chosen.action.clone(),
+                            store: t.globals.clone(),
+                            args: chosen.args.clone(),
+                            reason,
+                        });
+                    }
+                    ActionOutcome::Transitions(ts) => ts,
+                };
+                let remaining = t
+                    .created
+                    .without(&chosen)
+                    .expect("chosen PA is in the created multiset");
+                for ta in &alpha_ts {
+                    let composed = Transition::new(
+                        ta.globals.clone(),
+                        remaining.union(&ta.created),
+                    );
+                    if !i_ts.contains(&composed) {
+                        return Err(IsViolation::NotInductive {
+                            action: chosen.action.clone(),
+                            store: g.clone(),
+                            args: args.clone(),
+                            target: ta.globals.clone(),
+                        });
+                    }
+                }
+            }
+        }
+
+        // (LM): each abstraction is a left mover w.r.t. P.
+        let mover_checker = MoverChecker::new(&self.program, &universe);
+        for action_name in &self.eliminated {
+            let alpha = self.alpha(action_name)?;
+            mover_checker
+                .check_left(&alpha, action_name)
+                .map_err(|violation| IsViolation::NotLeftMover {
+                    action: action_name.clone(),
+                    violation,
+                })?;
+        }
+
+        // (CO): each abstraction can step while decreasing the measure.
+        for action_name in &self.eliminated {
+            let alpha = self.alpha(action_name)?;
+            for (g, args) in universe.enabled_at(action_name) {
+                match alpha.eval(g, args) {
+                    ActionOutcome::Failure { .. } => {} // outside the gate
+                    ActionOutcome::Transitions(ts) => {
+                        let pa = PendingAsync::new(action_name.clone(), args.clone());
+                        let decreases = ts
+                            .iter()
+                            .any(|t| self.measure.decreases(g, &pa, &t.globals, &t.created));
+                        if !decreases {
+                            return Err(IsViolation::CooperationViolated {
+                                action: action_name.clone(),
+                                store: g.clone(),
+                                args: args.clone(),
+                                measure: self.measure.label().to_owned(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        Ok(report)
+    }
+
+    /// Checks all premises and, on success, returns the transformed program.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first violated premise.
+    pub fn check_and_apply(&self) -> Result<(Program, IsReport), IsViolation> {
+        let report = self.check()?;
+        Ok((self.apply(), report))
+    }
+
+    fn require<'s, T>(&self, opt: Option<&'s T>, what: &str) -> Result<&'s T, IsViolation> {
+        opt.ok_or_else(|| IsViolation::Structural {
+            message: format!("no {what} supplied"),
+        })
+    }
+
+    fn structural_checks(&self) -> Result<(), IsViolation> {
+        if !self.program.defines(&self.target) {
+            return Err(IsViolation::Structural {
+                message: format!("target action `{}` is not in the program", self.target),
+            });
+        }
+        for name in &self.eliminated {
+            if !self.program.defines(name) {
+                return Err(IsViolation::Structural {
+                    message: format!("eliminated action `{name}` is not in the program"),
+                });
+            }
+        }
+        for name in self.abstractions.keys() {
+            if !self.eliminated.contains(name) {
+                return Err(IsViolation::Structural {
+                    message: format!("abstraction given for `{name}`, which is not in E"),
+                });
+            }
+        }
+        if self.eliminated.contains(&self.target) {
+            return Err(IsViolation::Structural {
+                message: format!("target `{}` cannot be in the eliminated set", self.target),
+            });
+        }
+        if self.instances.is_empty() {
+            return Err(IsViolation::Structural {
+                message: "no instances supplied (nothing to check against)".into(),
+            });
+        }
+        Ok(())
+    }
+
+    /// `α(A)`, defaulting to `P(A)` itself.
+    fn alpha(&self, action: &ActionName) -> Result<Arc<dyn ActionSemantics>, IsViolation> {
+        if let Some(a) = self.abstractions.get(action) {
+            return Ok(Arc::clone(a));
+        }
+        self.program
+            .action(action)
+            .cloned()
+            .map_err(|e| IsViolation::Structural { message: e.to_string() })
+    }
+
+    /// `PA_E(t)` restricted to the created multiset.
+    fn pa_e(&self, created: &Multiset<PendingAsync>) -> Vec<PendingAsync> {
+        created
+            .distinct()
+            .filter(|pa| self.eliminated.contains(&pa.action))
+            .cloned()
+            .collect()
+    }
+}

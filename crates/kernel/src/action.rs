@@ -1,0 +1,272 @@
+//! Gated atomic actions, pending asyncs, and transitions (§3 of the paper).
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::multiset::Multiset;
+use crate::store::GlobalStore;
+use crate::value::Value;
+
+/// The name of an atomic action, e.g. `Broadcast` or `Main`.
+///
+/// Cheap to clone; names are compared by string content.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ActionName(Arc<str>);
+
+impl ActionName {
+    /// Creates an action name.
+    #[must_use]
+    pub fn new(name: impl AsRef<str>) -> Self {
+        ActionName(Arc::from(name.as_ref()))
+    }
+
+    /// The name as a string slice.
+    #[must_use]
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl From<&str> for ActionName {
+    fn from(s: &str) -> Self {
+        ActionName::new(s)
+    }
+}
+
+impl From<String> for ActionName {
+    fn from(s: String) -> Self {
+        ActionName::new(s)
+    }
+}
+
+impl fmt::Display for ActionName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A *pending async* `(ℓ, A)`: an action name together with the argument
+/// values (the local store) it will execute with.
+///
+/// Pending asyncs appear both statically, as the tasks created by a
+/// transition, and dynamically, in the multiset component `Ω` of a
+/// configuration.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PendingAsync {
+    /// The action to be executed.
+    pub action: ActionName,
+    /// The argument values `ℓ`.
+    pub args: Vec<Value>,
+}
+
+impl PendingAsync {
+    /// Creates a pending async.
+    #[must_use]
+    pub fn new(action: impl Into<ActionName>, args: Vec<Value>) -> Self {
+        PendingAsync {
+            action: action.into(),
+            args,
+        }
+    }
+}
+
+impl fmt::Display for PendingAsync {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.action)?;
+        for (i, a) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// One transition of an atomic action: the updated global store `g′` and the
+/// multiset `Ω′` of pending asyncs created by the step.
+///
+/// The input store `(g, ℓ)` is implicit — a `Transition` is always produced
+/// by [`ActionSemantics::eval`] relative to the store it was evaluated from.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Transition {
+    /// The global store after the step.
+    pub globals: GlobalStore,
+    /// The pending asyncs created by the step.
+    pub created: Multiset<PendingAsync>,
+}
+
+impl Transition {
+    /// Creates a transition.
+    #[must_use]
+    pub fn new(globals: GlobalStore, created: Multiset<PendingAsync>) -> Self {
+        Transition { globals, created }
+    }
+
+    /// A transition that updates the globals and creates no pending asyncs.
+    #[must_use]
+    pub fn pure(globals: GlobalStore) -> Self {
+        Transition {
+            globals,
+            created: Multiset::new(),
+        }
+    }
+}
+
+impl fmt::Display for Transition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "-> {} creating {}", self.globals, self.created)
+    }
+}
+
+/// The result of evaluating a gated atomic action `(ρ, τ)` from one input
+/// store `g·ℓ`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ActionOutcome {
+    /// The gate is violated: `g·ℓ ∉ ρ`. Executing the action from here drives
+    /// the program to the failure configuration `⊥`.
+    Failure {
+        /// Human-readable reason (e.g. the failing assertion), used for the
+        /// targeted error messages the paper's CIVL integration emphasises.
+        reason: String,
+    },
+    /// The gate holds; these are the enabled transitions `(g·ℓ, g′, Ω′) ∈ τ`.
+    /// An empty vector means the action *blocks* from this store — the paper
+    /// is explicit that blocking is distinct from failing.
+    Transitions(Vec<Transition>),
+}
+
+impl ActionOutcome {
+    /// A blocked outcome (gate holds, no transition enabled).
+    #[must_use]
+    pub fn blocked() -> Self {
+        ActionOutcome::Transitions(Vec::new())
+    }
+
+    /// Whether the outcome is a gate violation.
+    #[must_use]
+    pub fn is_failure(&self) -> bool {
+        matches!(self, ActionOutcome::Failure { .. })
+    }
+
+    /// The transitions, or `None` on failure.
+    #[must_use]
+    pub fn transitions(&self) -> Option<&[Transition]> {
+        match self {
+            ActionOutcome::Failure { .. } => None,
+            ActionOutcome::Transitions(ts) => Some(ts),
+        }
+    }
+}
+
+/// The semantics of a gated atomic action.
+///
+/// Implementors compute, for a given input store, whether the gate `ρ` holds
+/// and — if it does — the set of enabled transitions of `τ`. The main
+/// implementor is the DSL interpreter in `inseq-lang`; [`NativeAction`] wraps
+/// a Rust closure for tests and small examples.
+pub trait ActionSemantics: fmt::Debug + Send + Sync {
+    /// Number of action parameters (length of the local store `ℓ`).
+    fn arity(&self) -> usize;
+
+    /// Evaluates the action from global store `globals` and arguments `args`.
+    ///
+    /// `args.len()` must equal [`arity`](ActionSemantics::arity); violating
+    /// this is a caller bug and implementations may panic.
+    fn eval(&self, globals: &GlobalStore, args: &[Value]) -> ActionOutcome;
+}
+
+/// An atomic action implemented directly as a Rust closure.
+///
+/// # Example
+///
+/// ```
+/// use inseq_kernel::{ActionOutcome, ActionSemantics, GlobalStore, NativeAction, Transition, Value};
+///
+/// // An action that increments global 0.
+/// let inc = NativeAction::new("Inc", 0, |g: &GlobalStore, _args: &[Value]| {
+///     let next = g.with(0, Value::Int(g.get(0).as_int() + 1));
+///     ActionOutcome::Transitions(vec![Transition::pure(next)])
+/// });
+/// let out = inc.eval(&GlobalStore::new(vec![Value::Int(41)]), &[]);
+/// assert_eq!(
+///     out.transitions().unwrap()[0].globals.get(0),
+///     &Value::Int(42)
+/// );
+/// ```
+pub struct NativeAction {
+    label: String,
+    arity: usize,
+    #[allow(clippy::type_complexity)]
+    eval: Box<dyn Fn(&GlobalStore, &[Value]) -> ActionOutcome + Send + Sync>,
+}
+
+impl NativeAction {
+    /// Creates a native action from a closure.
+    pub fn new<F>(label: impl Into<String>, arity: usize, eval: F) -> Self
+    where
+        F: Fn(&GlobalStore, &[Value]) -> ActionOutcome + Send + Sync + 'static,
+    {
+        NativeAction {
+            label: label.into(),
+            arity,
+            eval: Box::new(eval),
+        }
+    }
+}
+
+impl fmt::Debug for NativeAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NativeAction")
+            .field("label", &self.label)
+            .field("arity", &self.arity)
+            .finish()
+    }
+}
+
+impl ActionSemantics for NativeAction {
+    fn arity(&self) -> usize {
+        self.arity
+    }
+
+    fn eval(&self, globals: &GlobalStore, args: &[Value]) -> ActionOutcome {
+        debug_assert_eq!(args.len(), self.arity, "arity mismatch for {}", self.label);
+        (self.eval)(globals, args)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn action_name_roundtrip() {
+        let n: ActionName = "Broadcast".into();
+        assert_eq!(n.as_str(), "Broadcast");
+        assert_eq!(n.to_string(), "Broadcast");
+        assert_eq!(n, ActionName::new("Broadcast"));
+    }
+
+    #[test]
+    fn pending_async_display() {
+        let pa = PendingAsync::new("Collect", vec![Value::Int(2)]);
+        assert_eq!(pa.to_string(), "Collect(2)");
+    }
+
+    #[test]
+    fn blocked_outcome_is_not_failure() {
+        let b = ActionOutcome::blocked();
+        assert!(!b.is_failure());
+        assert_eq!(b.transitions().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn native_action_failure() {
+        let fail = NativeAction::new("Fail", 0, |_, _| ActionOutcome::Failure {
+            reason: "assert false".into(),
+        });
+        let out = fail.eval(&GlobalStore::default(), &[]);
+        assert!(out.is_failure());
+        assert!(out.transitions().is_none());
+    }
+}

@@ -1,0 +1,101 @@
+//! Configurations `(g, Ω)` and execution steps.
+
+use std::fmt;
+
+use crate::action::PendingAsync;
+use crate::multiset::Multiset;
+use crate::store::GlobalStore;
+
+/// A non-failure configuration: a global store paired with the multiset of
+/// pending asyncs awaiting execution.
+///
+/// The unique failure configuration `⊥` is not represented as a `Config`;
+/// explorations record failures separately (see
+/// [`Exploration`](crate::Exploration)).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Config {
+    /// The global store `g`.
+    pub globals: GlobalStore,
+    /// The pending asyncs `Ω`.
+    pub pending: Multiset<PendingAsync>,
+}
+
+impl Config {
+    /// Creates a configuration.
+    #[must_use]
+    pub fn new(globals: GlobalStore, pending: Multiset<PendingAsync>) -> Self {
+        Config { globals, pending }
+    }
+
+    /// The *initialized* configuration `(g, {(ℓ, Main)})` for a given entry
+    /// pending async.
+    #[must_use]
+    pub fn initialized(globals: GlobalStore, entry: PendingAsync) -> Self {
+        Config {
+            globals,
+            pending: Multiset::singleton(entry),
+        }
+    }
+
+    /// Whether the configuration is *terminating*: no pending asyncs remain.
+    #[must_use]
+    pub fn is_terminal(&self) -> bool {
+        self.pending.is_empty()
+    }
+}
+
+impl fmt::Display for Config {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.globals, self.pending)
+    }
+}
+
+/// One step of an execution: the configuration before the step, the pending
+/// async that executed (the paper's underlined PA), and the configuration
+/// after.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Step {
+    /// Configuration before the step.
+    pub before: Config,
+    /// The pending async scheduled in this step.
+    pub fired: PendingAsync,
+    /// Configuration after the step.
+    pub after: Config,
+}
+
+impl fmt::Display for Step {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} --{}--> {}", self.before, self.fired, self.after)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    #[test]
+    fn initialized_has_single_pa() {
+        let c = Config::initialized(
+            GlobalStore::new(vec![Value::Int(0)]),
+            PendingAsync::new("Main", vec![]),
+        );
+        assert_eq!(c.pending.len(), 1);
+        assert!(!c.is_terminal());
+    }
+
+    #[test]
+    fn terminal_means_no_pas() {
+        let c = Config::new(GlobalStore::default(), Multiset::new());
+        assert!(c.is_terminal());
+    }
+
+    #[test]
+    fn display_shows_pas() {
+        let c = Config::initialized(
+            GlobalStore::new(vec![]),
+            PendingAsync::new("Main", vec![]),
+        );
+        assert_eq!(c.to_string(), "(<>, {|Main()|})");
+    }
+}

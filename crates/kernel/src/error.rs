@@ -1,0 +1,112 @@
+//! Error types for the kernel.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::action::ActionName;
+
+/// Errors raised when constructing or querying programs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KernelError {
+    /// A pending async or lookup referred to an action the program does not
+    /// define.
+    UnknownAction(ActionName),
+    /// A pending async supplied the wrong number of arguments.
+    ArityMismatch {
+        /// The action involved.
+        action: ActionName,
+        /// The declared arity.
+        expected: usize,
+        /// The number of arguments supplied.
+        found: usize,
+    },
+    /// The program was built without a `Main` action.
+    MissingMain,
+    /// The initial store does not match the global schema.
+    SchemaMismatch {
+        /// Number of globals declared by the schema.
+        expected: usize,
+        /// Number of values supplied.
+        found: usize,
+    },
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::UnknownAction(name) => write!(f, "unknown action `{name}`"),
+            KernelError::ArityMismatch {
+                action,
+                expected,
+                found,
+            } => write!(
+                f,
+                "action `{action}` expects {expected} argument(s) but was given {found}"
+            ),
+            KernelError::MissingMain => write!(f, "program has no `Main` action"),
+            KernelError::SchemaMismatch { expected, found } => write!(
+                f,
+                "initial store has {found} value(s) but the schema declares {expected} global(s)"
+            ),
+        }
+    }
+}
+
+impl Error for KernelError {}
+
+/// Errors raised during explicit-state exploration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExploreError {
+    /// The exploration exceeded its configuration budget.
+    BudgetExceeded {
+        /// The configured limit that was hit.
+        limit: usize,
+    },
+    /// A structural program error surfaced while exploring.
+    Kernel(KernelError),
+}
+
+impl fmt::Display for ExploreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExploreError::BudgetExceeded { limit } => {
+                write!(f, "exploration exceeded the budget of {limit} configurations")
+            }
+            ExploreError::Kernel(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for ExploreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ExploreError::Kernel(e) => Some(e),
+            ExploreError::BudgetExceeded { .. } => None,
+        }
+    }
+}
+
+impl From<KernelError> for ExploreError {
+    fn from(e: KernelError) -> Self {
+        ExploreError::Kernel(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = KernelError::UnknownAction("Foo".into());
+        assert_eq!(e.to_string(), "unknown action `Foo`");
+        let e = ExploreError::BudgetExceeded { limit: 10 };
+        assert!(e.to_string().contains("10"));
+    }
+
+    #[test]
+    fn explore_error_wraps_kernel_error() {
+        let e: ExploreError = KernelError::MissingMain.into();
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,477 @@
+//! Exhaustive small-step exploration of asynchronous programs.
+//!
+//! This module realises the transition relation of §3: in configuration
+//! `(g, Ω)` any pending async may be scheduled; if its gate is violated the
+//! program moves to the failure configuration, otherwise each enabled
+//! transition updates the globals and adds the created pending asyncs to `Ω`.
+//!
+//! The [`Explorer`] enumerates *all* reachable configurations, which is the
+//! explicit-state substitute for the SMT-backed reasoning of the paper's
+//! CIVL implementation (see DESIGN.md §2 for the substitution argument).
+
+use std::collections::HashMap;
+
+use crate::action::{ActionOutcome, PendingAsync};
+use crate::config::{Config, Step};
+use crate::error::ExploreError;
+use crate::program::Program;
+use crate::store::GlobalStore;
+
+/// Default bound on the number of distinct configurations explored.
+pub const DEFAULT_CONFIG_BUDGET: usize = 2_000_000;
+
+/// An exhaustive breadth-first explorer for a [`Program`].
+#[derive(Debug)]
+pub struct Explorer<'p> {
+    program: &'p Program,
+    budget: usize,
+}
+
+impl<'p> Explorer<'p> {
+    /// Creates an explorer with the default configuration budget.
+    #[must_use]
+    pub fn new(program: &'p Program) -> Self {
+        Explorer {
+            program,
+            budget: DEFAULT_CONFIG_BUDGET,
+        }
+    }
+
+    /// Sets the maximum number of distinct configurations to visit before
+    /// giving up with [`ExploreError::BudgetExceeded`].
+    #[must_use]
+    pub fn with_budget(mut self, budget: usize) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Explores all configurations reachable from the given initial
+    /// configurations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExploreError::BudgetExceeded`] when the state space exceeds
+    /// the budget and [`ExploreError::Kernel`] when a pending async refers to
+    /// an unknown action or has the wrong arity.
+    pub fn explore(
+        &self,
+        initial: impl IntoIterator<Item = Config>,
+    ) -> Result<Exploration, ExploreError> {
+        let mut exp = Exploration {
+            configs: Vec::new(),
+            index: HashMap::new(),
+            initial: Vec::new(),
+            edges: Vec::new(),
+            failures: Vec::new(),
+            deadlocks: Vec::new(),
+        };
+        let mut frontier: Vec<usize> = Vec::new();
+        for config in initial {
+            let id = exp.intern(config);
+            exp.initial.push(id);
+            frontier.push(id);
+        }
+        let mut cursor = 0;
+        while cursor < frontier.len() {
+            let id = frontier[cursor];
+            cursor += 1;
+            let config = exp.configs[id].clone();
+            let mut progressed = config.pending.is_empty();
+            for pa in config.pending.distinct().cloned().collect::<Vec<_>>() {
+                match self.program.eval_pa(&config.globals, &pa)? {
+                    ActionOutcome::Failure { reason } => {
+                        progressed = true;
+                        exp.failures.push(Failure {
+                            config: id,
+                            fired: pa.clone(),
+                            reason,
+                        });
+                    }
+                    ActionOutcome::Transitions(transitions) => {
+                        if !transitions.is_empty() {
+                            progressed = true;
+                        }
+                        let remaining = config
+                            .pending
+                            .without(&pa)
+                            .expect("distinct() yields present PAs");
+                        for t in transitions {
+                            let next = Config::new(
+                                t.globals,
+                                remaining.union(&t.created),
+                            );
+                            let (next_id, fresh) = exp.intern_with_flag(next);
+                            exp.edges.push(Edge {
+                                from: id,
+                                fired: pa.clone(),
+                                to: next_id,
+                            });
+                            if fresh {
+                                if exp.configs.len() > self.budget {
+                                    return Err(ExploreError::BudgetExceeded {
+                                        limit: self.budget,
+                                    });
+                                }
+                                frontier.push(next_id);
+                            }
+                        }
+                    }
+                }
+            }
+            if !progressed {
+                exp.deadlocks.push(id);
+            }
+        }
+        Ok(exp)
+    }
+
+    /// Computes the program summary (the data of Def. 3.2) for a single
+    /// initialized configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates exploration errors.
+    pub fn summarize(&self, initial: Config) -> Result<Summary, ExploreError> {
+        let exp = self.explore([initial])?;
+        Ok(Summary {
+            good: !exp.has_failure(),
+            terminal: exp.terminal_stores().cloned().collect(),
+        })
+    }
+}
+
+/// An edge of the explored configuration graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Edge {
+    from: usize,
+    fired: PendingAsync,
+    to: usize,
+}
+
+/// A recorded gate violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Failure {
+    config: usize,
+    fired: PendingAsync,
+    reason: String,
+}
+
+/// The result of exhaustively exploring a program: the reachable
+/// configuration graph plus all gate violations encountered.
+#[derive(Debug)]
+pub struct Exploration {
+    configs: Vec<Config>,
+    index: HashMap<Config, usize>,
+    initial: Vec<usize>,
+    edges: Vec<Edge>,
+    failures: Vec<Failure>,
+    deadlocks: Vec<usize>,
+}
+
+impl Exploration {
+    fn intern(&mut self, config: Config) -> usize {
+        self.intern_with_flag(config).0
+    }
+
+    fn intern_with_flag(&mut self, config: Config) -> (usize, bool) {
+        if let Some(&id) = self.index.get(&config) {
+            return (id, false);
+        }
+        let id = self.configs.len();
+        self.index.insert(config.clone(), id);
+        self.configs.push(config);
+        (id, true)
+    }
+
+    /// Number of distinct reachable configurations.
+    #[must_use]
+    pub fn config_count(&self) -> usize {
+        self.configs.len()
+    }
+
+    /// Number of transitions in the explored graph.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Iterates over all reachable configurations.
+    pub fn configs(&self) -> impl Iterator<Item = &Config> {
+        self.configs.iter()
+    }
+
+    /// Whether any reachable configuration can fail.
+    #[must_use]
+    pub fn has_failure(&self) -> bool {
+        !self.failures.is_empty()
+    }
+
+    /// Human-readable descriptions of all gate violations found.
+    #[must_use]
+    pub fn failure_reports(&self) -> Vec<String> {
+        self.failures
+            .iter()
+            .map(|f| {
+                format!(
+                    "executing {} from {} fails: {}",
+                    f.fired, self.configs[f.config], f.reason
+                )
+            })
+            .collect()
+    }
+
+    /// Configurations with pending asyncs but no enabled transition and no
+    /// failure — **deadlocks**: the program can neither proceed nor
+    /// terminate from them. (A blocked pending async is not by itself a
+    /// deadlock; some other pending async may still run.)
+    pub fn deadlocked_configs(&self) -> impl Iterator<Item = &Config> {
+        self.deadlocks.iter().map(|&id| &self.configs[id])
+    }
+
+    /// Whether any reachable configuration is a deadlock.
+    #[must_use]
+    pub fn has_deadlock(&self) -> bool {
+        !self.deadlocks.is_empty()
+    }
+
+    /// Global stores of terminating configurations (empty `Ω`).
+    pub fn terminal_stores(&self) -> impl Iterator<Item = &GlobalStore> {
+        self.configs
+            .iter()
+            .filter(|c| c.is_terminal())
+            .map(|c| &c.globals)
+    }
+
+    /// All steps `(before, fired, after)` of the explored graph.
+    pub fn steps(&self) -> impl Iterator<Item = Step> + '_ {
+        self.edges.iter().map(|e| Step {
+            before: self.configs[e.from].clone(),
+            fired: e.fired.clone(),
+            after: self.configs[e.to].clone(),
+        })
+    }
+
+    /// Reconstructs one shortest execution from an initial configuration to
+    /// `target`, or `None` when `target` is unreachable.
+    #[must_use]
+    pub fn execution_reaching(&self, target: &Config) -> Option<Execution> {
+        let target_id = *self.index.get(target)?;
+        // BFS over the recorded edges, remembering the incoming edge.
+        let mut incoming: HashMap<usize, &Edge> = HashMap::new();
+        let mut queue: std::collections::VecDeque<usize> = self.initial.iter().copied().collect();
+        let mut seen: std::collections::HashSet<usize> = self.initial.iter().copied().collect();
+        let mut adjacency: HashMap<usize, Vec<&Edge>> = HashMap::new();
+        for e in &self.edges {
+            adjacency.entry(e.from).or_default().push(e);
+        }
+        while let Some(id) = queue.pop_front() {
+            if id == target_id {
+                break;
+            }
+            for e in adjacency.get(&id).into_iter().flatten() {
+                if seen.insert(e.to) {
+                    incoming.insert(e.to, e);
+                    queue.push_back(e.to);
+                }
+            }
+        }
+        if !seen.contains(&target_id) {
+            return None;
+        }
+        let mut steps = Vec::new();
+        let mut cursor = target_id;
+        while let Some(e) = incoming.get(&cursor) {
+            steps.push(Step {
+                before: self.configs[e.from].clone(),
+                fired: e.fired.clone(),
+                after: self.configs[e.to].clone(),
+            });
+            cursor = e.from;
+        }
+        steps.reverse();
+        Some(Execution { steps })
+    }
+
+    /// Enumerates terminating executions as step sequences, up to `limit`
+    /// executions. Useful for the Fig. 2 rewriting demonstration; the number
+    /// of interleavings explodes, so a limit is mandatory.
+    #[must_use]
+    pub fn terminating_executions(&self, limit: usize) -> Vec<Execution> {
+        let mut out = Vec::new();
+        let mut adjacency: HashMap<usize, Vec<&Edge>> = HashMap::new();
+        for e in &self.edges {
+            adjacency.entry(e.from).or_default().push(e);
+        }
+        for &start in &self.initial {
+            let mut stack: Vec<(usize, Vec<Step>)> = vec![(start, Vec::new())];
+            while let Some((id, path)) = stack.pop() {
+                if out.len() >= limit {
+                    return out;
+                }
+                let config = &self.configs[id];
+                if config.is_terminal() {
+                    out.push(Execution { steps: path });
+                    continue;
+                }
+                // Cycles cannot occur on a terminating path twice with the
+                // same config because each step consumes a PA or changes
+                // state; still, guard against revisiting within one path.
+                if let Some(edges) = adjacency.get(&id) {
+                    for e in edges {
+                        if path.len() >= self.configs.len() * 4 {
+                            continue;
+                        }
+                        let mut next = path.clone();
+                        next.push(Step {
+                            before: self.configs[e.from].clone(),
+                            fired: e.fired.clone(),
+                            after: self.configs[e.to].clone(),
+                        });
+                        stack.push((e.to, next));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A finite execution: a sequence of steps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Execution {
+    /// The steps, in order.
+    pub steps: Vec<Step>,
+}
+
+impl Execution {
+    /// The first configuration of the execution.
+    #[must_use]
+    pub fn first(&self) -> Option<&Config> {
+        self.steps.first().map(|s| &s.before)
+    }
+
+    /// The last configuration of the execution.
+    #[must_use]
+    pub fn last(&self) -> Option<&Config> {
+        self.steps.last().map(|s| &s.after)
+    }
+
+    /// Number of steps.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// `true` when the execution has no steps.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+}
+
+/// The summary of a program from one initialized configuration: whether it is
+/// failure-free (`Good`) and the set of terminating global stores (`Trans`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Summary {
+    /// `true` iff no failing execution exists (`g·ℓ ∈ Good(P)`).
+    pub good: bool,
+    /// The final stores of terminating executions (`Trans(P)` restricted to
+    /// the initial store).
+    pub terminal: std::collections::BTreeSet<GlobalStore>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demo::{counter_program, failing_program};
+    use crate::value::Value;
+
+    #[test]
+    fn counter_reaches_two() {
+        let p = counter_program();
+        let init = p.initial_config(vec![]).unwrap();
+        let exp = Explorer::new(&p).explore([init]).unwrap();
+        assert!(!exp.has_failure());
+        let terminals: Vec<_> = exp.terminal_stores().collect();
+        assert!(!terminals.is_empty());
+        for t in terminals {
+            assert_eq!(t.get(0), &Value::Int(2));
+        }
+    }
+
+    #[test]
+    fn summary_of_counter() {
+        let p = counter_program();
+        let init = p.initial_config(vec![]).unwrap();
+        let s = Explorer::new(&p).summarize(init).unwrap();
+        assert!(s.good);
+        assert_eq!(s.terminal.len(), 1);
+    }
+
+    #[test]
+    fn failing_program_is_detected() {
+        let p = failing_program();
+        let init = p.initial_config(vec![]).unwrap();
+        let exp = Explorer::new(&p).explore([init]).unwrap();
+        assert!(exp.has_failure());
+        let reports = exp.failure_reports();
+        assert!(reports.iter().any(|r| r.contains("assert false")));
+    }
+
+    #[test]
+    fn budget_is_enforced() {
+        let p = counter_program();
+        let init = p.initial_config(vec![]).unwrap();
+        let err = Explorer::new(&p).with_budget(1).explore([init]).unwrap_err();
+        assert!(matches!(err, ExploreError::BudgetExceeded { limit: 1 }));
+    }
+
+    #[test]
+    fn deadlocks_are_detected() {
+        use crate::action::{NativeAction, PendingAsync};
+        use crate::program::{GlobalSchema, Program};
+        // Main spawns a task that blocks forever.
+        let mut b = Program::builder(GlobalSchema::default());
+        b.action(
+            "Main",
+            NativeAction::new("Main", 0, |g: &crate::store::GlobalStore, _: &[Value]| {
+                ActionOutcome::Transitions(vec![crate::action::Transition::new(
+                    g.clone(),
+                    crate::multiset::Multiset::singleton(PendingAsync::new("Stuck", vec![])),
+                )])
+            }),
+        );
+        b.action(
+            "Stuck",
+            NativeAction::new("Stuck", 0, |_: &crate::store::GlobalStore, _: &[Value]| {
+                ActionOutcome::blocked()
+            }),
+        );
+        let p = b.build().unwrap();
+        let init = p.initial_config(vec![]).unwrap();
+        let exp = Explorer::new(&p).explore([init]).unwrap();
+        assert!(exp.has_deadlock());
+        assert_eq!(exp.deadlocked_configs().count(), 1);
+        // The counter program has no deadlocks.
+        let p = crate::demo::counter_program();
+        let init = p.initial_config(vec![]).unwrap();
+        let exp = Explorer::new(&p).explore([init]).unwrap();
+        assert!(!exp.has_deadlock());
+    }
+
+    #[test]
+    fn terminating_executions_have_consistent_endpoints() {
+        let p = counter_program();
+        let init = p.initial_config(vec![]).unwrap();
+        let exp = Explorer::new(&p).explore([init.clone()]).unwrap();
+        let execs = exp.terminating_executions(16);
+        assert!(!execs.is_empty());
+        for e in &execs {
+            assert_eq!(e.first().unwrap(), &init);
+            assert!(e.last().unwrap().is_terminal());
+            for w in e.steps.windows(2) {
+                assert_eq!(w[0].after, w[1].before, "steps must chain");
+            }
+        }
+    }
+}

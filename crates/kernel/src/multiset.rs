@@ -1,0 +1,317 @@
+//! Finite multisets (bags), used both for message channels and for the
+//! pending-async component `Ω` of configurations.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A finite multiset over a totally ordered element type.
+///
+/// The representation maps each element to its (strictly positive)
+/// multiplicity, so two multisets compare equal exactly when they contain the
+/// same elements the same number of times — the canonicity needed for
+/// explicit-state deduplication of configurations.
+///
+/// # Example
+///
+/// ```
+/// use inseq_kernel::Multiset;
+///
+/// let mut bag: Multiset<i32> = [1, 2, 2].into_iter().collect();
+/// assert_eq!(bag.len(), 3);
+/// assert_eq!(bag.count(&2), 2);
+/// bag.remove_one(&2);
+/// assert_eq!(bag.count(&2), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Multiset<T: Ord> {
+    counts: BTreeMap<T, usize>,
+    len: usize,
+}
+
+impl<T: Ord> Multiset<T> {
+    /// Creates an empty multiset.
+    #[must_use]
+    pub fn new() -> Self {
+        Multiset {
+            counts: BTreeMap::new(),
+            len: 0,
+        }
+    }
+
+    /// Creates a multiset containing a single element.
+    #[must_use]
+    pub fn singleton(item: T) -> Self {
+        let mut ms = Multiset::new();
+        ms.insert(item);
+        ms
+    }
+
+    /// Total number of elements, counting multiplicity.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the multiset contains no elements.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of *distinct* elements.
+    #[must_use]
+    pub fn distinct_len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Multiplicity of `item` (zero when absent).
+    #[must_use]
+    pub fn count(&self, item: &T) -> usize {
+        self.counts.get(item).copied().unwrap_or(0)
+    }
+
+    /// Whether `item` occurs at least once.
+    #[must_use]
+    pub fn contains(&self, item: &T) -> bool {
+        self.counts.contains_key(item)
+    }
+
+    /// Inserts one occurrence of `item`.
+    pub fn insert(&mut self, item: T) {
+        *self.counts.entry(item).or_insert(0) += 1;
+        self.len += 1;
+    }
+
+    /// Removes one occurrence of `item`; returns `true` if it was present.
+    pub fn remove_one(&mut self, item: &T) -> bool
+    where
+        T: Clone,
+    {
+        match self.counts.get_mut(item) {
+            Some(c) if *c > 1 => {
+                *c -= 1;
+                self.len -= 1;
+                true
+            }
+            Some(_) => {
+                self.counts.remove(item);
+                self.len -= 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Multiset union `self ⊎ other` (multiplicities add).
+    #[must_use]
+    pub fn union(&self, other: &Self) -> Self
+    where
+        T: Clone,
+    {
+        let mut out = self.clone();
+        out.extend(other.iter().cloned());
+        out
+    }
+
+    /// `self` with one occurrence of `item` added (the paper's `(ℓ,A) ⊎ Ω`).
+    #[must_use]
+    pub fn with(&self, item: T) -> Self
+    where
+        T: Clone,
+    {
+        let mut out = self.clone();
+        out.insert(item);
+        out
+    }
+
+    /// `self` with one occurrence of `item` removed, or `None` if absent.
+    #[must_use]
+    pub fn without(&self, item: &T) -> Option<Self>
+    where
+        T: Clone,
+    {
+        let mut out = self.clone();
+        if out.remove_one(item) {
+            Some(out)
+        } else {
+            None
+        }
+    }
+
+    /// Multiset difference: removes `other`'s occurrences where present.
+    ///
+    /// Returns `None` when `other ⊄ self` as multisets.
+    #[must_use]
+    pub fn checked_sub(&self, other: &Self) -> Option<Self>
+    where
+        T: Clone,
+    {
+        let mut out = self.clone();
+        for item in other.iter() {
+            if !out.remove_one(item) {
+                return None;
+            }
+        }
+        Some(out)
+    }
+
+    /// Whether every occurrence in `other` also occurs in `self`.
+    #[must_use]
+    pub fn includes(&self, other: &Self) -> bool {
+        other
+            .counts
+            .iter()
+            .all(|(item, &c)| self.count(item) >= c)
+    }
+
+    /// Iterates over elements, repeating each according to its multiplicity.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.counts
+            .iter()
+            .flat_map(|(item, &c)| std::iter::repeat_n(item, c))
+    }
+
+    /// Iterates over `(element, multiplicity)` pairs.
+    pub fn iter_counts(&self) -> impl Iterator<Item = (&T, usize)> {
+        self.counts.iter().map(|(item, &c)| (item, c))
+    }
+
+    /// Iterates over the distinct elements.
+    pub fn distinct(&self) -> impl Iterator<Item = &T> {
+        self.counts.keys()
+    }
+
+    /// Retains only elements satisfying the predicate.
+    #[must_use]
+    pub fn filter(&self, mut pred: impl FnMut(&T) -> bool) -> Self
+    where
+        T: Clone,
+    {
+        self.iter().filter(|t| pred(t)).cloned().collect()
+    }
+}
+
+impl<T: Ord> Default for Multiset<T> {
+    fn default() -> Self {
+        Multiset::new()
+    }
+}
+
+impl<T: Ord> FromIterator<T> for Multiset<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut ms = Multiset::new();
+        ms.extend(iter);
+        ms
+    }
+}
+
+impl<T: Ord> Extend<T> for Multiset<T> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for item in iter {
+            self.insert(item);
+        }
+    }
+}
+
+impl<T: Ord + fmt::Display> fmt::Display for Multiset<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{|")?;
+        let mut first = true;
+        for (item, c) in self.iter_counts() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            if c == 1 {
+                write!(f, "{item}")?;
+            } else {
+                write!(f, "{item} x{c}")?;
+            }
+        }
+        write!(f, "|}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_count() {
+        let mut ms = Multiset::new();
+        ms.insert("a");
+        ms.insert("a");
+        ms.insert("b");
+        assert_eq!(ms.len(), 3);
+        assert_eq!(ms.distinct_len(), 2);
+        assert_eq!(ms.count(&"a"), 2);
+        assert_eq!(ms.count(&"c"), 0);
+    }
+
+    #[test]
+    fn remove_one_decrements_then_deletes() {
+        let mut ms: Multiset<u8> = [5, 5].into_iter().collect();
+        assert!(ms.remove_one(&5));
+        assert_eq!(ms.count(&5), 1);
+        assert!(ms.remove_one(&5));
+        assert!(!ms.contains(&5));
+        assert!(!ms.remove_one(&5));
+        assert!(ms.is_empty());
+    }
+
+    #[test]
+    fn union_adds_multiplicities() {
+        let a: Multiset<u8> = [1, 2].into_iter().collect();
+        let b: Multiset<u8> = [2, 3].into_iter().collect();
+        let u = a.union(&b);
+        assert_eq!(u.count(&1), 1);
+        assert_eq!(u.count(&2), 2);
+        assert_eq!(u.count(&3), 1);
+        assert_eq!(u.len(), 4);
+    }
+
+    #[test]
+    fn checked_sub_and_includes() {
+        let a: Multiset<u8> = [1, 2, 2, 3].into_iter().collect();
+        let b: Multiset<u8> = [2, 3].into_iter().collect();
+        assert!(a.includes(&b));
+        let d = a.checked_sub(&b).unwrap();
+        assert_eq!(d, [1, 2].into_iter().collect());
+        assert!(b.checked_sub(&a).is_none());
+        assert!(!b.includes(&a));
+    }
+
+    #[test]
+    fn with_and_without_are_functional() {
+        let a: Multiset<u8> = [9].into_iter().collect();
+        let b = a.with(9);
+        assert_eq!(a.count(&9), 1, "with must not mutate the receiver");
+        assert_eq!(b.count(&9), 2);
+        let c = b.without(&9).unwrap();
+        assert_eq!(c, a);
+        assert!(a.without(&7).is_none());
+    }
+
+    #[test]
+    fn iteration_respects_multiplicity() {
+        let ms: Multiset<u8> = [4, 4, 4, 1].into_iter().collect();
+        let items: Vec<u8> = ms.iter().copied().collect();
+        assert_eq!(items, vec![1, 4, 4, 4]);
+    }
+
+    #[test]
+    fn equality_is_canonical() {
+        let a: Multiset<u8> = [1, 2, 2].into_iter().collect();
+        let mut b = Multiset::new();
+        b.insert(2);
+        b.insert(1);
+        b.insert(2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn display_shows_multiplicity() {
+        let ms: Multiset<u8> = [7, 7].into_iter().collect();
+        assert_eq!(ms.to_string(), "{|7 x2|}");
+    }
+}

@@ -1,0 +1,344 @@
+//! Programs: finite maps from action names to gated atomic actions.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::action::{ActionName, ActionOutcome, ActionSemantics, PendingAsync};
+use crate::config::Config;
+use crate::error::KernelError;
+use crate::store::GlobalStore;
+use crate::value::Value;
+
+/// The declaration of the global variables: an ordered list of names with an
+/// index lookup. Shared (via `Arc`) between a program and all its stores'
+/// pretty-printers.
+#[derive(Debug, Clone, Default)]
+pub struct GlobalSchema {
+    names: Vec<String>,
+    index: BTreeMap<String, usize>,
+}
+
+impl GlobalSchema {
+    /// Creates a schema from variable names, in declaration order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a name is declared twice.
+    #[must_use]
+    pub fn new<I, S>(names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut schema = GlobalSchema::default();
+        for name in names {
+            let name = name.into();
+            let idx = schema.names.len();
+            let prev = schema.index.insert(name.clone(), idx);
+            assert!(prev.is_none(), "duplicate global variable `{name}`");
+            schema.names.push(name);
+        }
+        schema
+    }
+
+    /// Number of globals.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// `true` when no globals are declared.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// The name of the global with index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    #[must_use]
+    pub fn name(&self, i: usize) -> &str {
+        &self.names[i]
+    }
+
+    /// The index of the global named `name`, if declared.
+    #[must_use]
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.index.get(name).copied()
+    }
+
+    /// Iterates over the names in declaration order.
+    pub fn iter(&self) -> impl Iterator<Item = &str> {
+        self.names.iter().map(String::as_str)
+    }
+}
+
+/// An asynchronous program: a finite mapping from action names to gated
+/// atomic actions, with a dedicated `Main` entry action and a schema for the
+/// global variables.
+///
+/// Programs are immutable; the refinement transformation `P[A ↦ a]` is the
+/// functional update [`Program::with_action`].
+#[derive(Debug, Clone)]
+pub struct Program {
+    schema: Arc<GlobalSchema>,
+    actions: BTreeMap<ActionName, Arc<dyn ActionSemantics>>,
+    main: ActionName,
+}
+
+impl Program {
+    /// Starts building a program over the given global schema.
+    #[must_use]
+    pub fn builder(schema: GlobalSchema) -> ProgramBuilder {
+        ProgramBuilder {
+            schema: Arc::new(schema),
+            actions: BTreeMap::new(),
+            main: ActionName::new("Main"),
+        }
+    }
+
+    /// The global variable schema.
+    #[must_use]
+    pub fn schema(&self) -> &Arc<GlobalSchema> {
+        &self.schema
+    }
+
+    /// The entry action name (the paper's dedicated `Main`).
+    #[must_use]
+    pub fn main(&self) -> &ActionName {
+        &self.main
+    }
+
+    /// Looks up an action by name.
+    pub fn action(&self, name: &ActionName) -> Result<&Arc<dyn ActionSemantics>, KernelError> {
+        self.actions
+            .get(name)
+            .ok_or_else(|| KernelError::UnknownAction(name.clone()))
+    }
+
+    /// Whether the program defines `name`.
+    #[must_use]
+    pub fn defines(&self, name: &ActionName) -> bool {
+        self.actions.contains_key(name)
+    }
+
+    /// Iterates over `(name, action)` pairs in name order.
+    pub fn actions(&self) -> impl Iterator<Item = (&ActionName, &Arc<dyn ActionSemantics>)> {
+        self.actions.iter()
+    }
+
+    /// Action names in name order.
+    pub fn action_names(&self) -> impl Iterator<Item = &ActionName> {
+        self.actions.keys()
+    }
+
+    /// The functional update `P[name ↦ action]` used by refinement steps
+    /// (Proposition 3.3) and by the IS transformation itself.
+    #[must_use]
+    pub fn with_action(&self, name: impl Into<ActionName>, action: Arc<dyn ActionSemantics>) -> Self {
+        let mut next = self.clone();
+        next.actions.insert(name.into(), action);
+        next
+    }
+
+    /// Removes an action (used when eliminated actions disappear from the
+    /// pool after an IS application, §5.3).
+    #[must_use]
+    pub fn without_action(&self, name: &ActionName) -> Self {
+        let mut next = self.clone();
+        next.actions.remove(name);
+        next
+    }
+
+    /// Evaluates one pending async against this program.
+    pub fn eval_pa(
+        &self,
+        globals: &GlobalStore,
+        pa: &PendingAsync,
+    ) -> Result<ActionOutcome, KernelError> {
+        let action = self.action(&pa.action)?;
+        if action.arity() != pa.args.len() {
+            return Err(KernelError::ArityMismatch {
+                action: pa.action.clone(),
+                expected: action.arity(),
+                found: pa.args.len(),
+            });
+        }
+        Ok(action.eval(globals, &pa.args))
+    }
+
+    /// Builds the initialized configuration `(g, {(ℓ, Main)})` for the given
+    /// `Main` arguments, with globals taken from `initial_globals`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::SchemaMismatch`] when the store length differs
+    /// from the schema and [`KernelError::ArityMismatch`] when the argument
+    /// count differs from `Main`'s arity.
+    pub fn initial_config_with(
+        &self,
+        initial_globals: GlobalStore,
+        main_args: Vec<Value>,
+    ) -> Result<Config, KernelError> {
+        if initial_globals.len() != self.schema.len() {
+            return Err(KernelError::SchemaMismatch {
+                expected: self.schema.len(),
+                found: initial_globals.len(),
+            });
+        }
+        let main = self.action(&self.main)?;
+        if main.arity() != main_args.len() {
+            return Err(KernelError::ArityMismatch {
+                action: self.main.clone(),
+                expected: main.arity(),
+                found: main_args.len(),
+            });
+        }
+        Ok(Config::initialized(
+            initial_globals,
+            PendingAsync::new(self.main.clone(), main_args),
+        ))
+    }
+
+    /// Like [`initial_config_with`](Self::initial_config_with) but with all
+    /// globals defaulting to [`Value::Unit`]; convenient when `Main`
+    /// initialises every global itself.
+    pub fn initial_config(&self, main_args: Vec<Value>) -> Result<Config, KernelError> {
+        let store = GlobalStore::new(vec![Value::Unit; self.schema.len()]);
+        self.initial_config_with(store, main_args)
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "program(main = {}, actions = [", self.main)?;
+        for (i, name) in self.actions.keys().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{name}")?;
+        }
+        write!(f, "])")
+    }
+}
+
+/// Builder for [`Program`].
+#[derive(Debug)]
+pub struct ProgramBuilder {
+    schema: Arc<GlobalSchema>,
+    actions: BTreeMap<ActionName, Arc<dyn ActionSemantics>>,
+    main: ActionName,
+}
+
+impl ProgramBuilder {
+    /// Registers an action under `name`.
+    pub fn action(
+        &mut self,
+        name: impl Into<ActionName>,
+        action: impl ActionSemantics + 'static,
+    ) -> &mut Self {
+        self.actions.insert(name.into(), Arc::new(action));
+        self
+    }
+
+    /// Registers an already-shared action under `name`.
+    pub fn action_arc(
+        &mut self,
+        name: impl Into<ActionName>,
+        action: Arc<dyn ActionSemantics>,
+    ) -> &mut Self {
+        self.actions.insert(name.into(), action);
+        self
+    }
+
+    /// Overrides the entry action name (defaults to `Main`).
+    pub fn main(&mut self, name: impl Into<ActionName>) -> &mut Self {
+        self.main = name.into();
+        self
+    }
+
+    /// Finishes the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::MissingMain`] if the entry action is undefined
+    /// and [`KernelError::UnknownAction`] never (construction validates only
+    /// the entry; dangling PAs surface during exploration).
+    pub fn build(&mut self) -> Result<Program, KernelError> {
+        if !self.actions.contains_key(&self.main) {
+            return Err(KernelError::MissingMain);
+        }
+        Ok(Program {
+            schema: Arc::clone(&self.schema),
+            actions: self.actions.clone(),
+            main: self.main.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::{NativeAction, Transition};
+
+    fn skip_action() -> NativeAction {
+        NativeAction::new("Skip", 0, |g: &GlobalStore, _: &[Value]| {
+            ActionOutcome::Transitions(vec![Transition::pure(g.clone())])
+        })
+    }
+
+    #[test]
+    fn schema_lookup() {
+        let s = GlobalSchema::new(["x", "y"]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.index_of("y"), Some(1));
+        assert_eq!(s.index_of("z"), None);
+        assert_eq!(s.name(0), "x");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate global")]
+    fn schema_rejects_duplicates() {
+        let _ = GlobalSchema::new(["x", "x"]);
+    }
+
+    #[test]
+    fn builder_requires_main() {
+        let err = Program::builder(GlobalSchema::default()).build().unwrap_err();
+        assert_eq!(err, KernelError::MissingMain);
+    }
+
+    #[test]
+    fn with_action_is_functional_update() {
+        let p = {
+            let mut b = Program::builder(GlobalSchema::default());
+            b.action("Main", skip_action());
+            b.build().unwrap()
+        };
+        let p2 = p.with_action("Other", Arc::new(skip_action()) as Arc<dyn ActionSemantics>);
+        assert!(!p.defines(&"Other".into()));
+        assert!(p2.defines(&"Other".into()));
+        let p3 = p2.without_action(&"Other".into());
+        assert!(!p3.defines(&"Other".into()));
+    }
+
+    #[test]
+    fn initial_config_checks_schema_and_arity() {
+        let p = {
+            let mut b = Program::builder(GlobalSchema::new(["x"]));
+            b.action("Main", skip_action());
+            b.build().unwrap()
+        };
+        let err = p
+            .initial_config_with(GlobalStore::new(vec![]), vec![])
+            .unwrap_err();
+        assert!(matches!(err, KernelError::SchemaMismatch { .. }));
+        let err = p.initial_config(vec![Value::Int(1)]).unwrap_err();
+        assert!(matches!(err, KernelError::ArityMismatch { .. }));
+        let ok = p.initial_config(vec![]).unwrap();
+        assert_eq!(ok.pending.len(), 1);
+    }
+}

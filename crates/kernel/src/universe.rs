@@ -1,0 +1,206 @@
+//! State universes: the finite quantification domains over which mover and
+//! IS side conditions are discharged.
+//!
+//! The paper's CIVL implementation discharges conditions like "action `l`
+//! commutes to the left of action `x`" as SMT validity queries quantified
+//! over *all* stores. Our explicit-state substitute collects, from one or
+//! more exhaustive explorations, every global store, every pending async,
+//! and every co-enabled pair of pending asyncs (with the stores at which
+//! they co-occur), and checks the conditions over those. This is complete
+//! for the explored instances (see DESIGN.md §2 and §4).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::action::{ActionName, PendingAsync};
+use crate::explore::Exploration;
+use crate::store::GlobalStore;
+use crate::value::Value;
+
+/// The quantification domain for semantic side conditions: global stores,
+/// pending asyncs, and co-enabled pairs observed in one or more explorations.
+#[derive(Debug, Clone, Default)]
+pub struct StateUniverse {
+    stores: BTreeSet<GlobalStore>,
+    pending: BTreeSet<PendingAsync>,
+    /// For each ordered pair of pending asyncs simultaneously present in
+    /// some reachable configuration, the stores at which they co-occur.
+    coenabled: BTreeMap<(PendingAsync, PendingAsync), BTreeSet<GlobalStore>>,
+    /// Stores at which a PA of a given action is present in some reachable
+    /// configuration, together with its argument values.
+    enabled_at: BTreeMap<ActionName, BTreeSet<(GlobalStore, Vec<Value>)>>,
+}
+
+impl StateUniverse {
+    /// Creates an empty universe.
+    #[must_use]
+    pub fn new() -> Self {
+        StateUniverse::default()
+    }
+
+    /// Builds a universe from a single exploration.
+    #[must_use]
+    pub fn from_exploration(exp: &Exploration) -> Self {
+        let mut u = StateUniverse::new();
+        u.absorb(exp);
+        u
+    }
+
+    /// Adds all stores, pending asyncs and co-enabled pairs of `exp`.
+    pub fn absorb(&mut self, exp: &Exploration) {
+        for config in exp.configs() {
+            self.absorb_config(config);
+        }
+    }
+
+    /// Adds the store, pending asyncs, and co-enabled pairs of one
+    /// configuration. Used to extend the universe with configurations
+    /// produced by invariant-action transitions during inductive
+    /// sequentialization, which need not be reachable in the original
+    /// program.
+    pub fn absorb_config(&mut self, config: &crate::config::Config) {
+        self.add_store(config.globals.clone());
+        let pas: Vec<&PendingAsync> = config.pending.distinct().collect();
+        for pa in &pas {
+            self.add_pending((*pa).clone(), &config.globals);
+        }
+        for (i, a) in pas.iter().enumerate() {
+            for (j, b) in pas.iter().enumerate() {
+                // A PA co-occurs with another instance of itself only if
+                // its multiplicity is at least two.
+                if i == j && config.pending.count(a) < 2 {
+                    continue;
+                }
+                self.coenabled
+                    .entry(((*a).clone(), (*b).clone()))
+                    .or_default()
+                    .insert(config.globals.clone());
+            }
+        }
+    }
+
+    /// Adds a single store to the universe.
+    pub fn add_store(&mut self, store: GlobalStore) {
+        self.stores.insert(store);
+    }
+
+    /// Adds a pending async, recording the store at which it was enabled.
+    pub fn add_pending(&mut self, pa: PendingAsync, at: &GlobalStore) {
+        self.enabled_at
+            .entry(pa.action.clone())
+            .or_default()
+            .insert((at.clone(), pa.args.clone()));
+        self.pending.insert(pa);
+    }
+
+    /// Declares two pending asyncs co-enabled at `store` (both orders), used
+    /// to extend the universe with synthetic cases beyond the explored
+    /// instance.
+    pub fn add_coenabled(&mut self, a: PendingAsync, b: PendingAsync, store: GlobalStore) {
+        self.coenabled
+            .entry((a.clone(), b.clone()))
+            .or_default()
+            .insert(store.clone());
+        self.coenabled.entry((b, a)).or_default().insert(store);
+    }
+
+    /// All global stores in the universe.
+    pub fn stores(&self) -> impl Iterator<Item = &GlobalStore> {
+        self.stores.iter()
+    }
+
+    /// All pending asyncs in the universe.
+    pub fn pending(&self) -> impl Iterator<Item = &PendingAsync> {
+        self.pending.iter()
+    }
+
+    /// Pending asyncs of a particular action.
+    pub fn pending_of(&self, action: &ActionName) -> impl Iterator<Item = &PendingAsync> + '_ {
+        let action = action.clone();
+        self.pending.iter().filter(move |pa| pa.action == action)
+    }
+
+    /// All ordered co-enabled pairs with the stores at which they co-occur.
+    pub fn coenabled(
+        &self,
+    ) -> impl Iterator<Item = (&PendingAsync, &PendingAsync, &BTreeSet<GlobalStore>)> {
+        self.coenabled.iter().map(|((a, b), s)| (a, b, s))
+    }
+
+    /// Ordered co-enabled pairs where the *first* component is a PA of
+    /// `action` (the candidate mover).
+    pub fn coenabled_with_first(
+        &self,
+        action: &ActionName,
+    ) -> impl Iterator<Item = (&PendingAsync, &PendingAsync, &BTreeSet<GlobalStore>)> + '_ {
+        let action = action.clone();
+        self.coenabled
+            .iter()
+            .filter(move |((a, _), _)| a.action == action)
+            .map(|((a, b), s)| (a, b, s))
+    }
+
+    /// Whether `a` and `b` are ever simultaneously pending.
+    #[must_use]
+    pub fn are_coenabled(&self, a: &PendingAsync, b: &PendingAsync) -> bool {
+        self.coenabled.contains_key(&(a.clone(), b.clone()))
+    }
+
+    /// The `(store, args)` pairs at which a PA of `action` is present.
+    pub fn enabled_at(
+        &self,
+        action: &ActionName,
+    ) -> impl Iterator<Item = &(GlobalStore, Vec<Value>)> + '_ {
+        self.enabled_at.get(action).into_iter().flatten()
+    }
+
+    /// Number of stores in the universe.
+    #[must_use]
+    pub fn store_count(&self) -> usize {
+        self.stores.len()
+    }
+
+    /// Number of distinct pending asyncs in the universe.
+    #[must_use]
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demo::counter_program;
+    use crate::explore::Explorer;
+
+    #[test]
+    fn universe_collects_stores_and_pas() {
+        let p = counter_program();
+        let init = p.initial_config(vec![]).unwrap();
+        let exp = Explorer::new(&p).explore([init]).unwrap();
+        let u = StateUniverse::from_exploration(&exp);
+        // The uninitialised store plus counter values 0, 1, 2.
+        assert_eq!(u.store_count(), 4);
+        // Main() plus two Inc() PAs (Inc is parameterless so dedups to one).
+        assert!(u.pending_count() >= 2);
+        // The two Inc PAs co-exist (multiplicity 2), so Inc is co-enabled
+        // with itself.
+        let inc = PendingAsync::new("Inc", vec![]);
+        assert!(u.are_coenabled(&inc, &inc));
+        // And the store at which they co-occur is recorded.
+        let (_, _, stores) = u
+            .coenabled_with_first(&"Inc".into())
+            .next()
+            .expect("Inc pair present");
+        assert!(!stores.is_empty());
+    }
+
+    #[test]
+    fn synthetic_extension() {
+        let mut u = StateUniverse::new();
+        let a = PendingAsync::new("A", vec![]);
+        let b = PendingAsync::new("B", vec![]);
+        u.add_coenabled(a.clone(), b.clone(), GlobalStore::default());
+        assert!(u.are_coenabled(&a, &b));
+        assert!(u.are_coenabled(&b, &a));
+    }
+}

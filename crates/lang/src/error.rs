@@ -1,0 +1,48 @@
+//! Errors of the DSL layer.
+
+use std::error::Error;
+use std::fmt;
+
+/// A sort error detected while building an action.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypeError {
+    action: String,
+    message: String,
+}
+
+impl TypeError {
+    /// Creates a type error attributed to `action`.
+    #[must_use]
+    pub fn new(action: impl Into<String>, message: impl Into<String>) -> Self {
+        TypeError {
+            action: action.into(),
+            message: message.into(),
+        }
+    }
+
+    /// The action the error was found in.
+    #[must_use]
+    pub fn action(&self) -> &str {
+        &self.action
+    }
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "in action `{}`: {}", self.action, self.message)
+    }
+}
+
+impl Error for TypeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_action() {
+        let e = TypeError::new("Propose", "unbound variable `r`");
+        assert_eq!(e.to_string(), "in action `Propose`: unbound variable `r`");
+        assert_eq!(e.action(), "Propose");
+    }
+}

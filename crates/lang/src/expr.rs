@@ -1,0 +1,470 @@
+//! Expressions of the action DSL.
+//!
+//! Expressions are pure: they read the store but never modify it. Bounded
+//! quantifiers (`forall x in S. φ`, `exists x in S. φ`) quantify over the
+//! elements of a *set-valued* expression, which keeps evaluation finite — the
+//! explicit-state analogue of the paper's SMT quantifiers over bounded
+//! protocol domains.
+
+use std::fmt;
+
+use inseq_kernel::Value;
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum BinOp {
+    /// Integer addition.
+    Add,
+    /// Integer subtraction.
+    Sub,
+    /// Integer multiplication.
+    Mul,
+    /// Euclidean division (checked at evaluation time).
+    Div,
+    /// Euclidean remainder (checked at evaluation time).
+    Mod,
+    /// Equality on any sort.
+    Eq,
+    /// Disequality on any sort.
+    Ne,
+    /// Integer `<`.
+    Lt,
+    /// Integer `≤`.
+    Le,
+    /// Integer `>`.
+    Gt,
+    /// Integer `≥`.
+    Ge,
+    /// Boolean conjunction.
+    And,
+    /// Boolean disjunction.
+    Or,
+    /// Boolean implication.
+    Implies,
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "div",
+            BinOp::Mod => "mod",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+            BinOp::Implies => "==>",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A pure expression.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Expr {
+    /// A literal value.
+    Const(Value),
+    /// A variable (parameter, declared local, or global) by name.
+    Var(String),
+    /// Integer negation.
+    Neg(Box<Expr>),
+    /// Boolean negation.
+    Not(Box<Expr>),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// `if c then t else e` as an expression.
+    Ite(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// `Some(e)`.
+    SomeOf(Box<Expr>),
+    /// `e is Some`.
+    IsSome(Box<Expr>),
+    /// The payload of a `Some`; evaluation fails on `None`.
+    Unwrap(Box<Expr>),
+    /// Tuple construction.
+    Tuple(Vec<Expr>),
+    /// Tuple projection (0-based).
+    Proj(Box<Expr>, usize),
+    /// `map[key]` with total-map semantics.
+    MapGet(Box<Expr>, Box<Expr>),
+    /// `map[key := value]` functional map update.
+    MapSet(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Set/bag/seq/map size (`|e|`).
+    SizeOf(Box<Expr>),
+    /// Set membership / bag membership / seq membership.
+    Contains(Box<Expr>, Box<Expr>),
+    /// Multiplicity of an element in a bag.
+    CountOf(Box<Expr>, Box<Expr>),
+    /// Set with an element inserted / bag with an occurrence added / seq
+    /// with an element appended.
+    WithElem(Box<Expr>, Box<Expr>),
+    /// Set with an element removed / bag with one occurrence removed.
+    WithoutElem(Box<Expr>, Box<Expr>),
+    /// Union of two sets or bags.
+    UnionOf(Box<Expr>, Box<Expr>),
+    /// Subset / sub-bag inclusion.
+    IncludedIn(Box<Expr>, Box<Expr>),
+    /// `{lo..hi}` — the set of integers from `lo` to `hi` inclusive.
+    RangeSet(Box<Expr>, Box<Expr>),
+    /// Minimum of a non-empty set/bag of integers; fails on empty.
+    MinOf(Box<Expr>),
+    /// Maximum of a non-empty set/bag of integers; fails on empty.
+    MaxOf(Box<Expr>),
+    /// Sum of a set/bag of integers (0 on empty).
+    SumOf(Box<Expr>),
+    /// `forall x in S. φ` — bounded universal quantifier over a set.
+    Forall(String, Box<Expr>, Box<Expr>),
+    /// `exists x in S. φ` — bounded existential quantifier over a set.
+    Exists(String, Box<Expr>, Box<Expr>),
+    /// Set comprehension `{ x in S | φ }`.
+    Filter(String, Box<Expr>, Box<Expr>),
+    /// Image `{ f(x) | x in S }` (a set; duplicates collapse).
+    MapImage(String, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Boxed self, for builder ergonomics.
+    #[must_use]
+    pub fn boxed(self) -> Box<Expr> {
+        Box::new(self)
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Const(v) => write!(f, "{v}"),
+            Expr::Var(x) => write!(f, "{x}"),
+            Expr::Neg(e) => write!(f, "-({e})"),
+            Expr::Not(e) => write!(f, "!({e})"),
+            Expr::Bin(op, a, b) => write!(f, "({a} {op} {b})"),
+            Expr::Ite(c, t, e) => write!(f, "(if {c} then {t} else {e})"),
+            Expr::SomeOf(e) => write!(f, "Some({e})"),
+            Expr::IsSome(e) => write!(f, "({e} is Some)"),
+            Expr::Unwrap(e) => write!(f, "unwrap({e})"),
+            Expr::Tuple(es) => {
+                write!(f, "(")?;
+                for (i, e) in es.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::Proj(e, i) => write!(f, "{e}.{i}"),
+            Expr::MapGet(m, k) => write!(f, "{m}[{k}]"),
+            Expr::MapSet(m, k, v) => write!(f, "{m}[{k} := {v}]"),
+            Expr::SizeOf(e) => write!(f, "|{e}|"),
+            Expr::Contains(c, e) => write!(f, "({e} in {c})"),
+            Expr::CountOf(c, e) => write!(f, "count({c}, {e})"),
+            Expr::WithElem(c, e) => write!(f, "add({c}, {e})"),
+            Expr::WithoutElem(c, e) => write!(f, "remove({c}, {e})"),
+            Expr::UnionOf(a, b) => write!(f, "({a} union {b})"),
+            Expr::IncludedIn(a, b) => write!(f, "({a} subset {b})"),
+            Expr::RangeSet(lo, hi) => write!(f, "{{{lo}..{hi}}}"),
+            Expr::MinOf(e) => write!(f, "min({e})"),
+            Expr::MaxOf(e) => write!(f, "max({e})"),
+            Expr::SumOf(e) => write!(f, "sum({e})"),
+            Expr::Forall(x, s, body) => write!(f, "(forall {x} in {s}. {body})"),
+            Expr::Exists(x, s, body) => write!(f, "(exists {x} in {s}. {body})"),
+            Expr::Filter(x, s, body) => write!(f, "{{{x} in {s} | {body}}}"),
+            Expr::MapImage(x, s, body) => write!(f, "{{{body} | {x} in {s}}}"),
+        }
+    }
+}
+
+/// Ergonomic expression constructors, intended for glob import in protocol
+/// definitions: `use inseq_lang::build::*;`.
+pub mod build {
+    use super::{BinOp, Expr};
+    use inseq_kernel::Value;
+
+    /// Integer literal.
+    #[must_use]
+    pub fn int(i: i64) -> Expr {
+        Expr::Const(Value::Int(i))
+    }
+
+    /// Boolean literal.
+    #[must_use]
+    pub fn boolean(b: bool) -> Expr {
+        Expr::Const(Value::Bool(b))
+    }
+
+    /// Literal from any value.
+    #[must_use]
+    pub fn lit(v: Value) -> Expr {
+        Expr::Const(v)
+    }
+
+    /// Variable reference.
+    #[must_use]
+    pub fn var(name: &str) -> Expr {
+        Expr::Var(name.to_owned())
+    }
+
+    /// `a + b`.
+    #[must_use]
+    pub fn add(a: Expr, b: Expr) -> Expr {
+        Expr::Bin(BinOp::Add, a.boxed(), b.boxed())
+    }
+
+    /// `a - b`.
+    #[must_use]
+    pub fn sub(a: Expr, b: Expr) -> Expr {
+        Expr::Bin(BinOp::Sub, a.boxed(), b.boxed())
+    }
+
+    /// `a * b`.
+    #[must_use]
+    pub fn mul(a: Expr, b: Expr) -> Expr {
+        Expr::Bin(BinOp::Mul, a.boxed(), b.boxed())
+    }
+
+    /// `a == b`.
+    #[must_use]
+    pub fn eq(a: Expr, b: Expr) -> Expr {
+        Expr::Bin(BinOp::Eq, a.boxed(), b.boxed())
+    }
+
+    /// `a != b`.
+    #[must_use]
+    pub fn ne(a: Expr, b: Expr) -> Expr {
+        Expr::Bin(BinOp::Ne, a.boxed(), b.boxed())
+    }
+
+    /// `a < b`.
+    #[must_use]
+    pub fn lt(a: Expr, b: Expr) -> Expr {
+        Expr::Bin(BinOp::Lt, a.boxed(), b.boxed())
+    }
+
+    /// `a <= b`.
+    #[must_use]
+    pub fn le(a: Expr, b: Expr) -> Expr {
+        Expr::Bin(BinOp::Le, a.boxed(), b.boxed())
+    }
+
+    /// `a > b`.
+    #[must_use]
+    pub fn gt(a: Expr, b: Expr) -> Expr {
+        Expr::Bin(BinOp::Gt, a.boxed(), b.boxed())
+    }
+
+    /// `a >= b`.
+    #[must_use]
+    pub fn ge(a: Expr, b: Expr) -> Expr {
+        Expr::Bin(BinOp::Ge, a.boxed(), b.boxed())
+    }
+
+    /// `a && b`.
+    #[must_use]
+    pub fn and(a: Expr, b: Expr) -> Expr {
+        Expr::Bin(BinOp::And, a.boxed(), b.boxed())
+    }
+
+    /// `a || b`.
+    #[must_use]
+    pub fn or(a: Expr, b: Expr) -> Expr {
+        Expr::Bin(BinOp::Or, a.boxed(), b.boxed())
+    }
+
+    /// `a ==> b`.
+    #[must_use]
+    pub fn implies(a: Expr, b: Expr) -> Expr {
+        Expr::Bin(BinOp::Implies, a.boxed(), b.boxed())
+    }
+
+    /// `!a`.
+    #[must_use]
+    pub fn not(a: Expr) -> Expr {
+        Expr::Not(a.boxed())
+    }
+
+    /// `if c then t else e`.
+    #[must_use]
+    pub fn ite(c: Expr, t: Expr, e: Expr) -> Expr {
+        Expr::Ite(c.boxed(), t.boxed(), e.boxed())
+    }
+
+    /// `Some(e)`.
+    #[must_use]
+    pub fn some(e: Expr) -> Expr {
+        Expr::SomeOf(e.boxed())
+    }
+
+    /// `None` literal.
+    #[must_use]
+    pub fn none() -> Expr {
+        Expr::Const(Value::none())
+    }
+
+    /// `e is Some`.
+    #[must_use]
+    pub fn is_some(e: Expr) -> Expr {
+        Expr::IsSome(e.boxed())
+    }
+
+    /// `e is None`.
+    #[must_use]
+    pub fn is_none(e: Expr) -> Expr {
+        Expr::Not(Expr::IsSome(e.boxed()).boxed())
+    }
+
+    /// `unwrap(e)`.
+    #[must_use]
+    pub fn unwrap(e: Expr) -> Expr {
+        Expr::Unwrap(e.boxed())
+    }
+
+    /// Tuple construction.
+    #[must_use]
+    pub fn tuple(es: Vec<Expr>) -> Expr {
+        Expr::Tuple(es)
+    }
+
+    /// Tuple projection.
+    #[must_use]
+    pub fn proj(e: Expr, i: usize) -> Expr {
+        Expr::Proj(e.boxed(), i)
+    }
+
+    /// `m[k]`.
+    #[must_use]
+    pub fn get(m: Expr, k: Expr) -> Expr {
+        Expr::MapGet(m.boxed(), k.boxed())
+    }
+
+    /// `m[k := v]`.
+    #[must_use]
+    pub fn set_at(m: Expr, k: Expr, v: Expr) -> Expr {
+        Expr::MapSet(m.boxed(), k.boxed(), v.boxed())
+    }
+
+    /// `|e|`.
+    #[must_use]
+    pub fn size(e: Expr) -> Expr {
+        Expr::SizeOf(e.boxed())
+    }
+
+    /// `e in c`.
+    #[must_use]
+    pub fn contains(c: Expr, e: Expr) -> Expr {
+        Expr::Contains(c.boxed(), e.boxed())
+    }
+
+    /// Multiplicity of `e` in bag `c`.
+    #[must_use]
+    pub fn count(c: Expr, e: Expr) -> Expr {
+        Expr::CountOf(c.boxed(), e.boxed())
+    }
+
+    /// `c` with `e` added.
+    #[must_use]
+    pub fn with_elem(c: Expr, e: Expr) -> Expr {
+        Expr::WithElem(c.boxed(), e.boxed())
+    }
+
+    /// `c` with `e` removed.
+    #[must_use]
+    pub fn without_elem(c: Expr, e: Expr) -> Expr {
+        Expr::WithoutElem(c.boxed(), e.boxed())
+    }
+
+    /// `a union b`.
+    #[must_use]
+    pub fn union(a: Expr, b: Expr) -> Expr {
+        Expr::UnionOf(a.boxed(), b.boxed())
+    }
+
+    /// `a subset b`.
+    #[must_use]
+    pub fn included_in(a: Expr, b: Expr) -> Expr {
+        Expr::IncludedIn(a.boxed(), b.boxed())
+    }
+
+    /// `{lo..hi}` inclusive integer range set.
+    #[must_use]
+    pub fn range(lo: Expr, hi: Expr) -> Expr {
+        Expr::RangeSet(lo.boxed(), hi.boxed())
+    }
+
+    /// `min(e)`.
+    #[must_use]
+    pub fn min_of(e: Expr) -> Expr {
+        Expr::MinOf(e.boxed())
+    }
+
+    /// `max(e)`.
+    #[must_use]
+    pub fn max_of(e: Expr) -> Expr {
+        Expr::MaxOf(e.boxed())
+    }
+
+    /// `sum(e)`.
+    #[must_use]
+    pub fn sum_of(e: Expr) -> Expr {
+        Expr::SumOf(e.boxed())
+    }
+
+    /// `forall x in s. body`.
+    #[must_use]
+    pub fn forall(x: &str, s: Expr, body: Expr) -> Expr {
+        Expr::Forall(x.to_owned(), s.boxed(), body.boxed())
+    }
+
+    /// `exists x in s. body`.
+    #[must_use]
+    pub fn exists(x: &str, s: Expr, body: Expr) -> Expr {
+        Expr::Exists(x.to_owned(), s.boxed(), body.boxed())
+    }
+
+    /// `{x in s | body}`.
+    #[must_use]
+    pub fn filter(x: &str, s: Expr, body: Expr) -> Expr {
+        Expr::Filter(x.to_owned(), s.boxed(), body.boxed())
+    }
+
+    /// `{body | x in s}`.
+    #[must_use]
+    pub fn image(x: &str, s: Expr, body: Expr) -> Expr {
+        Expr::MapImage(x.to_owned(), s.boxed(), body.boxed())
+    }
+
+    /// Conjunction of many expressions (`true` when empty).
+    #[must_use]
+    pub fn all(es: Vec<Expr>) -> Expr {
+        es.into_iter()
+            .reduce(and)
+            .unwrap_or(Expr::Const(Value::Bool(true)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::build::*;
+    use super::*;
+
+    #[test]
+    fn display_of_composite_expression() {
+        let e = implies(lt(var("v"), var("d")), eq(var("x"), int(1)));
+        assert_eq!(e.to_string(), "((v < d) ==> (x == 1))");
+    }
+
+    #[test]
+    fn all_of_empty_is_true() {
+        assert_eq!(all(vec![]), Expr::Const(Value::Bool(true)));
+    }
+
+    #[test]
+    fn quantifier_display() {
+        let e = forall("j", range(int(1), var("n")), contains(var("S"), var("j")));
+        assert_eq!(e.to_string(), "(forall j in {1..n}. (j in S))");
+    }
+}

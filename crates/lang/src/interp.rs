@@ -1,0 +1,670 @@
+//! The nondeterministic interpreter: computes an action's gate and
+//! transition relation from its body.
+//!
+//! Evaluation of a body from an input store produces a *set* of evaluation
+//! states (nondeterminism branches at `choose` and bag `receive`), pruned by
+//! `assume` and by blocking receives, deduplicated at every statement
+//! boundary to keep branching polynomial in practice. If **any** branch
+//! violates an `assert` (or evaluates a partial operation outside its
+//! domain), the input store lies outside the gate `ρ` and the whole
+//! evaluation reports failure — exactly the gate/transition separation of
+//! §3 of the paper.
+
+use std::collections::BTreeSet;
+
+use inseq_kernel::{
+    ActionOutcome, GlobalStore, Multiset, PendingAsync, Transition, Value,
+};
+
+use crate::action::{DslAction, Slot};
+use crate::expr::{BinOp, Expr};
+use crate::stmt::Stmt;
+
+/// A gate violation or partial-operation error, with a diagnostic message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Fail(pub String);
+
+type Branches = Result<BTreeSet<EvalState>, Fail>;
+
+/// One evaluation branch: the store so far plus the pending asyncs created.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct EvalState {
+    globals: GlobalStore,
+    locals: Vec<Value>,
+    created: Multiset<PendingAsync>,
+}
+
+/// Entry point used by `DslAction`'s `ActionSemantics` implementation.
+pub(crate) fn run_action(action: &DslAction, globals: &GlobalStore, args: &[Value]) -> ActionOutcome {
+    assert_eq!(
+        args.len(),
+        action.params().len(),
+        "arity mismatch calling `{}`",
+        action.name()
+    );
+    let mut locals: Vec<Value> = args.to_vec();
+    locals.extend(action.locals().iter().map(|(_, s)| s.default_value()));
+    let init = EvalState {
+        globals: globals.clone(),
+        locals,
+        created: Multiset::new(),
+    };
+    let mut states = BTreeSet::new();
+    states.insert(init);
+    match exec_block(action, action.body(), states) {
+        Err(Fail(reason)) => ActionOutcome::Failure { reason },
+        Ok(states) => ActionOutcome::Transitions(
+            states
+                .into_iter()
+                .map(|s| Transition::new(s.globals, s.created))
+                .collect::<BTreeSet<_>>()
+                .into_iter()
+                .collect(),
+        ),
+    }
+}
+
+fn exec_block(action: &DslAction, stmts: &[Stmt], mut states: BTreeSet<EvalState>) -> Branches {
+    for stmt in stmts {
+        let mut next = BTreeSet::new();
+        for state in states {
+            next.extend(exec_stmt(action, stmt, state)?);
+        }
+        states = next;
+        if states.is_empty() {
+            break; // every branch blocked; later statements are unreachable
+        }
+    }
+    Ok(states)
+}
+
+fn exec_stmt(action: &DslAction, stmt: &Stmt, mut state: EvalState) -> Branches {
+    let mut out = BTreeSet::new();
+    match stmt {
+        Stmt::Skip => {
+            out.insert(state);
+        }
+        Stmt::Assign(x, e) => {
+            let v = eval(action, &state, &[], e)?;
+            write_var(action, &mut state, x, v)?;
+            out.insert(state);
+        }
+        Stmt::AssignAt(x, k, v) => {
+            let key = eval(action, &state, &[], k)?;
+            let val = eval(action, &state, &[], v)?;
+            let cur = read_var(action, &state, x)?;
+            let updated = match cur {
+                Value::Map(m) => Value::Map(m.set(key, val)),
+                other => {
+                    return Err(Fail(format!(
+                        "`{x}[..] := ..` needs a map, found {other} in `{}`",
+                        action.name()
+                    )))
+                }
+            };
+            write_var(action, &mut state, x, updated)?;
+            out.insert(state);
+        }
+        Stmt::Assume(e) => {
+            if eval(action, &state, &[], e)?.as_bool() {
+                out.insert(state);
+            }
+        }
+        Stmt::Assert(e, msg) => {
+            if eval(action, &state, &[], e)?.as_bool() {
+                out.insert(state);
+            } else {
+                return Err(Fail(format!("{} (in `{}`)", msg, action.name())));
+            }
+        }
+        Stmt::If(c, t, e) => {
+            let cond = eval(action, &state, &[], c)?.as_bool();
+            let branch = if cond { t } else { e };
+            let mut states = BTreeSet::new();
+            states.insert(state);
+            return exec_block(action, branch, states);
+        }
+        Stmt::ForRange(x, lo, hi, body) => {
+            let lo = eval(action, &state, &[], lo)?.as_int();
+            let hi = eval(action, &state, &[], hi)?.as_int();
+            let mut states = BTreeSet::new();
+            states.insert(state);
+            for i in lo..=hi {
+                let mut bound = BTreeSet::new();
+                for mut s in states {
+                    write_var(action, &mut s, x, Value::Int(i))?;
+                    bound.insert(s);
+                }
+                states = exec_block(action, body, bound)?;
+                if states.is_empty() {
+                    break;
+                }
+            }
+            return Ok(states);
+        }
+        Stmt::Choose(x, domain) => {
+            let dom = eval(action, &state, &[], domain)?;
+            let elems: Vec<Value> = match dom {
+                Value::Set(s) => s.into_iter().collect(),
+                Value::Bag(b) => b.distinct().cloned().collect(),
+                other => {
+                    return Err(Fail(format!(
+                        "choose needs a set or bag, found {other} in `{}`",
+                        action.name()
+                    )))
+                }
+            };
+            for v in elems {
+                let mut s = state.clone();
+                write_var(action, &mut s, x, v)?;
+                out.insert(s);
+            }
+        }
+        Stmt::Send { chan, key, msg } => {
+            let m = eval(action, &state, &[], msg)?;
+            update_channel(action, &mut state, chan, key, |c| match c {
+                Value::Bag(b) => Ok(vec![(Value::Bag(b.with(m.clone())), None)]),
+                Value::Seq(mut s) => {
+                    s.push(m.clone());
+                    Ok(vec![(Value::Seq(s), None)])
+                }
+                other => Err(Fail(format!(
+                    "send needs a Bag or Seq channel, found {other} in `{}`",
+                    action.name()
+                ))),
+            })?
+            .into_iter()
+            .for_each(|(s, _)| {
+                out.insert(s);
+            });
+        }
+        Stmt::Recv { var, chan, key } => {
+            let branches = update_channel(action, &mut state, chan, key, |c| match c {
+                Value::Bag(b) => Ok(b
+                    .distinct()
+                    .map(|msg| {
+                        let rest = b.without(msg).expect("distinct elements are present");
+                        (Value::Bag(rest), Some(msg.clone()))
+                    })
+                    .collect()),
+                Value::Seq(s) => {
+                    if s.is_empty() {
+                        Ok(vec![])
+                    } else {
+                        let mut rest = s.clone();
+                        let head = rest.remove(0);
+                        Ok(vec![(Value::Seq(rest), Some(head))])
+                    }
+                }
+                other => Err(Fail(format!(
+                    "receive needs a Bag or Seq channel, found {other} in `{}`",
+                    action.name()
+                ))),
+            })?;
+            for (mut s, msg) in branches {
+                let msg = msg.expect("receive branches carry a message");
+                write_var(action, &mut s, var, msg)?;
+                out.insert(s);
+            }
+        }
+        Stmt::Async { callee, args } => {
+            let vals = args
+                .iter()
+                .map(|a| eval(action, &state, &[], a))
+                .collect::<Result<Vec<_>, _>>()?;
+            state
+                .created
+                .insert(PendingAsync::new(callee.name(), vals));
+            out.insert(state);
+        }
+        Stmt::AsyncNamed { name, args, .. } => {
+            let vals = args
+                .iter()
+                .map(|a| eval(action, &state, &[], a))
+                .collect::<Result<Vec<_>, _>>()?;
+            state.created.insert(PendingAsync::new(name.as_str(), vals));
+            out.insert(state);
+        }
+        Stmt::Call { callee, args } => {
+            let vals = args
+                .iter()
+                .map(|a| eval(action, &state, &[], a))
+                .collect::<Result<Vec<_>, _>>()?;
+            let mut callee_locals = vals;
+            callee_locals.extend(callee.locals().iter().map(|(_, s)| s.default_value()));
+            let sub = EvalState {
+                globals: state.globals.clone(),
+                locals: callee_locals,
+                created: state.created.clone(),
+            };
+            let mut states = BTreeSet::new();
+            states.insert(sub);
+            let results = exec_block(callee, callee.body(), states)?;
+            for r in results {
+                out.insert(EvalState {
+                    globals: r.globals,
+                    locals: state.locals.clone(),
+                    created: r.created,
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Applies `f` to the channel value named by `chan`/`key`, producing for
+/// each result branch the updated evaluation state plus an optional payload
+/// (the received message).
+fn update_channel(
+    action: &DslAction,
+    state: &mut EvalState,
+    chan: &str,
+    key: &Option<Expr>,
+    f: impl FnOnce(Value) -> Result<Vec<(Value, Option<Value>)>, Fail>,
+) -> Result<Vec<(EvalState, Option<Value>)>, Fail> {
+    let current = read_var(action, state, chan)?;
+    match key {
+        None => {
+            let branches = f(current)?;
+            branches
+                .into_iter()
+                .map(|(v, payload)| {
+                    let mut s = state.clone();
+                    write_var(action, &mut s, chan, v)?;
+                    Ok((s, payload))
+                })
+                .collect()
+        }
+        Some(kexpr) => {
+            let k = eval(action, state, &[], kexpr)?;
+            let map = match current {
+                Value::Map(m) => m,
+                other => {
+                    return Err(Fail(format!(
+                        "indexed channel `{chan}` must be a map, found {other} in `{}`",
+                        action.name()
+                    )))
+                }
+            };
+            let inner = map.get(&k).clone();
+            let branches = f(inner)?;
+            branches
+                .into_iter()
+                .map(|(v, payload)| {
+                    let mut s = state.clone();
+                    let updated = Value::Map(map.set(k.clone(), v));
+                    write_var(action, &mut s, chan, updated)?;
+                    Ok((s, payload))
+                })
+                .collect()
+        }
+    }
+}
+
+fn read_var(action: &DslAction, state: &EvalState, name: &str) -> Result<Value, Fail> {
+    match action.slot(name) {
+        Some(Slot::Local(i)) => Ok(state.locals[i].clone()),
+        Some(Slot::Global(i)) => Ok(state.globals.get(i).clone()),
+        None => Err(Fail(format!(
+            "unbound variable `{name}` in `{}`",
+            action.name()
+        ))),
+    }
+}
+
+fn write_var(action: &DslAction, state: &mut EvalState, name: &str, value: Value) -> Result<(), Fail> {
+    match action.slot(name) {
+        Some(Slot::Local(i)) => {
+            state.locals[i] = value;
+            Ok(())
+        }
+        Some(Slot::Global(i)) => {
+            state.globals.set(i, value);
+            Ok(())
+        }
+        None => Err(Fail(format!(
+            "unbound variable `{name}` in `{}`",
+            action.name()
+        ))),
+    }
+}
+
+/// Evaluates a pure expression. `bound` is the stack of quantifier bindings,
+/// innermost last.
+fn eval(
+    action: &DslAction,
+    state: &EvalState,
+    bound: &[(String, Value)],
+    expr: &Expr,
+) -> Result<Value, Fail> {
+    match expr {
+        Expr::Const(v) => Ok(v.clone()),
+        Expr::Var(x) => {
+            if let Some((_, v)) = bound.iter().rev().find(|(n, _)| n == x) {
+                return Ok(v.clone());
+            }
+            read_var(action, state, x)
+        }
+        Expr::Neg(e) => Ok(Value::Int(-eval(action, state, bound, e)?.as_int())),
+        Expr::Not(e) => Ok(Value::Bool(!eval(action, state, bound, e)?.as_bool())),
+        Expr::Bin(op, a, b) => eval_bin(action, state, bound, *op, a, b),
+        Expr::Ite(c, t, e) => {
+            if eval(action, state, bound, c)?.as_bool() {
+                eval(action, state, bound, t)
+            } else {
+                eval(action, state, bound, e)
+            }
+        }
+        Expr::SomeOf(e) => Ok(Value::some(eval(action, state, bound, e)?)),
+        Expr::IsSome(e) => Ok(Value::Bool(matches!(
+            eval(action, state, bound, e)?,
+            Value::Opt(Some(_))
+        ))),
+        Expr::Unwrap(e) => match eval(action, state, bound, e)? {
+            Value::Opt(Some(v)) => Ok(*v),
+            Value::Opt(None) => Err(Fail(format!("unwrap of None in `{}`", action.name()))),
+            other => Err(Fail(format!(
+                "unwrap needs an Option, found {other} in `{}`",
+                action.name()
+            ))),
+        },
+        Expr::Tuple(es) => Ok(Value::Tuple(
+            es.iter()
+                .map(|e| eval(action, state, bound, e))
+                .collect::<Result<_, _>>()?,
+        )),
+        Expr::Proj(e, i) => match eval(action, state, bound, e)? {
+            Value::Tuple(vs) if *i < vs.len() => Ok(vs[*i].clone()),
+            other => Err(Fail(format!(
+                "projection .{i} out of range on {other} in `{}`",
+                action.name()
+            ))),
+        },
+        Expr::MapGet(m, k) => {
+            let map = eval(action, state, bound, m)?;
+            let key = eval(action, state, bound, k)?;
+            match map {
+                Value::Map(m) => Ok(m.get(&key).clone()),
+                Value::Seq(s) => {
+                    let i = key.as_int();
+                    usize::try_from(i)
+                        .ok()
+                        .and_then(|i| s.get(i).cloned())
+                        .ok_or_else(|| {
+                            Fail(format!("sequence index {i} out of range in `{}`", action.name()))
+                        })
+                }
+                other => Err(Fail(format!(
+                    "indexing needs a Map or Seq, found {other} in `{}`",
+                    action.name()
+                ))),
+            }
+        }
+        Expr::MapSet(m, k, v) => {
+            let map = eval(action, state, bound, m)?;
+            let key = eval(action, state, bound, k)?;
+            let val = eval(action, state, bound, v)?;
+            match map {
+                Value::Map(m) => Ok(Value::Map(m.set(key, val))),
+                other => Err(Fail(format!(
+                    "map update needs a Map, found {other} in `{}`",
+                    action.name()
+                ))),
+            }
+        }
+        Expr::SizeOf(e) => {
+            let v = eval(action, state, bound, e)?;
+            let n = match &v {
+                Value::Set(s) => s.len(),
+                Value::Bag(b) => b.len(),
+                Value::Seq(s) => s.len(),
+                Value::Map(m) => m.support_len(),
+                other => {
+                    return Err(Fail(format!(
+                        "|..| needs a collection, found {other} in `{}`",
+                        action.name()
+                    )))
+                }
+            };
+            Ok(Value::Int(n as i64))
+        }
+        Expr::Contains(c, e) => {
+            let coll = eval(action, state, bound, c)?;
+            let item = eval(action, state, bound, e)?;
+            let b = match &coll {
+                Value::Set(s) => s.contains(&item),
+                Value::Bag(b) => b.contains(&item),
+                Value::Seq(s) => s.contains(&item),
+                other => {
+                    return Err(Fail(format!(
+                        "`in` needs a collection, found {other} in `{}`",
+                        action.name()
+                    )))
+                }
+            };
+            Ok(Value::Bool(b))
+        }
+        Expr::CountOf(c, e) => {
+            let coll = eval(action, state, bound, c)?;
+            let item = eval(action, state, bound, e)?;
+            match &coll {
+                Value::Bag(b) => Ok(Value::Int(b.count(&item) as i64)),
+                other => Err(Fail(format!(
+                    "count needs a Bag, found {other} in `{}`",
+                    action.name()
+                ))),
+            }
+        }
+        Expr::WithElem(c, e) => {
+            let coll = eval(action, state, bound, c)?;
+            let item = eval(action, state, bound, e)?;
+            match coll {
+                Value::Set(mut s) => {
+                    s.insert(item);
+                    Ok(Value::Set(s))
+                }
+                Value::Bag(b) => Ok(Value::Bag(b.with(item))),
+                Value::Seq(mut s) => {
+                    s.push(item);
+                    Ok(Value::Seq(s))
+                }
+                other => Err(Fail(format!(
+                    "add needs a collection, found {other} in `{}`",
+                    action.name()
+                ))),
+            }
+        }
+        Expr::WithoutElem(c, e) => {
+            let coll = eval(action, state, bound, c)?;
+            let item = eval(action, state, bound, e)?;
+            match coll {
+                Value::Set(mut s) => {
+                    s.remove(&item);
+                    Ok(Value::Set(s))
+                }
+                Value::Bag(b) => Ok(Value::Bag(b.without(&item).unwrap_or(b))),
+                other => Err(Fail(format!(
+                    "remove needs a Set or Bag, found {other} in `{}`",
+                    action.name()
+                ))),
+            }
+        }
+        Expr::UnionOf(a, b) => {
+            let va = eval(action, state, bound, a)?;
+            let vb = eval(action, state, bound, b)?;
+            match (va, vb) {
+                (Value::Set(mut x), Value::Set(y)) => {
+                    x.extend(y);
+                    Ok(Value::Set(x))
+                }
+                (Value::Bag(x), Value::Bag(y)) => Ok(Value::Bag(x.union(&y))),
+                (x, y) => Err(Fail(format!(
+                    "union needs two Sets or two Bags, found {x} and {y} in `{}`",
+                    action.name()
+                ))),
+            }
+        }
+        Expr::IncludedIn(a, b) => {
+            let va = eval(action, state, bound, a)?;
+            let vb = eval(action, state, bound, b)?;
+            match (va, vb) {
+                (Value::Set(x), Value::Set(y)) => Ok(Value::Bool(x.is_subset(&y))),
+                (Value::Bag(x), Value::Bag(y)) => Ok(Value::Bool(y.includes(&x))),
+                (x, y) => Err(Fail(format!(
+                    "subset needs two Sets or two Bags, found {x} and {y} in `{}`",
+                    action.name()
+                ))),
+            }
+        }
+        Expr::RangeSet(lo, hi) => {
+            let lo = eval(action, state, bound, lo)?.as_int();
+            let hi = eval(action, state, bound, hi)?.as_int();
+            Ok(Value::Set((lo..=hi).map(Value::Int).collect()))
+        }
+        Expr::MinOf(e) | Expr::MaxOf(e) => {
+            let v = eval(action, state, bound, e)?;
+            let items: Vec<i64> = collection_ints(&v, action)?;
+            let picked = if matches!(expr, Expr::MinOf(_)) {
+                items.iter().min()
+            } else {
+                items.iter().max()
+            };
+            picked.copied().map(Value::Int).ok_or_else(|| {
+                Fail(format!("min/max of an empty collection in `{}`", action.name()))
+            })
+        }
+        Expr::SumOf(e) => {
+            let v = eval(action, state, bound, e)?;
+            let items = collection_ints(&v, action)?;
+            Ok(Value::Int(items.iter().sum()))
+        }
+        Expr::Forall(x, s, body) => {
+            for item in domain_elems(action, state, bound, s)? {
+                let mut inner = bound.to_vec();
+                inner.push((x.clone(), item));
+                if !eval(action, state, &inner, body)?.as_bool() {
+                    return Ok(Value::Bool(false));
+                }
+            }
+            Ok(Value::Bool(true))
+        }
+        Expr::Exists(x, s, body) => {
+            for item in domain_elems(action, state, bound, s)? {
+                let mut inner = bound.to_vec();
+                inner.push((x.clone(), item));
+                if eval(action, state, &inner, body)?.as_bool() {
+                    return Ok(Value::Bool(true));
+                }
+            }
+            Ok(Value::Bool(false))
+        }
+        Expr::Filter(x, s, body) => {
+            let mut kept = std::collections::BTreeSet::new();
+            for item in domain_elems(action, state, bound, s)? {
+                let mut inner = bound.to_vec();
+                inner.push((x.clone(), item.clone()));
+                if eval(action, state, &inner, body)?.as_bool() {
+                    kept.insert(item);
+                }
+            }
+            Ok(Value::Set(kept))
+        }
+        Expr::MapImage(x, s, body) => {
+            let mut image = std::collections::BTreeSet::new();
+            for item in domain_elems(action, state, bound, s)? {
+                let mut inner = bound.to_vec();
+                inner.push((x.clone(), item));
+                image.insert(eval(action, state, &inner, body)?);
+            }
+            Ok(Value::Set(image))
+        }
+    }
+}
+
+fn collection_ints(v: &Value, action: &DslAction) -> Result<Vec<i64>, Fail> {
+    match v {
+        Value::Set(s) => s.iter().map(|v| Ok(v.as_int())).collect(),
+        Value::Bag(b) => b.iter().map(|v| Ok(v.as_int())).collect(),
+        Value::Seq(s) => s.iter().map(|v| Ok(v.as_int())).collect(),
+        other => Err(Fail(format!(
+            "expected a collection of Int, found {other} in `{}`",
+            action.name()
+        ))),
+    }
+}
+
+fn domain_elems(
+    action: &DslAction,
+    state: &EvalState,
+    bound: &[(String, Value)],
+    s: &Expr,
+) -> Result<Vec<Value>, Fail> {
+    match eval(action, state, bound, s)? {
+        Value::Set(set) => Ok(set.into_iter().collect()),
+        Value::Bag(bag) => Ok(bag.distinct().cloned().collect()),
+        Value::Seq(seq) => Ok(seq),
+        other => Err(Fail(format!(
+            "quantifier domain must be a collection, found {other} in `{}`",
+            action.name()
+        ))),
+    }
+}
+
+fn eval_bin(
+    action: &DslAction,
+    state: &EvalState,
+    bound: &[(String, Value)],
+    op: BinOp,
+    a: &Expr,
+    b: &Expr,
+) -> Result<Value, Fail> {
+    // Short-circuiting boolean operators.
+    match op {
+        BinOp::And => {
+            return Ok(Value::Bool(
+                eval(action, state, bound, a)?.as_bool() && eval(action, state, bound, b)?.as_bool(),
+            ))
+        }
+        BinOp::Or => {
+            return Ok(Value::Bool(
+                eval(action, state, bound, a)?.as_bool() || eval(action, state, bound, b)?.as_bool(),
+            ))
+        }
+        BinOp::Implies => {
+            return Ok(Value::Bool(
+                !eval(action, state, bound, a)?.as_bool()
+                    || eval(action, state, bound, b)?.as_bool(),
+            ))
+        }
+        _ => {}
+    }
+    let va = eval(action, state, bound, a)?;
+    let vb = eval(action, state, bound, b)?;
+    let out = match op {
+        BinOp::Add => Value::Int(va.as_int() + vb.as_int()),
+        BinOp::Sub => Value::Int(va.as_int() - vb.as_int()),
+        BinOp::Mul => Value::Int(va.as_int() * vb.as_int()),
+        BinOp::Div => {
+            let d = vb.as_int();
+            if d == 0 {
+                return Err(Fail(format!("division by zero in `{}`", action.name())));
+            }
+            Value::Int(va.as_int().div_euclid(d))
+        }
+        BinOp::Mod => {
+            let d = vb.as_int();
+            if d == 0 {
+                return Err(Fail(format!("modulo by zero in `{}`", action.name())));
+            }
+            Value::Int(va.as_int().rem_euclid(d))
+        }
+        BinOp::Eq => Value::Bool(va == vb),
+        BinOp::Ne => Value::Bool(va != vb),
+        BinOp::Lt => Value::Bool(va.as_int() < vb.as_int()),
+        BinOp::Le => Value::Bool(va.as_int() <= vb.as_int()),
+        BinOp::Gt => Value::Bool(va.as_int() > vb.as_int()),
+        BinOp::Ge => Value::Bool(va.as_int() >= vb.as_int()),
+        BinOp::And | BinOp::Or | BinOp::Implies => unreachable!("handled above"),
+    };
+    Ok(out)
+}

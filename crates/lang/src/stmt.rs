@@ -1,0 +1,299 @@
+//! Statements of the action DSL.
+//!
+//! A statement list is the *body* of a gated atomic action. Nondeterminism
+//! (`choose`, `recv` from a bag) branches the evaluation; `assume` prunes
+//! branches (blocking); `assert` failing on *any* branch removes the input
+//! store from the action's gate.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::action::DslAction;
+use crate::expr::Expr;
+
+/// A statement.
+#[derive(Debug, Clone)]
+pub enum Stmt {
+    /// `x := e` for a local or global variable.
+    Assign(String, Expr),
+    /// `x[k] := v` for a map-sorted variable (sugar for `x := x[k := v]`).
+    AssignAt(String, Expr, Expr),
+    /// `assume e` — prunes the branch when `e` is false (blocking, not
+    /// failure).
+    Assume(Expr),
+    /// `assert e` — the gate: if `e` is false on any branch the whole input
+    /// store is outside `ρ`.
+    Assert(Expr, String),
+    /// Conditional.
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// `for x in lo..=hi { body }` — ascending inclusive integer loop; the
+    /// loop variable must be a declared local.
+    ForRange(String, Expr, Expr, Vec<Stmt>),
+    /// `choose x in S` — nondeterministically binds `x` to an element of the
+    /// set `S`; prunes the branch when `S` is empty.
+    Choose(String, Expr),
+    /// `send chan msg` / `send chan[key] msg` — appends to a bag or seq
+    /// channel. `chan` must name a global of sort `Bag<..>`, `Seq<..>`, or a
+    /// `Map` into one of those when `key` is given.
+    Send {
+        /// Channel variable name.
+        chan: String,
+        /// Optional index when the channel variable is a map of channels.
+        key: Option<Expr>,
+        /// The message.
+        msg: Expr,
+    },
+    /// `x := receive chan` — removes a message. For bag channels this
+    /// branches over every distinct message (out-of-order delivery); for seq
+    /// channels it takes the head (FIFO). Blocks on an empty channel.
+    Recv {
+        /// Variable receiving the message.
+        var: String,
+        /// Channel variable name.
+        chan: String,
+        /// Optional index when the channel variable is a map of channels.
+        key: Option<Expr>,
+    },
+    /// `async A(args)` — creates a pending async.
+    Async {
+        /// The action to spawn (resolved at build time).
+        callee: Arc<DslAction>,
+        /// Argument expressions.
+        args: Vec<Expr>,
+    },
+    /// `async name(args)` with an explicit signature. Equivalent to
+    /// [`Stmt::Async`] but names the callee instead of referencing it, which
+    /// is required for mutually recursive spawns (e.g. Ping ↔ Pong) where no
+    /// `Arc` to the callee exists yet at build time.
+    AsyncNamed {
+        /// Name of the action to spawn.
+        name: String,
+        /// Declared parameter sorts of the callee, checked against `args`.
+        param_sorts: Vec<crate::sort::Sort>,
+        /// Argument expressions.
+        args: Vec<Expr>,
+    },
+    /// `call A(args)` — executes another action's body *within this atomic
+    /// step* (the paper's `call` in invariant actions, Fig. 1-⑤); the
+    /// callee's created pending asyncs accumulate into this step's.
+    Call {
+        /// The action to inline.
+        callee: Arc<DslAction>,
+        /// Argument expressions.
+        args: Vec<Expr>,
+    },
+    /// No-op, useful as an `if` branch.
+    Skip,
+}
+
+impl fmt::Display for Stmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Stmt::Assign(x, e) => write!(f, "{x} := {e}"),
+            Stmt::AssignAt(x, k, v) => write!(f, "{x}[{k}] := {v}"),
+            Stmt::Assume(e) => write!(f, "assume {e}"),
+            Stmt::Assert(e, _) => write!(f, "assert {e}"),
+            Stmt::If(c, t, e) => {
+                write!(f, "if {c} {{ ")?;
+                for s in t {
+                    write!(f, "{s}; ")?;
+                }
+                write!(f, "}}")?;
+                if !e.is_empty() {
+                    write!(f, " else {{ ")?;
+                    for s in e {
+                        write!(f, "{s}; ")?;
+                    }
+                    write!(f, "}}")?;
+                }
+                Ok(())
+            }
+            Stmt::ForRange(x, lo, hi, body) => {
+                write!(f, "for {x} in {lo}..={hi} {{ ")?;
+                for s in body {
+                    write!(f, "{s}; ")?;
+                }
+                write!(f, "}}")
+            }
+            Stmt::Choose(x, s) => write!(f, "choose {x} in {s}"),
+            Stmt::Send { chan, key, msg } => match key {
+                Some(k) => write!(f, "send {msg} to {chan}[{k}]"),
+                None => write!(f, "send {msg} to {chan}"),
+            },
+            Stmt::Recv { var, chan, key } => match key {
+                Some(k) => write!(f, "{var} := receive {chan}[{k}]"),
+                None => write!(f, "{var} := receive {chan}"),
+            },
+            Stmt::Async { callee, args } => {
+                write!(f, "async {}(", callee.name())?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Stmt::AsyncNamed { name, args, .. } => {
+                write!(f, "async {name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Stmt::Call { callee, args } => {
+                write!(f, "call {}(", callee.name())?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Stmt::Skip => write!(f, "skip"),
+        }
+    }
+}
+
+/// Ergonomic statement constructors, designed for glob import alongside
+/// [`crate::expr::build`].
+pub mod build {
+    use super::Stmt;
+    use crate::action::DslAction;
+    use crate::expr::Expr;
+    use std::sync::Arc;
+
+    /// `x := e`.
+    #[must_use]
+    pub fn assign(x: &str, e: Expr) -> Stmt {
+        Stmt::Assign(x.to_owned(), e)
+    }
+
+    /// `x[k] := v`.
+    #[must_use]
+    pub fn assign_at(x: &str, k: Expr, v: Expr) -> Stmt {
+        Stmt::AssignAt(x.to_owned(), k, v)
+    }
+
+    /// `assume e`.
+    #[must_use]
+    pub fn assume(e: Expr) -> Stmt {
+        Stmt::Assume(e)
+    }
+
+    /// `assert e` with a diagnostic message.
+    #[must_use]
+    pub fn assert_msg(e: Expr, msg: &str) -> Stmt {
+        Stmt::Assert(e, msg.to_owned())
+    }
+
+    /// `assert e` with the expression itself as the message.
+    #[must_use]
+    pub fn assert_(e: Expr) -> Stmt {
+        let msg = format!("assertion failed: {e}");
+        Stmt::Assert(e, msg)
+    }
+
+    /// `if c { t }`.
+    #[must_use]
+    pub fn if_(c: Expr, t: Vec<Stmt>) -> Stmt {
+        Stmt::If(c, t, Vec::new())
+    }
+
+    /// `if c { t } else { e }`.
+    #[must_use]
+    pub fn if_else(c: Expr, t: Vec<Stmt>, e: Vec<Stmt>) -> Stmt {
+        Stmt::If(c, t, e)
+    }
+
+    /// `for x in lo..=hi { body }`.
+    #[must_use]
+    pub fn for_range(x: &str, lo: Expr, hi: Expr, body: Vec<Stmt>) -> Stmt {
+        Stmt::ForRange(x.to_owned(), lo, hi, body)
+    }
+
+    /// `choose x in s`.
+    #[must_use]
+    pub fn choose(x: &str, s: Expr) -> Stmt {
+        Stmt::Choose(x.to_owned(), s)
+    }
+
+    /// `send msg to chan`.
+    #[must_use]
+    pub fn send(chan: &str, msg: Expr) -> Stmt {
+        Stmt::Send {
+            chan: chan.to_owned(),
+            key: None,
+            msg,
+        }
+    }
+
+    /// `send msg to chan[key]`.
+    #[must_use]
+    pub fn send_to(chan: &str, key: Expr, msg: Expr) -> Stmt {
+        Stmt::Send {
+            chan: chan.to_owned(),
+            key: Some(key),
+            msg,
+        }
+    }
+
+    /// `var := receive chan`.
+    #[must_use]
+    pub fn recv(var: &str, chan: &str) -> Stmt {
+        Stmt::Recv {
+            var: var.to_owned(),
+            chan: chan.to_owned(),
+            key: None,
+        }
+    }
+
+    /// `var := receive chan[key]`.
+    #[must_use]
+    pub fn recv_from(var: &str, chan: &str, key: Expr) -> Stmt {
+        Stmt::Recv {
+            var: var.to_owned(),
+            chan: chan.to_owned(),
+            key: Some(key),
+        }
+    }
+
+    /// `async callee(args)`.
+    #[must_use]
+    pub fn async_call(callee: &Arc<DslAction>, args: Vec<Expr>) -> Stmt {
+        Stmt::Async {
+            callee: Arc::clone(callee),
+            args,
+        }
+    }
+
+    /// `async name(args)` by name, with the callee's parameter sorts given
+    /// explicitly (for mutually recursive spawns).
+    #[must_use]
+    pub fn async_named(name: &str, param_sorts: Vec<crate::sort::Sort>, args: Vec<Expr>) -> Stmt {
+        Stmt::AsyncNamed {
+            name: name.to_owned(),
+            param_sorts,
+            args,
+        }
+    }
+
+    /// `call callee(args)` (inline within the atomic step).
+    #[must_use]
+    pub fn call(callee: &Arc<DslAction>, args: Vec<Expr>) -> Stmt {
+        Stmt::Call {
+            callee: Arc::clone(callee),
+            args,
+        }
+    }
+
+    /// `skip`.
+    #[must_use]
+    pub fn skip() -> Stmt {
+        Stmt::Skip
+    }
+}

@@ -1,0 +1,448 @@
+//! Integration tests for the DSL interpreter: gate/blocking/transition
+//! semantics, nondeterminism, channels, and inlined calls.
+
+use std::sync::Arc;
+
+use inseq_kernel::{ActionOutcome, ActionSemantics, GlobalStore, Value};
+use inseq_lang::build::*;
+use inseq_lang::{DslAction, GlobalDecls, Sort, Stmt};
+
+fn int_globals(names: &[&str]) -> Arc<GlobalDecls> {
+    let mut g = GlobalDecls::new();
+    for n in names {
+        g.declare(*n, Sort::Int);
+    }
+    Arc::new(g)
+}
+
+fn transitions_of(action: &DslAction, store: &GlobalStore, args: &[Value]) -> Vec<GlobalStore> {
+    match action.eval(store, args) {
+        ActionOutcome::Transitions(ts) => ts.into_iter().map(|t| t.globals).collect(),
+        ActionOutcome::Failure { reason } => panic!("unexpected failure: {reason}"),
+    }
+}
+
+#[test]
+fn assignment_and_arithmetic() {
+    let g = int_globals(&["x"]);
+    let a = DslAction::build("A", &g)
+        .body(vec![assign("x", add(mul(int(2), int(3)), int(4)))])
+        .finish()
+        .unwrap();
+    let ts = transitions_of(&a, &g.initial_store(), &[]);
+    assert_eq!(ts, vec![GlobalStore::new(vec![Value::Int(10)])]);
+}
+
+#[test]
+fn assert_false_is_gate_violation() {
+    let g = int_globals(&["x"]);
+    let a = DslAction::build("A", &g)
+        .body(vec![assert_msg(boolean(false), "boom")])
+        .finish()
+        .unwrap();
+    match a.eval(&g.initial_store(), &[]) {
+        ActionOutcome::Failure { reason } => assert!(reason.contains("boom")),
+        other => panic!("expected failure, got {other:?}"),
+    }
+}
+
+#[test]
+fn failing_branch_poisons_the_whole_gate() {
+    // choose b in {0,1}; if b == 1 { assert false } — one branch fails, so
+    // the input store is outside the gate even though another branch is fine.
+    let g = int_globals(&["x"]);
+    let a = DslAction::build("A", &g)
+        .local("b", Sort::Int)
+        .body(vec![
+            choose("b", range(int(0), int(1))),
+            if_(eq(var("b"), int(1)), vec![assert_msg(boolean(false), "bad")]),
+        ])
+        .finish()
+        .unwrap();
+    assert!(a.eval(&g.initial_store(), &[]).is_failure());
+}
+
+#[test]
+fn assume_false_blocks_rather_than_fails() {
+    let g = int_globals(&["x"]);
+    let a = DslAction::build("A", &g)
+        .body(vec![assume(boolean(false)), assign("x", int(1))])
+        .finish()
+        .unwrap();
+    let out = a.eval(&g.initial_store(), &[]);
+    assert_eq!(out, ActionOutcome::blocked());
+}
+
+#[test]
+fn choose_branches_and_dedups() {
+    let g = int_globals(&["x"]);
+    let a = DslAction::build("A", &g)
+        .local("v", Sort::Int)
+        .body(vec![
+            choose("v", range(int(1), int(3))),
+            assign("x", mul(var("v"), int(0))), // all branches collapse to x = 0
+        ])
+        .finish()
+        .unwrap();
+    let ts = transitions_of(&a, &g.initial_store(), &[]);
+    assert_eq!(ts.len(), 1, "identical branches must be deduplicated");
+}
+
+#[test]
+fn choose_over_empty_set_blocks() {
+    let g = int_globals(&["x"]);
+    let a = DslAction::build("A", &g)
+        .local("v", Sort::Int)
+        .body(vec![choose("v", range(int(1), int(0)))])
+        .finish()
+        .unwrap();
+    assert_eq!(a.eval(&g.initial_store(), &[]), ActionOutcome::blocked());
+}
+
+#[test]
+fn for_loop_accumulates() {
+    let g = int_globals(&["x"]);
+    let a = DslAction::build("A", &g)
+        .local("i", Sort::Int)
+        .body(vec![for_range(
+            "i",
+            int(1),
+            int(4),
+            vec![assign("x", add(var("x"), var("i")))],
+        )])
+        .finish()
+        .unwrap();
+    let ts = transitions_of(&a, &g.initial_store(), &[]);
+    assert_eq!(ts, vec![GlobalStore::new(vec![Value::Int(10)])]);
+}
+
+#[test]
+fn empty_for_range_is_skip() {
+    let g = int_globals(&["x"]);
+    let a = DslAction::build("A", &g)
+        .local("i", Sort::Int)
+        .body(vec![for_range(
+            "i",
+            int(5),
+            int(4),
+            vec![assign("x", int(99))],
+        )])
+        .finish()
+        .unwrap();
+    let ts = transitions_of(&a, &g.initial_store(), &[]);
+    assert_eq!(ts, vec![g.initial_store()]);
+}
+
+#[test]
+fn bag_send_and_receive_roundtrip() {
+    let mut decls = GlobalDecls::new();
+    decls.declare("ch", Sort::bag(Sort::Int));
+    decls.declare("got", Sort::Int);
+    let g = Arc::new(decls);
+    let send_two = DslAction::build("Send2", &g)
+        .body(vec![send("ch", int(7)), send("ch", int(9))])
+        .finish()
+        .unwrap();
+    let recv_one = DslAction::build("Recv1", &g)
+        .local("v", Sort::Int)
+        .body(vec![recv("v", "ch"), assign("got", var("v"))])
+        .finish()
+        .unwrap();
+
+    let s0 = g.initial_store();
+    let after_send = transitions_of(&send_two, &s0, &[]);
+    assert_eq!(after_send.len(), 1);
+    let after_recv = transitions_of(&recv_one, &after_send[0], &[]);
+    // Bag receive branches over both messages: got = 7 or got = 9.
+    assert_eq!(after_recv.len(), 2);
+    let got: Vec<i64> = after_recv.iter().map(|s| s.get(1).as_int()).collect();
+    assert!(got.contains(&7) && got.contains(&9));
+    // Each branch removed exactly one message.
+    for s in &after_recv {
+        assert_eq!(s.get(0).as_bag().len(), 1);
+    }
+}
+
+#[test]
+fn receive_from_empty_bag_blocks() {
+    let mut decls = GlobalDecls::new();
+    decls.declare("ch", Sort::bag(Sort::Int));
+    let g = Arc::new(decls);
+    let a = DslAction::build("A", &g)
+        .local("v", Sort::Int)
+        .body(vec![recv("v", "ch")])
+        .finish()
+        .unwrap();
+    assert_eq!(a.eval(&g.initial_store(), &[]), ActionOutcome::blocked());
+}
+
+#[test]
+fn seq_channel_is_fifo() {
+    let mut decls = GlobalDecls::new();
+    decls.declare("q", Sort::seq(Sort::Int));
+    decls.declare("got", Sort::Int);
+    let g = Arc::new(decls);
+    let producer = DslAction::build("Prod", &g)
+        .body(vec![send("q", int(1)), send("q", int(2))])
+        .finish()
+        .unwrap();
+    let consumer = DslAction::build("Cons", &g)
+        .local("v", Sort::Int)
+        .body(vec![recv("v", "q"), assign("got", var("v"))])
+        .finish()
+        .unwrap();
+    let s1 = transitions_of(&producer, &g.initial_store(), &[]).remove(0);
+    let s2s = transitions_of(&consumer, &s1, &[]);
+    assert_eq!(s2s.len(), 1, "FIFO receive is deterministic");
+    assert_eq!(s2s[0].get(1), &Value::Int(1), "head of the queue comes first");
+}
+
+#[test]
+fn indexed_channels_target_the_right_slot() {
+    let mut decls = GlobalDecls::new();
+    decls.declare("CH", Sort::map(Sort::Int, Sort::bag(Sort::Int)));
+    let g = Arc::new(decls);
+    let a = DslAction::build("A", &g)
+        .param("i", Sort::Int)
+        .body(vec![send_to("CH", var("i"), int(42))])
+        .finish()
+        .unwrap();
+    let ts = transitions_of(&a, &g.initial_store(), &[Value::Int(3)]);
+    let m = ts[0].get(0).as_map();
+    assert_eq!(m.get(&Value::Int(3)).as_bag().count(&Value::Int(42)), 1);
+    assert!(m.get(&Value::Int(1)).as_bag().is_empty());
+}
+
+#[test]
+fn async_creates_pending_asyncs() {
+    let g = int_globals(&["x"]);
+    let child = DslAction::build("Child", &g)
+        .param("k", Sort::Int)
+        .body(vec![assign("x", var("k"))])
+        .finish()
+        .unwrap();
+    let main = DslAction::build("Main", &g)
+        .local("i", Sort::Int)
+        .body(vec![for_range(
+            "i",
+            int(1),
+            int(3),
+            vec![async_call(&child, vec![var("i")])],
+        )])
+        .finish()
+        .unwrap();
+    let out = main.eval(&g.initial_store(), &[]);
+    let ts = out.transitions().unwrap();
+    assert_eq!(ts.len(), 1);
+    assert_eq!(ts[0].created.len(), 3);
+    assert!(ts[0]
+        .created
+        .contains(&inseq_kernel::PendingAsync::new("Child", vec![Value::Int(2)])));
+}
+
+#[test]
+fn async_named_matches_async_resolved() {
+    let g = int_globals(&["x"]);
+    let a = DslAction::build("A", &g)
+        .body(vec![Stmt::AsyncNamed {
+            name: "Child".into(),
+            param_sorts: vec![Sort::Int],
+            args: vec![int(5)],
+        }])
+        .finish()
+        .unwrap();
+    let out = a.eval(&g.initial_store(), &[]);
+    let ts = out.transitions().unwrap();
+    assert!(ts[0]
+        .created
+        .contains(&inseq_kernel::PendingAsync::new("Child", vec![Value::Int(5)])));
+}
+
+#[test]
+fn call_inlines_into_the_same_atomic_step() {
+    let g = int_globals(&["x"]);
+    let child = DslAction::build("Child", &g)
+        .param("d", Sort::Int)
+        .body(vec![assign("x", add(var("x"), var("d")))])
+        .finish()
+        .unwrap();
+    let main = DslAction::build("Main", &g)
+        .body(vec![
+            call(&child, vec![int(5)]),
+            call(&child, vec![int(6)]),
+        ])
+        .finish()
+        .unwrap();
+    let ts = transitions_of(&main, &g.initial_store(), &[]);
+    assert_eq!(ts, vec![GlobalStore::new(vec![Value::Int(11)])]);
+}
+
+#[test]
+fn call_propagates_callee_pending_asyncs() {
+    let g = int_globals(&["x"]);
+    let leaf = DslAction::build("Leaf", &g).body(vec![]).finish().unwrap();
+    let spawner = DslAction::build("Spawner", &g)
+        .body(vec![async_call(&leaf, vec![])])
+        .finish()
+        .unwrap();
+    let main = DslAction::build("Main", &g)
+        .body(vec![call(&spawner, vec![])])
+        .finish()
+        .unwrap();
+    let out = main.eval(&g.initial_store(), &[]);
+    let ts = out.transitions().unwrap();
+    assert_eq!(ts[0].created.len(), 1);
+}
+
+#[test]
+fn call_gate_violation_propagates_to_caller() {
+    let g = int_globals(&["x"]);
+    let gated = DslAction::build("Gated", &g)
+        .body(vec![assert_msg(gt(var("x"), int(0)), "x must be positive")])
+        .finish()
+        .unwrap();
+    let main = DslAction::build("Main", &g)
+        .body(vec![call(&gated, vec![])])
+        .finish()
+        .unwrap();
+    assert!(main.eval(&g.initial_store(), &[]).is_failure());
+}
+
+#[test]
+fn quantifiers_and_comprehensions() {
+    let mut decls = GlobalDecls::new();
+    decls.declare("ok", Sort::Bool);
+    decls.declare("evens", Sort::set(Sort::Int));
+    let g = Arc::new(decls);
+    let a = DslAction::build("A", &g)
+        .body(vec![
+            assign(
+                "ok",
+                and(
+                    forall("i", range(int(1), int(4)), gt(var("i"), int(0))),
+                    exists("i", range(int(1), int(4)), eq(var("i"), int(3))),
+                ),
+            ),
+            assign(
+                "evens",
+                filter(
+                    "i",
+                    range(int(1), int(6)),
+                    eq(Expr::Bin(BinOp::Mod, var("i").boxed(), int(2).boxed()), int(0)),
+                ),
+            ),
+        ])
+        .finish()
+        .unwrap();
+    use inseq_lang::{BinOp, Expr};
+    let ts = transitions_of(&a, &g.initial_store(), &[]);
+    assert_eq!(ts[0].get(0), &Value::Bool(true));
+    let evens = ts[0].get(1).as_set();
+    assert_eq!(evens.len(), 3);
+    assert!(evens.contains(&Value::Int(4)));
+}
+
+#[test]
+fn min_max_sum() {
+    let g = int_globals(&["lo", "hi", "total"]);
+    let a = DslAction::build("A", &g)
+        .body(vec![
+            assign("lo", min_of(range(int(3), int(7)))),
+            assign("hi", max_of(range(int(3), int(7)))),
+            assign("total", sum_of(range(int(1), int(4)))),
+        ])
+        .finish()
+        .unwrap();
+    let ts = transitions_of(&a, &g.initial_store(), &[]);
+    assert_eq!(ts[0].get(0), &Value::Int(3));
+    assert_eq!(ts[0].get(1), &Value::Int(7));
+    assert_eq!(ts[0].get(2), &Value::Int(10));
+}
+
+#[test]
+fn min_of_empty_collection_is_a_gate_violation() {
+    let g = int_globals(&["x"]);
+    let a = DslAction::build("A", &g)
+        .body(vec![assign("x", min_of(range(int(1), int(0))))])
+        .finish()
+        .unwrap();
+    assert!(a.eval(&g.initial_store(), &[]).is_failure());
+}
+
+#[test]
+fn division_by_zero_is_a_gate_violation() {
+    let g = int_globals(&["x"]);
+    let a = DslAction::build("A", &g)
+        .body(vec![assign(
+            "x",
+            inseq_lang::Expr::Bin(
+                inseq_lang::BinOp::Div,
+                int(1).boxed(),
+                int(0).boxed(),
+            ),
+        )])
+        .finish()
+        .unwrap();
+    assert!(a.eval(&g.initial_store(), &[]).is_failure());
+}
+
+#[test]
+fn type_errors_are_caught_at_build_time() {
+    let g = int_globals(&["x"]);
+    // x := true — ill-sorted.
+    let err = DslAction::build("A", &g)
+        .body(vec![assign("x", boolean(true))])
+        .finish()
+        .unwrap_err();
+    assert!(err.to_string().contains("in action `A`"));
+    // Unbound variable.
+    let err = DslAction::build("B", &g)
+        .body(vec![assign("nope", int(1))])
+        .finish()
+        .unwrap_err();
+    assert!(err.to_string().contains("unbound") || err.to_string().contains("nope"));
+    // Receive into the wrong sort.
+    let mut decls = GlobalDecls::new();
+    decls.declare("ch", Sort::bag(Sort::Bool));
+    let g2 = Arc::new(decls);
+    let err = DslAction::build("C", &g2)
+        .local("v", Sort::Int)
+        .body(vec![recv("v", "ch")])
+        .finish()
+        .unwrap_err();
+    assert!(err.to_string().contains("receive"));
+}
+
+#[test]
+fn option_values() {
+    let mut decls = GlobalDecls::new();
+    decls.declare("d", Sort::opt(Sort::Int));
+    decls.declare("out", Sort::Int);
+    let g = Arc::new(decls);
+    let a = DslAction::build("A", &g)
+        .body(vec![
+            assign("d", some(int(9))),
+            if_(is_some(var("d")), vec![assign("out", unwrap(var("d")))]),
+        ])
+        .finish()
+        .unwrap();
+    let ts = transitions_of(&a, &g.initial_store(), &[]);
+    assert_eq!(ts[0].get(1), &Value::Int(9));
+}
+
+#[test]
+fn tuples_project() {
+    let mut decls = GlobalDecls::new();
+    decls.declare("pair", Sort::Tuple(vec![Sort::Int, Sort::Bool]));
+    decls.declare("fst", Sort::Int);
+    let g = Arc::new(decls);
+    let a = DslAction::build("A", &g)
+        .body(vec![
+            assign("pair", tuple(vec![int(4), boolean(true)])),
+            assign("fst", proj(var("pair"), 0)),
+        ])
+        .finish()
+        .unwrap();
+    let ts = transitions_of(&a, &g.initial_store(), &[]);
+    assert_eq!(ts[0].get(1), &Value::Int(4));
+}

@@ -1,0 +1,426 @@
+//! The left-mover conditions of §3 (and their right-mover duals), checked by
+//! enumeration over a state universe.
+
+use std::fmt;
+use std::sync::Arc;
+
+use inseq_kernel::{
+    ActionName, ActionOutcome, ActionSemantics, GlobalStore, Multiset, PendingAsync, Program,
+    StateUniverse, Transition, Value,
+};
+
+use crate::types::MoverType;
+
+/// A violated mover condition, with a concrete witness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MoverViolation {
+    /// Condition (1): the mover's gate was not forward-preserved by a step of
+    /// another action.
+    GateNotForwardPreserved {
+        /// The candidate mover PA.
+        mover: PendingAsync,
+        /// The action that destroyed the gate.
+        other: PendingAsync,
+        /// The store at which the other action stepped.
+        store: GlobalStore,
+        /// The failure reason after the step.
+        reason: String,
+    },
+    /// Condition (2): the other action's gate held after the mover but not
+    /// before it.
+    GateNotBackwardPreserved {
+        /// The candidate mover PA.
+        mover: PendingAsync,
+        /// The action whose gate was manufactured by the mover.
+        other: PendingAsync,
+        /// The store before the mover's step.
+        store: GlobalStore,
+    },
+    /// Condition (3): executing `other; mover` reached a state that
+    /// `mover; other` cannot reach (with identical created pending asyncs).
+    DoesNotCommute {
+        /// The candidate mover PA.
+        mover: PendingAsync,
+        /// The action it fails to commute with.
+        other: PendingAsync,
+        /// The store at which commutation fails.
+        store: GlobalStore,
+        /// The end store reachable only in the original order.
+        target: GlobalStore,
+    },
+    /// Condition (4): the mover blocks from a store satisfying its gate.
+    Blocking {
+        /// The candidate mover PA.
+        mover: PendingAsync,
+        /// The store at which the mover has no transition.
+        store: GlobalStore,
+    },
+}
+
+impl fmt::Display for MoverViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MoverViolation::GateNotForwardPreserved {
+                mover,
+                other,
+                store,
+                reason,
+            } => write!(
+                f,
+                "gate of {mover} is not forward-preserved by {other} at {store}: {reason}"
+            ),
+            MoverViolation::GateNotBackwardPreserved { mover, other, store } => write!(
+                f,
+                "gate of {other} is not backward-preserved by {mover} at {store}"
+            ),
+            MoverViolation::DoesNotCommute {
+                mover,
+                other,
+                store,
+                target,
+            } => write!(
+                f,
+                "{mover} does not commute past {other} at {store}: end store {target} \
+                 is unreachable in the commuted order"
+            ),
+            MoverViolation::Blocking { mover, store } => {
+                write!(f, "{mover} blocks at {store} although its gate holds")
+            }
+        }
+    }
+}
+
+/// Memoization key: action identity (by `Arc` address) plus input store and
+/// arguments. The same `(store, args)` inputs recur across many co-enabled
+/// pairs, so caching turns the quadratic pairwise sweep into mostly lookups.
+type EvalKey = (usize, GlobalStore, Vec<Value>);
+
+/// A mover-condition checker bound to a program and a quantification
+/// universe. Action evaluations are memoized for the checker's lifetime.
+#[derive(Debug)]
+pub struct MoverChecker<'a> {
+    program: &'a Program,
+    universe: &'a StateUniverse,
+    cache: std::cell::RefCell<std::collections::HashMap<EvalKey, ActionOutcome>>,
+}
+
+impl<'a> MoverChecker<'a> {
+    /// Creates a checker for `program` quantifying over `universe`.
+    #[must_use]
+    pub fn new(program: &'a Program, universe: &'a StateUniverse) -> Self {
+        MoverChecker {
+            program,
+            universe,
+            cache: std::cell::RefCell::new(std::collections::HashMap::new()),
+        }
+    }
+
+    fn outcome(
+        &self,
+        action: &Arc<dyn ActionSemantics>,
+        store: &GlobalStore,
+        args: &[Value],
+    ) -> ActionOutcome {
+        let key = (
+            Arc::as_ptr(action).cast::<()>() as usize,
+            store.clone(),
+            args.to_vec(),
+        );
+        if let Some(hit) = self.cache.borrow().get(&key) {
+            return hit.clone();
+        }
+        let out = action.eval(store, args);
+        self.cache.borrow_mut().insert(key, out.clone());
+        out
+    }
+
+    /// Checks that `mover` (which executes wherever PAs named `mover_name`
+    /// appear in the universe) is a **left mover** w.r.t. every action of the
+    /// program — the paper's `LeftMover(l, P)`.
+    ///
+    /// `mover` may be an *abstraction* of the action named `mover_name`; the
+    /// paper's (LM) condition checks exactly this situation.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated condition with a concrete witness.
+    pub fn check_left(
+        &self,
+        mover: &Arc<dyn ActionSemantics>,
+        mover_name: &ActionName,
+    ) -> Result<(), MoverViolation> {
+        // Conditions (1)-(3): pairwise against every co-enabled partner.
+        for (pa_l, pa_x, stores) in self.universe.coenabled_with_first(mover_name) {
+            let x = match self.program.action(&pa_x.action) {
+                Ok(x) => x,
+                Err(_) => continue, // partner no longer in the pool
+            };
+            for g in stores {
+                self.check_pair_left(mover, pa_l, x, pa_x, g)?;
+            }
+        }
+        // Condition (4): non-blocking from every store where the gate holds.
+        for (g, args) in self.universe.enabled_at(mover_name) {
+            match self.outcome(mover, g, args) {
+                ActionOutcome::Failure { .. } => {} // outside the gate: vacuous
+                ActionOutcome::Transitions(ts) => {
+                    if ts.is_empty() {
+                        return Err(MoverViolation::Blocking {
+                            mover: PendingAsync::new(mover_name.clone(), args.clone()),
+                            store: g.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn check_pair_left(
+        &self,
+        l: &Arc<dyn ActionSemantics>,
+        pa_l: &PendingAsync,
+        x: &Arc<dyn ActionSemantics>,
+        pa_x: &PendingAsync,
+        g: &GlobalStore,
+    ) -> Result<(), MoverViolation> {
+        let l_out = self.outcome(l, g, &pa_l.args);
+        let x_out = self.outcome(x, g, &pa_x.args);
+
+        // (1) Forward preservation of ρ_l by x: if ρ_l holds at g and x steps
+        // g → g′, then ρ_l holds at g′.
+        if !l_out.is_failure() {
+            if let ActionOutcome::Transitions(x_ts) = &x_out {
+                for t in x_ts {
+                    if let ActionOutcome::Failure { reason } = self.outcome(l, &t.globals, &pa_l.args) {
+                        return Err(MoverViolation::GateNotForwardPreserved {
+                            mover: pa_l.clone(),
+                            other: pa_x.clone(),
+                            store: g.clone(),
+                            reason,
+                        });
+                    }
+                }
+            }
+        }
+
+        // (2) Backward preservation of ρ_x by l: if l steps g → g′ and ρ_x
+        // holds at g′, then ρ_x already held at g.
+        if let ActionOutcome::Transitions(l_ts) = &l_out {
+            if x_out.is_failure() {
+                for t in l_ts {
+                    if !self.outcome(x, &t.globals, &pa_x.args).is_failure() {
+                        return Err(MoverViolation::GateNotBackwardPreserved {
+                            mover: pa_l.clone(),
+                            other: pa_x.clone(),
+                            store: g.clone(),
+                        });
+                    }
+                }
+            }
+        }
+
+        // (3) Commutativity: every outcome of x; l is an outcome of l; x
+        // (same end store, same created PAs on both sides).
+        if !l_out.is_failure() {
+            if let ActionOutcome::Transitions(x_ts) = &x_out {
+                for tx in x_ts {
+                    let mid = &tx.globals;
+                    if let ActionOutcome::Transitions(l_after) = self.outcome(l, mid, &pa_l.args) {
+                        for tl in &l_after {
+                            if !self.commuted_order_reaches(
+                                l, pa_l, x, pa_x, g, &tl.globals, &tl.created, &tx.created,
+                            ) {
+                                return Err(MoverViolation::DoesNotCommute {
+                                    mover: pa_l.clone(),
+                                    other: pa_x.clone(),
+                                    store: g.clone(),
+                                    target: tl.globals.clone(),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Is there a path l; x from `g` to `target` creating exactly
+    /// (`omega_l`, `omega_x`)?
+    #[allow(clippy::too_many_arguments)]
+    fn commuted_order_reaches(
+        &self,
+        l: &Arc<dyn ActionSemantics>,
+        pa_l: &PendingAsync,
+        x: &Arc<dyn ActionSemantics>,
+        pa_x: &PendingAsync,
+        g: &GlobalStore,
+        target: &GlobalStore,
+        omega_l: &Multiset<PendingAsync>,
+        omega_x: &Multiset<PendingAsync>,
+    ) -> bool {
+        let l_first = match self.outcome(l, g, &pa_l.args) {
+            ActionOutcome::Transitions(ts) => ts,
+            ActionOutcome::Failure { .. } => return false,
+        };
+        for tl in &l_first {
+            if &tl.created != omega_l {
+                continue;
+            }
+            if let ActionOutcome::Transitions(x_after) = self.outcome(x, &tl.globals, &pa_x.args) {
+                if x_after
+                    .iter()
+                    .any(|tx: &Transition| &tx.globals == target && &tx.created == omega_x)
+                {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Checks that `mover` is a **right mover** w.r.t. every action of the
+    /// program: every outcome of `mover; x` is an outcome of `x; mover`, and
+    /// gates are preserved in the dual directions.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated condition with a concrete witness.
+    pub fn check_right(
+        &self,
+        mover: &Arc<dyn ActionSemantics>,
+        mover_name: &ActionName,
+    ) -> Result<(), MoverViolation> {
+        for (pa_r, pa_x, stores) in self.universe.coenabled_with_first(mover_name) {
+            let x = match self.program.action(&pa_x.action) {
+                Ok(x) => x,
+                Err(_) => continue,
+            };
+            for g in stores {
+                self.check_pair_right(mover, pa_r, x, pa_x, g)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn check_pair_right(
+        &self,
+        r: &Arc<dyn ActionSemantics>,
+        pa_r: &PendingAsync,
+        x: &Arc<dyn ActionSemantics>,
+        pa_x: &PendingAsync,
+        g: &GlobalStore,
+    ) -> Result<(), MoverViolation> {
+        let r_out = self.outcome(r, g, &pa_r.args);
+        // Dual of (1): ρ_x forward-preserved by r — if ρ_x holds at g and r
+        // steps g → g1, ρ_x must hold at g1 (else x's failure is lost when x
+        // moves before r).
+        if let ActionOutcome::Transitions(r_ts) = &r_out {
+            if !self.outcome(x, g, &pa_x.args).is_failure() {
+                for t in r_ts {
+                    if let ActionOutcome::Failure { reason } = self.outcome(x, &t.globals, &pa_x.args) {
+                        return Err(MoverViolation::GateNotForwardPreserved {
+                            mover: pa_r.clone(),
+                            other: pa_x.clone(),
+                            store: g.clone(),
+                            reason,
+                        });
+                    }
+                }
+            }
+            // Commutation r; x ⊑ x; r.
+            for tr in r_ts {
+                if let ActionOutcome::Transitions(x_after) = self.outcome(x, &tr.globals, &pa_x.args) {
+                    for tx in &x_after {
+                        if !self.commuted_order_reaches(
+                            x, pa_x, r, pa_r, g, &tx.globals, &tx.created, &tr.created,
+                        ) {
+                            return Err(MoverViolation::DoesNotCommute {
+                                mover: pa_r.clone(),
+                                other: pa_x.clone(),
+                                store: g.clone(),
+                                target: tx.globals.clone(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Convenience wrapper: checks `LeftMover(action, program)` for an action of
+/// the program itself.
+///
+/// # Errors
+///
+/// Returns the first violated condition with a concrete witness.
+pub fn check_left_mover(
+    program: &Program,
+    universe: &StateUniverse,
+    name: &ActionName,
+) -> Result<(), MoverViolation> {
+    let action = program
+        .action(name)
+        .unwrap_or_else(|_| panic!("action `{name}` not in program"));
+    MoverChecker::new(program, universe).check_left(action, name)
+}
+
+/// Convenience wrapper: checks that `name` is a right mover in `program`.
+///
+/// # Errors
+///
+/// Returns the first violated condition with a concrete witness.
+pub fn check_right_mover(
+    program: &Program,
+    universe: &StateUniverse,
+    name: &ActionName,
+) -> Result<(), MoverViolation> {
+    let action = program
+        .action(name)
+        .unwrap_or_else(|_| panic!("action `{name}` not in program"));
+    MoverChecker::new(program, universe).check_right(action, name)
+}
+
+/// Infers the strongest mover type of `name` over the universe.
+#[must_use]
+pub fn infer_mover_type(
+    program: &Program,
+    universe: &StateUniverse,
+    name: &ActionName,
+) -> MoverType {
+    let left = check_left_mover(program, universe, name).is_ok();
+    let right = check_right_mover(program, universe, name).is_ok();
+    MoverType::from_flags(left, right)
+}
+
+/// Infers the mover type of **every** action of the program — the mover
+/// annotation table CIVL's type checker would produce.
+///
+/// # Example
+///
+/// ```
+/// use inseq_kernel::demo::counter_program;
+/// use inseq_kernel::{Explorer, StateUniverse};
+/// use inseq_mover::{classify_actions, MoverType};
+///
+/// let p = counter_program();
+/// let init = p.initial_config(vec![]).unwrap();
+/// let exp = Explorer::new(&p).explore([init]).unwrap();
+/// let u = StateUniverse::from_exploration(&exp);
+/// let table = classify_actions(&p, &u);
+/// // Increments of a shared counter commute with each other.
+/// assert_eq!(table[&"Inc".into()], MoverType::Both);
+/// ```
+#[must_use]
+pub fn classify_actions(
+    program: &Program,
+    universe: &StateUniverse,
+) -> std::collections::BTreeMap<ActionName, MoverType> {
+    program
+        .action_names()
+        .map(|name| (name.clone(), infer_mover_type(program, universe, name)))
+        .collect()
+}

@@ -1,0 +1,181 @@
+//! Lipton reduction: validating atomic sequences.
+//!
+//! A sequence of atomic actions executed by one thread can be summarised
+//! into a single atomic action when its mover types match the pattern
+//! `right*; non-mover?; left*` — any interleaving with other threads can
+//! then be permuted into one where the sequence runs uninterrupted (§2.1 of
+//! the paper). This module provides the pattern check and a helper that
+//! infers the pattern for a whole sequence of actions.
+
+use inseq_kernel::{ActionName, Program, StateUniverse};
+
+use crate::check::infer_mover_type;
+use crate::types::MoverType;
+
+/// Whether a sequence of mover types matches `right*; non-mover?; left*` and
+/// can therefore be summarised into one atomic action.
+#[must_use]
+pub fn atomic_pattern(types: &[MoverType]) -> bool {
+    let mut idx = 0;
+    // right* (both-movers count as right movers here)
+    while idx < types.len() && types[idx].is_right() {
+        idx += 1;
+    }
+    // non-mover?
+    if idx < types.len() && types[idx] == MoverType::None {
+        idx += 1;
+    }
+    // left*
+    while idx < types.len() && types[idx].is_left() {
+        idx += 1;
+    }
+    idx == types.len()
+}
+
+/// Infers the mover type of each named action and reports whether the whole
+/// sequence forms an atomic block.
+///
+/// Returns the per-action mover types alongside the verdict so callers can
+/// display which step broke the pattern.
+#[must_use]
+pub fn summarize_mover_types(
+    program: &Program,
+    universe: &StateUniverse,
+    sequence: &[ActionName],
+) -> (Vec<MoverType>, bool) {
+    let types: Vec<MoverType> = sequence
+        .iter()
+        .map(|name| infer_mover_type(program, universe, name))
+        .collect();
+    let ok = atomic_pattern(&types);
+    (types, ok)
+}
+
+/// Summarizes a *continuation chain* of fine-grained actions into a single
+/// atomic action — the transformation Lipton reduction justifies and the
+/// paper applies to obtain Fig. 1-② from Fig. 1-①.
+///
+/// A chain is a set of action names implementing one logical procedure in
+/// continuation-passing style: each task performs one fine-grained step and
+/// spawns at most its continuation(s) within the chain, plus arbitrary
+/// pending asyncs to actions *outside* the chain. The summary action, from
+/// an input store, runs the whole chain to completion **within one atomic
+/// step**:
+///
+/// * a gate violation anywhere in the chain makes the summary fail;
+/// * a branch on which some chain task blocks contributes no transition
+///   (so e.g. a summarized receive loop blocks until all its messages are
+///   available — exactly the atomic `Collect` of Fig. 1-②);
+/// * pending asyncs to non-chain actions accumulate into the summary's
+///   created set.
+///
+/// Soundness requires the chain's steps to form an atomic sequence
+/// (`right*; non-mover?; left*`) — validate with [`summarize_mover_types`] /
+/// [`atomic_pattern`]; this function performs only the summarisation.
+///
+/// # Panics
+///
+/// The returned action panics if invoked with an arity different from the
+/// entry action's.
+#[must_use]
+pub fn summarize_chain(
+    program: &Program,
+    label: &str,
+    entry: &ActionName,
+    chain: &std::collections::BTreeSet<ActionName>,
+) -> inseq_kernel::NativeAction {
+    use inseq_kernel::{
+        ActionOutcome, GlobalStore, Multiset, PendingAsync, Transition, Value,
+    };
+    use std::collections::BTreeSet;
+
+    let program = program.clone();
+    let entry = entry.clone();
+    let chain = chain.clone();
+    let arity = program
+        .action(&entry)
+        .map(|a| a.arity())
+        .unwrap_or_else(|_| panic!("entry action `{entry}` not in program"));
+    inseq_kernel::NativeAction::new(label, arity, move |g: &GlobalStore, args: &[Value]| {
+        // Each state: (globals, chain PAs still to run, outward created).
+        type SumState = (GlobalStore, Multiset<PendingAsync>, Multiset<PendingAsync>);
+        let mut states: BTreeSet<SumState> = BTreeSet::new();
+        states.insert((
+            g.clone(),
+            Multiset::singleton(PendingAsync::new(entry.clone(), args.to_vec())),
+            Multiset::new(),
+        ));
+        let mut done: BTreeSet<(GlobalStore, Multiset<PendingAsync>)> = BTreeSet::new();
+        while let Some(state) = states.iter().next().cloned() {
+            states.remove(&state);
+            let (globals, pending, created) = state;
+            let Some(pa) = pending.distinct().next().cloned() else {
+                done.insert((globals, created));
+                continue;
+            };
+            let rest = pending.without(&pa).expect("distinct PA present");
+            match program.eval_pa(&globals, &pa) {
+                Err(e) => {
+                    return ActionOutcome::Failure {
+                        reason: format!("chain step {pa}: {e}"),
+                    }
+                }
+                Ok(ActionOutcome::Failure { reason }) => {
+                    return ActionOutcome::Failure { reason };
+                }
+                Ok(ActionOutcome::Transitions(ts)) => {
+                    // No transitions: this branch blocks — it contributes
+                    // nothing (the summary blocks on it).
+                    for t in ts {
+                        let mut next_pending = rest.clone();
+                        let mut next_created = created.clone();
+                        for new_pa in t.created.iter() {
+                            if chain.contains(&new_pa.action) {
+                                next_pending.insert(new_pa.clone());
+                            } else {
+                                next_created.insert(new_pa.clone());
+                            }
+                        }
+                        states.insert((t.globals, next_pending, next_created));
+                    }
+                }
+            }
+        }
+        ActionOutcome::Transitions(
+            done.into_iter()
+                .map(|(globals, created)| Transition::new(globals, created))
+                .collect(),
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use MoverType::{Both, Left, None as NonMover, Right};
+
+    #[test]
+    fn canonical_patterns() {
+        assert!(atomic_pattern(&[]));
+        assert!(atomic_pattern(&[Right, Right, NonMover, Left, Left]));
+        assert!(atomic_pattern(&[NonMover]));
+        assert!(atomic_pattern(&[Left, Left]));
+        assert!(atomic_pattern(&[Right, Right]));
+        assert!(atomic_pattern(&[Both, Both, Both]));
+    }
+
+    #[test]
+    fn rejected_patterns() {
+        assert!(!atomic_pattern(&[Left, Right]));
+        assert!(!atomic_pattern(&[NonMover, NonMover]));
+        assert!(!atomic_pattern(&[Left, NonMover]));
+        assert!(!atomic_pattern(&[NonMover, Right]));
+    }
+
+    #[test]
+    fn both_movers_are_flexible() {
+        // A both-mover may sit anywhere.
+        assert!(atomic_pattern(&[Both, NonMover, Both]));
+        assert!(atomic_pattern(&[Right, Both, NonMover, Both, Left]));
+    }
+}

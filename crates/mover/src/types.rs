@@ -1,0 +1,74 @@
+//! The four mover types of Lipton's reduction theory.
+
+use std::fmt;
+
+/// The mover type of an atomic action, in the sense of Lipton/Flanagan-Qadeer
+/// as used by the paper (§3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MoverType {
+    /// Commutes in both directions (e.g. accesses to thread-local data).
+    Both,
+    /// Commutes to the left of concurrent actions (e.g. a bag `send`).
+    Left,
+    /// Commutes to the right of concurrent actions (e.g. a bag `receive`).
+    Right,
+    /// Commutes in neither direction.
+    None,
+}
+
+impl MoverType {
+    /// Whether the action may move left.
+    #[must_use]
+    pub fn is_left(self) -> bool {
+        matches!(self, MoverType::Left | MoverType::Both)
+    }
+
+    /// Whether the action may move right.
+    #[must_use]
+    pub fn is_right(self) -> bool {
+        matches!(self, MoverType::Right | MoverType::Both)
+    }
+
+    /// Combines independent left/right verdicts into a mover type.
+    #[must_use]
+    pub fn from_flags(left: bool, right: bool) -> Self {
+        match (left, right) {
+            (true, true) => MoverType::Both,
+            (true, false) => MoverType::Left,
+            (false, true) => MoverType::Right,
+            (false, false) => MoverType::None,
+        }
+    }
+}
+
+impl fmt::Display for MoverType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MoverType::Both => "both-mover",
+            MoverType::Left => "left-mover",
+            MoverType::Right => "right-mover",
+            MoverType::None => "non-mover",
+        };
+        write!(f, "{s}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_roundtrip() {
+        assert_eq!(MoverType::from_flags(true, true), MoverType::Both);
+        assert_eq!(MoverType::from_flags(true, false), MoverType::Left);
+        assert_eq!(MoverType::from_flags(false, true), MoverType::Right);
+        assert_eq!(MoverType::from_flags(false, false), MoverType::None);
+        assert!(MoverType::Both.is_left() && MoverType::Both.is_right());
+        assert!(MoverType::Left.is_left() && !MoverType::Left.is_right());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(MoverType::Right.to_string(), "right-mover");
+    }
+}

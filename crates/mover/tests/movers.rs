@@ -1,0 +1,107 @@
+//! Integration tests: mover types of send/receive over bag channels, as
+//! claimed in §2.1 of the paper ("receive is a right mover and send is a
+//! left mover").
+
+use std::sync::Arc;
+
+use inseq_kernel::{Explorer, StateUniverse};
+use inseq_lang::build::*;
+use inseq_lang::{program_of, DslAction, GlobalDecls, Sort};
+use inseq_mover::{
+    check_left_mover, check_right_mover, infer_mover_type, summarize_mover_types, MoverType,
+    MoverViolation,
+};
+
+/// Main spawns two senders and one receiver over a bag channel.
+fn bag_program() -> (inseq_kernel::Program, StateUniverse) {
+    let mut decls = GlobalDecls::new();
+    decls.declare("ch", Sort::bag(Sort::Int));
+    decls.declare("got", Sort::map(Sort::Int, Sort::Bool));
+    let g = Arc::new(decls);
+
+    let send_a = DslAction::build("Send", &g)
+        .param("v", Sort::Int)
+        .body(vec![send("ch", var("v"))])
+        .finish()
+        .unwrap();
+    let recv_a = DslAction::build("Recv", &g)
+        .local("v", Sort::Int)
+        .body(vec![recv("v", "ch"), assign_at("got", var("v"), boolean(true))])
+        .finish()
+        .unwrap();
+    let main = DslAction::build("Main", &g)
+        .body(vec![
+            async_call(&send_a, vec![int(1)]),
+            async_call(&send_a, vec![int(2)]),
+            async_call(&recv_a, vec![]),
+        ])
+        .finish()
+        .unwrap();
+
+    let p = program_of(&g, [send_a, recv_a, main], "Main").unwrap();
+    let init = p.initial_config_with(g.initial_store(), vec![]).unwrap();
+    let exp = Explorer::new(&p).explore([init]).unwrap();
+    let u = StateUniverse::from_exploration(&exp);
+    (p, u)
+}
+
+#[test]
+fn send_is_a_left_mover() {
+    let (p, u) = bag_program();
+    check_left_mover(&p, &u, &"Send".into()).expect("bag send must be a left mover");
+}
+
+#[test]
+fn receive_is_a_right_mover() {
+    let (p, u) = bag_program();
+    check_right_mover(&p, &u, &"Recv".into()).expect("bag receive must be a right mover");
+}
+
+#[test]
+fn receive_is_not_a_left_mover() {
+    let (p, u) = bag_program();
+    let err = check_left_mover(&p, &u, &"Recv".into())
+        .expect_err("receive must not commute to the left of send");
+    // Either commutation fails or blocking is detected — both witness the
+    // paper's claim.
+    match err {
+        MoverViolation::DoesNotCommute { .. } | MoverViolation::Blocking { .. } => {}
+        other => panic!("unexpected violation kind: {other}"),
+    }
+}
+
+#[test]
+fn send_is_not_a_right_mover() {
+    let (p, u) = bag_program();
+    // send; recv can deliver the just-sent message; recv; send cannot when
+    // the channel would otherwise be empty.
+    let verdict = check_right_mover(&p, &u, &"Send".into());
+    assert!(verdict.is_err(), "send must not be a right mover here");
+}
+
+#[test]
+fn inferred_types_match_the_paper() {
+    let (p, u) = bag_program();
+    assert_eq!(infer_mover_type(&p, &u, &"Send".into()), MoverType::Left);
+    assert_eq!(infer_mover_type(&p, &u, &"Recv".into()), MoverType::Right);
+}
+
+#[test]
+fn receive_then_send_sequences_are_atomic() {
+    let (p, u) = bag_program();
+    // Recv; Send matches right*; left* — atomic.
+    let (types, ok) = summarize_mover_types(&p, &u, &["Recv".into(), "Send".into()]);
+    assert_eq!(types, vec![MoverType::Right, MoverType::Left]);
+    assert!(ok);
+    // Send; Recv does not.
+    let (_, ok) = summarize_mover_types(&p, &u, &["Send".into(), "Recv".into()]);
+    assert!(!ok);
+}
+
+#[test]
+fn violations_render_readable_witnesses() {
+    let (p, u) = bag_program();
+    let err = check_left_mover(&p, &u, &"Recv".into()).unwrap_err();
+    let text = err.to_string();
+    assert!(text.contains("Recv"), "witness must name the mover: {text}");
+}

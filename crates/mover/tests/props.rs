@@ -1,0 +1,126 @@
+//! Property-based tests for the mover engine: algebraically commutative
+//! actions must classify as both-movers, non-commutative ones must not, and
+//! classification is stable across equivalent universes.
+
+
+use proptest::prelude::*;
+
+use inseq_kernel::{
+    ActionOutcome, GlobalSchema, GlobalStore, Multiset, NativeAction, PendingAsync, Program,
+    StateUniverse, Transition, Value,
+};
+use inseq_mover::{classify_actions, infer_mover_type, MoverType};
+
+/// Builds a program whose Main spawns one `A` task and one `B` task, where
+/// `A` is `x := x + a` and `B` is `x := x (+|*) b`.
+fn two_task_program(a: i64, b: i64, b_multiplies: bool) -> (Program, inseq_kernel::Config) {
+    let mut builder = Program::builder(GlobalSchema::new(["x"]));
+    builder.action(
+        "Main",
+        NativeAction::new("Main", 0, |g: &GlobalStore, _: &[Value]| {
+            let mut created = Multiset::new();
+            created.insert(PendingAsync::new("A", vec![]));
+            created.insert(PendingAsync::new("B", vec![]));
+            ActionOutcome::Transitions(vec![Transition::new(g.clone(), created)])
+        }),
+    );
+    builder.action(
+        "A",
+        NativeAction::new("A", 0, move |g: &GlobalStore, _: &[Value]| {
+            ActionOutcome::Transitions(vec![Transition::pure(
+                g.with(0, Value::Int(g.get(0).as_int() + a)),
+            )])
+        }),
+    );
+    builder.action(
+        "B",
+        NativeAction::new("B", 0, move |g: &GlobalStore, _: &[Value]| {
+            let x = g.get(0).as_int();
+            let next = if b_multiplies { x * b } else { x + b };
+            ActionOutcome::Transitions(vec![Transition::pure(g.with(0, Value::Int(next)))])
+        }),
+    );
+    let p = builder.build().unwrap();
+    let init = p
+        .initial_config_with(GlobalStore::new(vec![Value::Int(1)]), vec![])
+        .unwrap();
+    (p, init)
+}
+
+fn universe_of(p: &Program, init: inseq_kernel::Config) -> StateUniverse {
+    let exp = inseq_kernel::Explorer::new(p).explore([init]).unwrap();
+    StateUniverse::from_exploration(&exp)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn additions_commute_so_both_tasks_are_both_movers(a in -4i64..5, b in -4i64..5) {
+        let (p, init) = two_task_program(a, b, false);
+        let u = universe_of(&p, init);
+        prop_assert_eq!(infer_mover_type(&p, &u, &"A".into()), MoverType::Both);
+        prop_assert_eq!(infer_mover_type(&p, &u, &"B".into()), MoverType::Both);
+    }
+
+    #[test]
+    fn add_and_multiply_do_not_commute(a in 1i64..5, b in 2i64..5) {
+        // (x + a) * b ≠ x * b + a whenever a ≠ 0 and b ≠ 1.
+        let (p, init) = two_task_program(a, b, true);
+        let u = universe_of(&p, init);
+        let ta = infer_mover_type(&p, &u, &"A".into());
+        let tb = infer_mover_type(&p, &u, &"B".into());
+        prop_assert_eq!(ta, MoverType::None, "add is no mover against multiply");
+        prop_assert_eq!(tb, MoverType::None);
+    }
+
+    #[test]
+    fn multiply_by_one_commutes(a in -4i64..5) {
+        let (p, init) = two_task_program(a, 1, true);
+        let u = universe_of(&p, init);
+        prop_assert_eq!(infer_mover_type(&p, &u, &"A".into()), MoverType::Both);
+    }
+
+    #[test]
+    fn classification_covers_every_action(a in -2i64..3, b in -2i64..3) {
+        let (p, init) = two_task_program(a, b, false);
+        let u = universe_of(&p, init);
+        let table = classify_actions(&p, &u);
+        prop_assert_eq!(table.len(), 3);
+        prop_assert!(table.contains_key(&"Main".into()));
+        // Main is never co-enabled with anything (it is the only initial
+        // PA), so it is vacuously a both-mover.
+        prop_assert_eq!(table[&"Main".into()], MoverType::Both);
+    }
+}
+
+#[test]
+fn blocking_actions_are_not_left_movers() {
+    // A task that blocks forever fails the non-blocking condition if its
+    // gate holds, unless it never becomes enabled… a blocked action has an
+    // empty transition set, so the (4) check flags it.
+    let mut builder = Program::builder(GlobalSchema::default());
+    builder.action(
+        "Main",
+        NativeAction::new("Main", 0, |g: &GlobalStore, _: &[Value]| {
+            ActionOutcome::Transitions(vec![Transition::new(
+                g.clone(),
+                Multiset::singleton(PendingAsync::new("Stuck", vec![])),
+            )])
+        }),
+    );
+    builder.action(
+        "Stuck",
+        NativeAction::new("Stuck", 0, |_: &GlobalStore, _: &[Value]| {
+            ActionOutcome::blocked()
+        }),
+    );
+    let p = builder.build().unwrap();
+    let init = p.initial_config(vec![]).unwrap();
+    let u = universe_of(&p, init);
+    let verdict = inseq_mover::check_left_mover(&p, &u, &"Stuck".into());
+    assert!(matches!(
+        verdict,
+        Err(inseq_mover::MoverViolation::Blocking { .. })
+    ));
+}

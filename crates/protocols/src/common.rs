@@ -1,0 +1,213 @@
+//! Shared infrastructure for the case studies: verification reports (the
+//! rows of Table 1), ghost pending-async bookkeeping, and spec checking.
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use inseq_core::{IsReport, IsViolation};
+use inseq_kernel::{Config, Explorer, GlobalStore, Program};
+use inseq_lang::build::*;
+use inseq_lang::{action_loc, DslAction, Expr};
+
+/// One row of our Table 1 reproduction: the protocol name, the number of IS
+/// applications, the LOC split (total / IS artifacts / implementation), and
+/// the wall-clock verification time.
+#[derive(Debug, Clone)]
+pub struct CaseReport {
+    /// Protocol name as in the paper's Table 1.
+    pub name: String,
+    /// Instance size the artifacts were checked on.
+    pub instance: String,
+    /// Number of IS applications (`#IS`).
+    pub is_applications: usize,
+    /// Pretty-printed LOC of every artifact (`#LOC Total`).
+    pub loc_total: usize,
+    /// LOC of IS proof artifacts: invariants, abstractions, replacements
+    /// (`#LOC IS`).
+    pub loc_is: usize,
+    /// LOC of the implementation `P1` and the atomic program `P2`
+    /// (`#LOC Impl`).
+    pub loc_impl: usize,
+    /// Per-application statistics.
+    pub reports: Vec<IsReport>,
+    /// Wall-clock time of the full verification pipeline.
+    pub time: Duration,
+}
+
+impl fmt::Display for CaseReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<22} {:>4} {:>6} {:>6} {:>6} {:>9.3}s   [{}]",
+            self.name,
+            self.is_applications,
+            self.loc_total,
+            self.loc_is,
+            self.loc_impl,
+            self.time.as_secs_f64(),
+            self.instance,
+        )
+    }
+}
+
+/// Accumulates the LOC metric across artifact groups while a case assembles
+/// its report.
+#[derive(Debug, Default)]
+pub struct LocCounter {
+    /// LOC of implementation actions (`P1` + `P2`).
+    pub impl_loc: usize,
+    /// LOC of IS artifacts.
+    pub is_loc: usize,
+}
+
+impl LocCounter {
+    /// Creates a zeroed counter.
+    #[must_use]
+    pub fn new() -> Self {
+        LocCounter::default()
+    }
+
+    /// Counts implementation actions.
+    pub fn impl_actions<'a>(&mut self, actions: impl IntoIterator<Item = &'a Arc<DslAction>>) {
+        self.impl_loc += actions.into_iter().map(|a| action_loc(a)).sum::<usize>();
+    }
+
+    /// Counts IS artifacts (invariant actions, abstractions, replacements).
+    pub fn is_actions<'a>(&mut self, actions: impl IntoIterator<Item = &'a Arc<DslAction>>) {
+        self.is_loc += actions.into_iter().map(|a| action_loc(a)).sum::<usize>();
+    }
+
+    /// Total LOC.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.impl_loc + self.is_loc
+    }
+}
+
+/// Runs `body`, measuring its wall-clock duration.
+pub fn timed<T>(body: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = body();
+    (out, start.elapsed())
+}
+
+/// Checks a functional specification on every terminating store of `program`
+/// from `init`, and that the program is failure- and deadlock-free.
+///
+/// # Errors
+///
+/// Returns a description of the first violating terminal store, a failure,
+/// a deadlocked configuration, or the absence of any terminating execution.
+pub fn check_spec(
+    program: &Program,
+    init: Config,
+    budget: usize,
+    spec: impl Fn(&GlobalStore) -> bool,
+) -> Result<usize, String> {
+    let exp = Explorer::new(program)
+        .with_budget(budget)
+        .explore([init])
+        .map_err(|e| e.to_string())?;
+    if exp.has_failure() {
+        return Err(exp.failure_reports().join("; "));
+    }
+    if let Some(d) = exp.deadlocked_configs().next() {
+        return Err(format!("deadlock at {d}"));
+    }
+    let mut count = 0;
+    for t in exp.terminal_stores() {
+        if !spec(t) {
+            return Err(format!("spec violated at terminal store {t}"));
+        }
+        count += 1;
+    }
+    if count == 0 {
+        return Err("no terminating execution (protocol deadlocks)".into());
+    }
+    Ok(count)
+}
+
+/// Wraps an [`IsViolation`] (or any pipeline error) with the case name.
+#[derive(Debug)]
+pub struct CaseError {
+    /// The case that failed.
+    pub case: String,
+    /// What failed.
+    pub message: String,
+}
+
+impl fmt::Display for CaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "case `{}` failed: {}", self.case, self.message)
+    }
+}
+
+impl std::error::Error for CaseError {}
+
+impl CaseError {
+    /// Creates a case error.
+    #[must_use]
+    pub fn new(case: &str, message: impl fmt::Display) -> Self {
+        CaseError {
+            case: case.to_owned(),
+            message: message.to_string(),
+        }
+    }
+}
+
+impl From<(&str, IsViolation)> for CaseError {
+    fn from((case, v): (&str, IsViolation)) -> Self {
+        CaseError::new(case, v)
+    }
+}
+
+/// Ghost pending-async bookkeeping.
+///
+/// Gates of gated atomic actions range over the store only, so — exactly as
+/// the paper's Paxos proof does with its `pendingAsyncs` variable
+/// (Fig. 4(b)) — protocols that need `Ω` in a gate maintain a ghost bag of
+/// encoded pending asyncs: `Main` fills it, every task removes itself on
+/// execution, and abstraction gates assert over it.
+pub mod ghost {
+    use super::*;
+    use inseq_lang::Sort;
+
+    /// The conventional name of the ghost variable.
+    pub const VAR: &str = "pendingAsyncs";
+
+    /// The sort of the ghost bag: pairs `(action tag, argument)`.
+    #[must_use]
+    pub fn sort() -> Sort {
+        Sort::bag(Sort::Tuple(vec![Sort::Int, Sort::Int]))
+    }
+
+    /// The encoded PA `(tag, arg)`.
+    #[must_use]
+    pub fn encode(tag: i64, arg: Expr) -> Expr {
+        tuple(vec![int(tag), arg])
+    }
+
+    /// Statement: add the encoded PA to the ghost bag.
+    #[must_use]
+    pub fn add_stmt(tag: i64, arg: Expr) -> inseq_lang::Stmt {
+        assign(VAR, with_elem(var(VAR), encode(tag, arg)))
+    }
+
+    /// Statement: remove the encoded PA from the ghost bag (each task's
+    /// first statement, consuming its own entry).
+    #[must_use]
+    pub fn consume_stmt(tag: i64, arg: Expr) -> inseq_lang::Stmt {
+        assign(VAR, without_elem(var(VAR), encode(tag, arg)))
+    }
+
+    /// Expression: no PA with tag `tag` (any argument in `1..=n`) remains.
+    #[must_use]
+    pub fn none_pending(tag: i64, n: Expr) -> Expr {
+        forall(
+            "gj",
+            range(int(1), n),
+            not(contains(var(VAR), encode(tag, var("gj")))),
+        )
+    }
+}

@@ -1,0 +1,89 @@
+//! Property-based tests for the configuration logic: the simplifier
+//! preserves semantics on randomly generated formulas and configurations.
+
+use proptest::prelude::*;
+
+use inseq_kernel::{Config, GlobalSchema, GlobalStore, Multiset, PendingAsync, Value};
+use inseq_vc::{simplify, Formula, Term};
+
+fn schema() -> GlobalSchema {
+    GlobalSchema::new(["x", "y"])
+}
+
+fn config(x: i64, y: i64, pending_a: usize) -> Config {
+    let mut pending = Multiset::new();
+    for _ in 0..pending_a {
+        pending.insert(PendingAsync::new("A", vec![]));
+    }
+    Config::new(
+        GlobalStore::new(vec![Value::Int(x), Value::Int(y)]),
+        pending,
+    )
+}
+
+/// A strategy for ground terms over the two globals and small constants.
+fn term_strategy() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        (-4i64..5).prop_map(Term::int),
+        Just(Term::global("x")),
+        Just(Term::global("y")),
+        Just(Term::pending_total("A")),
+    ]
+}
+
+/// A recursive strategy for formulas.
+fn formula_strategy() -> impl Strategy<Value = Formula> {
+    let leaf = prop_oneof![
+        Just(Formula::True),
+        Just(Formula::False),
+        (term_strategy(), term_strategy()).prop_map(|(a, b)| Formula::eq(a, b)),
+        (term_strategy(), term_strategy()).prop_map(|(a, b)| Formula::le(a, b)),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(Formula::not),
+            proptest::collection::vec(inner.clone(), 0..4).prop_map(Formula::And),
+            proptest::collection::vec(inner.clone(), 0..4).prop_map(Formula::Or),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Formula::implies(a, b)),
+            (inner, -2i64..3, 0i64..4).prop_map(|(body, lo, hi)| Formula::forall(
+                "q",
+                Term::int(lo),
+                Term::int(lo + hi),
+                body
+            )),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn simplify_preserves_semantics(
+        f in formula_strategy(),
+        x in -3i64..4,
+        y in -3i64..4,
+        pending in 0usize..3,
+    ) {
+        let schema = schema();
+        let c = config(x, y, pending);
+        let before = f.eval(&schema, &c).expect("ground formulas evaluate");
+        let after = simplify(f).eval(&schema, &c).expect("simplified formulas evaluate");
+        prop_assert_eq!(before, after);
+    }
+
+    #[test]
+    fn simplify_never_increases_complexity(f in formula_strategy()) {
+        let before = f.complexity();
+        let after = simplify(f).complexity();
+        prop_assert!(after <= before);
+    }
+
+    #[test]
+    fn simplify_is_idempotent(f in formula_strategy()) {
+        let once = simplify(f);
+        let twice = simplify(once.clone());
+        prop_assert_eq!(once, twice);
+    }
+}

@@ -1,0 +1,154 @@
+//! Tutorial: applying IS to **your own** protocol with the public API.
+//!
+//! We build a small barrier protocol from scratch: `n` workers each perform
+//! a local update and signal completion over a bag channel; a waiter blocks
+//! for all `n` signals and then publishes the combined result. We then
+//! write the three IS artifacts (invariant action, abstraction,
+//! sequentialization), check the rule, and enjoy sequential reasoning.
+//!
+//! ```text
+//! cargo run --release --example custom_protocol
+//! ```
+
+use std::sync::Arc;
+
+use inductive_sequentialization::core::{IsApplication, Measure};
+use inductive_sequentialization::kernel::{ActionSemantics, Explorer, Value};
+use inductive_sequentialization::lang::build::*;
+use inductive_sequentialization::lang::{program_of, DslAction, GlobalDecls, Sort};
+use inductive_sequentialization::refine::check_program_refinement;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 3i64;
+
+    // 1. Declare the shared state.
+    let mut decls = GlobalDecls::new();
+    decls.declare("n", Sort::Int);
+    decls.declare("work", Sort::map(Sort::Int, Sort::Int)); // per-worker result
+    decls.declare("done", Sort::bag(Sort::Int)); // completion signals
+    decls.declare("published", Sort::opt(Sort::Int)); // the barrier output
+    let g = Arc::new(decls);
+
+    // 2. The atomic actions.
+    // Worker(i): work[i] := i*i; send i to done
+    let worker = DslAction::build("Worker", &g)
+        .param("i", Sort::Int)
+        .body(vec![
+            assign_at("work", var("i"), mul(var("i"), var("i"))),
+            send("done", var("i")),
+        ])
+        .finish()?;
+    // Waiter: receive n signals, publish the sum of all results.
+    let waiter = DslAction::build("Waiter", &g)
+        .local("j", Sort::Int)
+        .local("s", Sort::Int)
+        .local("acc", Sort::Int)
+        .body(vec![
+            for_range("j", int(1), var("n"), vec![recv("s", "done")]),
+            assign("acc", int(0)),
+            for_range(
+                "j",
+                int(1),
+                var("n"),
+                vec![assign("acc", add(var("acc"), get(var("work"), var("j"))))],
+            ),
+            assign("published", some(var("acc"))),
+        ])
+        .finish()?;
+    let main = DslAction::build("Main", &g)
+        .local("i", Sort::Int)
+        .body(vec![
+            for_range("i", int(1), var("n"), vec![async_call(&worker, vec![var("i")])]),
+            async_call(&waiter, vec![]),
+        ])
+        .finish()?;
+    let program = program_of(&g, [worker.clone(), waiter.clone(), main], "Main")?;
+
+    let mut store = g.initial_store();
+    store.set(g.index_of("n").unwrap(), Value::Int(n));
+    let init = program.initial_config_with(store, vec![])?;
+
+    // 3. The IS artifacts: sequential schedule = workers in order, then the
+    //    waiter.
+    // Invariant action: k workers already ran, and (once k = n) the waiter
+    // may have run too — the invariant must cover *every* prefix of the
+    // schedule, including the completed one (forgetting the final stage is
+    // rejected by the (I3) check with a targeted error).
+    let invariant = DslAction::build("Inv", &g)
+        .local("k", Sort::Int)
+        .local("w", Sort::Int)
+        .local("i", Sort::Int)
+        .body(vec![
+            choose("k", range(int(0), var("n"))),
+            choose("w", range(int(0), int(1))),
+            assume(or(eq(var("w"), int(0)), eq(var("k"), var("n")))),
+            for_range("i", int(1), var("k"), vec![call(&worker, vec![var("i")])]),
+            for_range(
+                "i",
+                add(var("k"), int(1)),
+                var("n"),
+                vec![async_call(&worker, vec![var("i")])],
+            ),
+            if_else(
+                eq(var("w"), int(1)),
+                vec![call(&waiter, vec![])],
+                vec![async_call(&waiter, vec![])],
+            ),
+        ])
+        .finish()?;
+    // The waiter blocks until all signals arrive, so it is not a left mover
+    // as-is; its abstraction asserts the sequential context.
+    let waiter_abs = DslAction::build("WaiterAbs", &g)
+        .body(vec![
+            assert_msg(
+                ge(size(var("done")), var("n")),
+                "WaiterAbs: not all workers signalled",
+            ),
+            call(&waiter, vec![]),
+        ])
+        .finish()?;
+    // The completed sequentialization.
+    let main_seq = DslAction::build("MainSeq", &g)
+        .local("i", Sort::Int)
+        .body(vec![
+            for_range("i", int(1), var("n"), vec![call(&worker, vec![var("i")])]),
+            call(&waiter, vec![]),
+        ])
+        .finish()?;
+
+    // 4. Assemble and check the rule.
+    let application = IsApplication::new(program.clone(), "Main")
+        .eliminate("Worker")
+        .eliminate("Waiter")
+        .invariant(invariant as Arc<dyn ActionSemantics>)
+        .replacement(main_seq as Arc<dyn ActionSemantics>)
+        .abstraction("Waiter", waiter_abs as Arc<dyn ActionSemantics>)
+        .choice(|t| {
+            // Eliminate the smallest-index worker first, the waiter last.
+            t.created
+                .distinct()
+                .min_by_key(|pa| match pa.action.as_str() {
+                    "Worker" => pa.args[0].as_int(),
+                    _ => i64::MAX,
+                })
+                .cloned()
+        })
+        .measure(Measure::pending_async_count())
+        .instance(init.clone());
+
+    let (p_prime, report) = application.check_and_apply()?;
+    println!("IS premises hold: {report}");
+
+    // 5. The guarantee, and sequential reasoning about the result.
+    check_program_refinement(&program, &p_prime, [init.clone()], 1_000_000)?;
+    println!("refinement P ≼ P' re-checked on the instance");
+
+    let exp = Explorer::new(&p_prime).explore([init])?;
+    let expected: i64 = (1..=n).map(|i| i * i).sum();
+    let pub_idx = g.index_of("published").unwrap();
+    for s in exp.terminal_stores() {
+        assert_eq!(s.get(pub_idx), &Value::some(Value::Int(expected)));
+    }
+    println!("barrier publishes Σ i² = {expected} in every execution ✓");
+    Ok(())
+}

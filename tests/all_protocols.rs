@@ -1,0 +1,71 @@
+//! Smoke test: the complete Table 1 pipeline on small instances of every
+//! protocol, plus cross-instance robustness checks.
+
+use inductive_sequentialization::protocols::{
+    broadcast, chang_roberts, n_buyer, paxos, ping_pong, producer_consumer, two_phase_commit,
+};
+
+#[test]
+fn all_seven_rows_verify_on_small_instances() {
+    let rows = vec![
+        broadcast::verify(&broadcast::Instance::new(&[3, 1])).unwrap(),
+        ping_pong::verify(ping_pong::Instance::new(2)).unwrap(),
+        producer_consumer::verify(producer_consumer::Instance::new(2)).unwrap(),
+        n_buyer::verify(&n_buyer::Instance::new(10, &[6, 6])).unwrap(),
+        chang_roberts::verify(&chang_roberts::Instance::new(&[20, 10])).unwrap(),
+        two_phase_commit::verify(&two_phase_commit::Instance::new(&[true, false])).unwrap(),
+        paxos::verify(paxos::Instance::new(1, 2)).unwrap(),
+    ];
+    assert_eq!(rows.len(), 7);
+    for row in &rows {
+        assert!(row.is_applications >= 1);
+        assert!(row.loc_total == row.loc_is + row.loc_impl);
+        assert!(row.loc_is > 0, "{}: IS artifacts have size", row.name);
+    }
+    // The #IS column matches the paper: 2, 1, 1, 4, 2, 4, 1.
+    let expected_is = [2, 1, 1, 4, 2, 4, 1];
+    for (row, want) in rows.iter().zip(expected_is) {
+        assert_eq!(row.is_applications, want, "{}", row.name);
+    }
+}
+
+#[test]
+fn paxos_two_rounds_three_votes_on_contention() {
+    // Rounds actively compete: IS and agreement must survive contention.
+    let instance = paxos::Instance::new(2, 2);
+    let artifacts = paxos::build();
+    let report = paxos::application(&artifacts, instance).check().unwrap();
+    assert!(report.induction_steps >= 10, "rounds × phases induction steps");
+}
+
+#[test]
+fn n_buyer_boundary_budgets() {
+    // Exactly affordable, overshooting, and unaffordable.
+    for budgets in [&[5, 5][..], &[10, 10][..], &[4, 5][..]] {
+        let instance = n_buyer::Instance::new(10, budgets);
+        n_buyer::verify(&instance)
+            .unwrap_or_else(|e| panic!("budgets {budgets:?}: {e}"));
+    }
+}
+
+#[test]
+fn two_phase_commit_all_vote_patterns_n2() {
+    for votes in [
+        &[true, true][..],
+        &[true, false][..],
+        &[false, true][..],
+        &[false, false][..],
+    ] {
+        let instance = two_phase_commit::Instance::new(votes);
+        two_phase_commit::verify(&instance)
+            .unwrap_or_else(|e| panic!("votes {votes:?}: {e}"));
+    }
+}
+
+#[test]
+fn chang_roberts_every_winner_position_n3() {
+    for ids in [&[30, 10, 20][..], &[10, 30, 20][..], &[10, 20, 30][..]] {
+        let instance = chang_roberts::Instance::new(ids);
+        chang_roberts::verify(&instance).unwrap_or_else(|e| panic!("ids {ids:?}: {e}"));
+    }
+}

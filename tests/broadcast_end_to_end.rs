@@ -1,0 +1,108 @@
+//! End-to-end reproduction of Fig. 1: from the fine-grained broadcast
+//! consensus implementation to its sequential reduction.
+
+use inductive_sequentialization::kernel::{Explorer, StateUniverse};
+use inductive_sequentialization::mover::{check_left_mover, infer_mover_type, MoverType};
+use inductive_sequentialization::protocols::broadcast;
+use inductive_sequentialization::refine::check_program_refinement;
+
+#[test]
+fn fig1_pipeline_end_to_end() {
+    let instance = broadcast::Instance::new(&[3, 1]);
+    let artifacts = broadcast::build();
+
+    // ① → ②: the fine-grained program refines the atomic-action program.
+    let init1 = broadcast::init_config(&artifacts.p1, &artifacts, &instance);
+    let init2 = broadcast::init_config(&artifacts.p2, &artifacts, &instance);
+    check_program_refinement(&artifacts.p1, &artifacts.p2, [init1], 2_000_000)
+        .expect("P1 ≼ P2");
+
+    // ② → ③ via the one-shot IS application (Example 4.1).
+    let application = broadcast::oneshot_application(&artifacts, &instance);
+    let (p_prime, report) = application.check_and_apply().expect("IS premises hold");
+    assert_eq!(report.eliminated_actions, 2);
+
+    // The formal guarantee re-checked semantically.
+    check_program_refinement(&artifacts.p2, &p_prime, [init2.clone()], 2_000_000)
+        .expect("P2 ≼ P2[Main ↦ Main']");
+
+    // Property (1) on the sequentialization.
+    let spec = broadcast::spec(&artifacts, &instance);
+    let exp = Explorer::new(&p_prime).explore([init2]).unwrap();
+    assert!(!exp.has_failure());
+    let mut terminals = 0;
+    for s in exp.terminal_stores() {
+        assert!(spec(s), "consensus violated at {s}");
+        terminals += 1;
+    }
+    assert!(terminals >= 1);
+}
+
+#[test]
+fn broadcast_is_a_left_mover_but_collect_is_not() {
+    // §2.1: "receive is a right mover and send is a left mover"; Broadcast
+    // (all sends) moves left unconditionally, Collect (all receives) does
+    // not — that is why CollectAbs exists.
+    let instance = broadcast::Instance::new(&[3, 1]);
+    let artifacts = broadcast::build();
+    let init = broadcast::init_config(&artifacts.p2, &artifacts, &instance);
+    let exp = Explorer::new(&artifacts.p2).explore([init]).unwrap();
+    let universe = StateUniverse::from_exploration(&exp);
+
+    check_left_mover(&artifacts.p2, &universe, &"Broadcast".into())
+        .expect("Broadcast is a left mover");
+    assert!(
+        check_left_mover(&artifacts.p2, &universe, &"Collect".into()).is_err(),
+        "Collect must not be a left mover without abstraction"
+    );
+    assert_eq!(
+        infer_mover_type(&artifacts.p2, &universe, &"Broadcast".into()),
+        MoverType::Left
+    );
+}
+
+#[test]
+fn iterated_proof_matches_oneshot_result() {
+    // §5.3: both proof styles produce the same sequential reduction.
+    let instance = broadcast::Instance::new(&[2, 5]);
+    let artifacts = broadcast::build();
+    let init = broadcast::init_config(&artifacts.p2, &artifacts, &instance);
+
+    let oneshot = broadcast::oneshot_application(&artifacts, &instance)
+        .check_and_apply()
+        .expect("one-shot IS holds")
+        .0;
+    let iterated = broadcast::iterated_chain(&artifacts, &instance)
+        .run()
+        .expect("iterated IS holds")
+        .program;
+
+    let term_a: std::collections::BTreeSet<_> = Explorer::new(&oneshot)
+        .explore([init.clone()])
+        .unwrap()
+        .terminal_stores()
+        .cloned()
+        .collect();
+    let term_b: std::collections::BTreeSet<_> = Explorer::new(&iterated)
+        .explore([init])
+        .unwrap()
+        .terminal_stores()
+        .cloned()
+        .collect();
+    assert_eq!(term_a, term_b);
+}
+
+#[test]
+fn duplicate_input_values_are_handled() {
+    // The protocol (unlike the flat-invariant encoding) is insensitive to
+    // repeated values.
+    let instance = broadcast::Instance::new(&[4, 4]);
+    let artifacts = broadcast::build();
+    let init = broadcast::init_config(&artifacts.p2, &artifacts, &instance);
+    let spec = broadcast::spec(&artifacts, &instance);
+    let exp = Explorer::new(&artifacts.p2).explore([init]).unwrap();
+    assert!(exp.terminal_stores().all(spec));
+    broadcast::oneshot_application(&artifacts, &instance)
+        .check()
+        .expect("IS holds with duplicate values");
+}

@@ -1,0 +1,202 @@
+//! Negative tests: every IS premise must reject bad proof artifacts with a
+//! *targeted* error (the fine-grained error reporting of §5.1), and the
+//! §4 cooperation counterexample must be rejected exactly by (CO).
+
+use std::sync::Arc;
+
+use inductive_sequentialization::core::{IsApplication, IsViolation, Measure};
+use inductive_sequentialization::kernel::demo::cooperation_counterexample;
+use inductive_sequentialization::kernel::{
+    ActionOutcome, ActionSemantics, GlobalStore, NativeAction, Value,
+};
+use inductive_sequentialization::lang::build::*;
+use inductive_sequentialization::lang::{DslAction, Sort};
+use inductive_sequentialization::protocols::broadcast;
+
+#[test]
+fn cooperation_counterexample_rejected_by_co_only() {
+    let p = cooperation_counterexample();
+    let init = p.initial_config(vec![]).unwrap();
+    let invariant = p.action(&"Main".into()).unwrap().clone();
+    let m_prime: Arc<dyn ActionSemantics> = Arc::new(NativeAction::new(
+        "MainSeq",
+        0,
+        |_: &GlobalStore, _: &[Value]| ActionOutcome::Transitions(vec![]),
+    ));
+    let err = IsApplication::new(p, "Main")
+        .eliminate("Rec")
+        .invariant(invariant)
+        .replacement(m_prime)
+        .choice(|t| t.created.distinct().find(|pa| pa.action.as_str() == "Rec").cloned())
+        .measure(Measure::pending_async_count())
+        .instance(init)
+        .budget(10_000)
+        .check()
+        .unwrap_err();
+    assert!(matches!(err, IsViolation::CooperationViolated { .. }), "{err}");
+}
+
+#[test]
+fn wrong_abstraction_gate_is_caught_in_sequential_context() {
+    // Strengthen CollectAbs's gate beyond what the sequentialization
+    // guarantees: demand n+1 messages. (I3) must reject when discharging
+    // the gate after the invariant transition.
+    let instance = broadcast::Instance::new(&[3, 1]);
+    let artifacts = broadcast::build();
+    let g = artifacts.decls.clone();
+    let too_strong = DslAction::build("CollectAbsTooStrong", &g)
+        .param("i", Sort::Int)
+        .body(vec![
+            assert_msg(
+                ge(size(get(var("CH"), var("i"))), add(var("n"), int(1))),
+                "impossible gate",
+            ),
+            call(&artifacts.collect, vec![var("i")]),
+        ])
+        .finish()
+        .unwrap();
+    let err = broadcast::oneshot_application(&artifacts, &instance)
+        .abstraction("Collect", too_strong as Arc<dyn ActionSemantics>)
+        .check()
+        .unwrap_err();
+    assert!(
+        matches!(err, IsViolation::AbstractionGateNotDischarged { .. }),
+        "{err}"
+    );
+}
+
+#[test]
+fn unsound_abstraction_is_caught_by_refinement_premise() {
+    // An "abstraction" that does something different from Collect violates
+    // the A ≼ α(A) premise.
+    let instance = broadcast::Instance::new(&[3, 1]);
+    let artifacts = broadcast::build();
+    let g = artifacts.decls.clone();
+    let bogus = DslAction::build("CollectBogus", &g)
+        .param("i", Sort::Int)
+        .body(vec![assign_at("decision", var("i"), some(int(999)))])
+        .finish()
+        .unwrap();
+    let err = broadcast::oneshot_application(&artifacts, &instance)
+        .abstraction("Collect", bogus as Arc<dyn ActionSemantics>)
+        .check()
+        .unwrap_err();
+    assert!(matches!(err, IsViolation::AbstractionNotSound { .. }), "{err}");
+}
+
+#[test]
+fn wrong_choice_order_fails_the_gate_discharge() {
+    // Eliminating Collects before Broadcasts contradicts the schedule the
+    // invariant encodes: the CollectAbs gate cannot be discharged.
+    let instance = broadcast::Instance::new(&[3, 1]);
+    let artifacts = broadcast::build();
+    let err = broadcast::oneshot_application(&artifacts, &instance)
+        .choice(|t| {
+            // Backwards: prefer Collect over Broadcast.
+            let collect = t
+                .created
+                .distinct()
+                .filter(|pa| pa.action.as_str() == "Collect")
+                .min_by_key(|pa| pa.args[0].as_int())
+                .cloned();
+            collect.or_else(|| {
+                t.created
+                    .distinct()
+                    .filter(|pa| pa.action.as_str() == "Broadcast")
+                    .min_by_key(|pa| pa.args[0].as_int())
+                    .cloned()
+            })
+        })
+        .check()
+        .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            IsViolation::AbstractionGateNotDischarged { .. } | IsViolation::NotInductive { .. }
+        ),
+        "{err}"
+    );
+}
+
+#[test]
+fn eliminating_the_target_is_structural_nonsense() {
+    let instance = broadcast::Instance::new(&[3, 1]);
+    let artifacts = broadcast::build();
+    let err = broadcast::oneshot_application(&artifacts, &instance)
+        .eliminate("Main")
+        .check()
+        .unwrap_err();
+    assert!(matches!(err, IsViolation::Structural { .. }), "{err}");
+}
+
+#[test]
+fn abstraction_for_non_eliminated_action_is_rejected() {
+    let instance = broadcast::Instance::new(&[3, 1]);
+    let artifacts = broadcast::build();
+    let g = artifacts.decls.clone();
+    let noop = DslAction::build("Noop", &g).body(vec![skip()]).finish().unwrap();
+    let err = broadcast::oneshot_application(&artifacts, &instance)
+        .abstraction("Main", noop as Arc<dyn ActionSemantics>)
+        .check()
+        .unwrap_err();
+    assert!(matches!(err, IsViolation::Structural { .. }), "{err}");
+}
+
+#[test]
+fn non_decreasing_measure_is_rejected() {
+    // A constant measure cannot witness cooperation.
+    let instance = broadcast::Instance::new(&[3, 1]);
+    let artifacts = broadcast::build();
+    let err = broadcast::oneshot_application(&artifacts, &instance)
+        .measure(Measure::lexicographic("constant", |_, _| vec![0]))
+        .check()
+        .unwrap_err();
+    assert!(matches!(err, IsViolation::CooperationViolated { .. }), "{err}");
+}
+
+#[test]
+fn one_line_lie_in_the_replacement_is_caught() {
+    // Main' that decides the minimum instead of the maximum.
+    let instance = broadcast::Instance::new(&[3, 1]);
+    let artifacts = broadcast::build();
+    let g = artifacts.decls.clone();
+    let wrong = {
+        let mut decls_ok = DslAction::build("MainSeqWrong", &g)
+            .local("i", Sort::Int)
+            .local("gi", Sort::Int);
+        let _ = &mut decls_ok;
+        decls_ok
+            .body(vec![
+                for_range(
+                    "gi",
+                    int(1),
+                    var("n"),
+                    vec![
+                        assign(
+                            "pendingAsyncs",
+                            with_elem(var("pendingAsyncs"), tuple(vec![int(1), var("gi")])),
+                        ),
+                        assign(
+                            "pendingAsyncs",
+                            with_elem(var("pendingAsyncs"), tuple(vec![int(2), var("gi")])),
+                        ),
+                    ],
+                ),
+                for_range("i", int(1), var("n"), vec![call(&artifacts.broadcast, vec![var("i")])]),
+                for_range("i", int(1), var("n"), vec![call(&artifacts.collect, vec![var("i")])]),
+                // The lie: overwrite node 1's decision with the minimum.
+                assign_at(
+                    "decision",
+                    int(1),
+                    some(min_of(image("x", range(int(1), var("n")), get(var("value"), var("x"))))),
+                ),
+            ])
+            .finish()
+            .unwrap()
+    };
+    let err = broadcast::oneshot_application(&artifacts, &instance)
+        .replacement(wrong as Arc<dyn ActionSemantics>)
+        .check()
+        .unwrap_err();
+    assert!(matches!(err, IsViolation::ReplacementMissesTransition { .. }), "{err}");
+}

@@ -1,0 +1,75 @@
+//! Constructive soundness evidence (Fig. 2 / Theorem 4.4): for every
+//! protocol, every terminating behaviour of the concurrent program has a
+//! witnessing execution in the sequentialized program with the same final
+//! store.
+
+use inductive_sequentialization::core::rewrite::find_witness_executions;
+use inductive_sequentialization::protocols::{
+    broadcast, chang_roberts, ping_pong, producer_consumer, two_phase_commit,
+};
+
+#[test]
+fn broadcast_witnesses() {
+    let instance = broadcast::Instance::new(&[3, 1]);
+    let artifacts = broadcast::build();
+    let outcome = broadcast::iterated_chain(&artifacts, &instance).run().unwrap();
+    let init = broadcast::init_config(&artifacts.p2, &artifacts, &instance);
+    let ws = find_witness_executions(&artifacts.p2, &outcome.program, init, 2_000_000).unwrap();
+    assert_eq!(ws.len(), 1, "consensus has a unique final store");
+    for w in &ws {
+        assert!(w.witness.last().unwrap().is_terminal());
+        assert_eq!(w.witness.last().unwrap().globals, w.terminal);
+        // Steps chain properly.
+        for pair in w.witness.steps.windows(2) {
+            assert_eq!(pair[0].after, pair[1].before);
+        }
+    }
+}
+
+#[test]
+fn ping_pong_witnesses() {
+    let instance = ping_pong::Instance::new(3);
+    let artifacts = ping_pong::build();
+    let (p_prime, _) = ping_pong::application(&artifacts, instance)
+        .check_and_apply()
+        .unwrap();
+    let init = ping_pong::init_config(&artifacts.p2, &artifacts, instance);
+    let ws = find_witness_executions(&artifacts.p2, &p_prime, init, 2_000_000).unwrap();
+    assert!(!ws.is_empty());
+}
+
+#[test]
+fn producer_consumer_witnesses() {
+    let instance = producer_consumer::Instance::new(3);
+    let artifacts = producer_consumer::build();
+    let (p_prime, _) = producer_consumer::application(&artifacts, instance)
+        .check_and_apply()
+        .unwrap();
+    let init = producer_consumer::init_config(&artifacts.p2, &artifacts, instance);
+    find_witness_executions(&artifacts.p2, &p_prime, init, 2_000_000).unwrap();
+}
+
+#[test]
+fn chang_roberts_witnesses() {
+    let instance = chang_roberts::Instance::new(&[20, 10, 30]);
+    let artifacts = chang_roberts::build();
+    let (p_prime, _) = chang_roberts::application(&artifacts, &instance)
+        .check_and_apply()
+        .unwrap();
+    let init = chang_roberts::init_config(&artifacts.p2, &artifacts, &instance);
+    find_witness_executions(&artifacts.p2, &p_prime, init, 2_000_000).unwrap();
+}
+
+#[test]
+fn two_phase_commit_witnesses_both_outcomes() {
+    let artifacts = two_phase_commit::build();
+    for votes in [&[true, true][..], &[false, true][..]] {
+        let instance = two_phase_commit::Instance::new(votes);
+        let (p_prime, _) = two_phase_commit::application(&artifacts, &instance)
+            .check_and_apply()
+            .unwrap();
+        let init = two_phase_commit::init_config(&artifacts.p2, &artifacts, &instance);
+        let ws = find_witness_executions(&artifacts.p2, &p_prime, init, 2_000_000).unwrap();
+        assert!(!ws.is_empty(), "votes {votes:?} must have witnesses");
+    }
+}
