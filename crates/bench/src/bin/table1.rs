@@ -2,8 +2,11 @@
 //! invariant-complexity comparison).
 //!
 //! ```text
-//! cargo run --release -p inseq-bench --bin table1 [-- --compare]
+//! cargo run --release -p inseq-bench --bin table1 [-- --compare] [--jobs N]
 //! ```
+//!
+//! `--jobs N` runs the seven protocol pipelines as independent jobs on an
+//! `inseq-engine` scheduler with `N` threads instead of sequentially.
 
 use std::process::ExitCode;
 
@@ -33,12 +36,52 @@ fn rows_as_json(rows: &[inseq_protocols::common::CaseReport]) -> String {
     out
 }
 
+fn parse_jobs(args: &[String]) -> Result<usize, String> {
+    let mut jobs = 1usize;
+    for (i, arg) in args.iter().enumerate() {
+        let value = if let Some(v) = arg.strip_prefix("--jobs=") {
+            Some(v.to_owned())
+        } else if arg == "--jobs" {
+            Some(
+                args.get(i + 1)
+                    .cloned()
+                    .ok_or("--jobs requires a thread count")?,
+            )
+        } else {
+            None
+        };
+        if let Some(v) = value {
+            jobs = v
+                .parse::<usize>()
+                .ok()
+                .filter(|&n| n >= 1)
+                .ok_or_else(|| format!("invalid --jobs value `{v}` (expected a positive integer)"))?;
+        }
+    }
+    Ok(jobs)
+}
+
 fn main() -> ExitCode {
-    let compare = std::env::args().any(|a| a == "--compare");
-    let json = std::env::args().any(|a| a == "--json");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let compare = args.iter().any(|a| a == "--compare");
+    let json = args.iter().any(|a| a == "--json");
+    let jobs = match parse_jobs(&args) {
+        Ok(jobs) => jobs,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let rows = || {
+        if jobs > 1 {
+            inseq_bench::table1_rows_with(jobs)
+        } else {
+            inseq_bench::table1_rows()
+        }
+    };
 
     if json {
-        match inseq_bench::table1_rows() {
+        match rows() {
             Ok(rows) => {
                 print!("{}", rows_as_json(&rows));
                 return ExitCode::SUCCESS;
@@ -52,7 +95,10 @@ fn main() -> ExitCode {
 
     println!("Reproduction of Table 1 (Kragl et al., PLDI 2020)");
     println!("columns: #IS applications, pretty-printed LOC (total / IS artifacts / impl), time\n");
-    match inseq_bench::table1_rows() {
+    if jobs > 1 {
+        println!("(cases scheduled on {jobs} engine threads)\n");
+    }
+    match rows() {
         Ok(rows) => print!("{}", inseq_bench::render_table1(&rows)),
         Err(e) => {
             eprintln!("Table 1 generation failed: {e}");

@@ -84,6 +84,59 @@ pub fn table1_rows() -> Result<Vec<CaseReport>, CaseError> {
     ])
 }
 
+/// Like [`table1_rows`], but runs the seven protocol pipelines as
+/// independent jobs on an `inseq-engine` scheduler with `jobs` threads
+/// (the `table1 --jobs N` path). Row order matches [`table1_rows`].
+///
+/// # Errors
+///
+/// Returns the failing case with the smallest row index (deterministic even
+/// though cases finish in parallel).
+pub fn table1_rows_with(jobs: usize) -> Result<Vec<CaseReport>, CaseError> {
+    use inseq_engine::{Engine, Job, JobResult};
+    use std::sync::Mutex;
+
+    type CaseRunner = Box<dyn FnOnce() -> Result<CaseReport, CaseError> + Send>;
+    let runners: Vec<(&str, CaseRunner)> = vec![
+        ("Broadcast consensus", Box::new(|| broadcast::verify(&instances::broadcast()))),
+        ("Ping-Pong", Box::new(|| ping_pong::verify(instances::ping_pong()))),
+        ("Producer-Consumer", Box::new(|| producer_consumer::verify(instances::producer_consumer()))),
+        ("N-Buyer", Box::new(|| n_buyer::verify(&instances::n_buyer()))),
+        ("Chang-Roberts", Box::new(|| chang_roberts::verify(&instances::chang_roberts()))),
+        ("Two-phase commit", Box::new(|| two_phase_commit::verify(&instances::two_phase_commit()))),
+        ("Paxos", Box::new(|| paxos::verify(instances::paxos()))),
+    ];
+
+    let slots: Mutex<Vec<Option<Result<CaseReport, CaseError>>>> =
+        Mutex::new(runners.iter().map(|_| None).collect());
+    let engine_jobs: Vec<Job<'_>> = runners
+        .into_iter()
+        .enumerate()
+        .map(|(row, (name, run))| {
+            let slots = &slots;
+            Job::new(name, move || {
+                let outcome = run();
+                let result = match &outcome {
+                    Ok(report) => JobResult::pass()
+                        .with_visited(report.reports.iter().map(|r| r.reachable_configs).sum())
+                        .with_detail(format!("{:.3}s", report.time.as_secs_f64())),
+                    Err(e) => JobResult::fail(e.to_string()),
+                };
+                slots.lock().expect("table1 slot table poisoned")[row] = Some(outcome);
+                result
+            })
+        })
+        .collect();
+
+    Engine::new().with_threads(jobs.max(1)).run(engine_jobs);
+    slots
+        .into_inner()
+        .expect("table1 slot table poisoned")
+        .into_iter()
+        .map(|slot| slot.expect("every case job ran"))
+        .collect()
+}
+
 /// Renders Table 1 rows in the paper's column layout.
 #[must_use]
 pub fn render_table1(rows: &[CaseReport]) -> String {

@@ -6,6 +6,7 @@ use std::error::Error;
 use std::fmt;
 use std::sync::Arc;
 
+use inseq_engine::{Engine, EngineReport, Job, JobResult, ParallelExplorer};
 use inseq_kernel::{
     ActionName, ActionOutcome, ActionSemantics, Config, Explorer, GlobalStore, Multiset,
     PendingAsync, Program, StateUniverse, Transition, Value,
@@ -644,6 +645,357 @@ impl IsApplication {
         Ok((self.apply(), report))
     }
 
+    /// Like [`check`](IsApplication::check), but discharges the premises
+    /// concurrently on an [`Engine`].
+    ///
+    /// The instance exploration runs on a [`ParallelExplorer`] with one
+    /// shard per engine thread; the independent obligations — `A ≼ α(A)`
+    /// per eliminated action, (I1), (I2), (I3), and the per-action (LM) and
+    /// (CO) conditions — then run as a job DAG rooted at the exploration.
+    /// On success the returned [`EngineReport`] carries per-obligation wall
+    /// clock and configuration counts.
+    ///
+    /// The verdict is identical to `check`'s; when *several* premises are
+    /// violated the reported witness may be a different one, since
+    /// obligations finish in parallel rather than in textual order (the
+    /// violation with the smallest job index is returned to keep the result
+    /// deterministic).
+    ///
+    /// # Errors
+    ///
+    /// Returns a violated premise with a concrete witness.
+    pub fn check_with(&self, engine: &Engine) -> Result<(IsReport, EngineReport), IsViolation> {
+        let invariant = self.require(self.invariant.as_ref(), "invariant action `I`")?;
+        let replacement = self.require(self.replacement.as_ref(), "replacement action `M'`")?;
+        let choice = self
+            .choice
+            .as_ref()
+            .ok_or_else(|| IsViolation::Structural {
+                message: "no choice function supplied".into(),
+            })?;
+        self.structural_checks()?;
+
+        let prep_slot: std::sync::OnceLock<CheckPrep> = std::sync::OnceLock::new();
+        let violations: std::sync::Mutex<BTreeMap<usize, IsViolation>> =
+            std::sync::Mutex::new(BTreeMap::new());
+        let record = |idx: usize, outcome: Result<(), IsViolation>| match outcome {
+            Ok(()) => JobResult::pass(),
+            Err(v) => {
+                let message = v.to_string();
+                violations
+                    .lock()
+                    .expect("violation table poisoned")
+                    .insert(idx, v);
+                JobResult::fail(message)
+            }
+        };
+        let prep = || prep_slot.get().expect("obligations run after `explore`");
+
+        let mut jobs: Vec<Job<'_>> = Vec::new();
+        jobs.push(Job::new("explore", || {
+            match self.prepare(engine.threads(), invariant) {
+                Ok(p) => {
+                    let visited = p.report.reachable_configs;
+                    let detail = format!("{} universe stores", p.report.universe_stores);
+                    let _ = prep_slot.set(p);
+                    JobResult::pass().with_visited(visited).with_detail(detail)
+                }
+                Err(v) => record(0, Err(v)),
+            }
+        }));
+
+        let idx = jobs.len();
+        jobs.push(
+            Job::new("(I1) M ≼ I", move || {
+                let p = prep();
+                let target_action = match self.program.action(&self.target) {
+                    Ok(a) => a,
+                    Err(e) => {
+                        return record(idx, Err(IsViolation::Structural { message: e.to_string() }))
+                    }
+                };
+                record(
+                    idx,
+                    check_action_refinement(
+                        target_action,
+                        invariant,
+                        p.target_inputs.iter().map(|(g, a)| (g, a.as_slice())),
+                    )
+                    .map_err(|violation| IsViolation::NotInvariantBase { violation }),
+                )
+            })
+            .after(0),
+        );
+
+        let idx = jobs.len();
+        jobs.push(
+            Job::new("(I2) I∖PA_E ≼ M'", move || {
+                record(idx, self.check_i2(prep(), invariant, replacement))
+            })
+            .after(0),
+        );
+
+        let idx = jobs.len();
+        jobs.push(
+            Job::new("(I3) induction", move || {
+                record(idx, self.check_i3(prep(), choice))
+            })
+            .after(0),
+        );
+
+        for action_name in &self.eliminated {
+            let idx = jobs.len();
+            jobs.push(
+                Job::new(format!("{action_name} ≼ α"), move || {
+                    record(idx, self.check_abstraction_sound(prep(), action_name))
+                })
+                .after(0),
+            );
+            let idx = jobs.len();
+            jobs.push(
+                Job::new(format!("(LM) {action_name}"), move || {
+                    let p = prep();
+                    let outcome = self.alpha(action_name).and_then(|alpha| {
+                        MoverChecker::new(&self.program, &p.universe)
+                            .check_left(&alpha, action_name)
+                            .map_err(|violation| IsViolation::NotLeftMover {
+                                action: action_name.clone(),
+                                violation,
+                            })
+                    });
+                    record(idx, outcome)
+                })
+                .after(0),
+            );
+            let idx = jobs.len();
+            jobs.push(
+                Job::new(format!("(CO) {action_name}"), move || {
+                    record(idx, self.check_cooperation(prep(), action_name))
+                })
+                .after(0),
+            );
+        }
+
+        let engine_report = engine.run(jobs);
+        if let Some((_, violation)) = violations
+            .into_inner()
+            .expect("violation table poisoned")
+            .into_iter()
+            .next()
+        {
+            return Err(violation);
+        }
+        debug_assert!(engine_report.all_passed());
+        let report = prep().report.clone();
+        Ok((report, engine_report))
+    }
+
+    /// Explores the instances (in parallel) and evaluates the invariant at
+    /// every target input: the shared prefix of all Fig. 3 obligations.
+    fn prepare(
+        &self,
+        workers: usize,
+        invariant: &Arc<dyn ActionSemantics>,
+    ) -> Result<CheckPrep, IsViolation> {
+        let mut report = IsReport {
+            eliminated_actions: self.eliminated.len(),
+            ..IsReport::default()
+        };
+        let mut universe = StateUniverse::new();
+        let exploration = ParallelExplorer::new(&self.program)
+            .with_workers(workers)
+            .with_budget(self.budget)
+            .explore(self.instances.iter().cloned())
+            .map_err(|e| IsViolation::Exploration {
+                message: e.to_string(),
+            })?;
+        report.reachable_configs = exploration.config_count();
+        for config in exploration.configs() {
+            universe.absorb_config(config);
+        }
+
+        let target_inputs: Vec<(GlobalStore, Vec<Value>)> = universe
+            .enabled_at(&self.target)
+            .cloned()
+            .collect();
+        report.target_inputs = target_inputs.len();
+
+        let mut inv_transitions: Vec<(GlobalStore, Vec<Value>, BTreeSet<Transition>)> = Vec::new();
+        for (g, args) in &target_inputs {
+            match invariant.eval(g, args) {
+                ActionOutcome::Failure { .. } => {
+                    inv_transitions.push((g.clone(), args.clone(), BTreeSet::new()));
+                }
+                ActionOutcome::Transitions(ts) => {
+                    let set: BTreeSet<Transition> = ts.into_iter().collect();
+                    for t in &set {
+                        universe.absorb_config(&Config::new(t.globals.clone(), t.created.clone()));
+                    }
+                    report.invariant_transitions += set.len();
+                    report.induction_steps += set
+                        .iter()
+                        .filter(|t| !self.pa_e(&t.created).is_empty())
+                        .count();
+                    inv_transitions.push((g.clone(), args.clone(), set));
+                }
+            }
+        }
+        report.universe_stores = universe.store_count();
+        Ok(CheckPrep {
+            universe,
+            target_inputs,
+            inv_transitions,
+            report,
+        })
+    }
+
+    /// Premise `A ≼ α(A)` for one eliminated action.
+    fn check_abstraction_sound(
+        &self,
+        prep: &CheckPrep,
+        action_name: &ActionName,
+    ) -> Result<(), IsViolation> {
+        let concrete = self
+            .program
+            .action(action_name)
+            .map_err(|e| IsViolation::Structural { message: e.to_string() })?;
+        let alpha = self.alpha(action_name)?;
+        let inputs: Vec<(GlobalStore, Vec<Value>)> =
+            prep.universe.enabled_at(action_name).cloned().collect();
+        check_action_refinement(
+            concrete,
+            &alpha,
+            inputs.iter().map(|(g, a)| (g, a.as_slice())),
+        )
+        .map_err(|violation| IsViolation::AbstractionNotSound {
+            action: action_name.clone(),
+            violation,
+        })
+    }
+
+    /// Premise (I2): `I` restricted to PA_E-free transitions refines `M'`.
+    fn check_i2(
+        &self,
+        prep: &CheckPrep,
+        invariant: &Arc<dyn ActionSemantics>,
+        replacement: &Arc<dyn ActionSemantics>,
+    ) -> Result<(), IsViolation> {
+        for (g, args, i_ts) in &prep.inv_transitions {
+            let m_ts = match replacement.eval(g, args) {
+                ActionOutcome::Failure { .. } => continue, // M' fails: vacuous
+                ActionOutcome::Transitions(ts) => ts,
+            };
+            if let ActionOutcome::Failure { reason } = invariant.eval(g, args) {
+                return Err(IsViolation::ReplacementGateTooWeak {
+                    store: g.clone(),
+                    args: args.clone(),
+                    reason,
+                });
+            }
+            for t in i_ts {
+                if self.pa_e(&t.created).is_empty() && !m_ts.contains(t) {
+                    return Err(IsViolation::ReplacementMissesTransition {
+                        store: g.clone(),
+                        args: args.clone(),
+                        target: t.globals.clone(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Premise (I3): absorbing the chosen PA into the invariant is inductive.
+    fn check_i3(&self, prep: &CheckPrep, choice: &ChoiceFn) -> Result<(), IsViolation> {
+        for (g, args, i_ts) in &prep.inv_transitions {
+            for t in i_ts {
+                if self.pa_e(&t.created).is_empty() {
+                    continue;
+                }
+                let view = InvariantTransition {
+                    input_globals: g,
+                    args,
+                    output_globals: &t.globals,
+                    created: &t.created,
+                };
+                let chosen = choice(&view).ok_or_else(|| IsViolation::ChoiceInvalid {
+                    message: format!(
+                        "no PA chosen for a transition to {} creating {}",
+                        t.globals, t.created
+                    ),
+                })?;
+                if !self.eliminated.contains(&chosen.action) || !t.created.contains(&chosen) {
+                    return Err(IsViolation::ChoiceInvalid {
+                        message: format!(
+                            "chosen PA {chosen} is not a created pending async to E in {}",
+                            t.created
+                        ),
+                    });
+                }
+                let alpha = self.alpha(&chosen.action)?;
+                let alpha_ts = match alpha.eval(&t.globals, &chosen.args) {
+                    ActionOutcome::Failure { reason } => {
+                        return Err(IsViolation::AbstractionGateNotDischarged {
+                            action: chosen.action.clone(),
+                            store: t.globals.clone(),
+                            args: chosen.args.clone(),
+                            reason,
+                        });
+                    }
+                    ActionOutcome::Transitions(ts) => ts,
+                };
+                let remaining = t
+                    .created
+                    .without(&chosen)
+                    .expect("chosen PA is in the created multiset");
+                for ta in &alpha_ts {
+                    let composed = Transition::new(
+                        ta.globals.clone(),
+                        remaining.union(&ta.created),
+                    );
+                    if !i_ts.contains(&composed) {
+                        return Err(IsViolation::NotInductive {
+                            action: chosen.action.clone(),
+                            store: g.clone(),
+                            args: args.clone(),
+                            target: ta.globals.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Premise (CO) for one eliminated action.
+    fn check_cooperation(
+        &self,
+        prep: &CheckPrep,
+        action_name: &ActionName,
+    ) -> Result<(), IsViolation> {
+        let alpha = self.alpha(action_name)?;
+        for (g, args) in prep.universe.enabled_at(action_name) {
+            match alpha.eval(g, args) {
+                ActionOutcome::Failure { .. } => {} // outside the gate
+                ActionOutcome::Transitions(ts) => {
+                    let pa = PendingAsync::new(action_name.clone(), args.clone());
+                    let decreases = ts
+                        .iter()
+                        .any(|t| self.measure.decreases(g, &pa, &t.globals, &t.created));
+                    if !decreases {
+                        return Err(IsViolation::CooperationViolated {
+                            action: action_name.clone(),
+                            store: g.clone(),
+                            args: args.clone(),
+                            measure: self.measure.label().to_owned(),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
     fn require<'s, T>(&self, opt: Option<&'s T>, what: &str) -> Result<&'s T, IsViolation> {
         opt.ok_or_else(|| IsViolation::Structural {
             message: format!("no {what} supplied"),
@@ -702,4 +1054,15 @@ impl IsApplication {
             .cloned()
             .collect()
     }
+}
+
+/// The shared prefix of all Fig. 3 obligations: the explored universe, the
+/// target inputs, and the invariant's transitions at each of them. Produced
+/// once by the root `explore` job of [`IsApplication::check_with`] and read
+/// by every dependent obligation job.
+struct CheckPrep {
+    universe: StateUniverse,
+    target_inputs: Vec<(GlobalStore, Vec<Value>)>,
+    inv_transitions: Vec<(GlobalStore, Vec<Value>, BTreeSet<Transition>)>,
+    report: IsReport,
 }

@@ -1,0 +1,1460 @@
+//! Layer 1: sharded parallel breadth-first exploration.
+//!
+//! [`ParallelExplorer`] is a drop-in alternative to
+//! [`inseq_kernel::Explorer`]: it enumerates exactly the same reachable
+//! configuration set and produces the same `Good`/`Trans` summary, but
+//! partitions the visited set across `N` worker threads. Each worker *owns*
+//! one shard — the configurations whose hash maps to it — so deduplication
+//! never needs a lock: a configuration is only ever interned by its owner.
+//! Work moves between shards as batched [`std::sync::mpsc`] messages.
+//!
+//! # Per-worker leanness
+//!
+//! Besides sharding, each worker is substantially cheaper per configuration
+//! than the sequential explorer, which is what makes the engine worthwhile
+//! even on few cores:
+//!
+//! - configuration hashes are **decomposable** ([`ConfigHashes`], Zobrist
+//!   style: commutative XOR over global slots, wrapping sum over pending
+//!   asyncs), so a successor's hashes derive from its parent's in
+//!   `O(|delta|)`; only the seeds are ever hashed in full. The globals-only
+//!   component routes ownership — pure spawns (transitions that leave the
+//!   globals untouched) stay on the discovering shard — while the full
+//!   component indexes the owner's open-addressing intern table;
+//! - duplicate successors are usually rejected **before being built**: the
+//!   discovering worker probes its intern table, its scratch list, and the
+//!   unflushed destination buffer with a parent-plus-delta comparison
+//!   ([`ShardStore::contains_delta`]), so an edge that rediscovers a
+//!   visited configuration — the common case; on two-phase commit `n = 4`,
+//!   1 972 edges rediscover 514 distinct configurations — usually costs a
+//!   hash derivation and a probe instead of a clone, a message, and a
+//!   discard;
+//! - configurations are interned **by move** into a flat `Vec` — no clone
+//!   into a map key, no loop-head clone, no edge list (edges are counted,
+//!   not stored; witness reconstruction stays with the sequential explorer);
+//! - successor pending-multisets are built with a single clone followed by
+//!   in-place mutation instead of `without` + `union` (two full clones);
+//! - all workers share an **adaptive footprint memo** of action evaluations
+//!   ([`SharedMemo`]), so no shard repeats another's interpreter work.
+//!   Actions that expose a [`Footprint`] (every DSL action does) are keyed on
+//!   the *projection* of the global store onto the indices they read or
+//!   write, with outcomes stored as write-deltas; two configurations that
+//!   differ only in globals an action never touches then share one
+//!   evaluation. On two-phase commit this collapses thousands of interpreter
+//!   runs into under a hundred distinct keys. Protocols whose footprints span
+//!   the hot globals (e.g. Paxos, where every action handles the message
+//!   bag) see few hits, and the memo disables itself after a short probation.
+//!
+//! # Termination
+//!
+//! Distributed termination uses a shared in-flight counter: a batch of `k`
+//! configurations increments the counter by `k` *before* the send, and the
+//! receiving worker decrements by `k` only after it has fully processed the
+//! batch — including the local cascade of same-shard successors and the
+//! flush of any cross-shard successors (whose own increments therefore
+//! happen before the decrement). The counter reaching zero consequently
+//! proves that no counted work remains anywhere, and the worker observing
+//! the zero broadcasts `Done` to every shard.
+//!
+//! # Cancellation and budget
+//!
+//! A shared cancellation flag stops all workers early on the first kernel
+//! error, on budget exhaustion, or — when
+//! [`ParallelExplorer::stop_on_first_failure`] is set — on the first gate
+//! violation. The configuration budget is a single shared atomic counter, so
+//! the combined size of all shards is bounded exactly like the sequential
+//! explorer's visited set; exhaustion reports both the limit and the
+//! exhaustion point via [`ExploreError::BudgetExceeded`].
+
+use std::collections::{BTreeSet, HashMap};
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+
+use crate::hash::{fx_hash, mix, FxHasher};
+
+use inseq_kernel::{
+    ActionName, ActionOutcome, Config, ExploreError, Footprint, GlobalStore, Multiset,
+    PendingAsync, Program, Summary, Transition, Value, DEFAULT_CONFIG_BUDGET,
+};
+
+/// Cross-shard successor batches are flushed once they reach this size (and
+/// unconditionally at the end of each counted batch), trading message count
+/// against frontier latency.
+const FLUSH_THRESHOLD: usize = 512;
+
+/// Evaluation-memo probation: after this many lookups a worker keeps the
+/// memo only if at least 1 in [`MEMO_MIN_HIT_SHIFT`] was a hit.
+const MEMO_PROBATION: usize = 256;
+/// Minimum hit rate to keep the memo, expressed as a right shift: hits must
+/// exceed `lookups >> MEMO_MIN_HIT_SHIFT` (i.e. 1/8) after probation.
+const MEMO_MIN_HIT_SHIFT: u32 = 3;
+
+/// A parallel exhaustive explorer for a [`Program`].
+///
+/// Mirrors the sequential [`inseq_kernel::Explorer`] API: construct with
+/// [`ParallelExplorer::new`], optionally configure, then call
+/// [`explore`](ParallelExplorer::explore) or
+/// [`summarize`](ParallelExplorer::summarize).
+#[derive(Debug)]
+pub struct ParallelExplorer<'p> {
+    program: &'p Program,
+    workers: usize,
+    budget: usize,
+    stop_on_failure: bool,
+}
+
+impl<'p> ParallelExplorer<'p> {
+    /// Creates a parallel explorer with one worker per available hardware
+    /// thread and the default configuration budget.
+    #[must_use]
+    pub fn new(program: &'p Program) -> Self {
+        ParallelExplorer {
+            program,
+            workers: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+            budget: DEFAULT_CONFIG_BUDGET,
+            stop_on_failure: false,
+        }
+    }
+
+    /// Sets the number of worker threads (and therefore visited-set shards).
+    /// Clamped to at least one.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Sets the maximum number of distinct configurations to visit across
+    /// all shards before giving up with [`ExploreError::BudgetExceeded`].
+    #[must_use]
+    pub fn with_budget(mut self, budget: usize) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// When enabled, the first gate violation cancels all workers instead of
+    /// letting the exploration run to completion. The verdict (`good =
+    /// false`) is unaffected, but the reachable set in the result is then a
+    /// *subset* of the true one — leave this off (the default) when the full
+    /// set matters, e.g. for equivalence with the sequential explorer.
+    #[must_use]
+    pub fn stop_on_first_failure(mut self, stop: bool) -> Self {
+        self.stop_on_failure = stop;
+        self
+    }
+
+    /// The configured number of workers.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Explores all configurations reachable from the given initial
+    /// configurations, in parallel.
+    ///
+    /// The resulting reachable set, failure verdict, deadlock set, terminal
+    /// stores, and edge count are identical to those of
+    /// [`inseq_kernel::Explorer::explore`] on the same input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExploreError::BudgetExceeded`] when the combined shards
+    /// exceed the budget and [`ExploreError::Kernel`] when a pending async
+    /// refers to an unknown action or has the wrong arity.
+    pub fn explore(
+        &self,
+        initial: impl IntoIterator<Item = Config>,
+    ) -> Result<ParallelExploration, ExploreError> {
+        let n = self.workers;
+        let mut seed_batches: Vec<Vec<(ConfigHashes, Config)>> = vec![Vec::new(); n];
+        for config in initial {
+            let hashes = ConfigHashes::of(&config);
+            seed_batches[owner_of(hashes.route, n)].push((hashes, config));
+        }
+        let seed_count: usize = seed_batches.iter().map(Vec::len).sum();
+        if seed_count == 0 {
+            return Ok(ParallelExploration::empty(n));
+        }
+
+        let shared = Shared {
+            pending: AtomicUsize::new(seed_count),
+            cancelled: AtomicBool::new(false),
+            interned: AtomicUsize::new(0),
+            error: Mutex::new(None),
+        };
+        let plans: HashMap<ActionName, MemoPlan> = self
+            .program
+            .actions()
+            .filter_map(|(name, action)| {
+                action
+                    .footprint()
+                    .map(|fp| (name.clone(), MemoPlan::of(&fp)))
+            })
+            .collect();
+        let memo = if plans.is_empty() {
+            None
+        } else {
+            Some(SharedMemo::new())
+        };
+        let mut senders: Vec<Sender<Msg>> = Vec::with_capacity(n);
+        let mut receivers: Vec<Receiver<Msg>> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = channel();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+
+        let outputs: Vec<ShardOutput> = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(n);
+            for (me, rx) in receivers.into_iter().enumerate() {
+                let worker = Worker {
+                    me,
+                    program: self.program,
+                    budget: self.budget,
+                    stop_on_failure: self.stop_on_failure,
+                    shared: &shared,
+                    plans: &plans,
+                    senders: senders.clone(),
+                    store: ShardStore::new(),
+                    stack: Vec::new(),
+                    scratch: Vec::new(),
+                    buffers: vec![Vec::new(); n],
+                    memo: memo.as_ref(),
+                    out: ShardOutput::default(),
+                };
+                handles.push(scope.spawn(move || worker.run(rx)));
+            }
+            for (owner, batch) in seed_batches.into_iter().enumerate() {
+                if !batch.is_empty() {
+                    let _ = senders[owner].send(Msg::Seed(batch));
+                }
+            }
+            drop(senders);
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("exploration worker panicked"))
+                .collect()
+        });
+
+        if let Some(err) = shared.error.lock().expect("error slot poisoned").take() {
+            return Err(err);
+        }
+        Ok(ParallelExploration::merge(outputs))
+    }
+
+    /// Computes the program summary (the data of Def. 3.2) for a single
+    /// initialized configuration, like [`inseq_kernel::Explorer::summarize`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates exploration errors.
+    pub fn summarize(&self, initial: Config) -> Result<Summary, ExploreError> {
+        Ok(self.explore([initial])?.summary())
+    }
+}
+
+/// The decomposable (Zobrist-style) hash of a configuration, built from
+/// per-component hashes combined *commutatively*: XOR of `(slot, value)`
+/// hashes over the global store, wrapping sum of pending-async hashes over
+/// the pending multiset. Commutativity is the point — a successor's hash is
+/// computable from its parent's in `O(|delta|)` (un-XOR the old value of
+/// each written slot, XOR the new one; subtract the consumed async, add the
+/// created ones) without materializing the successor at all.
+///
+/// The `route` component covers only the global store and selects the owner
+/// shard. Partitioning on globals alone is a locality choice: a transition
+/// that leaves the globals untouched (a pure spawn, like two-phase commit's
+/// `Request`) produces a successor owned by the *same* shard, which is
+/// interned locally instead of crossing a channel. Any deterministic
+/// function of the configuration is a correct partition; this one trades
+/// shard-size uniformity for fewer cross-shard messages. [`intern`]
+/// (ConfigHashes::intern) mixes the pending sum back in, so intern tables
+/// discriminate the full configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ConfigHashes {
+    route: u64,
+    pend: u64,
+}
+
+impl ConfigHashes {
+    fn of(config: &Config) -> Self {
+        let mut route = 0u64;
+        for (i, v) in config.globals.iter().enumerate() {
+            route ^= slot_hash(i, v);
+        }
+        let mut pend = 0u64;
+        for (pa, count) in config.pending.iter_counts() {
+            pend = pend.wrapping_add(fx_hash(pa).wrapping_mul(count as u64));
+        }
+        ConfigHashes { route, pend }
+    }
+
+    /// The full-configuration hash indexing the owner's intern table.
+    fn intern(self) -> u64 {
+        mix(self.route, self.pend)
+    }
+}
+
+/// The hash contribution of one `(slot index, value)` pair.
+fn slot_hash(i: usize, v: &Value) -> u64 {
+    let mut hasher = FxHasher::default();
+    hasher.write_usize(i);
+    v.hash(&mut hasher);
+    hasher.finish()
+}
+
+/// The shard owning a configuration whose route hash is `route`. Fx pushes
+/// its entropy toward the high bits, so fold them down before the modulo.
+fn owner_of(route: u64, shards: usize) -> usize {
+    (((route >> 32) ^ route) as usize) % shards
+}
+
+enum Msg {
+    /// Initial configurations: interned and counted, but exempt from the
+    /// budget check at their own intern (matching the sequential explorer,
+    /// which only checks the budget when interning fresh successors).
+    Seed(Vec<(ConfigHashes, Config)>),
+    /// Discovered configurations routed to their owner shard, carrying their
+    /// precomputed hashes.
+    Work(Vec<(ConfigHashes, Config)>),
+    /// Shut down: exploration finished or was cancelled.
+    Done,
+}
+
+struct Shared {
+    /// Counted configurations sent but not yet fully processed.
+    pending: AtomicUsize,
+    cancelled: AtomicBool,
+    /// Distinct configurations interned across all shards (budget counter).
+    interned: AtomicUsize,
+    /// First error observed by any worker.
+    error: Mutex<Option<ExploreError>>,
+}
+
+/// A shard's visited set: configurations stored by move in insertion order,
+/// deduplicated through a linear-probing table over precomputed hashes.
+///
+/// Compared to a `HashSet<Config>` this (a) never re-hashes a configuration
+/// (the caller supplies the hashes that already routed it here), (b) filters
+/// probe collisions by the stored 64-bit hash before falling back to full
+/// equality, (c) hands the `Vec` of configurations back without a copy, and
+/// (d) supports *virtual* membership probes ([`ShardStore::contains_delta`])
+/// that test a successor described as parent-plus-delta without ever
+/// building it.
+#[derive(Debug)]
+struct ShardStore {
+    configs: Vec<Config>,
+    /// Decomposable hashes per configuration, parallel to `configs`; workers
+    /// read the parent's entry to derive successor hashes in `O(|delta|)`.
+    parts: Vec<ConfigHashes>,
+    /// `(intern hash, index + 1)` per slot; an index of 0 marks an empty
+    /// slot.
+    slots: Vec<(u64, u32)>,
+    mask: usize,
+}
+
+impl ShardStore {
+    const INITIAL_SLOTS: usize = 64;
+
+    fn new() -> Self {
+        ShardStore {
+            configs: Vec::new(),
+            parts: Vec::new(),
+            slots: vec![(0, 0); Self::INITIAL_SLOTS],
+            mask: Self::INITIAL_SLOTS - 1,
+        }
+    }
+
+    /// Interns `config` (whose hashes are `parts`) by move; returns its
+    /// index if it was fresh, or `None` if an equal configuration is already
+    /// present.
+    fn intern(&mut self, parts: ConfigHashes, config: Config) -> Option<usize> {
+        let hash = parts.intern();
+        let mut slot = (hash as usize) & self.mask;
+        loop {
+            let (h, idx1) = self.slots[slot];
+            if idx1 == 0 {
+                break;
+            }
+            if h == hash && self.configs[(idx1 - 1) as usize] == config {
+                return None;
+            }
+            slot = (slot + 1) & self.mask;
+        }
+        let idx = self.configs.len();
+        self.configs.push(config);
+        self.parts.push(parts);
+        self.slots[slot] = (hash, u32::try_from(idx + 1).expect("shard exceeds u32 capacity"));
+        if (self.configs.len() + 1) * 4 > self.slots.len() * 3 {
+            self.grow();
+        }
+        Some(idx)
+    }
+
+    /// Whether the store already holds the successor of `parent` described
+    /// by the write-delta `writes` (empty slice = globals unchanged) plus
+    /// the pending change `(− consumed, + created)`. Never builds the
+    /// successor: candidates with a matching intern hash are compared
+    /// slot-by-slot against the overlay. A `false` may still turn into a
+    /// duplicate at intern time (e.g. an equal sibling staged in the same
+    /// batch); interning stays the source of truth.
+    fn contains_delta(
+        &self,
+        hashes: ConfigHashes,
+        parent: &Config,
+        writes: &[(usize, Value)],
+        consumed: &PendingAsync,
+        created: &Multiset<PendingAsync>,
+    ) -> bool {
+        let hash = hashes.intern();
+        let mut slot = (hash as usize) & self.mask;
+        loop {
+            let (h, idx1) = self.slots[slot];
+            if idx1 == 0 {
+                return false;
+            }
+            if h == hash {
+                let cand = &self.configs[(idx1 - 1) as usize];
+                if globals_match_delta(&cand.globals, &parent.globals, writes)
+                    && pending_matches(&cand.pending, &parent.pending, consumed, created)
+                {
+                    return true;
+                }
+            }
+            slot = (slot + 1) & self.mask;
+        }
+    }
+
+    /// [`ShardStore::contains_delta`] for a successor whose post-store is
+    /// already materialized (the fresh-evaluation path): globals compare
+    /// directly, the pending multiset still compares as parent-plus-delta.
+    fn contains_built(
+        &self,
+        hashes: ConfigHashes,
+        globals: &GlobalStore,
+        parent: &Config,
+        consumed: &PendingAsync,
+        created: &Multiset<PendingAsync>,
+    ) -> bool {
+        let hash = hashes.intern();
+        let mut slot = (hash as usize) & self.mask;
+        loop {
+            let (h, idx1) = self.slots[slot];
+            if idx1 == 0 {
+                return false;
+            }
+            if h == hash {
+                let cand = &self.configs[(idx1 - 1) as usize];
+                if cand.globals == *globals
+                    && pending_matches(&cand.pending, &parent.pending, consumed, created)
+                {
+                    return true;
+                }
+            }
+            slot = (slot + 1) & self.mask;
+        }
+    }
+
+    fn grow(&mut self) {
+        let cap = self.slots.len() * 2;
+        self.mask = cap - 1;
+        self.slots = vec![(0, 0); cap];
+        for (idx, parts) in self.parts.iter().enumerate() {
+            let hash = parts.intern();
+            let mut slot = (hash as usize) & self.mask;
+            while self.slots[slot].1 != 0 {
+                slot = (slot + 1) & self.mask;
+            }
+            self.slots[slot] = (hash, u32::try_from(idx + 1).expect("shard exceeds u32 capacity"));
+        }
+    }
+}
+
+/// Whether `stored` equals `parent` overlaid with the sorted write-delta
+/// `writes` — i.e. `stored[i] == writes[i]` where present, `parent[i]`
+/// elsewhere — without constructing the overlay.
+fn globals_match_delta(
+    stored: &GlobalStore,
+    parent: &GlobalStore,
+    writes: &[(usize, Value)],
+) -> bool {
+    let mut writes = writes.iter().peekable();
+    for (i, actual) in stored.iter().enumerate() {
+        let expected = match writes.peek() {
+            Some((j, v)) if *j == i => {
+                writes.next();
+                v
+            }
+            _ => parent.get(i),
+        };
+        if actual != expected {
+            return false;
+        }
+    }
+    true
+}
+
+/// Whether `stored` equals `parent ∖ {consumed} ⊎ created` as multisets,
+/// by a merge walk over both count maps — no multiset is ever built.
+fn pending_matches(
+    stored: &Multiset<PendingAsync>,
+    parent: &Multiset<PendingAsync>,
+    consumed: &PendingAsync,
+    created: &Multiset<PendingAsync>,
+) -> bool {
+    if stored.len() + 1 != parent.len() + created.len() {
+        return false;
+    }
+    // Net count adjustment the delta applies to `pa`.
+    let adjust = |pa: &PendingAsync| -> isize {
+        let mut d = created.count(pa) as isize;
+        if pa == consumed {
+            d -= 1;
+        }
+        d
+    };
+    // A key only in `created` (never in parent or stored) would be skipped
+    // by the merge walk below; its required count is its adjustment, which
+    // must then be zero.
+    for (pa, _) in created.iter_counts() {
+        if !stored.contains(pa) && !parent.contains(pa) && adjust(pa) != 0 {
+            return false;
+        }
+    }
+    let mut s = stored.iter_counts().peekable();
+    let mut p = parent.iter_counts().peekable();
+    loop {
+        match (s.peek().copied(), p.peek().copied()) {
+            (None, None) => return true,
+            (Some((sx, sc)), None) => {
+                if adjust(sx) != sc as isize {
+                    return false;
+                }
+                s.next();
+            }
+            (None, Some((px, pc))) => {
+                if pc as isize + adjust(px) != 0 {
+                    return false;
+                }
+                p.next();
+            }
+            (Some((sx, sc)), Some((px, pc))) => match sx.cmp(px) {
+                std::cmp::Ordering::Less => {
+                    if adjust(sx) != sc as isize {
+                        return false;
+                    }
+                    s.next();
+                }
+                std::cmp::Ordering::Greater => {
+                    if pc as isize + adjust(px) != 0 {
+                        return false;
+                    }
+                    p.next();
+                }
+                std::cmp::Ordering::Equal => {
+                    if pc as isize + adjust(px) != sc as isize {
+                        return false;
+                    }
+                    s.next();
+                    p.next();
+                }
+            },
+        }
+    }
+}
+
+/// How to memoize one action, derived from its [`Footprint`].
+#[derive(Debug)]
+struct MemoPlan {
+    /// Sorted `reads ∪ writes`: the store projection that determines the
+    /// outcome *and* every recorded write value.
+    key: Vec<usize>,
+    /// Sorted write indices whose post-values are recorded per transition.
+    writes: Vec<usize>,
+}
+
+impl MemoPlan {
+    fn of(fp: &Footprint) -> Self {
+        MemoPlan {
+            key: fp.key_indices(),
+            writes: fp.writes.clone(),
+        }
+    }
+}
+
+/// One memoized transition: the post-values of the action's written globals
+/// plus the created pending asyncs. Applying the writes to *any* store that
+/// agrees with the memo key on the footprint reproduces `eval` exactly.
+#[derive(Debug)]
+struct CachedTransition {
+    writes: Vec<(usize, Value)>,
+    created: Multiset<PendingAsync>,
+}
+
+/// A memoized evaluation outcome.
+#[derive(Debug)]
+enum CachedOutcome {
+    Failure(String),
+    Transitions(Vec<CachedTransition>),
+}
+
+impl CachedOutcome {
+    fn of(out: &ActionOutcome, plan: &MemoPlan) -> Self {
+        match out {
+            ActionOutcome::Failure { reason } => CachedOutcome::Failure(reason.clone()),
+            ActionOutcome::Transitions(ts) => CachedOutcome::Transitions(
+                ts.iter()
+                    .map(|t| CachedTransition {
+                        writes: plan
+                            .writes
+                            .iter()
+                            .map(|&i| (i, t.globals.get(i).clone()))
+                            .collect(),
+                        created: t.created.clone(),
+                    })
+                    .collect(),
+            ),
+        }
+    }
+}
+
+/// One memo entry: the owned key — a pending async plus the projection of
+/// the global store onto the action's footprint — and the cached outcome. By
+/// the footprint contract the outcome, restricted to the written indices, is
+/// a function of exactly this key.
+#[derive(Debug)]
+struct MemoEntry {
+    action: ActionName,
+    args: Vec<Value>,
+    store_key: Vec<Value>,
+    outcome: Arc<CachedOutcome>,
+}
+
+impl MemoEntry {
+    /// Whether this entry's key equals `(pa, globals|plan.key)` — compared
+    /// entirely by reference, so probing never clones a value.
+    fn matches(&self, pa: &PendingAsync, plan: &MemoPlan, globals: &GlobalStore) -> bool {
+        self.action == pa.action
+            && self.args == pa.args
+            && self
+                .store_key
+                .iter()
+                .zip(plan.key.iter())
+                .all(|(v, &i)| v == globals.get(i))
+    }
+}
+
+/// The deterministic hash of a memo key, computed from borrowed data.
+fn memo_key_hash(pa: &PendingAsync, plan: &MemoPlan, globals: &GlobalStore) -> u64 {
+    let mut hasher = FxHasher::default();
+    pa.action.hash(&mut hasher);
+    pa.args.hash(&mut hasher);
+    for &i in &plan.key {
+        globals.get(i).hash(&mut hasher);
+    }
+    hasher.finish()
+}
+
+/// The footprint memo, shared by all workers so no evaluation is ever
+/// repeated across shards. Entries are bucketed by the 64-bit key hash and
+/// disambiguated by exact (reference-based) comparison; the mutex is held
+/// only for probes and inserts, never across an evaluation. When the hit
+/// rate stays below 1 in 2^[`MEMO_MIN_HIT_SHIFT`] after
+/// [`MEMO_PROBATION`] lookups, `enabled` flips off and workers stop taking
+/// the lock altogether.
+#[derive(Debug)]
+struct SharedMemo {
+    enabled: AtomicBool,
+    inner: Mutex<EvalMemo>,
+}
+
+impl SharedMemo {
+    fn new() -> Self {
+        SharedMemo {
+            enabled: AtomicBool::new(true),
+            inner: Mutex::new(EvalMemo::default()),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct EvalMemo {
+    map: HashMap<u64, Vec<MemoEntry>, BuildHasherDefault<FxHasher>>,
+    lookups: usize,
+    hits: usize,
+}
+
+/// An evaluation outcome in hand: freshly computed, or reconstructible from
+/// the memo.
+enum Resolved {
+    Owned(ActionOutcome),
+    Cached(Arc<CachedOutcome>),
+}
+
+/// A borrowed view over either resolution, so failure and transition
+/// handling are written once.
+enum View<'a> {
+    Failure(&'a str),
+    Full(&'a [Transition]),
+    Delta(&'a [CachedTransition]),
+}
+
+/// Per-shard results, moved out of the worker when it exits.
+#[derive(Debug, Default)]
+struct ShardOutput {
+    visited: Vec<Config>,
+    failures: Vec<(Config, PendingAsync, String)>,
+    deadlocks: Vec<Config>,
+    terminal: BTreeSet<GlobalStore>,
+    edges: usize,
+}
+
+struct Worker<'p, 'sh> {
+    me: usize,
+    program: &'p Program,
+    budget: usize,
+    stop_on_failure: bool,
+    shared: &'sh Shared,
+    /// Per-action memoization plans (absent for opaque actions).
+    plans: &'sh HashMap<ActionName, MemoPlan>,
+    senders: Vec<Sender<Msg>>,
+    store: ShardStore,
+    /// Indices (into `store`) of interned configurations awaiting
+    /// processing — the local cascade.
+    stack: Vec<usize>,
+    /// Reusable buffer of same-shard successors discovered while the parent
+    /// configuration is still borrowed from the store.
+    scratch: Vec<(ConfigHashes, Config)>,
+    /// Outgoing cross-shard successors, buffered per destination.
+    buffers: Vec<Vec<(ConfigHashes, Config)>>,
+    /// The shared evaluation memo; `None` when no action has a footprint.
+    memo: Option<&'sh SharedMemo>,
+    out: ShardOutput,
+}
+
+/// A non-failure reason to abandon the current configuration mid-step.
+enum StepFault {
+    Kernel(ExploreError),
+    StopOnFailure,
+}
+
+impl Worker<'_, '_> {
+    fn run(mut self, rx: Receiver<Msg>) -> ShardOutput {
+        'recv: while let Ok(mut msg) = rx.recv() {
+            // Drain everything already queued before processing: on few cores
+            // each blocking `recv` wake-up is a context switch, so absorbing
+            // all available batches per wake-up matters more than latency.
+            let mut count = 0usize;
+            let mut done = false;
+            loop {
+                match msg {
+                    Msg::Done => {
+                        // Termination `Done` cannot overtake counted work we
+                        // hold (the in-flight counter is still positive), so
+                        // this is a cancellation or arrives with `count == 0`.
+                        done = true;
+                        break;
+                    }
+                    Msg::Seed(batch) => {
+                        count += batch.len();
+                        if !self.shared.cancelled.load(Ordering::Acquire) {
+                            for (hashes, config) in batch {
+                                self.enqueue(hashes, config, true);
+                            }
+                        }
+                    }
+                    Msg::Work(batch) => {
+                        count += batch.len();
+                        if !self.shared.cancelled.load(Ordering::Acquire) {
+                            for (hashes, config) in batch {
+                                self.enqueue(hashes, config, false);
+                            }
+                        }
+                    }
+                }
+                match rx.try_recv() {
+                    Ok(next) => msg = next,
+                    Err(_) => break,
+                }
+            }
+            self.cascade();
+            self.flush_all();
+            // Decrement only now: every successor the drained batches
+            // produced has already been counted, so a zero is conclusive.
+            if count > 0 && self.shared.pending.fetch_sub(count, Ordering::AcqRel) == count {
+                self.broadcast_done();
+            }
+            if done {
+                break 'recv;
+            }
+        }
+        self.out.visited = std::mem::take(&mut self.store.configs);
+        self.out
+    }
+
+    /// Interns a configuration this shard owns; fresh ones are counted
+    /// against the budget (unless seeds) and queued for processing.
+    fn enqueue(&mut self, hashes: ConfigHashes, config: Config, seed: bool) {
+        if let Some(idx) = self.store.intern(hashes, config) {
+            let interned = self.shared.interned.fetch_add(1, Ordering::Relaxed) + 1;
+            if !seed && interned > self.budget {
+                self.fail(ExploreError::BudgetExceeded {
+                    limit: self.budget,
+                    visited: interned,
+                });
+                return;
+            }
+            self.stack.push(idx);
+        }
+    }
+
+    /// Processes queued configurations until the local cascade is drained.
+    fn cascade(&mut self) {
+        while let Some(idx) = self.stack.pop() {
+            if self.shared.cancelled.load(Ordering::Relaxed) {
+                self.stack.clear();
+                return;
+            }
+            self.step(idx);
+        }
+    }
+
+    /// Evaluates every distinct pending async of the configuration at
+    /// `idx`, interning same-shard successors and buffering cross-shard
+    /// ones. The configuration itself stays borrowed from the store for the
+    /// whole evaluation, so successors are staged in `scratch` and interned
+    /// afterwards.
+    fn step(&mut self, idx: usize) {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let memo = self.memo;
+        let plans = self.plans;
+        let program = self.program;
+        let shards = self.buffers.len();
+        let config = &self.store.configs[idx];
+        let parts = self.store.parts[idx];
+
+        let mut fault = None;
+        let mut progressed = config.pending.is_empty();
+        'eval: for pa in config.pending.distinct() {
+            let active = match (memo, plans.get(&pa.action)) {
+                (Some(memo), Some(plan)) if memo.enabled.load(Ordering::Relaxed) => {
+                    Some((memo, plan))
+                }
+                _ => None,
+            };
+            let outcome = if let Some((memo, plan)) = active {
+                let kh = memo_key_hash(pa, plan, &config.globals);
+                let probe = {
+                    let mut inner = memo.inner.lock().expect("memo lock poisoned");
+                    inner.lookups += 1;
+                    if inner.lookups >= MEMO_PROBATION
+                        && inner.hits <= inner.lookups >> MEMO_MIN_HIT_SHIFT
+                    {
+                        memo.enabled.store(false, Ordering::Relaxed);
+                    }
+                    let found = inner.map.get(&kh).and_then(|bucket| {
+                        bucket
+                            .iter()
+                            .find(|e| e.matches(pa, plan, &config.globals))
+                            .map(|e| Arc::clone(&e.outcome))
+                    });
+                    if found.is_some() {
+                        inner.hits += 1;
+                    }
+                    found
+                };
+                if let Some(cached) = probe {
+                    Resolved::Cached(cached)
+                } else {
+                    // Evaluate *outside* the lock, then publish. A racing
+                    // worker may have inserted the same key meanwhile;
+                    // evaluation is deterministic, so keep the first entry.
+                    match program.eval_pa(&config.globals, pa) {
+                        Ok(out) => {
+                            let entry = MemoEntry {
+                                action: pa.action.clone(),
+                                args: pa.args.clone(),
+                                store_key: plan
+                                    .key
+                                    .iter()
+                                    .map(|&i| config.globals.get(i).clone())
+                                    .collect(),
+                                outcome: Arc::new(CachedOutcome::of(&out, plan)),
+                            };
+                            let mut inner = memo.inner.lock().expect("memo lock poisoned");
+                            let bucket = inner.map.entry(kh).or_default();
+                            if !bucket
+                                .iter()
+                                .any(|e| e.matches(pa, plan, &config.globals))
+                            {
+                                bucket.push(entry);
+                            }
+                            Resolved::Owned(out)
+                        }
+                        Err(e) => {
+                            fault = Some(StepFault::Kernel(e.into()));
+                            break 'eval;
+                        }
+                    }
+                }
+            } else {
+                match program.eval_pa(&config.globals, pa) {
+                    Ok(out) => Resolved::Owned(out),
+                    Err(e) => {
+                        fault = Some(StepFault::Kernel(e.into()));
+                        break 'eval;
+                    }
+                }
+            };
+            let view = match &outcome {
+                Resolved::Owned(ActionOutcome::Failure { reason }) => View::Failure(reason),
+                Resolved::Owned(ActionOutcome::Transitions(ts)) => View::Full(ts),
+                Resolved::Cached(cached) => match cached.as_ref() {
+                    CachedOutcome::Failure(reason) => View::Failure(reason),
+                    CachedOutcome::Transitions(ts) => View::Delta(ts),
+                },
+            };
+            match view {
+                View::Failure(reason) => {
+                    progressed = true;
+                    self.out
+                        .failures
+                        .push((config.clone(), pa.clone(), reason.to_owned()));
+                    if self.stop_on_failure {
+                        fault = Some(StepFault::StopOnFailure);
+                        break 'eval;
+                    }
+                }
+                View::Full(transitions) => {
+                    if !transitions.is_empty() {
+                        progressed = true;
+                    }
+                    let consumed_hash = fx_hash(pa);
+                    for t in transitions {
+                        self.out.edges += 1;
+                        // Derive the successor's hashes from the parent's:
+                        // un-XOR changed slots, adjust the pending sum.
+                        let mut route = parts.route;
+                        for (i, (old, new)) in
+                            config.globals.iter().zip(t.globals.iter()).enumerate()
+                        {
+                            if old != new {
+                                route ^= slot_hash(i, old) ^ slot_hash(i, new);
+                            }
+                        }
+                        let succ = ConfigHashes {
+                            route,
+                            pend: pend_after(parts.pend, consumed_hash, &t.created),
+                        };
+                        let owner = owner_of(succ.route, shards);
+                        // Successors already visited (same-shard), staged,
+                        // or queued for the same destination are rejected
+                        // before ever being built.
+                        let duplicate = if owner == self.me {
+                            self.store
+                                .contains_built(succ, &t.globals, config, pa, &t.created)
+                                || buffered_built(&scratch, succ, &t.globals, config, pa, &t.created)
+                        } else {
+                            buffered_built(
+                                &self.buffers[owner],
+                                succ,
+                                &t.globals,
+                                config,
+                                pa,
+                                &t.created,
+                            )
+                        };
+                        if duplicate {
+                            continue;
+                        }
+                        // `(Ω ∖ pa) ⊎ created` with one clone + in-place
+                        // edits instead of `without` + `union` (two clones).
+                        let mut pending = config.pending.clone();
+                        pending.remove_one(pa);
+                        for item in t.created.iter() {
+                            pending.insert(item.clone());
+                        }
+                        stage_successor(
+                            owner,
+                            self.me,
+                            self.shared,
+                            &self.senders,
+                            &mut self.buffers,
+                            &mut scratch,
+                            succ,
+                            Config::new(t.globals.clone(), pending),
+                        );
+                    }
+                }
+                View::Delta(transitions) => {
+                    if !transitions.is_empty() {
+                        progressed = true;
+                    }
+                    let consumed_hash = fx_hash(pa);
+                    for t in transitions {
+                        self.out.edges += 1;
+                        let mut route = parts.route;
+                        for (i, v) in &t.writes {
+                            let old = config.globals.get(*i);
+                            if old != v {
+                                route ^= slot_hash(*i, old) ^ slot_hash(*i, v);
+                            }
+                        }
+                        let succ = ConfigHashes {
+                            route,
+                            pend: pend_after(parts.pend, consumed_hash, &t.created),
+                        };
+                        let owner = owner_of(succ.route, shards);
+                        let duplicate = if owner == self.me {
+                            self.store
+                                .contains_delta(succ, config, &t.writes, pa, &t.created)
+                                || buffered_delta(&scratch, succ, config, &t.writes, pa, &t.created)
+                        } else {
+                            buffered_delta(
+                                &self.buffers[owner],
+                                succ,
+                                config,
+                                &t.writes,
+                                pa,
+                                &t.created,
+                            )
+                        };
+                        if duplicate {
+                            continue;
+                        }
+                        // Replay the memoized write-delta onto this store;
+                        // by the footprint contract the result is exactly
+                        // what `eval` would have produced here.
+                        let mut globals = config.globals.clone();
+                        for (i, v) in &t.writes {
+                            globals.set(*i, v.clone());
+                        }
+                        let mut pending = config.pending.clone();
+                        pending.remove_one(pa);
+                        for item in t.created.iter() {
+                            pending.insert(item.clone());
+                        }
+                        stage_successor(
+                            owner,
+                            self.me,
+                            self.shared,
+                            &self.senders,
+                            &mut self.buffers,
+                            &mut scratch,
+                            succ,
+                            Config::new(globals, pending),
+                        );
+                    }
+                }
+            }
+        }
+        if fault.is_none() {
+            if !progressed {
+                self.out.deadlocks.push(config.clone());
+            }
+            if config.is_terminal() {
+                self.out.terminal.insert(config.globals.clone());
+            }
+        }
+
+        match fault {
+            Some(StepFault::Kernel(err)) => {
+                scratch.clear();
+                self.scratch = scratch;
+                self.fail(err);
+            }
+            Some(StepFault::StopOnFailure) => {
+                scratch.clear();
+                self.scratch = scratch;
+                self.cancel();
+            }
+            None => {
+                for (hash, next) in scratch.drain(..) {
+                    self.enqueue(hash, next, false);
+                }
+                self.scratch = scratch;
+            }
+        }
+    }
+
+    fn flush(&mut self, owner: usize) {
+        flush_buffer(self.shared, &self.senders[owner], &mut self.buffers[owner]);
+    }
+
+    fn flush_all(&mut self) {
+        for owner in 0..self.buffers.len() {
+            self.flush(owner);
+        }
+    }
+
+    fn fail(&mut self, err: ExploreError) {
+        let mut slot = self.shared.error.lock().expect("error slot poisoned");
+        if slot.is_none() {
+            *slot = Some(err);
+        }
+        drop(slot);
+        self.cancel();
+    }
+
+    fn cancel(&mut self) {
+        self.shared.cancelled.store(true, Ordering::Release);
+        self.stack.clear();
+        self.broadcast_done();
+    }
+
+    fn broadcast_done(&self) {
+        for tx in &self.senders {
+            let _ = tx.send(Msg::Done);
+        }
+    }
+}
+
+/// Whether an entry of `buffer` (an unflushed outgoing batch or the local
+/// scratch list) equals the parent-plus-delta successor. The `ConfigHashes`
+/// pair comparison rejects almost every entry with two integer compares;
+/// matches are confirmed by exact delta equality, so hash collisions cost a
+/// comparison, never a dropped configuration.
+fn buffered_delta(
+    buffer: &[(ConfigHashes, Config)],
+    hashes: ConfigHashes,
+    parent: &Config,
+    writes: &[(usize, Value)],
+    consumed: &PendingAsync,
+    created: &Multiset<PendingAsync>,
+) -> bool {
+    buffer.iter().any(|(bh, bc)| {
+        *bh == hashes
+            && globals_match_delta(&bc.globals, &parent.globals, writes)
+            && pending_matches(&bc.pending, &parent.pending, consumed, created)
+    })
+}
+
+/// [`buffered_delta`] for a successor whose post-store is already
+/// materialized.
+fn buffered_built(
+    buffer: &[(ConfigHashes, Config)],
+    hashes: ConfigHashes,
+    globals: &GlobalStore,
+    parent: &Config,
+    consumed: &PendingAsync,
+    created: &Multiset<PendingAsync>,
+) -> bool {
+    buffer.iter().any(|(bh, bc)| {
+        *bh == hashes
+            && bc.globals == *globals
+            && pending_matches(&bc.pending, &parent.pending, consumed, created)
+    })
+}
+
+/// The pending-multiset hash after consuming one async and adding the
+/// created ones.
+fn pend_after(pend: u64, consumed_hash: u64, created: &Multiset<PendingAsync>) -> u64 {
+    let mut pend = pend.wrapping_sub(consumed_hash);
+    for (item, count) in created.iter_counts() {
+        pend = pend.wrapping_add(fx_hash(item).wrapping_mul(count as u64));
+    }
+    pend
+}
+
+/// Routes a built successor: same-shard successors go to `scratch`
+/// (interned once the parent's borrow ends), cross-shard ones into the
+/// destination buffer, flushed at [`FLUSH_THRESHOLD`].
+#[allow(clippy::too_many_arguments)]
+fn stage_successor(
+    owner: usize,
+    me: usize,
+    shared: &Shared,
+    senders: &[Sender<Msg>],
+    buffers: &mut [Vec<(ConfigHashes, Config)>],
+    scratch: &mut Vec<(ConfigHashes, Config)>,
+    hashes: ConfigHashes,
+    next: Config,
+) {
+    if owner == me {
+        scratch.push((hashes, next));
+    } else {
+        let buffer = &mut buffers[owner];
+        buffer.push((hashes, next));
+        if buffer.len() >= FLUSH_THRESHOLD {
+            flush_buffer(shared, &senders[owner], buffer);
+        }
+    }
+}
+
+/// Sends a buffered batch to its owner shard, counting it in-flight first so
+/// `pending` can never transiently read zero while the work exists.
+fn flush_buffer(
+    shared: &Shared,
+    sender: &Sender<Msg>,
+    buffer: &mut Vec<(ConfigHashes, Config)>,
+) {
+    if buffer.is_empty() {
+        return;
+    }
+    let batch = std::mem::take(buffer);
+    shared.pending.fetch_add(batch.len(), Ordering::AcqRel);
+    let _ = sender.send(Msg::Work(batch));
+}
+
+/// The result of a parallel exploration: the reachable configuration set
+/// (still sharded, to avoid a merge copy) plus all gate violations and
+/// deadlocks encountered.
+///
+/// Unlike [`inseq_kernel::Exploration`] this does not record the transition
+/// graph — witness reconstruction stays with the sequential explorer — which
+/// is a large part of why the parallel explorer is also faster per visited
+/// configuration.
+#[derive(Debug)]
+pub struct ParallelExploration {
+    shards: Vec<Vec<Config>>,
+    failures: Vec<(Config, PendingAsync, String)>,
+    deadlocks: Vec<Config>,
+    terminal: BTreeSet<GlobalStore>,
+    edges: usize,
+}
+
+impl ParallelExploration {
+    fn empty(shards: usize) -> Self {
+        ParallelExploration {
+            shards: vec![Vec::new(); shards],
+            failures: Vec::new(),
+            deadlocks: Vec::new(),
+            terminal: BTreeSet::new(),
+            edges: 0,
+        }
+    }
+
+    fn merge(outputs: Vec<ShardOutput>) -> Self {
+        let mut merged = ParallelExploration::empty(0);
+        for out in outputs {
+            merged.shards.push(out.visited);
+            merged.failures.extend(out.failures);
+            merged.deadlocks.extend(out.deadlocks);
+            merged.terminal.extend(out.terminal);
+            merged.edges += out.edges;
+        }
+        merged
+    }
+
+    /// Number of distinct reachable configurations.
+    #[must_use]
+    pub fn config_count(&self) -> usize {
+        self.shards.iter().map(Vec::len).sum()
+    }
+
+    /// Number of transitions in the explored graph (counted, not stored).
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edges
+    }
+
+    /// Iterates over all reachable configurations, shard by shard. The
+    /// order is not meaningful; compare as a set.
+    pub fn configs(&self) -> impl Iterator<Item = &Config> {
+        self.shards.iter().flatten()
+    }
+
+    /// Whether any reachable configuration can fail.
+    #[must_use]
+    pub fn has_failure(&self) -> bool {
+        !self.failures.is_empty()
+    }
+
+    /// Human-readable descriptions of all gate violations found, in the same
+    /// format as [`inseq_kernel::Exploration::failure_reports`].
+    #[must_use]
+    pub fn failure_reports(&self) -> Vec<String> {
+        self.failures
+            .iter()
+            .map(|(config, fired, reason)| {
+                format!("executing {fired} from {config} fails: {reason}")
+            })
+            .collect()
+    }
+
+    /// Whether any reachable configuration is a deadlock.
+    #[must_use]
+    pub fn has_deadlock(&self) -> bool {
+        !self.deadlocks.is_empty()
+    }
+
+    /// Configurations with pending asyncs but no enabled transition and no
+    /// failure.
+    pub fn deadlocked_configs(&self) -> impl Iterator<Item = &Config> {
+        self.deadlocks.iter()
+    }
+
+    /// Global stores of terminating configurations (empty `Ω`).
+    pub fn terminal_stores(&self) -> impl Iterator<Item = &GlobalStore> {
+        self.terminal.iter()
+    }
+
+    /// The program summary over the explored set: `good` iff no gate
+    /// violation was found, plus the set of terminating stores.
+    #[must_use]
+    pub fn summary(&self) -> Summary {
+        Summary {
+            good: !self.has_failure(),
+            terminal: self.terminal.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inseq_kernel::demo::{counter_program, failing_program};
+    use inseq_kernel::Explorer;
+
+    fn reachable_set(program: &Program) -> BTreeSet<Config> {
+        let init = program.initial_config(vec![]).unwrap();
+        Explorer::new(program)
+            .explore([init])
+            .unwrap()
+            .configs()
+            .cloned()
+            .collect()
+    }
+
+    #[test]
+    fn matches_sequential_on_counter() {
+        let p = counter_program();
+        let init = p.initial_config(vec![]).unwrap();
+        for workers in [1, 2, 4] {
+            let exp = ParallelExplorer::new(&p)
+                .with_workers(workers)
+                .explore([init.clone()])
+                .unwrap();
+            let parallel: BTreeSet<Config> = exp.configs().cloned().collect();
+            assert_eq!(parallel, reachable_set(&p), "workers = {workers}");
+            assert!(!exp.has_failure());
+            assert!(!exp.has_deadlock());
+        }
+    }
+
+    #[test]
+    fn summary_matches_sequential() {
+        let p = counter_program();
+        let init = p.initial_config(vec![]).unwrap();
+        let seq = Explorer::new(&p).summarize(init.clone()).unwrap();
+        for workers in [1, 3] {
+            let par = ParallelExplorer::new(&p)
+                .with_workers(workers)
+                .summarize(init.clone())
+                .unwrap();
+            assert_eq!(par, seq, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn edge_counts_match_sequential() {
+        let p = counter_program();
+        let init = p.initial_config(vec![]).unwrap();
+        let seq = Explorer::new(&p).explore([init.clone()]).unwrap();
+        let par = ParallelExplorer::new(&p)
+            .with_workers(2)
+            .explore([init])
+            .unwrap();
+        assert_eq!(par.edge_count(), seq.edge_count());
+        assert_eq!(par.config_count(), seq.config_count());
+    }
+
+    #[test]
+    fn failures_are_found() {
+        let p = failing_program();
+        let init = p.initial_config(vec![]).unwrap();
+        let exp = ParallelExplorer::new(&p)
+            .with_workers(2)
+            .explore([init])
+            .unwrap();
+        assert!(exp.has_failure());
+        assert!(exp
+            .failure_reports()
+            .iter()
+            .any(|r| r.contains("assert false")));
+        assert!(!exp.summary().good);
+    }
+
+    #[test]
+    fn stop_on_first_failure_cancels_early() {
+        let p = failing_program();
+        let init = p.initial_config(vec![]).unwrap();
+        let exp = ParallelExplorer::new(&p)
+            .with_workers(2)
+            .stop_on_first_failure(true)
+            .explore([init])
+            .unwrap();
+        assert!(exp.has_failure());
+    }
+
+    #[test]
+    fn budget_is_enforced_and_reports_exhaustion_point() {
+        let p = counter_program();
+        let init = p.initial_config(vec![]).unwrap();
+        let err = ParallelExplorer::new(&p)
+            .with_workers(2)
+            .with_budget(1)
+            .explore([init])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ExploreError::BudgetExceeded { limit: 1, visited } if visited > 1
+        ));
+    }
+
+    #[test]
+    fn empty_initial_set_is_trivially_good() {
+        let p = counter_program();
+        let exp = ParallelExplorer::new(&p).with_workers(2).explore([]).unwrap();
+        assert_eq!(exp.config_count(), 0);
+        assert!(exp.summary().good);
+    }
+
+    #[test]
+    fn shard_store_dedups_and_survives_growth() {
+        let p = counter_program();
+        let init = p.initial_config(vec![]).unwrap();
+        let mut store = ShardStore::new();
+        let h = ConfigHashes::of(&init);
+        assert_eq!(store.intern(h, init.clone()), Some(0));
+        assert_eq!(store.intern(h, init.clone()), None);
+        // Force several growths with synthetic hash/config pairs and check
+        // the original stays findable.
+        let exp = Explorer::new(&p).explore([init.clone()]).unwrap();
+        for c in exp.configs() {
+            store.intern(ConfigHashes::of(c), c.clone());
+        }
+        assert_eq!(store.intern(h, init), None);
+        assert_eq!(store.configs.len(), exp.config_count());
+    }
+
+    #[test]
+    fn deadlocks_match_sequential() {
+        use inseq_kernel::{
+            GlobalSchema, Multiset, NativeAction, Program as KProgram, Transition, Value,
+        };
+        let mut b = KProgram::builder(GlobalSchema::default());
+        b.action(
+            "Main",
+            NativeAction::new("Main", 0, |g: &GlobalStore, _: &[Value]| {
+                ActionOutcome::Transitions(vec![Transition::new(
+                    g.clone(),
+                    Multiset::singleton(PendingAsync::new("Stuck", vec![])),
+                )])
+            }),
+        );
+        b.action(
+            "Stuck",
+            NativeAction::new("Stuck", 0, |_: &GlobalStore, _: &[Value]| {
+                ActionOutcome::blocked()
+            }),
+        );
+        let p = b.build().unwrap();
+        let init = p.initial_config(vec![]).unwrap();
+        let exp = ParallelExplorer::new(&p).with_workers(2).explore([init]).unwrap();
+        assert!(exp.has_deadlock());
+        assert_eq!(exp.deadlocked_configs().count(), 1);
+    }
+}

@@ -1,0 +1,46 @@
+//! # inseq-engine — parallel exploration and check scheduling
+//!
+//! This crate makes the explicit-state substitute for the paper's CIVL
+//! backend scale: everything in the workspace that enumerates reachable
+//! configurations or discharges independent proof obligations can do so on
+//! multiple threads through the two layers here.
+//!
+//! * **Layer 1 — [`ParallelExplorer`]**: a sharded breadth-first explorer
+//!   that is a drop-in alternative to [`inseq_kernel::Explorer`]. The
+//!   visited set is partitioned by configuration hash across worker threads;
+//!   each shard is owned by exactly one worker, so interning needs no locks,
+//!   and work migrates between shards over `std::sync::mpsc` channels. The
+//!   reachable set, verdict, terminal stores, and edge count are identical
+//!   to the sequential explorer's.
+//! * **Layer 2 — [`Engine`]**: a job-DAG scheduler running independent
+//!   obligations — the Fig. 3 conditions of an IS application, per-pair
+//!   mover queries, whole Table 1 rows — concurrently on a fixed thread
+//!   pool, collecting per-job wall clock and configuration counts into an
+//!   [`EngineReport`].
+//!
+//! The crate deliberately depends only on `inseq-kernel` (and the standard
+//! library): higher layers (`inseq-core`, `inseq-mover`, `inseq-bench`)
+//! build their parallel drivers on top of it, not the other way around.
+//!
+//! ```
+//! use inseq_engine::ParallelExplorer;
+//! use inseq_kernel::demo::counter_program;
+//!
+//! let program = counter_program();
+//! let init = program.initial_config(vec![]).unwrap();
+//! let summary = ParallelExplorer::new(&program)
+//!     .with_workers(4)
+//!     .summarize(init)
+//!     .unwrap();
+//! assert!(summary.good);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod explore;
+mod hash;
+mod schedule;
+
+pub use explore::{ParallelExploration, ParallelExplorer};
+pub use schedule::{Engine, EngineReport, Job, JobResult, JobStats, JobStatus};

@@ -1,0 +1,495 @@
+//! Layer 2: a job-DAG scheduler for independent proof obligations.
+//!
+//! Checking one inductive-sequentialization application decomposes into
+//! many independent obligations: the Fig. 3 conditions (I1)(I2)(I3), the
+//! per-action mover queries behind (LM), the co-enabledness scans behind
+//! (CO), and — across a whole benchmark table — entirely separate protocol
+//! cases. The [`Engine`] runs such obligations as a dependency-ordered job
+//! DAG on a fixed pool of threads and collects per-job wall-clock and
+//! configuration-count statistics into an [`EngineReport`].
+//!
+//! Jobs are closures borrowing from the caller (`thread::scope` underneath),
+//! so obligation code can capture the program, universe, and checker state
+//! by reference without any `Arc` ceremony.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// A fixed-size thread pool executing job DAGs.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    threads: usize,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+impl Engine {
+    /// Creates an engine with one thread per available hardware thread.
+    #[must_use]
+    pub fn new() -> Self {
+        Engine {
+            threads: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        }
+    }
+
+    /// Sets the number of pool threads. Clamped to at least one.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The configured number of pool threads.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs a job DAG to completion and reports per-job statistics.
+    ///
+    /// Dependencies must point at earlier indices in `jobs` (the natural
+    /// order in which a DAG is assembled), which makes cycles impossible by
+    /// construction. A job whose dependency fails — or is itself skipped —
+    /// is not run and is reported as [`JobStatus::Skipped`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a job lists a dependency index that is not smaller than its
+    /// own index, or if a job closure panics.
+    pub fn run(&self, jobs: Vec<Job<'_>>) -> EngineReport {
+        let total = jobs.len();
+        let started = Instant::now();
+        if total == 0 {
+            return EngineReport {
+                jobs: Vec::new(),
+                wall: started.elapsed(),
+                threads: self.threads,
+            };
+        }
+
+        let mut tasks: Vec<Option<Box<RunFn<'_>>>> = Vec::with_capacity(total);
+        let mut names: Vec<String> = Vec::with_capacity(total);
+        let mut remaining: Vec<usize> = Vec::with_capacity(total);
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); total];
+        let mut ready: VecDeque<usize> = VecDeque::new();
+        for (id, job) in jobs.into_iter().enumerate() {
+            for &dep in &job.deps {
+                assert!(
+                    dep < id,
+                    "job `{}` depends on #{dep}, which is not an earlier job",
+                    job.name
+                );
+                dependents[dep].push(id);
+            }
+            if job.deps.is_empty() {
+                ready.push_back(id);
+            }
+            remaining.push(job.deps.len());
+            names.push(job.name);
+            tasks.push(Some(job.run));
+        }
+
+        let state = Mutex::new(SchedState {
+            tasks,
+            remaining,
+            ready,
+            stats: (0..total).map(|_| None).collect(),
+            poisoned: vec![false; total],
+            unfinished: total,
+        });
+        let wake = Condvar::new();
+        let workers = self.threads.min(total);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| run_worker(&state, &wake, &dependents, &names));
+            }
+        });
+
+        let stats = state
+            .into_inner()
+            .expect("scheduler state poisoned")
+            .stats
+            .into_iter()
+            .map(|s| s.expect("scheduler finished with an unexecuted job"))
+            .collect();
+        EngineReport {
+            jobs: stats,
+            wall: started.elapsed(),
+            threads: self.threads,
+        }
+    }
+}
+
+type RunFn<'a> = dyn FnOnce() -> JobResult + Send + 'a;
+
+struct SchedState<'a> {
+    tasks: Vec<Option<Box<RunFn<'a>>>>,
+    remaining: Vec<usize>,
+    ready: VecDeque<usize>,
+    stats: Vec<Option<JobStats>>,
+    /// Whether a (transitive) dependency failed or was skipped.
+    poisoned: Vec<bool>,
+    unfinished: usize,
+}
+
+fn run_worker(
+    state: &Mutex<SchedState<'_>>,
+    wake: &Condvar,
+    dependents: &[Vec<usize>],
+    names: &[String],
+) {
+    loop {
+        let mut guard = state.lock().expect("scheduler state poisoned");
+        let id = loop {
+            if guard.unfinished == 0 {
+                return;
+            }
+            if let Some(id) = guard.ready.pop_front() {
+                break id;
+            }
+            guard = wake.wait(guard).expect("scheduler state poisoned");
+        };
+        let task = guard.tasks[id].take().expect("job executed twice");
+        let skipped = guard.poisoned[id];
+        drop(guard);
+
+        let job_start = Instant::now();
+        let (status, detail, configs_visited) = if skipped {
+            (JobStatus::Skipped, "dependency failed".to_owned(), 0)
+        } else {
+            let result = task();
+            let status = if result.passed {
+                JobStatus::Passed
+            } else {
+                JobStatus::Failed
+            };
+            (status, result.detail, result.configs_visited)
+        };
+        let wall = job_start.elapsed();
+
+        let mut guard = state.lock().expect("scheduler state poisoned");
+        let poison = status != JobStatus::Passed;
+        guard.stats[id] = Some(JobStats {
+            name: names[id].clone(),
+            status,
+            detail,
+            configs_visited,
+            wall,
+        });
+        for &next in &dependents[id] {
+            if poison {
+                guard.poisoned[next] = true;
+            }
+            guard.remaining[next] -= 1;
+            if guard.remaining[next] == 0 {
+                guard.ready.push_back(next);
+            }
+        }
+        guard.unfinished -= 1;
+        drop(guard);
+        wake.notify_all();
+    }
+}
+
+/// One schedulable obligation: a name, the indices of jobs it must run
+/// after, and the closure doing the work.
+pub struct Job<'a> {
+    name: String,
+    deps: Vec<usize>,
+    run: Box<RunFn<'a>>,
+}
+
+impl fmt::Debug for Job<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Job")
+            .field("name", &self.name)
+            .field("deps", &self.deps)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> Job<'a> {
+    /// Creates an independent job.
+    #[must_use]
+    pub fn new(name: impl Into<String>, run: impl FnOnce() -> JobResult + Send + 'a) -> Self {
+        Job {
+            name: name.into(),
+            deps: Vec::new(),
+            run: Box::new(run),
+        }
+    }
+
+    /// Declares that this job runs only after the job at `dep` (an index
+    /// into the same `jobs` vector, which must be smaller than this job's
+    /// own index) has passed.
+    #[must_use]
+    pub fn after(mut self, dep: usize) -> Self {
+        self.deps.push(dep);
+        self
+    }
+}
+
+/// What a job closure reports back.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobResult {
+    /// Whether the obligation holds.
+    pub passed: bool,
+    /// A short human-readable outcome ("ok", or why it failed).
+    pub detail: String,
+    /// Configurations visited while discharging the obligation (zero when
+    /// not applicable).
+    pub configs_visited: usize,
+}
+
+impl JobResult {
+    /// A passing result with no detail.
+    #[must_use]
+    pub fn pass() -> Self {
+        JobResult {
+            passed: true,
+            detail: String::new(),
+            configs_visited: 0,
+        }
+    }
+
+    /// A failing result carrying the reason.
+    #[must_use]
+    pub fn fail(detail: impl Into<String>) -> Self {
+        JobResult {
+            passed: false,
+            detail: detail.into(),
+            configs_visited: 0,
+        }
+    }
+
+    /// Converts a `Result`-shaped obligation outcome.
+    #[must_use]
+    pub fn from_check(outcome: Result<(), String>) -> Self {
+        match outcome {
+            Ok(()) => JobResult::pass(),
+            Err(e) => JobResult::fail(e),
+        }
+    }
+
+    /// Attaches a visited-configuration count.
+    #[must_use]
+    pub fn with_visited(mut self, configs: usize) -> Self {
+        self.configs_visited = configs;
+        self
+    }
+
+    /// Attaches or replaces the detail string.
+    #[must_use]
+    pub fn with_detail(mut self, detail: impl Into<String>) -> Self {
+        self.detail = detail.into();
+        self
+    }
+}
+
+/// How one job ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// The obligation holds.
+    Passed,
+    /// The obligation was checked and does not hold (or errored).
+    Failed,
+    /// Not run because a dependency did not pass.
+    Skipped,
+}
+
+impl fmt::Display for JobStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobStatus::Passed => write!(f, "pass"),
+            JobStatus::Failed => write!(f, "FAIL"),
+            JobStatus::Skipped => write!(f, "skip"),
+        }
+    }
+}
+
+/// Statistics for one executed (or skipped) job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobStats {
+    /// The job's name.
+    pub name: String,
+    /// How it ended.
+    pub status: JobStatus,
+    /// Outcome detail (empty for quiet passes).
+    pub detail: String,
+    /// Configurations visited by the job.
+    pub configs_visited: usize,
+    /// Wall-clock time the job took.
+    pub wall: Duration,
+}
+
+/// The structured result of running a job DAG: per-job statistics plus
+/// end-to-end wall clock and pool size.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineReport {
+    /// Per-job statistics, in submission order.
+    pub jobs: Vec<JobStats>,
+    /// End-to-end wall clock for the whole DAG.
+    pub wall: Duration,
+    /// Number of pool threads the engine was configured with.
+    pub threads: usize,
+}
+
+impl EngineReport {
+    /// `true` iff every job passed.
+    #[must_use]
+    pub fn all_passed(&self) -> bool {
+        self.jobs.iter().all(|j| j.status == JobStatus::Passed)
+    }
+
+    /// The jobs that failed.
+    pub fn failures(&self) -> impl Iterator<Item = &JobStats> {
+        self.jobs.iter().filter(|j| j.status == JobStatus::Failed)
+    }
+
+    /// Total configurations visited across all jobs.
+    #[must_use]
+    pub fn configs_visited(&self) -> usize {
+        self.jobs.iter().map(|j| j.configs_visited).sum()
+    }
+}
+
+impl fmt::Display for EngineReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "engine report: {} job(s) on {} thread(s), {:.1} ms total",
+            self.jobs.len(),
+            self.threads,
+            self.wall.as_secs_f64() * 1e3
+        )?;
+        for job in &self.jobs {
+            write!(
+                f,
+                "  [{}] {:<28} {:>9.2} ms",
+                job.status,
+                job.name,
+                job.wall.as_secs_f64() * 1e3
+            )?;
+            if job.configs_visited > 0 {
+                write!(f, "  {:>8} configs", job.configs_visited)?;
+            }
+            if !job.detail.is_empty() {
+                write!(f, "  — {}", job.detail)?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_all_independent_jobs() {
+        let counter = AtomicUsize::new(0);
+        let jobs: Vec<Job<'_>> = (0..8)
+            .map(|i| {
+                Job::new(format!("job-{i}"), || {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                    JobResult::pass().with_visited(10)
+                })
+            })
+            .collect();
+        let report = Engine::new().with_threads(4).run(jobs);
+        assert_eq!(counter.load(Ordering::Relaxed), 8);
+        assert!(report.all_passed());
+        assert_eq!(report.configs_visited(), 80);
+        assert_eq!(report.jobs.len(), 8);
+    }
+
+    #[test]
+    fn dependencies_order_execution() {
+        let order = Mutex::new(Vec::new());
+        let jobs = vec![
+            Job::new("first", || {
+                order.lock().unwrap().push("first");
+                JobResult::pass()
+            }),
+            Job::new("second", || {
+                order.lock().unwrap().push("second");
+                JobResult::pass()
+            })
+            .after(0),
+        ];
+        Engine::new().with_threads(4).run(jobs);
+        assert_eq!(*order.lock().unwrap(), vec!["first", "second"]);
+    }
+
+    #[test]
+    fn failed_dependency_skips_dependents() {
+        let ran = AtomicUsize::new(0);
+        let jobs = vec![
+            Job::new("explodes", || JobResult::fail("boom")),
+            Job::new("downstream", || {
+                ran.fetch_add(1, Ordering::Relaxed);
+                JobResult::pass()
+            })
+            .after(0),
+            Job::new("independent", || {
+                ran.fetch_add(1, Ordering::Relaxed);
+                JobResult::pass()
+            }),
+        ];
+        let report = Engine::new().with_threads(2).run(jobs);
+        assert_eq!(ran.load(Ordering::Relaxed), 1, "only the independent job runs");
+        assert!(!report.all_passed());
+        assert_eq!(report.jobs[0].status, JobStatus::Failed);
+        assert_eq!(report.jobs[1].status, JobStatus::Skipped);
+        assert_eq!(report.jobs[2].status, JobStatus::Passed);
+        assert_eq!(report.failures().count(), 1);
+    }
+
+    #[test]
+    fn skip_cascades_through_chains() {
+        let jobs = vec![
+            Job::new("a", || JobResult::fail("no")),
+            Job::new("b", JobResult::pass).after(0),
+            Job::new("c", JobResult::pass).after(1),
+        ];
+        let report = Engine::new().with_threads(1).run(jobs);
+        assert_eq!(report.jobs[1].status, JobStatus::Skipped);
+        assert_eq!(report.jobs[2].status, JobStatus::Skipped);
+    }
+
+    #[test]
+    fn empty_dag_is_fine() {
+        let report = Engine::new().run(Vec::new());
+        assert!(report.all_passed());
+        assert!(report.jobs.is_empty());
+    }
+
+    #[test]
+    fn report_displays_every_job() {
+        let jobs = vec![
+            Job::new("alpha", || JobResult::pass().with_visited(42)),
+            Job::new("beta", || JobResult::fail("broken invariant")),
+        ];
+        let report = Engine::new().with_threads(2).run(jobs);
+        let text = report.to_string();
+        assert!(text.contains("alpha"));
+        assert!(text.contains("42 configs"));
+        assert!(text.contains("broken invariant"));
+        assert!(text.contains("FAIL"));
+    }
+
+    #[test]
+    #[should_panic(expected = "not an earlier job")]
+    fn forward_dependency_panics() {
+        let jobs = vec![Job::new("a", JobResult::pass).after(3)];
+        Engine::new().run(jobs);
+    }
+}

@@ -159,6 +159,51 @@ impl ActionOutcome {
     }
 }
 
+/// The global-store *footprint* of an action: which schema indices its
+/// evaluation may read and which it may write.
+///
+/// A footprint is a contract on [`ActionSemantics::eval`]: for fixed
+/// arguments, the outcome is a function of the globals at `reads` alone, and
+/// every produced transition agrees with the input store outside `writes`.
+/// Both lists are sorted and deduplicated; over-approximation is sound
+/// (claiming a read/write that never happens), under-approximation is not.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Footprint {
+    /// Schema indices the action may read.
+    pub reads: Vec<usize>,
+    /// Schema indices the action may write.
+    pub writes: Vec<usize>,
+}
+
+impl Footprint {
+    /// Creates a footprint, sorting and deduplicating both index lists.
+    #[must_use]
+    pub fn new(mut reads: Vec<usize>, mut writes: Vec<usize>) -> Self {
+        reads.sort_unstable();
+        reads.dedup();
+        writes.sort_unstable();
+        writes.dedup();
+        Footprint { reads, writes }
+    }
+
+    /// The sorted union of `reads` and `writes` — the projection of the
+    /// global store that determines the outcome *and* every recorded write
+    /// value, which makes it the correct memoization key for transition
+    /// caching.
+    #[must_use]
+    pub fn key_indices(&self) -> Vec<usize> {
+        let mut key: Vec<usize> = self
+            .reads
+            .iter()
+            .chain(self.writes.iter())
+            .copied()
+            .collect();
+        key.sort_unstable();
+        key.dedup();
+        key
+    }
+}
+
 /// The semantics of a gated atomic action.
 ///
 /// Implementors compute, for a given input store, whether the gate `ρ` holds
@@ -174,6 +219,16 @@ pub trait ActionSemantics: fmt::Debug + Send + Sync {
     /// `args.len()` must equal [`arity`](ActionSemantics::arity); violating
     /// this is a caller bug and implementations may panic.
     fn eval(&self, globals: &GlobalStore, args: &[Value]) -> ActionOutcome;
+
+    /// The action's global footprint, when one can be soundly computed.
+    ///
+    /// `None` (the default) means the action is opaque — callers must assume
+    /// it may read and write the entire store. DSL actions override this with
+    /// a static analysis of their bodies, which lets explorers memoize
+    /// transitions keyed on the projected store instead of the whole one.
+    fn footprint(&self) -> Option<Footprint> {
+        None
+    }
 }
 
 /// An atomic action implemented directly as a Rust closure.

@@ -61,6 +61,9 @@ pub enum ExploreError {
     BudgetExceeded {
         /// The configured limit that was hit.
         limit: usize,
+        /// How many distinct configurations had been interned when the
+        /// budget ran out — the exhaustion point. Always `> limit`.
+        visited: usize,
     },
     /// A structural program error surfaced while exploring.
     Kernel(KernelError),
@@ -69,8 +72,12 @@ pub enum ExploreError {
 impl fmt::Display for ExploreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ExploreError::BudgetExceeded { limit } => {
-                write!(f, "exploration exceeded the budget of {limit} configurations")
+            ExploreError::BudgetExceeded { limit, visited } => {
+                write!(
+                    f,
+                    "exploration exceeded the budget of {limit} configurations \
+                     (visited {visited} before giving up)"
+                )
             }
             ExploreError::Kernel(e) => write!(f, "{e}"),
         }
@@ -100,8 +107,12 @@ mod tests {
     fn display_messages_are_lowercase_and_informative() {
         let e = KernelError::UnknownAction("Foo".into());
         assert_eq!(e.to_string(), "unknown action `Foo`");
-        let e = ExploreError::BudgetExceeded { limit: 10 };
+        let e = ExploreError::BudgetExceeded {
+            limit: 10,
+            visited: 11,
+        };
         assert!(e.to_string().contains("10"));
+        assert!(e.to_string().contains("11"));
     }
 
     #[test]

@@ -110,6 +110,7 @@ impl<'p> Explorer<'p> {
                                 if exp.configs.len() > self.budget {
                                     return Err(ExploreError::BudgetExceeded {
                                         limit: self.budget,
+                                        visited: exp.configs.len(),
                                     });
                                 }
                                 frontier.push(next_id);
@@ -423,7 +424,13 @@ mod tests {
         let p = counter_program();
         let init = p.initial_config(vec![]).unwrap();
         let err = Explorer::new(&p).with_budget(1).explore([init]).unwrap_err();
-        assert!(matches!(err, ExploreError::BudgetExceeded { limit: 1 }));
+        assert!(matches!(
+            err,
+            ExploreError::BudgetExceeded {
+                limit: 1,
+                visited
+            } if visited > 1
+        ));
     }
 
     #[test]

@@ -53,7 +53,7 @@ mod universe;
 mod value;
 
 pub use action::{
-    ActionName, ActionOutcome, ActionSemantics, NativeAction, PendingAsync, Transition,
+    ActionName, ActionOutcome, ActionSemantics, Footprint, NativeAction, PendingAsync, Transition,
 };
 pub use config::{Config, Step};
 pub use error::{ExploreError, KernelError};

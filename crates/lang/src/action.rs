@@ -228,6 +228,10 @@ impl ActionSemantics for DslAction {
     fn eval(&self, globals: &GlobalStore, args: &[Value]) -> ActionOutcome {
         interp::run_action(self, globals, args)
     }
+
+    fn footprint(&self) -> Option<inseq_kernel::Footprint> {
+        Some(crate::footprint::analyze(self))
+    }
 }
 
 /// Builder for [`DslAction`]; finishing type-checks the body.

@@ -1,0 +1,261 @@
+//! Static global-store footprint analysis for DSL actions.
+//!
+//! The interpreter touches globals only through statically named slots, so a
+//! syntactic walk over an action's body computes a sound footprint: every
+//! global the evaluation could read and every global it could write. `call`
+//! statements inline the callee's body into the same atomic step, so the
+//! analysis descends into callees (with the *callee's* slot mapping, since
+//! global indices live in a shared schema while locals do not), guarding
+//! against recursive call chains.
+//!
+//! The analysis over-approximates reads — a quantifier binder that shadows a
+//! global name still records the global as read — which is sound: footprints
+//! license memoizing evaluation on the projected store, and extra key indices
+//! only shrink sharing, never correctness.
+
+use std::collections::BTreeSet;
+
+use inseq_kernel::Footprint;
+
+use crate::action::{DslAction, Slot};
+use crate::expr::Expr;
+use crate::stmt::Stmt;
+
+/// Computes the global read/write footprint of `action`.
+pub(crate) fn analyze(action: &DslAction) -> Footprint {
+    let mut walk = Walk {
+        reads: BTreeSet::new(),
+        writes: BTreeSet::new(),
+        visiting: Vec::new(),
+    };
+    walk.action(action);
+    Footprint::new(
+        walk.reads.into_iter().collect(),
+        walk.writes.into_iter().collect(),
+    )
+}
+
+struct Walk {
+    reads: BTreeSet<usize>,
+    writes: BTreeSet<usize>,
+    visiting: Vec<String>,
+}
+
+impl Walk {
+    fn action(&mut self, action: &DslAction) {
+        if self.visiting.iter().any(|n| n == action.name()) {
+            return;
+        }
+        self.visiting.push(action.name().to_owned());
+        for stmt in action.body() {
+            self.stmt(action, stmt);
+        }
+        self.visiting.pop();
+    }
+
+    fn read(&mut self, action: &DslAction, name: &str) {
+        if let Some(Slot::Global(i)) = action.slot(name) {
+            self.reads.insert(i);
+        }
+    }
+
+    fn write(&mut self, action: &DslAction, name: &str) {
+        if let Some(Slot::Global(i)) = action.slot(name) {
+            self.writes.insert(i);
+        }
+    }
+
+    fn stmt(&mut self, action: &DslAction, stmt: &Stmt) {
+        match stmt {
+            Stmt::Assign(x, e) => {
+                self.expr(action, e);
+                self.write(action, x);
+            }
+            Stmt::AssignAt(x, k, v) => {
+                // Sugar for `x := x[k := v]`: reads the current map too.
+                self.read(action, x);
+                self.expr(action, k);
+                self.expr(action, v);
+                self.write(action, x);
+            }
+            Stmt::Assume(e) | Stmt::Assert(e, _) => self.expr(action, e),
+            Stmt::If(c, then_, else_) => {
+                self.expr(action, c);
+                for s in then_.iter().chain(else_.iter()) {
+                    self.stmt(action, s);
+                }
+            }
+            Stmt::ForRange(x, lo, hi, body) => {
+                self.expr(action, lo);
+                self.expr(action, hi);
+                self.write(action, x);
+                for s in body {
+                    self.stmt(action, s);
+                }
+            }
+            Stmt::Choose(x, s) => {
+                self.expr(action, s);
+                self.write(action, x);
+            }
+            Stmt::Send { chan, key, msg } => {
+                self.read(action, chan);
+                if let Some(k) = key {
+                    self.expr(action, k);
+                }
+                self.expr(action, msg);
+                self.write(action, chan);
+            }
+            Stmt::Recv { var, chan, key } => {
+                self.read(action, chan);
+                if let Some(k) = key {
+                    self.expr(action, k);
+                }
+                self.write(action, chan);
+                self.write(action, var);
+            }
+            Stmt::Async { args, .. } | Stmt::AsyncNamed { args, .. } => {
+                // Spawning evaluates arguments now; the callee body runs in a
+                // later atomic step with its own footprint.
+                for a in args {
+                    self.expr(action, a);
+                }
+            }
+            Stmt::Call { callee, args } => {
+                for a in args {
+                    self.expr(action, a);
+                }
+                self.action(callee);
+            }
+            Stmt::Skip => {}
+        }
+    }
+
+    fn expr(&mut self, action: &DslAction, expr: &Expr) {
+        match expr {
+            Expr::Const(_) => {}
+            Expr::Var(x) => self.read(action, x),
+            Expr::Neg(e)
+            | Expr::Not(e)
+            | Expr::SomeOf(e)
+            | Expr::IsSome(e)
+            | Expr::Unwrap(e)
+            | Expr::Proj(e, _)
+            | Expr::SizeOf(e)
+            | Expr::MinOf(e)
+            | Expr::MaxOf(e)
+            | Expr::SumOf(e) => self.expr(action, e),
+            Expr::Bin(_, a, b)
+            | Expr::MapGet(a, b)
+            | Expr::Contains(a, b)
+            | Expr::CountOf(a, b)
+            | Expr::WithElem(a, b)
+            | Expr::WithoutElem(a, b)
+            | Expr::UnionOf(a, b)
+            | Expr::IncludedIn(a, b)
+            | Expr::RangeSet(a, b) => {
+                self.expr(action, a);
+                self.expr(action, b);
+            }
+            Expr::Ite(c, t, e) => {
+                self.expr(action, c);
+                self.expr(action, t);
+                self.expr(action, e);
+            }
+            Expr::MapSet(m, k, v) => {
+                self.expr(action, m);
+                self.expr(action, k);
+                self.expr(action, v);
+            }
+            Expr::Tuple(es) => {
+                for e in es {
+                    self.expr(action, e);
+                }
+            }
+            // Binders shadow only locals-by-name in the interpreter's bound
+            // list; treating the body's variables in the enclosing scope
+            // over-approximates reads, which is sound.
+            Expr::Forall(_, s, body)
+            | Expr::Exists(_, s, body)
+            | Expr::Filter(_, s, body)
+            | Expr::MapImage(_, s, body) => {
+                self.expr(action, s);
+                self.expr(action, body);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::GlobalDecls;
+    use crate::build::*;
+    use crate::sort::Sort;
+    use std::sync::Arc;
+
+    fn decls() -> Arc<GlobalDecls> {
+        let mut g = GlobalDecls::new();
+        g.declare("x", Sort::Int);
+        g.declare("y", Sort::Int);
+        g.declare("bag", Sort::bag(Sort::Int));
+        Arc::new(g)
+    }
+
+    #[test]
+    fn assign_reads_rhs_writes_lhs() {
+        let g = decls();
+        let a = DslAction::build("A", &g)
+            .body(vec![assign("x", add(var("y"), int(1)))])
+            .finish()
+            .unwrap();
+        let fp = analyze(&a);
+        assert_eq!(fp.reads, vec![1]);
+        assert_eq!(fp.writes, vec![0]);
+        assert_eq!(fp.key_indices(), vec![0, 1]);
+    }
+
+    #[test]
+    fn send_recv_read_and_write_the_channel() {
+        let g = decls();
+        let a = DslAction::build("A", &g)
+            .local("m", Sort::Int)
+            .body(vec![send("bag", var("x")), recv("m", "bag")])
+            .finish()
+            .unwrap();
+        let fp = analyze(&a);
+        assert_eq!(fp.reads, vec![0, 2]);
+        assert_eq!(fp.writes, vec![2]);
+    }
+
+    #[test]
+    fn call_inlines_callee_footprint() {
+        let g = decls();
+        let callee = DslAction::build("Callee", &g)
+            .body(vec![assign("y", int(7))])
+            .finish()
+            .unwrap();
+        let caller = DslAction::build("Caller", &g)
+            .body(vec![assign("x", int(0)), call(&callee, vec![])])
+            .finish()
+            .unwrap();
+        let fp = analyze(&caller);
+        assert_eq!(fp.writes, vec![0, 1]);
+    }
+
+    #[test]
+    fn async_spawn_reads_args_but_not_callee_body() {
+        let g = decls();
+        let callee = DslAction::build("Callee", &g)
+            .param("p", Sort::Int)
+            .body(vec![assign("y", var("p"))])
+            .finish()
+            .unwrap();
+        let spawner = DslAction::build("Spawner", &g)
+            .body(vec![async_call(&callee, vec![var("x")])])
+            .finish()
+            .unwrap();
+        let fp = analyze(&spawner);
+        assert_eq!(fp.reads, vec![0]);
+        assert!(fp.writes.is_empty());
+    }
+}

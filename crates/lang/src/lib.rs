@@ -51,6 +51,7 @@
 mod action;
 mod error;
 mod expr;
+mod footprint;
 mod interp;
 mod pretty;
 mod sort;

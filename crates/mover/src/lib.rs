@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 mod check;
+mod parallel;
 mod reduction;
 mod types;
 
@@ -32,5 +33,6 @@ pub use check::{
     check_left_mover, check_right_mover, classify_actions, infer_mover_type, MoverChecker,
     MoverViolation,
 };
+pub use parallel::classify_actions_with;
 pub use reduction::{atomic_pattern, summarize_chain, summarize_mover_types};
 pub use types::MoverType;

@@ -1,0 +1,105 @@
+//! Parallel mover classification on the [`inseq_engine`] job scheduler.
+//!
+//! Mover queries are embarrassingly parallel: whether one action is a
+//! left/right mover is independent of every other action's classification.
+//! [`classify_actions_with`] fans the per-action pairwise sweeps out as one
+//! job per (action, side) query on an [`Engine`] thread pool. Each job
+//! builds its own [`MoverChecker`] so the per-checker memo cache (a
+//! `RefCell`, deliberately not shared across threads) stays thread-local.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use inseq_engine::{Engine, EngineReport, Job, JobResult};
+use inseq_kernel::{ActionName, Program, StateUniverse};
+
+use crate::check::MoverChecker;
+use crate::types::MoverType;
+
+/// Infers the mover type of every action of the program, like
+/// [`classify_actions`](crate::classify_actions), but running the per-action
+/// left/right queries concurrently on `engine`.
+///
+/// Returns the same table as the sequential driver plus the engine's per-job
+/// statistics (two jobs per action: `left:<name>` and `right:<name>`).
+#[must_use]
+pub fn classify_actions_with(
+    program: &Program,
+    universe: &StateUniverse,
+    engine: &Engine,
+) -> (BTreeMap<ActionName, MoverType>, EngineReport) {
+    let names: Vec<ActionName> = program.action_names().cloned().collect();
+    let flags: Mutex<BTreeMap<ActionName, (bool, bool)>> = Mutex::new(
+        names
+            .iter()
+            .map(|n| (n.clone(), (false, false)))
+            .collect(),
+    );
+
+    let mut jobs: Vec<Job<'_>> = Vec::with_capacity(names.len() * 2);
+    for name in &names {
+        let action = program
+            .action(name)
+            .expect("action_names() yields defined actions")
+            .clone();
+        for left in [true, false] {
+            let side = if left { "left" } else { "right" };
+            let action = action.clone();
+            let flags = &flags;
+            jobs.push(Job::new(format!("{side}:{name}"), move || {
+                let checker = MoverChecker::new(program, universe);
+                let verdict = if left {
+                    checker.check_left(&action, name)
+                } else {
+                    checker.check_right(&action, name)
+                };
+                let is_mover = verdict.is_ok();
+                let mut table = flags.lock().expect("mover flag table poisoned");
+                let entry = table.get_mut(name).expect("name seeded above");
+                if left {
+                    entry.0 = is_mover;
+                } else {
+                    entry.1 = is_mover;
+                }
+                // A "no" is a classification, not an obligation failure.
+                JobResult::pass().with_detail(match verdict {
+                    Ok(()) => format!("{side} mover"),
+                    Err(v) => format!("not a {side} mover: {v}"),
+                })
+            }));
+        }
+    }
+
+    let report = engine.run(jobs);
+    let table = flags
+        .into_inner()
+        .expect("mover flag table poisoned")
+        .into_iter()
+        .map(|(name, (left, right))| (name, MoverType::from_flags(left, right)))
+        .collect();
+    (table, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify_actions;
+    use inseq_kernel::demo::counter_program;
+    use inseq_kernel::Explorer;
+
+    #[test]
+    fn parallel_classification_matches_sequential() {
+        let p = counter_program();
+        let init = p.initial_config(vec![]).unwrap();
+        let exp = Explorer::new(&p).explore([init]).unwrap();
+        let u = StateUniverse::from_exploration(&exp);
+        let sequential = classify_actions(&p, &u);
+        for threads in [1, 4] {
+            let engine = Engine::new().with_threads(threads);
+            let (parallel, report) = classify_actions_with(&p, &u, &engine);
+            assert_eq!(parallel, sequential, "threads = {threads}");
+            assert_eq!(report.jobs.len(), 2 * sequential.len());
+            assert!(report.all_passed());
+        }
+    }
+}

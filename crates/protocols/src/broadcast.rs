@@ -30,7 +30,7 @@ use inseq_lang::build::*;
 use inseq_lang::{program_of, DslAction, GlobalDecls, Sort};
 use inseq_refine::check_program_refinement;
 
-use crate::common::{check_spec, ghost, timed, CaseError, CaseReport, LocCounter};
+use crate::common::{check_spec, ghost, timed, CaseError, CaseReport, ExplorationCase, LocCounter};
 
 /// Ghost tag for `Broadcast` pending asyncs.
 pub const TAG_BROADCAST: i64 = 1;
@@ -496,6 +496,20 @@ pub fn init_config(program: &Program, artifacts: &Artifacts, instance: &Instance
     program
         .initial_config_with(initial_store(artifacts, instance), vec![])
         .expect("instance store matches schema")
+}
+
+/// Packages this case's atomic program `P2` and initialized configuration
+/// for exploration engines.
+#[must_use]
+pub fn exploration_case(instance: &Instance) -> ExplorationCase {
+    let artifacts = build();
+    let init = init_config(&artifacts.p2, &artifacts, instance);
+    ExplorationCase::new(
+        "Broadcast consensus",
+        format!("n = {}", instance.n),
+        artifacts.p2,
+        init,
+    )
 }
 
 /// The correctness property (1): every node decided, and all decisions equal

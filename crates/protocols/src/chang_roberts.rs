@@ -24,7 +24,7 @@ use inseq_lang::build::*;
 use inseq_lang::{program_of, BinOp, DslAction, Expr, GlobalDecls, Sort};
 use inseq_refine::check_program_refinement;
 
-use crate::common::{check_spec, timed, CaseError, CaseReport, LocCounter};
+use crate::common::{check_spec, timed, CaseError, CaseReport, ExplorationCase, LocCounter};
 
 /// A finite instance: the (unique) ID of each node in ring order.
 #[derive(Debug, Clone)]
@@ -431,6 +431,20 @@ pub fn init_config(program: &Program, artifacts: &Artifacts, instance: &Instance
     program
         .initial_config_with(initial_store(artifacts, instance), vec![])
         .expect("instance store matches schema")
+}
+
+/// Packages this case's atomic program `P2` and initialized configuration
+/// for exploration engines.
+#[must_use]
+pub fn exploration_case(instance: &Instance) -> ExplorationCase {
+    let artifacts = build();
+    let init = init_config(&artifacts.p2, &artifacts, instance);
+    ExplorationCase::new(
+        "Chang-Roberts",
+        format!("n = {}", instance.n),
+        artifacts.p2,
+        init,
+    )
 }
 
 /// The spec: exactly the maximum-ID node is elected.

@@ -128,6 +128,51 @@ pub fn check_spec(
     Ok(count)
 }
 
+/// One protocol's exploration workload, packaged for exploration engines.
+///
+/// Exposes a case's atomic program `P2` and its initialized configuration
+/// using kernel types only, so any explorer — the sequential
+/// [`inseq_kernel::Explorer`] or `inseq-engine`'s sharded parallel one — can
+/// enumerate the case's configuration universe without knowing protocol
+/// internals. Every protocol module provides an `exploration_case`
+/// constructor, and [`crate::exploration_cases`] collects all seven.
+#[derive(Debug, Clone)]
+pub struct ExplorationCase {
+    /// Protocol name as in Table 1.
+    pub name: String,
+    /// Human-readable instance size (e.g. `n = 3`).
+    pub instance: String,
+    /// The atomic-action program `P2` whose reachable configurations form
+    /// the quantification universe of the case's IS obligations.
+    pub program: Program,
+    /// The initialized configuration of `program` for the instance.
+    pub init: Config,
+}
+
+impl ExplorationCase {
+    /// Packages a case.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        instance: impl Into<String>,
+        program: Program,
+        init: Config,
+    ) -> Self {
+        ExplorationCase {
+            name: name.into(),
+            instance: instance.into(),
+            program,
+            init,
+        }
+    }
+}
+
+impl fmt::Display for ExplorationCase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.name, self.instance)
+    }
+}
+
 /// Wraps an [`IsViolation`] (or any pipeline error) with the case name.
 #[derive(Debug)]
 pub struct CaseError {

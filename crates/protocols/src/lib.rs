@@ -37,3 +37,22 @@ pub mod paxos_impl;
 pub mod ping_pong;
 pub mod producer_consumer;
 pub mod two_phase_commit;
+
+pub use common::ExplorationCase;
+
+/// All seven cases of Table 1 at small reference instance sizes, packaged
+/// as [`ExplorationCase`]s for exploration engines (kernel types only, so
+/// both the sequential explorer and `inseq-engine`'s parallel one can
+/// consume them).
+#[must_use]
+pub fn exploration_cases() -> Vec<ExplorationCase> {
+    vec![
+        broadcast::exploration_case(&broadcast::Instance::new(&[3, 1, 2])),
+        ping_pong::exploration_case(ping_pong::Instance::new(4)),
+        producer_consumer::exploration_case(producer_consumer::Instance::new(4)),
+        n_buyer::exploration_case(&n_buyer::Instance::new(10, &[6, 6, 9])),
+        chang_roberts::exploration_case(&chang_roberts::Instance::new(&[10, 30, 20])),
+        two_phase_commit::exploration_case(&two_phase_commit::Instance::new(&[true, false, true])),
+        paxos::exploration_case(paxos::Instance::new(2, 2)),
+    ]
+}

@@ -30,7 +30,7 @@ use inseq_lang::build::*;
 use inseq_lang::{program_of, DslAction, Expr, GlobalDecls, Sort, Stmt};
 use inseq_refine::check_program_refinement;
 
-use crate::common::{check_spec, timed, CaseError, CaseReport, LocCounter};
+use crate::common::{check_spec, timed, CaseError, CaseReport, ExplorationCase, LocCounter};
 
 /// Schedule positions doubling as ghost tags.
 const TAG_START: i64 = 0;
@@ -648,6 +648,16 @@ pub fn init_config(program: &Program, artifacts: &Artifacts, instance: Instance)
     program
         .initial_config_with(initial_store(artifacts, instance), vec![])
         .expect("instance store matches schema")
+}
+
+/// Packages this case's atomic program `P2` and initialized configuration
+/// for exploration engines.
+#[must_use]
+pub fn exploration_case(instance: Instance) -> ExplorationCase {
+    let artifacts = build();
+    let label = format!("R = {}, N = {}", instance.rounds, instance.nodes);
+    let init = init_config(&artifacts.p2, &artifacts, instance);
+    ExplorationCase::new("Paxos", label, artifacts.p2, init)
 }
 
 /// The `Paxos'` property: no two rounds decide different values.

@@ -15,7 +15,7 @@ use inseq_lang::build::*;
 use inseq_lang::{program_of, DslAction, GlobalDecls, Sort};
 use inseq_refine::check_program_refinement;
 
-use crate::common::{check_spec, timed, CaseError, CaseReport, LocCounter};
+use crate::common::{check_spec, timed, CaseError, CaseReport, ExplorationCase, LocCounter};
 
 /// A finite instance: how many numbers are produced.
 #[derive(Debug, Clone, Copy)]
@@ -252,6 +252,20 @@ pub fn init_config(program: &Program, artifacts: &Artifacts, instance: Instance)
     program
         .initial_config_with(initial_store(artifacts, instance), vec![])
         .expect("instance store matches schema")
+}
+
+/// Packages this case's atomic program `P2` and initialized configuration
+/// for exploration engines.
+#[must_use]
+pub fn exploration_case(instance: Instance) -> ExplorationCase {
+    let artifacts = build();
+    let init = init_config(&artifacts.p2, &artifacts, instance);
+    ExplorationCase::new(
+        "Producer-Consumer",
+        format!("K = {}", instance.k),
+        artifacts.p2,
+        init,
+    )
 }
 
 /// Final-state spec: the queue is drained.

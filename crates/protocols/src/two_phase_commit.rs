@@ -27,7 +27,7 @@ use inseq_lang::build::*;
 use inseq_lang::{program_of, DslAction, GlobalDecls, Sort};
 use inseq_refine::check_program_refinement;
 
-use crate::common::{check_spec, timed, CaseError, CaseReport, LocCounter};
+use crate::common::{check_spec, timed, CaseError, CaseReport, ExplorationCase, LocCounter};
 
 /// A finite instance: each participant's predetermined vote.
 #[derive(Debug, Clone)]
@@ -381,6 +381,20 @@ pub fn init_config(program: &Program, artifacts: &Artifacts, instance: &Instance
     program
         .initial_config_with(initial_store(artifacts, instance), vec![])
         .expect("instance store matches schema")
+}
+
+/// Packages this case's atomic program `P2` and initialized configuration
+/// for exploration engines.
+#[must_use]
+pub fn exploration_case(instance: &Instance) -> ExplorationCase {
+    let artifacts = build();
+    let init = init_config(&artifacts.p2, &artifacts, instance);
+    ExplorationCase::new(
+        "Two-phase commit",
+        format!("n = {}", instance.n),
+        artifacts.p2,
+        init,
+    )
 }
 
 /// The spec: every participant finalized, all with the same decision, and

@@ -7,6 +7,7 @@
 //! | Module | Crate | Contents |
 //! |---|---|---|
 //! | [`kernel`] | `inseq-kernel` | values, stores, pending asyncs, configurations, programs, exhaustive exploration |
+//! | [`engine`] | `inseq-engine` | sharded parallel exploration and the check-scheduling job DAG |
 //! | [`lang`] | `inseq-lang` | the typed action DSL and its nondeterministic interpreter |
 //! | [`mover`] | `inseq-mover` | mover types, commutativity checking, Lipton reduction |
 //! | [`refine`] | `inseq-refine` | action and program refinement (Defs. 3.1/3.2) |
@@ -37,6 +38,7 @@
 
 pub use inseq_baseline as baseline;
 pub use inseq_core as core;
+pub use inseq_engine as engine;
 pub use inseq_kernel as kernel;
 pub use inseq_lang as lang;
 pub use inseq_mover as mover;

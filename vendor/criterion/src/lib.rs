@@ -1,0 +1,326 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors a minimal benchmark harness exposing the subset of criterion's
+//! API that the `benches/` targets use: [`criterion_group!`] /
+//! [`criterion_main!`], [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`] / [`BenchmarkGroup::bench_with_input`],
+//! [`BenchmarkId`], and [`Bencher::iter`].
+//!
+//! Measurement is real wall-clock: each sample runs the body enough times to
+//! cover a minimum measurement window, and the reported statistics are the
+//! minimum / mean / maximum of the per-iteration sample means. There are no
+//! plots, no statistical regression analysis, and no saved baselines — the
+//! numbers print to stdout, which is what EXPERIMENTS.md records.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Minimum wall-clock window one sample should cover; bodies faster than
+/// this are looped within the sample.
+const MIN_SAMPLE_WINDOW: Duration = Duration::from_millis(2);
+
+/// The benchmark driver handed to `criterion_group!` targets.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    filters: Vec<String>,
+}
+
+impl Criterion {
+    /// Applies command-line configuration. Positional arguments become
+    /// substring filters on `group/id` names (the behavior `cargo bench --
+    /// <filter>` relies on); flags such as `--bench` that Cargo passes to
+    /// bench harnesses are accepted and ignored.
+    #[must_use]
+    pub fn configure_from_args(mut self) -> Self {
+        self.filters = std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .collect();
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("");
+        group.bench_function(id, f);
+        group.finish();
+    }
+
+    /// Prints the closing line. (Real criterion prints a summary; ours
+    /// reports per-benchmark as it goes, so this is just a terminator.)
+    pub fn final_summary(&self) {}
+
+    fn matches(&self, full_name: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| full_name.contains(f))
+    }
+}
+
+/// A named set of benchmarks sharing a sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many samples each benchmark in the group collects.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = self.full_name(&id);
+        if self.criterion.matches(&full) {
+            let mut bencher = Bencher {
+                sample_size: self.sample_size,
+                samples: Vec::new(),
+                iters_per_sample: 0,
+            };
+            f(&mut bencher);
+            bencher.report(&full);
+        }
+        self
+    }
+
+    /// Runs one benchmark parameterized by a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+
+    fn full_name(&self, id: &BenchmarkId) -> String {
+        if self.name.is_empty() {
+            id.to_string()
+        } else {
+            format!("{}/{}", self.name, id)
+        }
+    }
+}
+
+/// A benchmark identifier: a function name, optionally with a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An identifier `function/parameter`.
+    #[must_use]
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An identifier carrying a parameter only.
+    #[must_use]
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(function: &str) -> Self {
+        BenchmarkId {
+            function: function.to_owned(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(function: String) -> Self {
+        BenchmarkId {
+            function,
+            parameter: None,
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.function.is_empty(), &self.parameter) {
+            (false, Some(p)) => write!(f, "{}/{}", self.function, p),
+            (false, None) => write!(f, "{}", self.function),
+            (true, Some(p)) => write!(f, "{p}"),
+            (true, None) => Ok(()),
+        }
+    }
+}
+
+/// Runs and times a benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<Duration>,
+    iters_per_sample: u32,
+}
+
+impl Bencher {
+    /// Measures `body`: one untimed warm-up call, then `sample_size` timed
+    /// samples, each looping the body enough to cover the measurement
+    /// window. Records the per-iteration mean of every sample.
+    pub fn iter<O, F>(&mut self, mut body: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Warm-up; also calibrates how many iterations one sample needs.
+        let warm_start = Instant::now();
+        black_box(body());
+        let once = warm_start.elapsed().max(Duration::from_nanos(1));
+        let iters = (MIN_SAMPLE_WINDOW.as_nanos() / once.as_nanos()).clamp(0, 1_000) as u32 + 1;
+        self.iters_per_sample = iters;
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(body());
+            }
+            self.samples.push(start.elapsed() / iters);
+        }
+    }
+
+    fn report(&self, full_name: &str) {
+        if self.samples.is_empty() {
+            println!("{full_name:<60} (no measurement: Bencher::iter never called)");
+            return;
+        }
+        let min = self.samples.iter().min().expect("nonempty");
+        let max = self.samples.iter().max().expect("nonempty");
+        let mean = self.samples.iter().sum::<Duration>() / self.samples.len() as u32;
+        println!(
+            "{full_name:<60} time: [{} {} {}]  ({} samples x {} iters)",
+            fmt_duration(*min),
+            fmt_duration(mean),
+            fmt_duration(*max),
+            self.samples.len(),
+            self.iters_per_sample,
+        );
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.4} s", d.as_secs_f64())
+    } else if nanos >= 1_000_000 {
+        format!("{:.4} ms", d.as_secs_f64() * 1e3)
+    } else if nanos >= 1_000 {
+        format!("{:.4} us", d.as_secs_f64() * 1e6)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+/// Bundles benchmark functions into a group runner, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Generates `main` for a bench target, mirroring criterion's macro of the
+/// same name.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $group(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_requested_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("t");
+        group.sample_size(3);
+        let mut runs = 0u32;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+                std::thread::sleep(Duration::from_micros(50));
+            });
+        });
+        group.finish();
+        assert!(runs >= 4, "warmup + 3 samples at least, got {runs}");
+    }
+
+    #[test]
+    fn filters_skip_non_matching() {
+        let mut c = Criterion {
+            filters: vec!["wanted".into()],
+        };
+        let mut ran = false;
+        let mut group = c.benchmark_group("g");
+        group.bench_function("other", |_b| ran = true);
+        group.finish();
+        assert!(!ran, "filtered-out benchmark must not run");
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from("f").to_string(), "f");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+
+    #[test]
+    fn duration_formatting_picks_units() {
+        assert!(fmt_duration(Duration::from_nanos(5)).ends_with("ns"));
+        assert!(fmt_duration(Duration::from_micros(5)).ends_with("us"));
+        assert!(fmt_duration(Duration::from_millis(5)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(5)).ends_with('s'));
+    }
+}

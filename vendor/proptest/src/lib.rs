@@ -1,0 +1,181 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors a small generation-only property-testing harness exposing the
+//! subset of proptest's API that the test suites use:
+//!
+//! * the [`proptest!`] macro (with `#![proptest_config(...)]` support),
+//! * [`prop_assert!`] / [`prop_assert_eq!`],
+//! * the [`prop_oneof!`] macro,
+//! * range strategies (`0u8..4`, `-4i64..5`, …), tuple strategies,
+//!   [`strategy::Just`], [`collection::vec`],
+//! * [`strategy::Strategy::prop_map`] and
+//!   [`strategy::Strategy::prop_recursive`].
+//!
+//! Differences from real proptest: cases are generated from a deterministic
+//! per-test seed (derived from the test's module path and name), and there
+//! is **no shrinking** — a failing case reports the case number and message
+//! only. That trade-off keeps the harness dependency-free while preserving
+//! the tests' semantics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob import the proptest ecosystem expects: `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///     #[test]
+///     fn addition_commutes(a in -10i64..10, b in -10i64..10) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::from_name(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for case in 0..config.cases {
+                $(
+                    let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                )+
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!(
+                        "proptest `{}` failed at case {}/{}: {}",
+                        stringify!($name),
+                        case + 1,
+                        config.cases,
+                        e
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the current case
+/// (rather than panicking directly, mirroring proptest's reporting).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let left = &$left;
+        let right = &$right;
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    left,
+                    right
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = &$left;
+        let right = &$right;
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "{}\n  left: {:?}\n right: {:?}",
+                    format!($($fmt)+),
+                    left,
+                    right
+                ),
+            ));
+        }
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let left = &$left;
+        let right = &$right;
+        if left == right {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{} != {}`\n  both: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    left
+                ),
+            ));
+        }
+    }};
+}
+
+/// Chooses uniformly among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::one_of(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

@@ -1,0 +1,338 @@
+//! Value-generation strategies: the subset of proptest's `Strategy` algebra
+//! used by this workspace, built on the deterministic
+//! [`TestRng`](crate::test_runner::TestRng).
+
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of type [`Strategy::Value`].
+///
+/// Unlike real proptest there is no value tree and no shrinking: a strategy
+/// simply produces a value from the RNG.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a recursive strategy: `self` generates the leaves, and `f`
+    /// wraps an inner strategy into one more level of structure, up to
+    /// `depth` levels. The `desired_size` and `expected_branch_size`
+    /// parameters of real proptest are accepted for signature compatibility
+    /// but only `depth` shapes the output.
+    fn prop_recursive<F, S>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S + 'static,
+        S: Strategy<Value = Self::Value> + 'static,
+    {
+        let leaf = self.boxed();
+        let mut current = leaf.clone();
+        for _ in 0..depth {
+            // At each level prefer one more level of structure (weight 4)
+            // over bottoming out early (weight 1), bounded by `depth`.
+            current = weighted_union(vec![(1, leaf.clone()), (4, f(current).boxed())]);
+        }
+        current
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            gen: Rc::new(move |rng| self.generate(rng)),
+        }
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T> {
+    #[allow(clippy::type_complexity)]
+    gen: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            gen: Rc::clone(&self.gen),
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("BoxedStrategy")
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.gen)(rng)
+    }
+}
+
+/// The [`Strategy::prop_map`] combinator.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A strategy that always yields a clone of a fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among type-erased alternatives (the engine behind
+/// [`prop_oneof!`](crate::prop_oneof)).
+#[must_use]
+pub fn one_of<T: 'static>(options: Vec<BoxedStrategy<T>>) -> BoxedStrategy<T> {
+    assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+    BoxedStrategy {
+        gen: Rc::new(move |rng| {
+            let i = rng.below(options.len() as u64) as usize;
+            options[i].generate(rng)
+        }),
+    }
+}
+
+/// Weighted choice among type-erased alternatives.
+#[must_use]
+pub fn weighted_union<T: 'static>(options: Vec<(u32, BoxedStrategy<T>)>) -> BoxedStrategy<T> {
+    let total: u64 = options.iter().map(|(w, _)| u64::from(*w)).sum();
+    assert!(total > 0, "weighted union needs positive total weight");
+    BoxedStrategy {
+        gen: Rc::new(move |rng| {
+            let mut pick = rng.below(total);
+            for (w, s) in &options {
+                let w = u64::from(*w);
+                if pick < w {
+                    return s.generate(rng);
+                }
+                pick -= w;
+            }
+            unreachable!("weights cover the sampled point")
+        }),
+    }
+}
+
+macro_rules! int_range_strategies {
+    ($($t:ty),*) => {
+        $(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let span = (i128::from(self.end) - i128::from(self.start)) as u64;
+                    let off = rng.below(span);
+                    (i128::from(self.start) + i128::from(off)) as $t
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start() <= self.end(), "cannot sample empty range");
+                    let span =
+                        (i128::from(*self.end()) - i128::from(*self.start()) + 1) as u64;
+                    let off = rng.below(span);
+                    (i128::from(*self.start()) + i128::from(off)) as $t
+                }
+            }
+        )*
+    };
+}
+
+int_range_strategies!(i8, i16, i32, i64, u8, u16, u32, u64);
+
+macro_rules! size_range_strategies {
+    ($($t:ty),*) => {
+        $(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let span = (self.end - self.start) as u64;
+                    self.start + rng.below(span) as $t
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start() <= self.end(), "cannot sample empty range");
+                    let span = (*self.end() - *self.start()) as u64 + 1;
+                    *self.start() + rng.below(span) as $t
+                }
+            }
+        )*
+    };
+}
+
+size_range_strategies!(usize, isize);
+
+macro_rules! tuple_strategies {
+    ($(($($name:ident),+))*) => {
+        $(
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )*
+    };
+}
+
+tuple_strategies! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// A strategy over `bool`.
+impl Strategy for Range<bool> {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.below(2) == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::from_seed(11);
+        for _ in 0..500 {
+            let x = (-4i64..5).generate(&mut rng);
+            assert!((-4..5).contains(&x));
+            let y = (0u8..4).generate(&mut rng);
+            assert!(y < 4);
+            let z = (3usize..=6).generate(&mut rng);
+            assert!((3..=6).contains(&z));
+        }
+    }
+
+    #[test]
+    fn negative_ranges_cover_endpoints() {
+        let mut rng = TestRng::from_seed(12);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..400 {
+            seen.insert((-2i64..2).generate(&mut rng));
+        }
+        assert_eq!(
+            seen.into_iter().collect::<Vec<_>>(),
+            vec![-2, -1, 0, 1]
+        );
+    }
+
+    #[test]
+    fn map_and_just_compose() {
+        let mut rng = TestRng::from_seed(13);
+        let s = (0i64..10).prop_map(|x| x * 2);
+        for _ in 0..100 {
+            assert_eq!(s.generate(&mut rng) % 2, 0);
+        }
+        assert_eq!(Just(7).generate(&mut rng), 7);
+    }
+
+    #[test]
+    fn one_of_uses_every_arm() {
+        let mut rng = TestRng::from_seed(14);
+        let s = one_of(vec![Just(1).boxed(), Just(2).boxed(), Just(3).boxed()]);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..200 {
+            seen.insert(s.generate(&mut rng));
+        }
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn recursion_is_depth_bounded() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum T {
+            Leaf,
+            Node(Box<T>),
+        }
+        fn depth(t: &T) -> u32 {
+            match t {
+                T::Leaf => 0,
+                T::Node(c) => 1 + depth(c),
+            }
+        }
+        let mut rng = TestRng::from_seed(15);
+        let s = Just(T::Leaf).prop_recursive(3, 8, 2, |inner| {
+            inner.prop_map(|c| T::Node(Box::new(c)))
+        });
+        let mut max = 0;
+        for _ in 0..300 {
+            max = max.max(depth(&s.generate(&mut rng)));
+        }
+        assert!(max <= 3, "depth {max} exceeds bound");
+        assert!(max >= 2, "recursion never fired");
+    }
+
+    #[test]
+    fn tuples_generate_componentwise() {
+        let mut rng = TestRng::from_seed(16);
+        let (a, b, c) = ((0i64..3), Just("k"), (1u8..2)).generate(&mut rng);
+        assert!((0..3).contains(&a));
+        assert_eq!(b, "k");
+        assert_eq!(c, 1);
+    }
+}
