@@ -1,0 +1,54 @@
+//! Scratch profiling probe: wall-time of exploration vs the rest of the
+//! verification pipeline for the heavy Table-1 cases.
+
+use std::time::Instant;
+
+use inseq_kernel::{Explorer, StateUniverse};
+
+fn main() {
+    for case in inseq_protocols::exploration_cases() {
+        let t = Instant::now();
+        let exp = Explorer::new(&case.program)
+            .explore([case.init.clone()])
+            .unwrap();
+        let explore = t.elapsed();
+        let t = Instant::now();
+        let u = StateUniverse::from_exploration(&exp);
+        let universe = t.elapsed();
+        println!(
+            "{:<22} explore {:>9.3?} ({} configs, {} edges)  universe {:>9.3?} ({} stores)",
+            case.name,
+            explore,
+            exp.config_count(),
+            exp.edge_count(),
+            universe,
+            u.store_count()
+        );
+    }
+    // Full pipelines for the heavy hitters.
+    for (name, run) in [
+        ("Paxos", Box::new(|| {
+            inseq_protocols::paxos::verify(inseq_protocols::paxos::Instance::new(2, 2))
+                .map(|_| ())
+                .unwrap()
+        }) as Box<dyn Fn()>),
+        ("Broadcast", Box::new(|| {
+            inseq_protocols::broadcast::verify(&inseq_protocols::broadcast::Instance::new(&[
+                3, 1, 2,
+            ]))
+            .map(|_| ())
+            .unwrap()
+        })),
+        ("2PC", Box::new(|| {
+            inseq_protocols::two_phase_commit::verify(
+                &inseq_protocols::two_phase_commit::Instance::new(&[true, false, true]),
+            )
+            .map(|_| ())
+            .unwrap()
+        })),
+    ] {
+        let t = Instant::now();
+        run();
+        println!("{name:<22} full pipeline {:>9.3?}", t.elapsed());
+    }
+}

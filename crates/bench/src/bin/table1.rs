@@ -7,6 +7,14 @@
 //!
 //! `--jobs N` runs the seven protocol pipelines as independent jobs on an
 //! `inseq-engine` scheduler with `N` threads instead of sequentially.
+//!
+//! `--json [path]` emits machine-readable rows — per-protocol wall time,
+//! visited-configuration count, and edge count — to `path` (conventionally
+//! `BENCH_table1.json` at the repo root) or to stdout when no path follows.
+//!
+//! `--only a,b` restricts the run to protocols whose name contains one of
+//! the comma-separated needles (case-insensitive); CI uses this for a cheap
+//! bench smoke over the fastest cases.
 
 use std::process::ExitCode;
 
@@ -20,20 +28,69 @@ fn rows_as_json(rows: &[inseq_protocols::common::CaseReport]) -> String {
         if i > 0 {
             out.push_str(",\n");
         }
+        let visited: usize = r.reports.iter().map(|p| p.reachable_configs).sum();
+        let edges: usize = r.reports.iter().map(|p| p.edges).sum();
         out.push_str(&format!(
             "  {{\"example\": \"{}\", \"instance\": \"{}\", \"is_applications\": {}, \
-             \"loc_total\": {}, \"loc_is\": {}, \"loc_impl\": {}, \"time_seconds\": {:.6}}}",
+             \"loc_total\": {}, \"loc_is\": {}, \"loc_impl\": {}, \"time_seconds\": {:.6}, \
+             \"visited_configs\": {}, \"edges\": {}}}",
             json_escape(&r.name),
             json_escape(&r.instance),
             r.is_applications,
             r.loc_total,
             r.loc_is,
             r.loc_impl,
-            r.time.as_secs_f64()
+            r.time.as_secs_f64(),
+            visited,
+            edges
         ));
     }
     out.push_str("\n]\n");
     out
+}
+
+/// `--json` handling: absent, bare (stdout), or with a target path.
+enum JsonMode {
+    Off,
+    Stdout,
+    File(String),
+}
+
+fn parse_json_mode(args: &[String]) -> JsonMode {
+    for (i, arg) in args.iter().enumerate() {
+        if let Some(path) = arg.strip_prefix("--json=") {
+            return JsonMode::File(path.to_owned());
+        }
+        if arg == "--json" {
+            return match args.get(i + 1) {
+                Some(next) if !next.starts_with("--") => JsonMode::File(next.clone()),
+                _ => JsonMode::Stdout,
+            };
+        }
+    }
+    JsonMode::Off
+}
+
+fn parse_only(args: &[String]) -> Option<Vec<String>> {
+    for (i, arg) in args.iter().enumerate() {
+        let list = if let Some(v) = arg.strip_prefix("--only=") {
+            Some(v.to_owned())
+        } else if arg == "--only" {
+            args.get(i + 1).cloned()
+        } else {
+            None
+        };
+        if let Some(list) = list {
+            return Some(
+                list.split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_owned)
+                    .collect(),
+            );
+        }
+    }
+    None
 }
 
 fn parse_jobs(args: &[String]) -> Result<usize, String> {
@@ -64,7 +121,7 @@ fn parse_jobs(args: &[String]) -> Result<usize, String> {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let compare = args.iter().any(|a| a == "--compare");
-    let json = args.iter().any(|a| a == "--json");
+    let json = parse_json_mode(&args);
     let jobs = match parse_jobs(&args) {
         Ok(jobs) => jobs,
         Err(e) => {
@@ -72,18 +129,31 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let only = parse_only(&args);
     let rows = || {
-        if jobs > 1 {
+        if let Some(needles) = &only {
+            inseq_bench::table1_rows_only(needles)
+        } else if jobs > 1 {
             inseq_bench::table1_rows_with(jobs)
         } else {
             inseq_bench::table1_rows()
         }
     };
 
-    if json {
+    if !matches!(json, JsonMode::Off) {
         match rows() {
             Ok(rows) => {
-                print!("{}", rows_as_json(&rows));
+                let payload = rows_as_json(&rows);
+                match json {
+                    JsonMode::File(path) => {
+                        if let Err(e) = std::fs::write(&path, &payload) {
+                            eprintln!("failed to write `{path}`: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                        eprintln!("wrote {} rows to {path}", rows.len());
+                    }
+                    _ => print!("{payload}"),
+                }
                 return ExitCode::SUCCESS;
             }
             Err(e) => {

@@ -84,6 +84,44 @@ pub fn table1_rows() -> Result<Vec<CaseReport>, CaseError> {
     ])
 }
 
+/// Like [`table1_rows`], but restricted to protocols whose Table-1 name
+/// contains any of `needles` (case-insensitive) — the `table1 --only a,b`
+/// path, used by the CI bench smoke to run just the fastest cases.
+///
+/// # Errors
+///
+/// Returns the first failing selected case, or a synthetic error when no
+/// protocol matches the filter.
+pub fn table1_rows_only(needles: &[String]) -> Result<Vec<CaseReport>, CaseError> {
+    type CaseRunner = Box<dyn FnOnce() -> Result<CaseReport, CaseError>>;
+    let runners: Vec<(&str, CaseRunner)> = vec![
+        ("Broadcast consensus", Box::new(|| broadcast::verify(&instances::broadcast()))),
+        ("Ping-Pong", Box::new(|| ping_pong::verify(instances::ping_pong()))),
+        ("Producer-Consumer", Box::new(|| producer_consumer::verify(instances::producer_consumer()))),
+        ("N-Buyer", Box::new(|| n_buyer::verify(&instances::n_buyer()))),
+        ("Chang-Roberts", Box::new(|| chang_roberts::verify(&instances::chang_roberts()))),
+        ("Two-phase commit", Box::new(|| two_phase_commit::verify(&instances::two_phase_commit()))),
+        ("Paxos", Box::new(|| paxos::verify(instances::paxos()))),
+    ];
+    let matches = |name: &str| {
+        let name = name.to_lowercase();
+        needles.iter().any(|n| name.contains(&n.to_lowercase()))
+    };
+    let mut rows = Vec::new();
+    for (name, run) in runners {
+        if matches(name) {
+            rows.push(run()?);
+        }
+    }
+    if rows.is_empty() {
+        return Err(CaseError::new(
+            "--only",
+            format!("no Table-1 protocol matches {needles:?}"),
+        ));
+    }
+    Ok(rows)
+}
+
 /// Like [`table1_rows`], but runs the seven protocol pipelines as
 /// independent jobs on an `inseq-engine` scheduler with `jobs` threads
 /// (the `table1 --jobs N` path). Row order matches [`table1_rows`].

@@ -202,6 +202,8 @@ impl Error for IsViolation {}
 pub struct IsReport {
     /// Configurations reachable in the program instance(s).
     pub reachable_configs: usize,
+    /// Transition edges traversed while exploring the instance(s).
+    pub edges: usize,
     /// `(store, args)` inputs at which the target action was checked.
     pub target_inputs: usize,
     /// Invariant transitions examined (the sequentialization prefixes).
@@ -218,9 +220,10 @@ impl fmt::Display for IsReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "IS ok: {} reachable configs, {} target inputs, {} invariant transitions \
+            "IS ok: {} reachable configs ({} edges), {} target inputs, {} invariant transitions \
              ({} induction steps), {} eliminated actions, {} universe stores",
             self.reachable_configs,
+            self.edges,
             self.target_inputs,
             self.invariant_transitions,
             self.induction_steps,
@@ -443,6 +446,7 @@ impl IsApplication {
                 message: e.to_string(),
             })?;
         report.reachable_configs = exploration.config_count();
+        report.edges = exploration.edge_count();
         universe.absorb(&exploration);
 
         // The inputs at which M is invoked.
@@ -810,6 +814,7 @@ impl IsApplication {
                 message: e.to_string(),
             })?;
         report.reachable_configs = exploration.config_count();
+        report.edges = exploration.edge_count();
         for config in exploration.configs() {
             universe.absorb_config(config);
         }

@@ -39,7 +39,7 @@
 #![warn(missing_docs)]
 
 mod explore;
-mod hash;
+pub mod hash;
 mod schedule;
 
 pub use explore::{ParallelExploration, ParallelExplorer};

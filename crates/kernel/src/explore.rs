@@ -8,12 +8,21 @@
 //! The [`Explorer`] enumerates *all* reachable configurations, which is the
 //! explicit-state substitute for the SMT-backed reasoning of the paper's
 //! CIVL implementation (see DESIGN.md §2 for the substitution argument).
+//!
+//! Exploration runs over *interned* state (see [`crate::intern`]): the
+//! visited set is the configuration arena itself, successor stores are
+//! interned through the firing action's write footprint so unchanged slots
+//! are shared with the parent, and successor pending bags are small-diff
+//! rebuilds of the parent's interned entry vector. Duplicate detection — the
+//! hot operation of explicit-state search — therefore hashes two `u32` ids
+//! instead of a full configuration tree.
 
 use std::collections::HashMap;
 
-use crate::action::{ActionOutcome, PendingAsync};
+use crate::action::{ActionName, ActionOutcome, PendingAsync};
 use crate::config::{Config, Step};
 use crate::error::ExploreError;
+use crate::intern::{Interner, PaId};
 use crate::program::Program;
 use crate::store::GlobalStore;
 
@@ -57,33 +66,55 @@ impl<'p> Explorer<'p> {
         &self,
         initial: impl IntoIterator<Item = Config>,
     ) -> Result<Exploration, ExploreError> {
-        let mut exp = Exploration {
-            configs: Vec::new(),
-            index: HashMap::new(),
-            initial: Vec::new(),
-            edges: Vec::new(),
-            failures: Vec::new(),
-            deadlocks: Vec::new(),
-        };
+        let mut interner = Interner::new();
+        // `(store, bag)` parts per config id, so dequeuing a configuration
+        // is two array reads instead of a deep clone.
+        let mut parts = Vec::new();
+        let mut initial_ids = Vec::new();
+        let mut edges = Vec::new();
+        let mut failures = Vec::new();
+        let mut deadlocks = Vec::new();
         let mut frontier: Vec<usize> = Vec::new();
         for config in initial {
-            let id = exp.intern(config);
-            exp.initial.push(id);
-            frontier.push(id);
+            let (id, fresh) = interner.intern_config(&config);
+            if fresh {
+                parts.push(interner.config_parts(id));
+            }
+            initial_ids.push(id.index());
+            frontier.push(id.index());
         }
+        // Write footprints per action, fetched once so the scheduling loop
+        // can intern successor stores through the footprint's write set.
+        let footprints: HashMap<ActionName, Vec<usize>> = self
+            .program
+            .actions()
+            .filter_map(|(name, a)| a.footprint().map(|f| (name.clone(), f.writes)))
+            .collect();
+        // Reused across configurations: the distinct pending asyncs of the
+        // configuration under expansion. Bag entries are canonically sorted
+        // in `Multiset` iteration order, so firing order (and hence edge and
+        // discovery order) matches the previous tree-walking explorer.
+        let mut pa_buf: Vec<PaId> = Vec::new();
         let mut cursor = 0;
         while cursor < frontier.len() {
             let id = frontier[cursor];
             cursor += 1;
-            let config = exp.configs[id].clone();
-            let mut progressed = config.pending.is_empty();
-            for pa in config.pending.distinct().cloned().collect::<Vec<_>>() {
-                match self.program.eval_pa(&config.globals, &pa)? {
+            let (sid, bagid) = parts[id];
+            pa_buf.clear();
+            pa_buf.extend(interner.bag_entries(bagid).iter().map(|&(p, _)| p));
+            let mut progressed = pa_buf.is_empty();
+            for &paid in &pa_buf {
+                let outcome = {
+                    let globals = interner.store(sid);
+                    let pa = interner.pa(paid);
+                    self.program.eval_pa(globals, pa)?
+                };
+                match outcome {
                     ActionOutcome::Failure { reason } => {
                         progressed = true;
-                        exp.failures.push(Failure {
+                        failures.push(Failure {
                             config: id,
-                            fired: pa.clone(),
+                            fired: paid,
                             reason,
                         });
                     }
@@ -91,39 +122,48 @@ impl<'p> Explorer<'p> {
                         if !transitions.is_empty() {
                             progressed = true;
                         }
-                        let remaining = config
-                            .pending
-                            .without(&pa)
-                            .expect("distinct() yields present PAs");
+                        let writes = footprints
+                            .get(&interner.pa(paid).action)
+                            .map(Vec::as_slice);
                         for t in transitions {
-                            let next = Config::new(
-                                t.globals,
-                                remaining.union(&t.created),
-                            );
-                            let (next_id, fresh) = exp.intern_with_flag(next);
-                            exp.edges.push(Edge {
+                            let next_sid = interner.intern_store_diff(sid, &t.globals, writes);
+                            let next_bag = interner.bag_after(bagid, paid, &t.created);
+                            let (next_id, fresh) = interner.intern_config_parts(next_sid, next_bag);
+                            edges.push(Edge {
                                 from: id,
-                                fired: pa.clone(),
-                                to: next_id,
+                                fired: paid,
+                                to: next_id.index(),
                             });
                             if fresh {
-                                if exp.configs.len() > self.budget {
+                                parts.push((next_sid, next_bag));
+                                if interner.config_count() > self.budget {
                                     return Err(ExploreError::BudgetExceeded {
                                         limit: self.budget,
-                                        visited: exp.configs.len(),
+                                        visited: interner.config_count(),
                                     });
                                 }
-                                frontier.push(next_id);
+                                frontier.push(next_id.index());
                             }
                         }
                     }
                 }
             }
             if !progressed {
-                exp.deadlocks.push(id);
+                deadlocks.push(id);
             }
         }
-        Ok(exp)
+        let configs = interner
+            .config_ids()
+            .map(|cid| interner.resolve_config(cid))
+            .collect();
+        Ok(Exploration {
+            interner,
+            configs,
+            initial: initial_ids,
+            edges,
+            failures,
+            deadlocks,
+        })
     }
 
     /// Computes the program summary (the data of Def. 3.2) for a single
@@ -141,11 +181,12 @@ impl<'p> Explorer<'p> {
     }
 }
 
-/// An edge of the explored configuration graph.
+/// An edge of the explored configuration graph. The fired pending async is
+/// stored by interned id; resolve through the exploration's interner.
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct Edge {
     from: usize,
-    fired: PendingAsync,
+    fired: PaId,
     to: usize,
 }
 
@@ -153,16 +194,19 @@ struct Edge {
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct Failure {
     config: usize,
-    fired: PendingAsync,
+    fired: PaId,
     reason: String,
 }
 
 /// The result of exhaustively exploring a program: the reachable
 /// configuration graph plus all gate violations encountered.
+///
+/// Configurations are kept both interned (for O(1) membership probes) and
+/// materialized (so `configs()` can hand out `&Config` without rebuilding).
 #[derive(Debug)]
 pub struct Exploration {
+    interner: Interner,
     configs: Vec<Config>,
-    index: HashMap<Config, usize>,
     initial: Vec<usize>,
     edges: Vec<Edge>,
     failures: Vec<Failure>,
@@ -170,18 +214,8 @@ pub struct Exploration {
 }
 
 impl Exploration {
-    fn intern(&mut self, config: Config) -> usize {
-        self.intern_with_flag(config).0
-    }
-
-    fn intern_with_flag(&mut self, config: Config) -> (usize, bool) {
-        if let Some(&id) = self.index.get(&config) {
-            return (id, false);
-        }
-        let id = self.configs.len();
-        self.index.insert(config.clone(), id);
-        self.configs.push(config);
-        (id, true)
+    fn resolve_pa(&self, id: PaId) -> PendingAsync {
+        self.interner.pa(id).clone()
     }
 
     /// Number of distinct reachable configurations.
@@ -215,7 +249,9 @@ impl Exploration {
             .map(|f| {
                 format!(
                     "executing {} from {} fails: {}",
-                    f.fired, self.configs[f.config], f.reason
+                    self.interner.pa(f.fired),
+                    self.configs[f.config],
+                    f.reason
                 )
             })
             .collect()
@@ -247,7 +283,7 @@ impl Exploration {
     pub fn steps(&self) -> impl Iterator<Item = Step> + '_ {
         self.edges.iter().map(|e| Step {
             before: self.configs[e.from].clone(),
-            fired: e.fired.clone(),
+            fired: self.resolve_pa(e.fired),
             after: self.configs[e.to].clone(),
         })
     }
@@ -256,7 +292,7 @@ impl Exploration {
     /// `target`, or `None` when `target` is unreachable.
     #[must_use]
     pub fn execution_reaching(&self, target: &Config) -> Option<Execution> {
-        let target_id = *self.index.get(target)?;
+        let target_id = self.interner.find_config(target)?.index();
         // BFS over the recorded edges, remembering the incoming edge.
         let mut incoming: HashMap<usize, &Edge> = HashMap::new();
         let mut queue: std::collections::VecDeque<usize> = self.initial.iter().copied().collect();
@@ -284,7 +320,7 @@ impl Exploration {
         while let Some(e) = incoming.get(&cursor) {
             steps.push(Step {
                 before: self.configs[e.from].clone(),
-                fired: e.fired.clone(),
+                fired: self.resolve_pa(e.fired),
                 after: self.configs[e.to].clone(),
             });
             cursor = e.from;
@@ -325,7 +361,7 @@ impl Exploration {
                         let mut next = path.clone();
                         next.push(Step {
                             before: self.configs[e.from].clone(),
-                            fired: e.fired.clone(),
+                            fired: self.resolve_pa(e.fired),
                             after: self.configs[e.to].clone(),
                         });
                         stack.push((e.to, next));

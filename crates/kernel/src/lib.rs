@@ -45,6 +45,8 @@ mod config;
 pub mod demo;
 mod error;
 mod explore;
+pub mod hash;
+pub mod intern;
 mod multiset;
 mod program;
 pub mod render;
@@ -58,6 +60,7 @@ pub use action::{
 pub use config::{Config, Step};
 pub use error::{ExploreError, KernelError};
 pub use explore::{Execution, Exploration, Explorer, Summary, DEFAULT_CONFIG_BUDGET};
+pub use intern::{ArgsId, BagId, ConfigId, Interner, PaId, StoreId, ValueId};
 pub use multiset::Multiset;
 pub use program::{GlobalSchema, Program, ProgramBuilder};
 pub use store::GlobalStore;

@@ -82,19 +82,26 @@ impl<T: Ord> Multiset<T> {
         self.len += 1;
     }
 
+    /// Inserts `n` occurrences of `item` with a single map lookup. A no-op
+    /// when `n` is zero (multiplicities stay strictly positive).
+    pub fn insert_n(&mut self, item: T, n: usize) {
+        if n == 0 {
+            return;
+        }
+        *self.counts.entry(item).or_insert(0) += n;
+        self.len += n;
+    }
+
     /// Removes one occurrence of `item`; returns `true` if it was present.
-    pub fn remove_one(&mut self, item: &T) -> bool
-    where
-        T: Clone,
-    {
-        match self.counts.get_mut(item) {
-            Some(c) if *c > 1 => {
-                *c -= 1;
-                self.len -= 1;
-                true
-            }
-            Some(_) => {
-                self.counts.remove(item);
+    pub fn remove_one(&mut self, item: &T) -> bool {
+        // One lookup covers both the decrement and the delete: take the
+        // entry out, and re-insert (reusing the owned key) only when
+        // occurrences remain.
+        match self.counts.remove_entry(item) {
+            Some((key, c)) => {
+                if c > 1 {
+                    self.counts.insert(key, c - 1);
+                }
                 self.len -= 1;
                 true
             }
@@ -246,6 +253,17 @@ mod tests {
         assert_eq!(ms.distinct_len(), 2);
         assert_eq!(ms.count(&"a"), 2);
         assert_eq!(ms.count(&"c"), 0);
+    }
+
+    #[test]
+    fn insert_n_adds_multiplicity_at_once() {
+        let mut ms = Multiset::new();
+        ms.insert_n('a', 3);
+        ms.insert_n('a', 0);
+        ms.insert_n('b', 1);
+        assert_eq!(ms.len(), 4);
+        assert_eq!(ms.count(&'a'), 3);
+        assert_eq!(ms.distinct_len(), 2);
     }
 
     #[test]

@@ -539,9 +539,9 @@ fn eval(
             Ok(Value::Int(items.iter().sum()))
         }
         Expr::Forall(x, s, body) => {
+            let mut inner = extend_bound(bound, x);
             for item in domain_elems(action, state, bound, s)? {
-                let mut inner = bound.to_vec();
-                inner.push((x.clone(), item));
+                set_last_binding(&mut inner, item);
                 if !eval(action, state, &inner, body)?.as_bool() {
                     return Ok(Value::Bool(false));
                 }
@@ -549,9 +549,9 @@ fn eval(
             Ok(Value::Bool(true))
         }
         Expr::Exists(x, s, body) => {
+            let mut inner = extend_bound(bound, x);
             for item in domain_elems(action, state, bound, s)? {
-                let mut inner = bound.to_vec();
-                inner.push((x.clone(), item));
+                set_last_binding(&mut inner, item);
                 if eval(action, state, &inner, body)?.as_bool() {
                     return Ok(Value::Bool(true));
                 }
@@ -560,9 +560,9 @@ fn eval(
         }
         Expr::Filter(x, s, body) => {
             let mut kept = std::collections::BTreeSet::new();
+            let mut inner = extend_bound(bound, x);
             for item in domain_elems(action, state, bound, s)? {
-                let mut inner = bound.to_vec();
-                inner.push((x.clone(), item.clone()));
+                set_last_binding(&mut inner, item.clone());
                 if eval(action, state, &inner, body)?.as_bool() {
                     kept.insert(item);
                 }
@@ -571,14 +571,34 @@ fn eval(
         }
         Expr::MapImage(x, s, body) => {
             let mut image = std::collections::BTreeSet::new();
+            let mut inner = extend_bound(bound, x);
             for item in domain_elems(action, state, bound, s)? {
-                let mut inner = bound.to_vec();
-                inner.push((x.clone(), item));
+                set_last_binding(&mut inner, item);
                 image.insert(eval(action, state, &inner, body)?);
             }
             Ok(Value::Set(image))
         }
     }
+}
+
+/// The binding environment for a quantifier body: the outer bindings plus one
+/// slot for the quantified variable. Built once per quantifier — the loop
+/// overwrites the last slot per domain item via [`set_last_binding`] instead
+/// of re-cloning the whole environment.
+fn extend_bound(bound: &[(String, Value)], x: &str) -> Vec<(String, Value)> {
+    let mut inner = Vec::with_capacity(bound.len() + 1);
+    inner.extend_from_slice(bound);
+    inner.push((x.to_owned(), Value::Bool(false)));
+    inner
+}
+
+/// Rebinds the innermost (quantified) variable of an environment built by
+/// [`extend_bound`].
+fn set_last_binding(inner: &mut [(String, Value)], item: Value) {
+    inner
+        .last_mut()
+        .expect("extend_bound always pushes a slot")
+        .1 = item;
 }
 
 fn collection_ints(v: &Value, action: &DslAction) -> Result<Vec<i64>, Fail> {

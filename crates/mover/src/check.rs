@@ -1,12 +1,17 @@
 //! The left-mover conditions of §3 (and their right-mover duals), checked by
 //! enumeration over a state universe.
 
+use std::cell::RefCell;
+use std::collections::HashMap;
 use std::fmt;
+use std::hash::BuildHasherDefault;
+use std::rc::Rc;
 use std::sync::Arc;
 
+use inseq_kernel::hash::FxHasher;
 use inseq_kernel::{
-    ActionName, ActionOutcome, ActionSemantics, GlobalStore, Multiset, PendingAsync, Program,
-    StateUniverse, Transition, Value,
+    ActionName, ActionOutcome, ActionSemantics, ArgsId, BagId, GlobalStore, Interner, PendingAsync,
+    Program, StateUniverse, StoreId,
 };
 
 use crate::types::MoverType;
@@ -90,10 +95,30 @@ impl fmt::Display for MoverViolation {
     }
 }
 
-/// Memoization key: action identity (by `Arc` address) plus input store and
-/// arguments. The same `(store, args)` inputs recur across many co-enabled
-/// pairs, so caching turns the quadratic pairwise sweep into mostly lookups.
-type EvalKey = (usize, GlobalStore, Vec<Value>);
+/// Memoization key: action identity (by `Arc` address) plus *interned* input
+/// store and argument-list ids. The same `(store, args)` inputs recur across
+/// many co-enabled pairs, so caching turns the quadratic pairwise sweep into
+/// mostly lookups — and with id keys a lookup hashes three machine words
+/// instead of a store-and-arguments tree.
+type EvalKey = (usize, StoreId, ArgsId);
+
+type EvalCache = HashMap<EvalKey, Rc<CachedOutcome>, BuildHasherDefault<FxHasher>>;
+
+/// An action outcome with interned post-stores and created bags. Cached
+/// behind `Rc` so a memo hit is a pointer bump, not an outcome deep-clone,
+/// and so the pairwise conditions compare end stores and created multisets
+/// by id equality.
+#[derive(Debug)]
+enum CachedOutcome {
+    Failure(String),
+    Transitions(Vec<CachedTransition>),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct CachedTransition {
+    globals: StoreId,
+    created: BagId,
+}
 
 /// A mover-condition checker bound to a program and a quantification
 /// universe. Action evaluations are memoized for the checker's lifetime.
@@ -101,7 +126,8 @@ type EvalKey = (usize, GlobalStore, Vec<Value>);
 pub struct MoverChecker<'a> {
     program: &'a Program,
     universe: &'a StateUniverse,
-    cache: std::cell::RefCell<std::collections::HashMap<EvalKey, ActionOutcome>>,
+    interner: RefCell<Interner>,
+    cache: RefCell<EvalCache>,
 }
 
 impl<'a> MoverChecker<'a> {
@@ -111,27 +137,41 @@ impl<'a> MoverChecker<'a> {
         MoverChecker {
             program,
             universe,
-            cache: std::cell::RefCell::new(std::collections::HashMap::new()),
+            interner: RefCell::new(Interner::new()),
+            cache: RefCell::new(EvalCache::default()),
         }
     }
 
-    fn outcome(
+    fn outcome_at(
         &self,
         action: &Arc<dyn ActionSemantics>,
-        store: &GlobalStore,
-        args: &[Value],
-    ) -> ActionOutcome {
-        let key = (
-            Arc::as_ptr(action).cast::<()>() as usize,
-            store.clone(),
-            args.to_vec(),
-        );
+        store: StoreId,
+        args: ArgsId,
+    ) -> Rc<CachedOutcome> {
+        let key = (Arc::as_ptr(action).cast::<()>() as usize, store, args);
         if let Some(hit) = self.cache.borrow().get(&key) {
-            return hit.clone();
+            return Rc::clone(hit);
         }
-        let out = action.eval(store, args);
-        self.cache.borrow_mut().insert(key, out.clone());
-        out
+        let out = {
+            let interner = self.interner.borrow();
+            action.eval(interner.store(store), interner.args(args))
+        };
+        let cached = Rc::new(match out {
+            ActionOutcome::Failure { reason } => CachedOutcome::Failure(reason),
+            ActionOutcome::Transitions(ts) => {
+                let mut interner = self.interner.borrow_mut();
+                CachedOutcome::Transitions(
+                    ts.iter()
+                        .map(|t| CachedTransition {
+                            globals: interner.intern_store(&t.globals),
+                            created: interner.intern_bag(&t.created),
+                        })
+                        .collect(),
+                )
+            }
+        });
+        self.cache.borrow_mut().insert(key, Rc::clone(&cached));
+        cached
     }
 
     /// Checks that `mover` (which executes wherever PAs named `mover_name`
@@ -161,9 +201,13 @@ impl<'a> MoverChecker<'a> {
         }
         // Condition (4): non-blocking from every store where the gate holds.
         for (g, args) in self.universe.enabled_at(mover_name) {
-            match self.outcome(mover, g, args) {
-                ActionOutcome::Failure { .. } => {} // outside the gate: vacuous
-                ActionOutcome::Transitions(ts) => {
+            let (g_id, args_id) = {
+                let mut interner = self.interner.borrow_mut();
+                (interner.intern_store(g), interner.intern_args(args))
+            };
+            match &*self.outcome_at(mover, g_id, args_id) {
+                CachedOutcome::Failure(_) => {} // outside the gate: vacuous
+                CachedOutcome::Transitions(ts) => {
                     if ts.is_empty() {
                         return Err(MoverViolation::Blocking {
                             mover: PendingAsync::new(mover_name.clone(), args.clone()),
@@ -184,20 +228,30 @@ impl<'a> MoverChecker<'a> {
         pa_x: &PendingAsync,
         g: &GlobalStore,
     ) -> Result<(), MoverViolation> {
-        let l_out = self.outcome(l, g, &pa_l.args);
-        let x_out = self.outcome(x, g, &pa_x.args);
+        let (g_id, l_args, x_args) = {
+            let mut interner = self.interner.borrow_mut();
+            (
+                interner.intern_store(g),
+                interner.intern_args(&pa_l.args),
+                interner.intern_args(&pa_x.args),
+            )
+        };
+        let l_out = self.outcome_at(l, g_id, l_args);
+        let x_out = self.outcome_at(x, g_id, x_args);
+        let l_fails = matches!(*l_out, CachedOutcome::Failure(_));
 
         // (1) Forward preservation of ρ_l by x: if ρ_l holds at g and x steps
         // g → g′, then ρ_l holds at g′.
-        if !l_out.is_failure() {
-            if let ActionOutcome::Transitions(x_ts) = &x_out {
+        if !l_fails {
+            if let CachedOutcome::Transitions(x_ts) = &*x_out {
                 for t in x_ts {
-                    if let ActionOutcome::Failure { reason } = self.outcome(l, &t.globals, &pa_l.args) {
+                    if let CachedOutcome::Failure(reason) = &*self.outcome_at(l, t.globals, l_args)
+                    {
                         return Err(MoverViolation::GateNotForwardPreserved {
                             mover: pa_l.clone(),
                             other: pa_x.clone(),
                             store: g.clone(),
-                            reason,
+                            reason: reason.clone(),
                         });
                     }
                 }
@@ -206,10 +260,13 @@ impl<'a> MoverChecker<'a> {
 
         // (2) Backward preservation of ρ_x by l: if l steps g → g′ and ρ_x
         // holds at g′, then ρ_x already held at g.
-        if let ActionOutcome::Transitions(l_ts) = &l_out {
-            if x_out.is_failure() {
+        if let CachedOutcome::Transitions(l_ts) = &*l_out {
+            if matches!(*x_out, CachedOutcome::Failure(_)) {
                 for t in l_ts {
-                    if !self.outcome(x, &t.globals, &pa_x.args).is_failure() {
+                    if !matches!(
+                        *self.outcome_at(x, t.globals, x_args),
+                        CachedOutcome::Failure(_)
+                    ) {
                         return Err(MoverViolation::GateNotBackwardPreserved {
                             mover: pa_l.clone(),
                             other: pa_x.clone(),
@@ -221,21 +278,22 @@ impl<'a> MoverChecker<'a> {
         }
 
         // (3) Commutativity: every outcome of x; l is an outcome of l; x
-        // (same end store, same created PAs on both sides).
-        if !l_out.is_failure() {
-            if let ActionOutcome::Transitions(x_ts) = &x_out {
+        // (same end store, same created PAs on both sides — compared by
+        // interned id, so each comparison is O(1)).
+        if !l_fails {
+            if let CachedOutcome::Transitions(x_ts) = &*x_out {
                 for tx in x_ts {
-                    let mid = &tx.globals;
-                    if let ActionOutcome::Transitions(l_after) = self.outcome(l, mid, &pa_l.args) {
-                        for tl in &l_after {
+                    let l_after = self.outcome_at(l, tx.globals, l_args);
+                    if let CachedOutcome::Transitions(l_after) = &*l_after {
+                        for tl in l_after {
                             if !self.commuted_order_reaches(
-                                l, pa_l, x, pa_x, g, &tl.globals, &tl.created, &tx.created,
+                                l, l_args, x, x_args, g_id, tl.globals, tl.created, tx.created,
                             ) {
                                 return Err(MoverViolation::DoesNotCommute {
                                     mover: pa_l.clone(),
                                     other: pa_x.clone(),
                                     store: g.clone(),
-                                    target: tl.globals.clone(),
+                                    target: self.interner.borrow().store(tl.globals).clone(),
                                 });
                             }
                         }
@@ -247,31 +305,34 @@ impl<'a> MoverChecker<'a> {
     }
 
     /// Is there a path l; x from `g` to `target` creating exactly
-    /// (`omega_l`, `omega_x`)?
+    /// (`omega_l`, `omega_x`)? All states and bags are interned ids, so the
+    /// membership test is a scan of id comparisons.
     #[allow(clippy::too_many_arguments)]
     fn commuted_order_reaches(
         &self,
         l: &Arc<dyn ActionSemantics>,
-        pa_l: &PendingAsync,
+        l_args: ArgsId,
         x: &Arc<dyn ActionSemantics>,
-        pa_x: &PendingAsync,
-        g: &GlobalStore,
-        target: &GlobalStore,
-        omega_l: &Multiset<PendingAsync>,
-        omega_x: &Multiset<PendingAsync>,
+        x_args: ArgsId,
+        g: StoreId,
+        target: StoreId,
+        omega_l: BagId,
+        omega_x: BagId,
     ) -> bool {
-        let l_first = match self.outcome(l, g, &pa_l.args) {
-            ActionOutcome::Transitions(ts) => ts,
-            ActionOutcome::Failure { .. } => return false,
+        let l_first = self.outcome_at(l, g, l_args);
+        let l_ts = match &*l_first {
+            CachedOutcome::Transitions(ts) => ts,
+            CachedOutcome::Failure(_) => return false,
         };
-        for tl in &l_first {
-            if &tl.created != omega_l {
+        for tl in l_ts {
+            if tl.created != omega_l {
                 continue;
             }
-            if let ActionOutcome::Transitions(x_after) = self.outcome(x, &tl.globals, &pa_x.args) {
-                if x_after
+            let x_after = self.outcome_at(x, tl.globals, x_args);
+            if let CachedOutcome::Transitions(x_ts) = &*x_after {
+                if x_ts
                     .iter()
-                    .any(|tx: &Transition| &tx.globals == target && &tx.created == omega_x)
+                    .any(|tx| tx.globals == target && tx.created == omega_x)
                 {
                     return true;
                 }
@@ -312,35 +373,45 @@ impl<'a> MoverChecker<'a> {
         pa_x: &PendingAsync,
         g: &GlobalStore,
     ) -> Result<(), MoverViolation> {
-        let r_out = self.outcome(r, g, &pa_r.args);
+        let (g_id, r_args, x_args) = {
+            let mut interner = self.interner.borrow_mut();
+            (
+                interner.intern_store(g),
+                interner.intern_args(&pa_r.args),
+                interner.intern_args(&pa_x.args),
+            )
+        };
+        let r_out = self.outcome_at(r, g_id, r_args);
         // Dual of (1): ρ_x forward-preserved by r — if ρ_x holds at g and r
         // steps g → g1, ρ_x must hold at g1 (else x's failure is lost when x
         // moves before r).
-        if let ActionOutcome::Transitions(r_ts) = &r_out {
-            if !self.outcome(x, g, &pa_x.args).is_failure() {
+        if let CachedOutcome::Transitions(r_ts) = &*r_out {
+            if !matches!(*self.outcome_at(x, g_id, x_args), CachedOutcome::Failure(_)) {
                 for t in r_ts {
-                    if let ActionOutcome::Failure { reason } = self.outcome(x, &t.globals, &pa_x.args) {
+                    if let CachedOutcome::Failure(reason) = &*self.outcome_at(x, t.globals, x_args)
+                    {
                         return Err(MoverViolation::GateNotForwardPreserved {
                             mover: pa_r.clone(),
                             other: pa_x.clone(),
                             store: g.clone(),
-                            reason,
+                            reason: reason.clone(),
                         });
                     }
                 }
             }
             // Commutation r; x ⊑ x; r.
             for tr in r_ts {
-                if let ActionOutcome::Transitions(x_after) = self.outcome(x, &tr.globals, &pa_x.args) {
-                    for tx in &x_after {
+                let x_after = self.outcome_at(x, tr.globals, x_args);
+                if let CachedOutcome::Transitions(x_ts) = &*x_after {
+                    for tx in x_ts {
                         if !self.commuted_order_reaches(
-                            x, pa_x, r, pa_r, g, &tx.globals, &tx.created, &tr.created,
+                            x, x_args, r, r_args, g_id, tx.globals, tx.created, tr.created,
                         ) {
                             return Err(MoverViolation::DoesNotCommute {
                                 mover: pa_r.clone(),
                                 other: pa_x.clone(),
                                 store: g.clone(),
-                                target: tx.globals.clone(),
+                                target: self.interner.borrow().store(tx.globals).clone(),
                             });
                         }
                     }
