@@ -15,14 +15,35 @@
 //! `--only a,b` restricts the run to protocols whose name contains one of
 //! the comma-separated needles (case-insensitive); CI uses this for a cheap
 //! bench smoke over the fastest cases.
+//!
+//! `--stats` appends an observability section to the rendered table:
+//! per-protocol interner and mover-cache hit rates, pairwise-check counts,
+//! and the slowest premises. The JSON rows always carry these counters.
 
 use std::process::ExitCode;
+
+use inseq_obs::HitMissSnapshot;
+use inseq_protocols::common::CaseReport;
 
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
-fn rows_as_json(rows: &[inseq_protocols::common::CaseReport]) -> String {
+/// Interner traffic, mover-cache traffic, and pairwise-check count of one
+/// row, summed over its IS applications.
+fn row_stats(r: &CaseReport) -> (HitMissSnapshot, HitMissSnapshot, u64) {
+    let mut intern = HitMissSnapshot::default();
+    let mut mover = HitMissSnapshot::default();
+    let mut pairwise = 0u64;
+    for p in &r.reports {
+        intern = intern.merged(p.stats.intern);
+        mover = mover.merged(p.stats.mover_cache);
+        pairwise += p.stats.pairwise_checks;
+    }
+    (intern, mover, pairwise)
+}
+
+fn rows_as_json(rows: &[CaseReport]) -> String {
     let mut out = String::from("[\n");
     for (i, r) in rows.iter().enumerate() {
         if i > 0 {
@@ -30,10 +51,27 @@ fn rows_as_json(rows: &[inseq_protocols::common::CaseReport]) -> String {
         }
         let visited: usize = r.reports.iter().map(|p| p.reachable_configs).sum();
         let edges: usize = r.reports.iter().map(|p| p.edges).sum();
+        let (intern, mover, pairwise) = row_stats(r);
+        let premises: Vec<String> = r
+            .reports
+            .iter()
+            .flat_map(|p| p.stats.premises.iter())
+            .map(|p| {
+                format!(
+                    "{{\"name\": \"{}\", \"wall_seconds\": {:.6}, \"items\": {}}}",
+                    json_escape(&p.name),
+                    p.wall.as_secs_f64(),
+                    p.items
+                )
+            })
+            .collect();
         out.push_str(&format!(
             "  {{\"example\": \"{}\", \"instance\": \"{}\", \"is_applications\": {}, \
              \"loc_total\": {}, \"loc_is\": {}, \"loc_impl\": {}, \"time_seconds\": {:.6}, \
-             \"visited_configs\": {}, \"edges\": {}}}",
+             \"visited_configs\": {}, \"edges\": {}, \
+             \"intern_hits\": {}, \"intern_misses\": {}, \
+             \"mover_cache_hits\": {}, \"mover_cache_misses\": {}, \
+             \"pairwise_checks\": {}, \"premises\": [{}]}}",
             json_escape(&r.name),
             json_escape(&r.instance),
             r.is_applications,
@@ -42,10 +80,39 @@ fn rows_as_json(rows: &[inseq_protocols::common::CaseReport]) -> String {
             r.loc_impl,
             r.time.as_secs_f64(),
             visited,
-            edges
+            edges,
+            intern.hits,
+            intern.misses,
+            mover.hits,
+            mover.misses,
+            pairwise,
+            premises.join(", ")
         ));
     }
     out.push_str("\n]\n");
+    out
+}
+
+/// The `--stats` section: cache effectiveness and the slowest premises per
+/// protocol.
+fn render_stats(rows: &[CaseReport]) -> String {
+    let mut out = String::from("\nObservability (summed over each row's IS applications):\n");
+    for r in rows {
+        let (intern, mover, pairwise) = row_stats(r);
+        out.push_str(&format!(
+            "  {:<22} interner {intern}; mover cache {mover} over {pairwise} pairwise checks\n",
+            r.name
+        ));
+        let mut premises: Vec<_> = r
+            .reports
+            .iter()
+            .flat_map(|p| p.stats.premises.iter())
+            .collect();
+        premises.sort_by_key(|p| std::cmp::Reverse(p.wall));
+        for p in premises.iter().take(3) {
+            out.push_str(&format!("    {p}\n"));
+        }
+    }
     out
 }
 
@@ -121,6 +188,7 @@ fn parse_jobs(args: &[String]) -> Result<usize, String> {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let compare = args.iter().any(|a| a == "--compare");
+    let stats = args.iter().any(|a| a == "--stats");
     let json = parse_json_mode(&args);
     let jobs = match parse_jobs(&args) {
         Ok(jobs) => jobs,
@@ -169,7 +237,12 @@ fn main() -> ExitCode {
         println!("(cases scheduled on {jobs} engine threads)\n");
     }
     match rows() {
-        Ok(rows) => print!("{}", inseq_bench::render_table1(&rows)),
+        Ok(rows) => {
+            print!("{}", inseq_bench::render_table1(&rows));
+            if stats {
+                print!("{}", render_stats(&rows));
+            }
+        }
         Err(e) => {
             eprintln!("Table 1 generation failed: {e}");
             return ExitCode::FAILURE;

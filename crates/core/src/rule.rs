@@ -5,13 +5,15 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::error::Error;
 use std::fmt;
 use std::sync::Arc;
+use std::time::Instant;
 
 use inseq_engine::{Engine, EngineReport, Job, JobResult, ParallelExplorer};
 use inseq_kernel::{
-    ActionName, ActionOutcome, ActionSemantics, Config, Explorer, GlobalStore, Multiset,
-    PendingAsync, Program, StateUniverse, Transition, Value,
+    ActionName, ActionOutcome, ActionSemantics, Config, Exploration, Explorer, GlobalStore,
+    Multiset, PendingAsync, Program, StateUniverse, Trace, Transition, Value,
 };
-use inseq_mover::{MoverChecker, MoverViolation};
+use inseq_mover::{MoverChecker, MoverStats, MoverViolation};
+use inseq_obs::{HitMissSnapshot, PhaseStat};
 use inseq_refine::{check_action_refinement, RefinementViolation};
 
 use crate::measure::Measure;
@@ -66,6 +68,8 @@ pub enum IsViolation {
         args: Vec<Value>,
         /// The invariant action's failure.
         reason: String,
+        /// A firing sequence of `P` reaching the input store, when one exists.
+        witness: Option<Trace>,
     },
     /// Premise (I2) failed on transitions: a PA-free invariant transition is
     /// not a transition of the replacement `M'`.
@@ -76,6 +80,8 @@ pub enum IsViolation {
         args: Vec<Value>,
         /// The end store of the missing transition.
         target: GlobalStore,
+        /// A firing sequence of `P` reaching the input store, when one exists.
+        witness: Option<Trace>,
     },
     /// The choice function returned nothing (or an invalid PA) for a
     /// transition with pending asyncs to `E`.
@@ -94,6 +100,9 @@ pub enum IsViolation {
         args: Vec<Value>,
         /// The gate failure.
         reason: String,
+        /// A firing sequence of `P` reaching the store, when it is reachable
+        /// (rather than produced only by the invariant action).
+        witness: Option<Trace>,
     },
     /// Premise (I3), second half: composing the invariant transition with a
     /// step of the chosen abstraction leaves the invariant.
@@ -106,6 +115,8 @@ pub enum IsViolation {
         args: Vec<Value>,
         /// The end store of the composed transition.
         target: GlobalStore,
+        /// A firing sequence of `P` reaching the input store, when one exists.
+        witness: Option<Trace>,
     },
     /// Premise (LM) failed: an abstraction is not a left mover w.r.t. the
     /// program.
@@ -114,6 +125,9 @@ pub enum IsViolation {
         action: ActionName,
         /// The mover counterexample.
         violation: MoverViolation,
+        /// A firing sequence of `P` reaching the counterexample's store,
+        /// when it is reachable (rather than an invariant pseudo-store).
+        witness: Option<Trace>,
     },
     /// Premise (CO) failed: an abstraction cannot always step while
     /// decreasing the well-founded measure.
@@ -126,6 +140,8 @@ pub enum IsViolation {
         args: Vec<Value>,
         /// The measure in use.
         measure: String,
+        /// A firing sequence of `P` reaching the store, when it is reachable.
+        witness: Option<Trace>,
     },
     /// Exploration failed (budget, unknown action, …).
     Exploration {
@@ -144,52 +160,87 @@ impl fmt::Display for IsViolation {
             IsViolation::NotInvariantBase { violation } => {
                 write!(f, "(I1) target action is not summarised by the invariant action: {violation}")
             }
-            IsViolation::ReplacementGateTooWeak { store, args, reason } => write!(
-                f,
-                "(I2) invariant action fails at {store} (args {args:?}) where the \
-                 replacement does not: {reason}"
-            ),
-            IsViolation::ReplacementMissesTransition { store, args, target } => write!(
-                f,
-                "(I2) PA-free invariant transition {store} -> {target} (args {args:?}) \
-                 is not a transition of the replacement"
-            ),
+            IsViolation::ReplacementGateTooWeak {
+                store,
+                args,
+                reason,
+                witness,
+            } => {
+                write!(
+                    f,
+                    "(I2) invariant action fails at {store} (args {args:?}) where the \
+                     replacement does not: {reason}"
+                )?;
+                write_witness(f, witness)
+            }
+            IsViolation::ReplacementMissesTransition {
+                store,
+                args,
+                target,
+                witness,
+            } => {
+                write!(
+                    f,
+                    "(I2) PA-free invariant transition {store} -> {target} (args {args:?}) \
+                     is not a transition of the replacement"
+                )?;
+                write_witness(f, witness)
+            }
             IsViolation::ChoiceInvalid { message } => write!(f, "choice function invalid: {message}"),
             IsViolation::AbstractionGateNotDischarged {
                 action,
                 store,
                 args,
                 reason,
-            } => write!(
-                f,
-                "(I3) gate of the abstraction of `{action}` (args {args:?}) does not hold \
-                 after the invariant transition ending at {store}: {reason}"
-            ),
+                witness,
+            } => {
+                write!(
+                    f,
+                    "(I3) gate of the abstraction of `{action}` (args {args:?}) does not hold \
+                     after the invariant transition ending at {store}: {reason}"
+                )?;
+                write_witness(f, witness)
+            }
             IsViolation::NotInductive {
                 action,
                 store,
                 args,
                 target,
-            } => write!(
-                f,
-                "(I3) invariant is not inductive: absorbing `{action}` from {store} \
-                 (args {args:?}) reaches {target}, which the invariant cannot produce \
-                 in a single transition"
-            ),
-            IsViolation::NotLeftMover { action, violation } => write!(
-                f,
-                "(LM) abstraction of `{action}` is not a left mover: {violation}"
-            ),
+                witness,
+            } => {
+                write!(
+                    f,
+                    "(I3) invariant is not inductive: absorbing `{action}` from {store} \
+                     (args {args:?}) reaches {target}, which the invariant cannot produce \
+                     in a single transition"
+                )?;
+                write_witness(f, witness)
+            }
+            IsViolation::NotLeftMover {
+                action,
+                violation,
+                witness,
+            } => {
+                write!(
+                    f,
+                    "(LM) abstraction of `{action}` is not a left mover: {violation}"
+                )?;
+                write_witness(f, witness)
+            }
             IsViolation::CooperationViolated {
                 action,
                 store,
                 args,
                 measure,
-            } => write!(
-                f,
-                "(CO) abstraction of `{action}` (args {args:?}) cannot step from {store} \
-                 while decreasing the measure {measure}"
-            ),
+                witness,
+            } => {
+                write!(
+                    f,
+                    "(CO) abstraction of `{action}` (args {args:?}) cannot step from {store} \
+                     while decreasing the measure {measure}"
+                )?;
+                write_witness(f, witness)
+            }
             IsViolation::Exploration { message } => write!(f, "exploration error: {message}"),
         }
     }
@@ -197,8 +248,34 @@ impl fmt::Display for IsViolation {
 
 impl Error for IsViolation {}
 
+/// Appends a violation's concrete firing sequence, when one was found.
+fn write_witness(f: &mut fmt::Formatter<'_>, witness: &Option<Trace>) -> fmt::Result {
+    match witness {
+        Some(trace) => write!(f, "; witness run: {trace}"),
+        None => Ok(()),
+    }
+}
+
+/// Observability counters of one IS check, attached to the [`IsReport`].
+///
+/// Statistics never influence a verdict and are excluded from the report's
+/// [`PartialEq`]: two checks agree when their deterministic counts agree,
+/// regardless of cache traffic or wall clock (see `inseq-obs`).
+#[derive(Debug, Clone, Default)]
+pub struct IsStats {
+    /// Configuration-interner traffic during instance exploration (merged
+    /// across shards under [`IsApplication::check_with`]).
+    pub intern: HitMissSnapshot,
+    /// The mover checker's evaluation-cache traffic during (LM).
+    pub mover_cache: HitMissSnapshot,
+    /// `(mover, partner, store)` triples examined during (LM).
+    pub pairwise_checks: u64,
+    /// Per-premise wall clock and item counts, in completion order.
+    pub premises: Vec<PhaseStat>,
+}
+
 /// Statistics of a successful IS check, for reporting and benchmarking.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub struct IsReport {
     /// Configurations reachable in the program instance(s).
     pub reachable_configs: usize,
@@ -214,7 +291,26 @@ pub struct IsReport {
     pub eliminated_actions: usize,
     /// Stores in the quantification universe.
     pub universe_stores: usize,
+    /// Observability counters (cache traffic, per-premise timing). Excluded
+    /// from equality: reports are compared on their deterministic counts.
+    pub stats: IsStats,
 }
+
+impl PartialEq for IsReport {
+    fn eq(&self, other: &Self) -> bool {
+        // `stats` deliberately excluded: wall clocks and cache traffic vary
+        // between runs of the same check.
+        self.reachable_configs == other.reachable_configs
+            && self.edges == other.edges
+            && self.target_inputs == other.target_inputs
+            && self.invariant_transitions == other.invariant_transitions
+            && self.induction_steps == other.induction_steps
+            && self.eliminated_actions == other.eliminated_actions
+            && self.universe_stores == other.universe_stores
+    }
+}
+
+impl Eq for IsReport {}
 
 impl fmt::Display for IsReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -229,7 +325,23 @@ impl fmt::Display for IsReport {
             self.induction_steps,
             self.eliminated_actions,
             self.universe_stores
-        )
+        )?;
+        if self.stats.intern.lookups() > 0 {
+            write!(f, "; interner {}", self.stats.intern)?;
+        }
+        if self.stats.pairwise_checks > 0 {
+            write!(
+                f,
+                "; mover cache {} over {} pairwise checks",
+                self.stats.mover_cache, self.stats.pairwise_checks
+            )?;
+        }
+        if !self.stats.premises.is_empty() {
+            let rendered: Vec<String> =
+                self.stats.premises.iter().map(PhaseStat::to_string).collect();
+            write!(f, "; premises [{}]", rendered.join(", "))?;
+        }
+        Ok(())
     }
 }
 
@@ -432,210 +544,83 @@ impl IsApplication {
             })?;
         self.structural_checks()?;
 
-        // Explore the program instances; build the base quantification
-        // universe from all reachable configurations.
-        let mut report = IsReport {
-            eliminated_actions: self.eliminated.len(),
-            ..IsReport::default()
-        };
-        let mut universe = StateUniverse::new();
-        let explorer = Explorer::new(&self.program).with_budget(self.budget);
-        let exploration = explorer
-            .explore(self.instances.iter().cloned())
-            .map_err(|e| IsViolation::Exploration {
-                message: e.to_string(),
-            })?;
-        report.reachable_configs = exploration.config_count();
-        report.edges = exploration.edge_count();
-        universe.absorb(&exploration);
-
-        // The inputs at which M is invoked.
-        let target_inputs: Vec<(GlobalStore, Vec<Value>)> = universe
-            .enabled_at(&self.target)
-            .cloned()
-            .collect();
-        report.target_inputs = target_inputs.len();
-
-        // Evaluate the invariant action at each target input; its
-        // transitions are the partial sequentializations. Absorb the
-        // resulting pseudo-configurations into the universe: the (LM) and
-        // (CO) conditions must hold at these sequential-context stores even
-        // though P itself may never reach them.
-        let mut inv_transitions: Vec<(GlobalStore, Vec<Value>, BTreeSet<Transition>)> = Vec::new();
-        for (g, args) in &target_inputs {
-            match invariant.eval(g, args) {
-                ActionOutcome::Failure { .. } => {
-                    // ρ_I may be narrower than ρ_M only where M' also fails;
-                    // checked by (I2). Record no transitions here.
-                    inv_transitions.push((g.clone(), args.clone(), BTreeSet::new()));
-                }
-                ActionOutcome::Transitions(ts) => {
-                    let set: BTreeSet<Transition> = ts.into_iter().collect();
-                    for t in &set {
-                        universe.absorb_config(&Config::new(t.globals.clone(), t.created.clone()));
-                    }
-                    report.invariant_transitions += set.len();
-                    inv_transitions.push((g.clone(), args.clone(), set));
-                }
-            }
-        }
-        report.universe_stores = universe.store_count();
+        // Shared prefix of all Fig. 3 obligations. The sequential explorer
+        // keeps its parent forest, so every premise below can attach a
+        // concrete firing sequence to its counterexample.
+        let mut premises: Vec<PhaseStat> = Vec::new();
+        let started = Instant::now();
+        let prep = self.prepare_sequential(invariant)?;
+        premises.push(PhaseStat::new(
+            "explore",
+            started.elapsed(),
+            prep.report.reachable_configs,
+        ));
 
         // Premise: A ≼ α(A) for each A ∈ E.
         for action_name in &self.eliminated {
-            let concrete = self
-                .program
-                .action(action_name)
-                .map_err(|e| IsViolation::Structural { message: e.to_string() })?;
-            let alpha = self.alpha(action_name)?;
-            let inputs: Vec<(GlobalStore, Vec<Value>)> =
-                universe.enabled_at(action_name).cloned().collect();
-            check_action_refinement(
-                concrete,
-                &alpha,
-                inputs.iter().map(|(g, a)| (g, a.as_slice())),
-            )
-            .map_err(|violation| IsViolation::AbstractionNotSound {
-                action: action_name.clone(),
-                violation,
-            })?;
+            let started = Instant::now();
+            self.check_abstraction_sound(&prep, action_name)?;
+            premises.push(PhaseStat::new(
+                format!("{action_name} ≼ α"),
+                started.elapsed(),
+                0,
+            ));
         }
 
         // (I1): M ≼ I at every target input.
-        let target_action = self
-            .program
-            .action(&self.target)
-            .map_err(|e| IsViolation::Structural { message: e.to_string() })?;
-        check_action_refinement(
-            target_action,
-            invariant,
-            target_inputs.iter().map(|(g, a)| (g, a.as_slice())),
-        )
-        .map_err(|violation| IsViolation::NotInvariantBase { violation })?;
+        let started = Instant::now();
+        self.check_i1(&prep, invariant)?;
+        premises.push(PhaseStat::new("(I1) M ≼ I", started.elapsed(), 0));
 
         // (I2): I restricted to PA_E-free transitions refines M'.
-        for (g, args, i_ts) in &inv_transitions {
-            let m_prime = replacement.eval(g, args);
-            let m_ts = match m_prime {
-                ActionOutcome::Failure { .. } => continue, // M' fails: vacuous
-                ActionOutcome::Transitions(ts) => ts,
-            };
-            // ρ_{M'} holds here, so ρ_I must as well.
-            if let ActionOutcome::Failure { reason } = invariant.eval(g, args) {
-                return Err(IsViolation::ReplacementGateTooWeak {
-                    store: g.clone(),
-                    args: args.clone(),
-                    reason,
-                });
-            }
-            for t in i_ts {
-                if self.pa_e(&t.created).is_empty() && !m_ts.contains(t) {
-                    return Err(IsViolation::ReplacementMissesTransition {
-                        store: g.clone(),
-                        args: args.clone(),
-                        target: t.globals.clone(),
-                    });
-                }
-            }
-        }
+        let started = Instant::now();
+        self.check_i2(&prep, replacement)?;
+        premises.push(PhaseStat::new("(I2) I∖PA_E ≼ M'", started.elapsed(), 0));
 
         // (I3): induction step — absorb the chosen PA into the invariant.
-        for (g, args, i_ts) in &inv_transitions {
-            for t in i_ts {
-                let pas_to_e = self.pa_e(&t.created);
-                if pas_to_e.is_empty() {
-                    continue;
-                }
-                report.induction_steps += 1;
-                let view = InvariantTransition {
-                    input_globals: g,
-                    args,
-                    output_globals: &t.globals,
-                    created: &t.created,
-                };
-                let chosen = choice(&view).ok_or_else(|| IsViolation::ChoiceInvalid {
-                    message: format!(
-                        "no PA chosen for a transition to {} creating {}",
-                        t.globals, t.created
-                    ),
-                })?;
-                if !self.eliminated.contains(&chosen.action) || !t.created.contains(&chosen) {
-                    return Err(IsViolation::ChoiceInvalid {
-                        message: format!(
-                            "chosen PA {chosen} is not a created pending async to E in {}",
-                            t.created
-                        ),
-                    });
-                }
-                let alpha = self.alpha(&chosen.action)?;
-                let alpha_ts = match alpha.eval(&t.globals, &chosen.args) {
-                    ActionOutcome::Failure { reason } => {
-                        return Err(IsViolation::AbstractionGateNotDischarged {
-                            action: chosen.action.clone(),
-                            store: t.globals.clone(),
-                            args: chosen.args.clone(),
-                            reason,
-                        });
-                    }
-                    ActionOutcome::Transitions(ts) => ts,
-                };
-                let remaining = t
-                    .created
-                    .without(&chosen)
-                    .expect("chosen PA is in the created multiset");
-                for ta in &alpha_ts {
-                    let composed = Transition::new(
-                        ta.globals.clone(),
-                        remaining.union(&ta.created),
-                    );
-                    if !i_ts.contains(&composed) {
-                        return Err(IsViolation::NotInductive {
-                            action: chosen.action.clone(),
-                            store: g.clone(),
-                            args: args.clone(),
-                            target: ta.globals.clone(),
-                        });
-                    }
-                }
-            }
-        }
+        let started = Instant::now();
+        self.check_i3(&prep, choice)?;
+        premises.push(PhaseStat::new("(I3) induction", started.elapsed(), 0));
 
-        // (LM): each abstraction is a left mover w.r.t. P.
-        let mover_checker = MoverChecker::new(&self.program, &universe);
+        // (LM): each abstraction is a left mover w.r.t. P. One checker for
+        // the whole set, so evaluation caching spans the eliminated actions.
+        let mover_checker = MoverChecker::new(&self.program, &prep.universe);
         for action_name in &self.eliminated {
+            let started = Instant::now();
             let alpha = self.alpha(action_name)?;
             mover_checker
                 .check_left(&alpha, action_name)
-                .map_err(|violation| IsViolation::NotLeftMover {
-                    action: action_name.clone(),
-                    violation,
+                .map_err(|violation| {
+                    let witness = prep.trace_for(violation.store());
+                    IsViolation::NotLeftMover {
+                        action: action_name.clone(),
+                        violation,
+                        witness,
+                    }
                 })?;
+            premises.push(PhaseStat::new(
+                format!("(LM) {action_name}"),
+                started.elapsed(),
+                0,
+            ));
         }
+        let mover_stats = mover_checker.stats();
 
         // (CO): each abstraction can step while decreasing the measure.
         for action_name in &self.eliminated {
-            let alpha = self.alpha(action_name)?;
-            for (g, args) in universe.enabled_at(action_name) {
-                match alpha.eval(g, args) {
-                    ActionOutcome::Failure { .. } => {} // outside the gate
-                    ActionOutcome::Transitions(ts) => {
-                        let pa = PendingAsync::new(action_name.clone(), args.clone());
-                        let decreases = ts
-                            .iter()
-                            .any(|t| self.measure.decreases(g, &pa, &t.globals, &t.created));
-                        if !decreases {
-                            return Err(IsViolation::CooperationViolated {
-                                action: action_name.clone(),
-                                store: g.clone(),
-                                args: args.clone(),
-                                measure: self.measure.label().to_owned(),
-                            });
-                        }
-                    }
-                }
-            }
+            let started = Instant::now();
+            self.check_cooperation(&prep, action_name)?;
+            premises.push(PhaseStat::new(
+                format!("(CO) {action_name}"),
+                started.elapsed(),
+                0,
+            ));
         }
 
+        let mut report = prep.report;
+        report.stats.mover_cache = mover_stats.eval_cache;
+        report.stats.pairwise_checks = mover_stats.pairwise_checks;
+        report.stats.premises = premises;
         Ok(report)
     }
 
@@ -680,6 +665,8 @@ impl IsApplication {
         self.structural_checks()?;
 
         let prep_slot: std::sync::OnceLock<CheckPrep> = std::sync::OnceLock::new();
+        let mover_stats: std::sync::Mutex<MoverStats> = std::sync::Mutex::new(MoverStats::default());
+        let lm_stats = &mover_stats;
         let violations: std::sync::Mutex<BTreeMap<usize, IsViolation>> =
             std::sync::Mutex::new(BTreeMap::new());
         let record = |idx: usize, outcome: Result<(), IsViolation>| match outcome {
@@ -711,22 +698,7 @@ impl IsApplication {
         let idx = jobs.len();
         jobs.push(
             Job::new("(I1) M ≼ I", move || {
-                let p = prep();
-                let target_action = match self.program.action(&self.target) {
-                    Ok(a) => a,
-                    Err(e) => {
-                        return record(idx, Err(IsViolation::Structural { message: e.to_string() }))
-                    }
-                };
-                record(
-                    idx,
-                    check_action_refinement(
-                        target_action,
-                        invariant,
-                        p.target_inputs.iter().map(|(g, a)| (g, a.as_slice())),
-                    )
-                    .map_err(|violation| IsViolation::NotInvariantBase { violation }),
-                )
+                record(idx, self.check_i1(prep(), invariant))
             })
             .after(0),
         );
@@ -734,7 +706,7 @@ impl IsApplication {
         let idx = jobs.len();
         jobs.push(
             Job::new("(I2) I∖PA_E ≼ M'", move || {
-                record(idx, self.check_i2(prep(), invariant, replacement))
+                record(idx, self.check_i2(prep(), replacement))
             })
             .after(0),
         );
@@ -759,14 +731,20 @@ impl IsApplication {
             jobs.push(
                 Job::new(format!("(LM) {action_name}"), move || {
                     let p = prep();
+                    let checker = MoverChecker::new(&self.program, &p.universe);
                     let outcome = self.alpha(action_name).and_then(|alpha| {
-                        MoverChecker::new(&self.program, &p.universe)
-                            .check_left(&alpha, action_name)
-                            .map_err(|violation| IsViolation::NotLeftMover {
+                        checker.check_left(&alpha, action_name).map_err(|violation| {
+                            let witness = p.trace_for(violation.store());
+                            IsViolation::NotLeftMover {
                                 action: action_name.clone(),
                                 violation,
-                            })
+                                witness,
+                            }
+                        })
                     });
+                    let mut agg = lm_stats.lock().expect("mover stats poisoned");
+                    *agg = agg.merged(checker.stats());
+                    drop(agg);
                     record(idx, outcome)
                 })
                 .after(0),
@@ -790,12 +768,23 @@ impl IsApplication {
             return Err(violation);
         }
         debug_assert!(engine_report.all_passed());
-        let report = prep().report.clone();
+        let mut report = prep().report.clone();
+        let lm = mover_stats.into_inner().expect("mover stats poisoned");
+        report.stats.mover_cache = lm.eval_cache;
+        report.stats.pairwise_checks = lm.pairwise_checks;
+        report.stats.premises = engine_report
+            .jobs
+            .iter()
+            .map(|j| PhaseStat::new(j.name.clone(), j.wall, j.configs_visited))
+            .collect();
         Ok((report, engine_report))
     }
 
-    /// Explores the instances (in parallel) and evaluates the invariant at
-    /// every target input: the shared prefix of all Fig. 3 obligations.
+    /// Explores the instances on a [`ParallelExplorer`] and evaluates the
+    /// invariant at every target input: the shared prefix of all Fig. 3
+    /// obligations under [`check_with`](IsApplication::check_with). The
+    /// sharded explorer keeps no global parent forest, so the resulting
+    /// prep carries no exploration for witness traces.
     fn prepare(
         &self,
         workers: usize,
@@ -815,21 +804,65 @@ impl IsApplication {
             })?;
         report.reachable_configs = exploration.config_count();
         report.edges = exploration.edge_count();
+        report.stats.intern = exploration.stats().intern();
         for config in exploration.configs() {
             universe.absorb_config(config);
         }
+        Ok(self.finish_prep(universe, report, invariant, None))
+    }
 
+    /// Like [`prepare`](IsApplication::prepare), but on the sequential
+    /// [`Explorer`], whose parent forest is retained so violated premises
+    /// can name concrete firing sequences.
+    fn prepare_sequential(
+        &self,
+        invariant: &Arc<dyn ActionSemantics>,
+    ) -> Result<CheckPrep, IsViolation> {
+        let mut report = IsReport {
+            eliminated_actions: self.eliminated.len(),
+            ..IsReport::default()
+        };
+        let mut universe = StateUniverse::new();
+        let exploration = Explorer::new(&self.program)
+            .with_budget(self.budget)
+            .explore(self.instances.iter().cloned())
+            .map_err(|e| IsViolation::Exploration {
+                message: e.to_string(),
+            })?;
+        report.reachable_configs = exploration.config_count();
+        report.edges = exploration.edge_count();
+        report.stats.intern = exploration.intern_stats();
+        universe.absorb(&exploration);
+        Ok(self.finish_prep(universe, report, invariant, Some(exploration)))
+    }
+
+    /// Evaluates the invariant action at each target input; its transitions
+    /// are the partial sequentializations. The resulting
+    /// pseudo-configurations are absorbed into the universe *after* the
+    /// reachable ones: the (LM) and (CO) conditions must hold at these
+    /// sequential-context stores even though `P` itself may never reach
+    /// them, while provenance (first-wins) keeps naming a reachable
+    /// configuration whenever one produced the same store.
+    fn finish_prep(
+        &self,
+        mut universe: StateUniverse,
+        mut report: IsReport,
+        invariant: &Arc<dyn ActionSemantics>,
+        exploration: Option<Exploration>,
+    ) -> CheckPrep {
         let target_inputs: Vec<(GlobalStore, Vec<Value>)> = universe
             .enabled_at(&self.target)
             .cloned()
             .collect();
         report.target_inputs = target_inputs.len();
 
-        let mut inv_transitions: Vec<(GlobalStore, Vec<Value>, BTreeSet<Transition>)> = Vec::new();
+        let mut inv_transitions: Vec<(GlobalStore, Vec<Value>, InvOutcome)> = Vec::new();
         for (g, args) in &target_inputs {
             match invariant.eval(g, args) {
-                ActionOutcome::Failure { .. } => {
-                    inv_transitions.push((g.clone(), args.clone(), BTreeSet::new()));
+                ActionOutcome::Failure { reason } => {
+                    // ρ_I may be narrower than ρ_M only where M' also fails;
+                    // checked by (I2), which replays the recorded reason.
+                    inv_transitions.push((g.clone(), args.clone(), InvOutcome::Failure(reason)));
                 }
                 ActionOutcome::Transitions(ts) => {
                     let set: BTreeSet<Transition> = ts.into_iter().collect();
@@ -841,17 +874,18 @@ impl IsApplication {
                         .iter()
                         .filter(|t| !self.pa_e(&t.created).is_empty())
                         .count();
-                    inv_transitions.push((g.clone(), args.clone(), set));
+                    inv_transitions.push((g.clone(), args.clone(), InvOutcome::Transitions(set)));
                 }
             }
         }
         report.universe_stores = universe.store_count();
-        Ok(CheckPrep {
+        CheckPrep {
             universe,
             target_inputs,
             inv_transitions,
             report,
-        })
+            exploration,
+        }
     }
 
     /// Premise `A ≼ α(A)` for one eliminated action.
@@ -878,31 +912,55 @@ impl IsApplication {
         })
     }
 
+    /// Premise (I1): `M ≼ I` at every target input.
+    fn check_i1(
+        &self,
+        prep: &CheckPrep,
+        invariant: &Arc<dyn ActionSemantics>,
+    ) -> Result<(), IsViolation> {
+        let target_action = self
+            .program
+            .action(&self.target)
+            .map_err(|e| IsViolation::Structural { message: e.to_string() })?;
+        check_action_refinement(
+            target_action,
+            invariant,
+            prep.target_inputs.iter().map(|(g, a)| (g, a.as_slice())),
+        )
+        .map_err(|violation| IsViolation::NotInvariantBase { violation })
+    }
+
     /// Premise (I2): `I` restricted to PA_E-free transitions refines `M'`.
     fn check_i2(
         &self,
         prep: &CheckPrep,
-        invariant: &Arc<dyn ActionSemantics>,
         replacement: &Arc<dyn ActionSemantics>,
     ) -> Result<(), IsViolation> {
-        for (g, args, i_ts) in &prep.inv_transitions {
+        for (g, args, outcome) in &prep.inv_transitions {
             let m_ts = match replacement.eval(g, args) {
                 ActionOutcome::Failure { .. } => continue, // M' fails: vacuous
                 ActionOutcome::Transitions(ts) => ts,
             };
-            if let ActionOutcome::Failure { reason } = invariant.eval(g, args) {
-                return Err(IsViolation::ReplacementGateTooWeak {
-                    store: g.clone(),
-                    args: args.clone(),
-                    reason,
-                });
-            }
+            // ρ_{M'} holds here, so ρ_I must as well; the preparation step
+            // recorded why it did not.
+            let i_ts = match outcome {
+                InvOutcome::Failure(reason) => {
+                    return Err(IsViolation::ReplacementGateTooWeak {
+                        store: g.clone(),
+                        args: args.clone(),
+                        reason: reason.clone(),
+                        witness: prep.trace_for(g),
+                    });
+                }
+                InvOutcome::Transitions(ts) => ts,
+            };
             for t in i_ts {
                 if self.pa_e(&t.created).is_empty() && !m_ts.contains(t) {
                     return Err(IsViolation::ReplacementMissesTransition {
                         store: g.clone(),
                         args: args.clone(),
                         target: t.globals.clone(),
+                        witness: prep.trace_for(g),
                     });
                 }
             }
@@ -912,7 +970,10 @@ impl IsApplication {
 
     /// Premise (I3): absorbing the chosen PA into the invariant is inductive.
     fn check_i3(&self, prep: &CheckPrep, choice: &ChoiceFn) -> Result<(), IsViolation> {
-        for (g, args, i_ts) in &prep.inv_transitions {
+        for (g, args, outcome) in &prep.inv_transitions {
+            let InvOutcome::Transitions(i_ts) = outcome else {
+                continue; // a failed gate records no transitions to extend
+            };
             for t in i_ts {
                 if self.pa_e(&t.created).is_empty() {
                     continue;
@@ -945,6 +1006,7 @@ impl IsApplication {
                             store: t.globals.clone(),
                             args: chosen.args.clone(),
                             reason,
+                            witness: prep.trace_for(&t.globals),
                         });
                     }
                     ActionOutcome::Transitions(ts) => ts,
@@ -964,6 +1026,7 @@ impl IsApplication {
                             store: g.clone(),
                             args: args.clone(),
                             target: ta.globals.clone(),
+                            witness: prep.trace_for(g),
                         });
                     }
                 }
@@ -993,6 +1056,7 @@ impl IsApplication {
                             store: g.clone(),
                             args: args.clone(),
                             measure: self.measure.label().to_owned(),
+                            witness: prep.trace_for(g),
                         });
                     }
                 }
@@ -1061,13 +1125,38 @@ impl IsApplication {
     }
 }
 
+/// The invariant action's outcome at one target input, as recorded by the
+/// shared preparation step. Recording the failure reason lets (I2) replay
+/// it instead of re-evaluating the invariant.
+enum InvOutcome {
+    /// `I`'s gate failed with this reason.
+    Failure(String),
+    /// The invariant's transitions at this input.
+    Transitions(BTreeSet<Transition>),
+}
+
 /// The shared prefix of all Fig. 3 obligations: the explored universe, the
-/// target inputs, and the invariant's transitions at each of them. Produced
-/// once by the root `explore` job of [`IsApplication::check_with`] and read
-/// by every dependent obligation job.
+/// target inputs, and the invariant's outcome at each of them. Produced
+/// once — by the root `explore` job of [`IsApplication::check_with`] or at
+/// the top of [`IsApplication::check`] — and read by every obligation.
 struct CheckPrep {
     universe: StateUniverse,
     target_inputs: Vec<(GlobalStore, Vec<Value>)>,
-    inv_transitions: Vec<(GlobalStore, Vec<Value>, BTreeSet<Transition>)>,
+    inv_transitions: Vec<(GlobalStore, Vec<Value>, InvOutcome)>,
     report: IsReport,
+    /// The sequential exploration, retained for witness-trace
+    /// reconstruction; `None` under the parallel driver, whose shards keep
+    /// no global parent forest.
+    exploration: Option<Exploration>,
+}
+
+impl CheckPrep {
+    /// A firing sequence of `P` reaching `store`, when the store's
+    /// provenance names a reachable configuration (rather than an invariant
+    /// pseudo-configuration) and the exploration was retained.
+    fn trace_for(&self, store: &GlobalStore) -> Option<Trace> {
+        let exploration = self.exploration.as_ref()?;
+        let config = self.universe.provenance(store)?;
+        exploration.trace_to(config)
+    }
 }

@@ -70,6 +70,8 @@ use std::sync::{Arc, Mutex};
 
 use crate::hash::FxHasher;
 
+use inseq_obs::HitMissSnapshot;
+
 use inseq_kernel::{
     ActionName, ActionOutcome, BagId, Config, ExploreError, Footprint, GlobalStore, Interner,
     Multiset, PaId, PendingAsync, Program, StoreId, Summary, Transition, Value,
@@ -237,10 +239,21 @@ impl<'p> ParallelExplorer<'p> {
                 .collect()
         });
 
-        if let Some(err) = shared.error.lock().expect("error slot poisoned").take() {
+        if let Some(mut err) = shared.error.lock().expect("error slot poisoned").take() {
+            if let ExploreError::BudgetExceeded { visited, .. } = &mut err {
+                // The recording shard saw the shared counter at its own
+                // observation instant; racing shards may have interned more
+                // before the cancellation landed. Report the post-join
+                // total, which no longer depends on that race.
+                *visited = shared.interned.load(Ordering::Relaxed);
+            }
             return Err(err);
         }
-        Ok(ParallelExploration::merge(outputs))
+        let memo_stats = memo.as_ref().map_or_else(HitMissSnapshot::default, |m| {
+            let inner = m.inner.lock().expect("memo lock poisoned");
+            HitMissSnapshot::new(inner.hits as u64, (inner.lookups - inner.hits) as u64)
+        });
+        Ok(ParallelExploration::merge(outputs, memo_stats))
     }
 
     /// Computes the program summary (the data of Def. 3.2) for a single
@@ -456,6 +469,57 @@ struct ShardOutput {
     deadlocks: Vec<Config>,
     terminal: BTreeSet<GlobalStore>,
     edges: usize,
+    stats: ShardStats,
+}
+
+/// Observability counters for one shard of a parallel exploration. Plain
+/// per-worker integers bumped off the hot path's lock-free sections; they
+/// never influence exploration results.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Config-dedup hits/misses of the shard's private interner (misses =
+    /// the shard's size; hits = duplicate successors rejected in O(1)).
+    pub intern: HitMissSnapshot,
+    /// Cross-shard successors this shard staged to other owners.
+    pub migrated_out: u64,
+    /// Migrated configurations received from other shards and re-interned
+    /// here (the id translation at migration).
+    pub received: u64,
+    /// Received migrations that were already known to this shard — the
+    /// dedup work that sharding could not avoid.
+    pub received_dups: u64,
+}
+
+/// Aggregated observability counters of one parallel exploration.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExploreStats {
+    /// Per-shard counters, indexed by worker.
+    pub shards: Vec<ShardStats>,
+    /// Hit/miss totals of the shared footprint memo (all zero when no
+    /// action has a footprint or the memo disabled itself in probation).
+    pub memo: HitMissSnapshot,
+}
+
+impl ExploreStats {
+    /// Interner hits/misses summed over all shards.
+    #[must_use]
+    pub fn intern(&self) -> HitMissSnapshot {
+        self.shards
+            .iter()
+            .fold(HitMissSnapshot::default(), |acc, s| acc.merged(s.intern))
+    }
+
+    /// Total cross-shard migrations staged.
+    #[must_use]
+    pub fn migrated(&self) -> u64 {
+        self.shards.iter().map(|s| s.migrated_out).sum()
+    }
+
+    /// Total received migrations that were already known to their owner.
+    #[must_use]
+    pub fn migration_dups(&self) -> u64 {
+        self.shards.iter().map(|s| s.received_dups).sum()
+    }
 }
 
 struct Worker<'p, 'sh> {
@@ -550,6 +614,7 @@ impl Worker<'_, '_> {
             .iter()
             .map(|&(sid, bagid)| self.resolve(sid, bagid))
             .collect();
+        self.out.stats.intern = self.interner.intern_stats();
         self.out
     }
 
@@ -567,6 +632,12 @@ impl Worker<'_, '_> {
     /// for processing.
     fn enqueue(&mut self, route: u64, config: &Config, seed: bool) {
         let (id, fresh) = self.interner.intern_config(config);
+        if !seed {
+            self.out.stats.received += 1;
+            if !fresh {
+                self.out.stats.received_dups += 1;
+            }
+        }
         if fresh {
             self.parts.push(self.interner.config_parts(id));
             self.routes.push(route);
@@ -575,6 +646,7 @@ impl Worker<'_, '_> {
                 self.fail(ExploreError::BudgetExceeded {
                     limit: self.budget,
                     visited: interned,
+                    trace: None,
                 });
                 return;
             }
@@ -594,6 +666,7 @@ impl Worker<'_, '_> {
                 return Err(StepFault::Kernel(ExploreError::BudgetExceeded {
                     limit: self.budget,
                     visited: interned,
+                    trace: None,
                 }));
             }
             self.stack.push(id.index());
@@ -619,6 +692,7 @@ impl Worker<'_, '_> {
     }
 
     fn stage_remote(&mut self, owner: usize, route: u64, next: Config) {
+        self.out.stats.migrated_out += 1;
         self.buffers[owner].push((route, next));
         if self.buffers[owner].len() >= FLUSH_THRESHOLD {
             self.flush(owner);
@@ -917,6 +991,7 @@ pub struct ParallelExploration {
     deadlocks: Vec<Config>,
     terminal: BTreeSet<GlobalStore>,
     edges: usize,
+    stats: ExploreStats,
 }
 
 impl ParallelExploration {
@@ -927,19 +1002,32 @@ impl ParallelExploration {
             deadlocks: Vec::new(),
             terminal: BTreeSet::new(),
             edges: 0,
+            stats: ExploreStats {
+                shards: vec![ShardStats::default(); shards],
+                memo: HitMissSnapshot::default(),
+            },
         }
     }
 
-    fn merge(outputs: Vec<ShardOutput>) -> Self {
+    fn merge(outputs: Vec<ShardOutput>, memo: HitMissSnapshot) -> Self {
         let mut merged = ParallelExploration::empty(0);
+        merged.stats.memo = memo;
         for out in outputs {
             merged.shards.push(out.visited);
             merged.failures.extend(out.failures);
             merged.deadlocks.extend(out.deadlocks);
             merged.terminal.extend(out.terminal);
             merged.edges += out.edges;
+            merged.stats.shards.push(out.stats);
         }
         merged
+    }
+
+    /// Observability counters of this exploration: per-shard interner
+    /// hits/misses, migration traffic, and footprint-memo effectiveness.
+    #[must_use]
+    pub fn stats(&self) -> &ExploreStats {
+        &self.stats
     }
 
     /// Number of distinct reachable configurations.
@@ -1104,8 +1192,27 @@ mod tests {
             .unwrap_err();
         assert!(matches!(
             err,
-            ExploreError::BudgetExceeded { limit: 1, visited } if visited > 1
+            ExploreError::BudgetExceeded { limit: 1, visited, .. } if visited > 1
         ));
+    }
+
+    #[test]
+    fn stats_account_for_all_interned_configs() {
+        let p = counter_program();
+        let init = p.initial_config(vec![]).unwrap();
+        let exp = ParallelExplorer::new(&p)
+            .with_workers(2)
+            .explore([init])
+            .unwrap();
+        let stats = exp.stats();
+        assert_eq!(stats.shards.len(), 2);
+        // Every distinct config is exactly one interner miss on its owner
+        // shard; received duplicates are a subset of received migrations.
+        assert_eq!(stats.intern().misses as usize, exp.config_count());
+        for shard in &stats.shards {
+            assert!(shard.received_dups <= shard.received);
+        }
+        assert!(stats.migration_dups() <= stats.migrated());
     }
 
     #[test]

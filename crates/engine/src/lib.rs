@@ -18,9 +18,10 @@
 //!   pool, collecting per-job wall clock and configuration counts into an
 //!   [`EngineReport`].
 //!
-//! The crate deliberately depends only on `inseq-kernel` (and the standard
-//! library): higher layers (`inseq-core`, `inseq-mover`, `inseq-bench`)
-//! build their parallel drivers on top of it, not the other way around.
+//! The crate deliberately depends only on `inseq-kernel` and the
+//! `inseq-obs` counters (and the standard library): higher layers
+//! (`inseq-core`, `inseq-mover`, `inseq-bench`) build their parallel
+//! drivers on top of it, not the other way around.
 //!
 //! ```
 //! use inseq_engine::ParallelExplorer;
@@ -42,5 +43,5 @@ mod explore;
 pub mod hash;
 mod schedule;
 
-pub use explore::{ParallelExploration, ParallelExplorer};
+pub use explore::{ExploreStats, ParallelExploration, ParallelExplorer, ShardStats};
 pub use schedule::{Engine, EngineReport, Job, JobResult, JobStats, JobStatus};

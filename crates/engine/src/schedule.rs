@@ -14,6 +14,7 @@
 
 use std::collections::VecDeque;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -58,10 +59,15 @@ impl Engine {
     /// construction. A job whose dependency fails — or is itself skipped —
     /// is not run and is reported as [`JobStatus::Skipped`].
     ///
+    /// A job closure that panics does **not** take the pool down: the panic
+    /// is caught, the job is reported as [`JobStatus::Failed`] with the
+    /// panic payload in its detail, its dependents are skipped like those of
+    /// any other failure, and sibling jobs keep running.
+    ///
     /// # Panics
     ///
     /// Panics if a job lists a dependency index that is not smaller than its
-    /// own index, or if a job closure panics.
+    /// own index.
     pub fn run(&self, jobs: Vec<Job<'_>>) -> EngineReport {
         let total = jobs.len();
         let started = Instant::now();
@@ -163,13 +169,26 @@ fn run_worker(
         let (status, detail, configs_visited) = if skipped {
             (JobStatus::Skipped, "dependency failed".to_owned(), 0)
         } else {
-            let result = task();
-            let status = if result.passed {
-                JobStatus::Passed
-            } else {
-                JobStatus::Failed
-            };
-            (status, result.detail, result.configs_visited)
+            // A panicking obligation must not kill the pool: the unwinding
+            // worker would never decrement `unfinished`, leaving its
+            // siblings blocked on the condvar and burying the real panic
+            // under a scope-join cascade. Catch it and report the job as
+            // failed; the ordinary poison path then skips its dependents.
+            match catch_unwind(AssertUnwindSafe(task)) {
+                Ok(result) => {
+                    let status = if result.passed {
+                        JobStatus::Passed
+                    } else {
+                        JobStatus::Failed
+                    };
+                    (status, result.detail, result.configs_visited)
+                }
+                Err(payload) => (
+                    JobStatus::Failed,
+                    format!("panicked: {}", panic_message(payload.as_ref())),
+                    0,
+                ),
+            }
         };
         let wall = job_start.elapsed();
 
@@ -195,6 +214,16 @@ fn run_worker(
         drop(guard);
         wake.notify_all();
     }
+}
+
+/// The human-readable part of a caught panic payload (`panic!` with a
+/// string literal or a formatted message covers effectively all of them).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&'static str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("opaque panic payload")
 }
 
 /// One schedulable obligation: a name, the indices of jobs it must run
@@ -463,6 +492,51 @@ mod tests {
         let report = Engine::new().with_threads(1).run(jobs);
         assert_eq!(report.jobs[1].status, JobStatus::Skipped);
         assert_eq!(report.jobs[2].status, JobStatus::Skipped);
+    }
+
+    #[test]
+    fn panicking_job_fails_without_killing_the_pool() {
+        let ran = AtomicUsize::new(0);
+        let jobs = vec![
+            Job::new("panics", || panic!("witness the payload")),
+            Job::new("downstream", || {
+                ran.fetch_add(1, Ordering::Relaxed);
+                JobResult::pass()
+            })
+            .after(0),
+            Job::new("sibling-1", || {
+                ran.fetch_add(1, Ordering::Relaxed);
+                JobResult::pass()
+            }),
+            Job::new("sibling-2", || {
+                ran.fetch_add(1, Ordering::Relaxed);
+                JobResult::pass()
+            }),
+        ];
+        let report = Engine::new().with_threads(2).run(jobs);
+        assert_eq!(
+            ran.load(Ordering::Relaxed),
+            2,
+            "both siblings run, the dependent does not"
+        );
+        assert_eq!(report.jobs[0].status, JobStatus::Failed);
+        assert!(
+            report.jobs[0].detail.contains("panicked")
+                && report.jobs[0].detail.contains("witness the payload"),
+            "panic payload surfaces in the detail: {}",
+            report.jobs[0].detail
+        );
+        assert_eq!(report.jobs[1].status, JobStatus::Skipped);
+        assert_eq!(report.jobs[2].status, JobStatus::Passed);
+        assert_eq!(report.jobs[3].status, JobStatus::Passed);
+    }
+
+    #[test]
+    fn formatted_panic_payloads_are_reported() {
+        let jobs = vec![Job::new("fmt-panic", || panic!("bad index {}", 7))];
+        let report = Engine::new().with_threads(1).run(jobs);
+        assert_eq!(report.jobs[0].status, JobStatus::Failed);
+        assert!(report.jobs[0].detail.contains("bad index 7"));
     }
 
     #[test]

@@ -4,6 +4,7 @@ use std::error::Error;
 use std::fmt;
 
 use crate::action::ActionName;
+use crate::explore::Trace;
 
 /// Errors raised when constructing or querying programs.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -64,6 +65,10 @@ pub enum ExploreError {
         /// How many distinct configurations had been interned when the
         /// budget ran out — the exhaustion point. Always `> limit`.
         visited: usize,
+        /// A firing sequence from an initial configuration to the
+        /// configuration whose discovery tripped the budget. `None` when the
+        /// explorer keeps no edge graph (the parallel engine).
+        trace: Option<Trace>,
     },
     /// A structural program error surfaced while exploring.
     Kernel(KernelError),
@@ -72,12 +77,20 @@ pub enum ExploreError {
 impl fmt::Display for ExploreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ExploreError::BudgetExceeded { limit, visited } => {
+            ExploreError::BudgetExceeded {
+                limit,
+                visited,
+                trace,
+            } => {
                 write!(
                     f,
                     "exploration exceeded the budget of {limit} configurations \
                      (visited {visited} before giving up)"
-                )
+                )?;
+                if let Some(trace) = trace {
+                    write!(f, "; deepest firing sequence: {trace}")?;
+                }
+                Ok(())
             }
             ExploreError::Kernel(e) => write!(f, "{e}"),
         }
@@ -110,6 +123,7 @@ mod tests {
         let e = ExploreError::BudgetExceeded {
             limit: 10,
             visited: 11,
+            trace: None,
         };
         assert!(e.to_string().contains("10"));
         assert!(e.to_string().contains("11"));

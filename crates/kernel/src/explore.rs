@@ -17,7 +17,8 @@
 //! hot operation of explicit-state search — therefore hashes two `u32` ids
 //! instead of a full configuration tree.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::fmt;
 
 use crate::action::{ActionName, ActionOutcome, PendingAsync};
 use crate::config::{Config, Step};
@@ -137,9 +138,20 @@ impl<'p> Explorer<'p> {
                             if fresh {
                                 parts.push((next_sid, next_bag));
                                 if interner.config_count() > self.budget {
+                                    // The edge to `next_id` is already
+                                    // recorded, so the exhaustion point has a
+                                    // concrete witness run.
+                                    let trace = shortest_steps(
+                                        &interner,
+                                        &edges,
+                                        &initial_ids,
+                                        next_id.index(),
+                                    )
+                                    .map(|steps| Trace { steps });
                                     return Err(ExploreError::BudgetExceeded {
                                         limit: self.budget,
                                         visited: interner.config_count(),
+                                        trace,
                                     });
                                 }
                                 frontier.push(next_id.index());
@@ -196,6 +208,151 @@ struct Failure {
     config: usize,
     fired: PaId,
     reason: String,
+}
+
+/// One shortest edge path from any id in `initial` to `target`, resolved
+/// into concrete steps via the interner. `None` when `target` is not
+/// reachable over the recorded edges (e.g. a config absorbed into a universe
+/// from an invariant transition rather than from this exploration).
+///
+/// This BFS-parent walk is the single reconstruction routine behind
+/// [`Exploration::execution_reaching`], [`Exploration::trace_to`], the
+/// failure/deadlock witnesses, and the budget-exhaustion trace.
+fn shortest_steps(
+    interner: &Interner,
+    edges: &[Edge],
+    initial: &[usize],
+    target: usize,
+) -> Option<Vec<Step>> {
+    let mut adjacency: HashMap<usize, Vec<&Edge>> = HashMap::new();
+    for e in edges {
+        adjacency.entry(e.from).or_default().push(e);
+    }
+    let mut incoming: HashMap<usize, &Edge> = HashMap::new();
+    let mut queue: VecDeque<usize> = initial.iter().copied().collect();
+    let mut seen: HashSet<usize> = initial.iter().copied().collect();
+    while let Some(id) = queue.pop_front() {
+        if id == target {
+            break;
+        }
+        for e in adjacency.get(&id).into_iter().flatten() {
+            if seen.insert(e.to) {
+                incoming.insert(e.to, e);
+                queue.push_back(e.to);
+            }
+        }
+    }
+    if !seen.contains(&target) {
+        return None;
+    }
+    let mut steps = Vec::new();
+    let mut cursor = target;
+    while let Some(e) = incoming.get(&cursor) {
+        steps.push(Step {
+            before: interner.resolve_config(interner.config_id(e.from)),
+            fired: interner.pa(e.fired).clone(),
+            after: interner.resolve_config(interner.config_id(e.to)),
+        });
+        cursor = e.from;
+    }
+    steps.reverse();
+    Some(steps)
+}
+
+/// A **witness**: a concrete firing sequence from an initial configuration
+/// to a configuration of interest — a gate failure, a deadlock, a budget
+/// exhaustion point, or the configuration that contributed a store to a
+/// violated premise.
+///
+/// Structurally identical to [`Execution`]; the separate type marks the
+/// *role* (counterexample evidence rather than arbitrary behaviour) and
+/// carries the compact one-line `Display` used in error messages. Full
+/// Fig. 2-style renderings go through [`crate::render::render_trace`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    /// The steps, in firing order.
+    pub steps: Vec<Step>,
+}
+
+/// Maximum firings shown by [`Trace`]'s compact `Display`.
+const TRACE_DISPLAY_CAP: usize = 12;
+
+impl Trace {
+    /// The fired pending asyncs, in order.
+    pub fn firings(&self) -> impl Iterator<Item = &PendingAsync> {
+        self.steps.iter().map(|s| &s.fired)
+    }
+
+    /// The configuration the trace ends in (`None` for the empty trace,
+    /// whose target is an initial configuration).
+    #[must_use]
+    pub fn last(&self) -> Option<&Config> {
+        self.steps.last().map(|s| &s.after)
+    }
+
+    /// Number of firings.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// `true` when the trace has no firings.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+}
+
+impl From<Execution> for Trace {
+    fn from(e: Execution) -> Self {
+        Trace { steps: e.steps }
+    }
+}
+
+impl From<Trace> for Execution {
+    fn from(t: Trace) -> Self {
+        Execution { steps: t.steps }
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.steps.is_empty() {
+            return write!(f, "(initial configuration)");
+        }
+        for (i, step) in self.steps.iter().take(TRACE_DISPLAY_CAP).enumerate() {
+            if i > 0 {
+                write!(f, " ; ")?;
+            }
+            write!(f, "{}", step.fired)?;
+        }
+        if self.steps.len() > TRACE_DISPLAY_CAP {
+            write!(f, " … (+{} more)", self.steps.len() - TRACE_DISPLAY_CAP)?;
+        }
+        Ok(())
+    }
+}
+
+/// A gate violation paired with its concrete witness run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailureWitness {
+    /// Firing sequence from an initial configuration to the configuration
+    /// at which the gate is violated.
+    pub trace: Trace,
+    /// The pending async whose gate fails after the trace.
+    pub fired: PendingAsync,
+    /// The gate's failure message.
+    pub reason: String,
+}
+
+impl fmt::Display for FailureWitness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "after {}, executing {} fails: {}",
+            self.trace, self.fired, self.reason
+        )
+    }
 }
 
 /// The result of exhaustively exploring a program: the reachable
@@ -293,40 +450,52 @@ impl Exploration {
     #[must_use]
     pub fn execution_reaching(&self, target: &Config) -> Option<Execution> {
         let target_id = self.interner.find_config(target)?.index();
-        // BFS over the recorded edges, remembering the incoming edge.
-        let mut incoming: HashMap<usize, &Edge> = HashMap::new();
-        let mut queue: std::collections::VecDeque<usize> = self.initial.iter().copied().collect();
-        let mut seen: std::collections::HashSet<usize> = self.initial.iter().copied().collect();
-        let mut adjacency: HashMap<usize, Vec<&Edge>> = HashMap::new();
-        for e in &self.edges {
-            adjacency.entry(e.from).or_default().push(e);
-        }
-        while let Some(id) = queue.pop_front() {
-            if id == target_id {
-                break;
-            }
-            for e in adjacency.get(&id).into_iter().flatten() {
-                if seen.insert(e.to) {
-                    incoming.insert(e.to, e);
-                    queue.push_back(e.to);
-                }
-            }
-        }
-        if !seen.contains(&target_id) {
-            return None;
-        }
-        let mut steps = Vec::new();
-        let mut cursor = target_id;
-        while let Some(e) = incoming.get(&cursor) {
-            steps.push(Step {
-                before: self.configs[e.from].clone(),
-                fired: self.resolve_pa(e.fired),
-                after: self.configs[e.to].clone(),
-            });
-            cursor = e.from;
-        }
-        steps.reverse();
+        let steps = shortest_steps(&self.interner, &self.edges, &self.initial, target_id)?;
         Some(Execution { steps })
+    }
+
+    /// Reconstructs one shortest witness trace from an initial configuration
+    /// to `target`, or `None` when `target` is unreachable.
+    #[must_use]
+    pub fn trace_to(&self, target: &Config) -> Option<Trace> {
+        self.execution_reaching(target).map(Trace::from)
+    }
+
+    /// All gate violations, each with a concrete firing sequence reaching
+    /// the configuration at which the gate fails.
+    #[must_use]
+    pub fn failure_witnesses(&self) -> Vec<FailureWitness> {
+        self.failures
+            .iter()
+            .filter_map(|fail| {
+                let steps =
+                    shortest_steps(&self.interner, &self.edges, &self.initial, fail.config)?;
+                Some(FailureWitness {
+                    trace: Trace { steps },
+                    fired: self.resolve_pa(fail.fired),
+                    reason: fail.reason.clone(),
+                })
+            })
+            .collect()
+    }
+
+    /// A concrete firing sequence reaching each deadlocked configuration.
+    #[must_use]
+    pub fn deadlock_witnesses(&self) -> Vec<Trace> {
+        self.deadlocks
+            .iter()
+            .filter_map(|&id| {
+                let steps = shortest_steps(&self.interner, &self.edges, &self.initial, id)?;
+                Some(Trace { steps })
+            })
+            .collect()
+    }
+
+    /// Configuration-dedup statistics of the interner that backed this
+    /// exploration (hits = duplicate configurations not re-explored).
+    #[must_use]
+    pub fn intern_stats(&self) -> inseq_obs::HitMissSnapshot {
+        self.interner.intern_stats()
     }
 
     /// Enumerates terminating executions as step sequences, up to `limit`
@@ -460,13 +629,158 @@ mod tests {
         let p = counter_program();
         let init = p.initial_config(vec![]).unwrap();
         let err = Explorer::new(&p).with_budget(1).explore([init]).unwrap_err();
-        assert!(matches!(
-            err,
-            ExploreError::BudgetExceeded {
-                limit: 1,
-                visited
-            } if visited > 1
-        ));
+        let ExploreError::BudgetExceeded {
+            limit: 1,
+            visited,
+            trace: Some(trace),
+        } = err
+        else {
+            panic!("expected a budget error with a witness, got {err:?}");
+        };
+        assert!(visited > 1);
+        // The trace ends in the configuration whose discovery tripped the
+        // budget, and each firing is legal in its pre-configuration.
+        assert!(!trace.is_empty());
+        assert_chains(&p, &trace.steps);
+    }
+
+    /// Replays `steps` against the program: endpoints chain, every fired
+    /// pending async is present in its pre-configuration, and the action's
+    /// semantics admit the recorded post-configuration.
+    fn assert_chains(p: &crate::program::Program, steps: &[Step]) {
+        for w in steps.windows(2) {
+            assert_eq!(w[0].after, w[1].before, "steps must chain");
+        }
+        for s in steps {
+            assert!(
+                s.before.pending.count(&s.fired) > 0,
+                "{} not pending in {}",
+                s.fired,
+                s.before
+            );
+            let outcome = p.eval_pa(&s.before.globals, &s.fired).unwrap();
+            let ActionOutcome::Transitions(ts) = outcome else {
+                panic!("fired pending async fails in its pre-configuration");
+            };
+            let replayed = ts.iter().any(|t| {
+                let mut bag = s.before.pending.clone();
+                bag.remove_one(&s.fired);
+                for (pa, n) in t.created.iter_counts() {
+                    bag.insert_n(pa.clone(), n);
+                }
+                t.globals == s.after.globals && bag == s.after.pending
+            });
+            assert!(replayed, "no transition of {} replays the step", s.fired);
+        }
+    }
+
+    #[test]
+    fn failure_witness_replays_to_failing_config() {
+        let p = failing_program();
+        let init = p.initial_config(vec![]).unwrap();
+        let exp = Explorer::new(&p).explore([init.clone()]).unwrap();
+        let witnesses = exp.failure_witnesses();
+        assert_eq!(witnesses.len(), exp.failure_reports().len());
+        for w in &witnesses {
+            assert_chains(&p, &w.trace.steps);
+            let end = w.trace.last().unwrap_or(&init);
+            // The violated pending async really is schedulable at the end of
+            // the trace, and really fails there.
+            assert!(end.pending.count(&w.fired) > 0);
+            let outcome = p.eval_pa(&end.globals, &w.fired).unwrap();
+            assert!(matches!(outcome, ActionOutcome::Failure { .. }));
+            assert!(w.to_string().contains("fails"));
+        }
+    }
+
+    #[test]
+    fn trace_to_reaches_requested_config() {
+        let p = counter_program();
+        let init = p.initial_config(vec![]).unwrap();
+        let exp = Explorer::new(&p).explore([init.clone()]).unwrap();
+        // Pick the lexicographically largest reachable config (some
+        // non-initial terminal) and reconstruct a path to it.
+        let target = exp.configs().max().unwrap().clone();
+        let trace = exp.trace_to(&target).expect("reachable");
+        assert_chains(&p, &trace.steps);
+        assert_eq!(trace.last().unwrap_or(&init), &target);
+        // Unreachable configurations yield no trace.
+        let ghost = Config::new(
+            GlobalStore::new(vec![crate::value::Value::Int(99)]),
+            crate::multiset::Multiset::new(),
+        );
+        assert!(exp.trace_to(&ghost).is_none());
+    }
+
+    #[test]
+    fn deadlock_witnesses_end_in_deadlocked_configs() {
+        use crate::action::{NativeAction, PendingAsync};
+        use crate::program::{GlobalSchema, Program};
+        let mut b = Program::builder(GlobalSchema::default());
+        b.action(
+            "Main",
+            NativeAction::new("Main", 0, |g: &crate::store::GlobalStore, _: &[Value]| {
+                ActionOutcome::Transitions(vec![crate::action::Transition::new(
+                    g.clone(),
+                    crate::multiset::Multiset::singleton(PendingAsync::new("Stuck", vec![])),
+                )])
+            }),
+        );
+        b.action(
+            "Stuck",
+            NativeAction::new("Stuck", 0, |_: &crate::store::GlobalStore, _: &[Value]| {
+                ActionOutcome::blocked()
+            }),
+        );
+        let p = b.build().unwrap();
+        let init = p.initial_config(vec![]).unwrap();
+        let exp = Explorer::new(&p).explore([init]).unwrap();
+        let witnesses = exp.deadlock_witnesses();
+        assert_eq!(witnesses.len(), 1);
+        let deadlocked: Vec<_> = exp.deadlocked_configs().collect();
+        assert_eq!(witnesses[0].last().unwrap(), deadlocked[0]);
+        assert!(witnesses[0].to_string().contains("Main()"));
+    }
+
+    #[test]
+    fn intern_stats_reflect_dedup() {
+        use crate::action::{NativeAction, PendingAsync, Transition};
+        use crate::multiset::Multiset;
+        use crate::program::{GlobalSchema, Program};
+        use crate::store::GlobalStore;
+        // Main spawns two commuting writers A and B; both interleavings meet
+        // again in the same final configuration, so the second arrival is a
+        // dedup hit.
+        let write = |slot: usize| {
+            move |g: &GlobalStore, _: &[Value]| {
+                let mut g = g.clone();
+                g.set(slot, Value::Int(1));
+                ActionOutcome::Transitions(vec![Transition::new(g, Multiset::new())])
+            }
+        };
+        let mut b = Program::builder(GlobalSchema::new(["a", "b"]));
+        b.action(
+            "Main",
+            NativeAction::new("Main", 0, |g: &GlobalStore, _: &[Value]| {
+                let mut created = Multiset::new();
+                created.insert(PendingAsync::new("A", vec![]));
+                created.insert(PendingAsync::new("B", vec![]));
+                ActionOutcome::Transitions(vec![Transition::new(g.clone(), created)])
+            }),
+        );
+        b.action("A", NativeAction::new("A", 0, write(0)));
+        b.action("B", NativeAction::new("B", 0, write(1)));
+        let p = b.build().unwrap();
+        let init = p
+            .initial_config_with(GlobalStore::new(vec![Value::Int(0), Value::Int(0)]), vec![])
+            .unwrap();
+        let exp = Explorer::new(&p).explore([init]).unwrap();
+        let stats = exp.intern_stats();
+        // Every distinct config is one miss; the diamond's re-convergence is
+        // at least one hit.
+        assert_eq!(stats.misses as usize, exp.config_count());
+        assert!(stats.hits > 0);
+        assert!(stats.hit_rate() > 0.0);
     }
 
     #[test]

@@ -213,6 +213,11 @@ pub struct Interner {
     scratch_slots: Vec<ValueId>,
     /// Reusable entry buffer for bag interning.
     scratch_bag: Vec<(PaId, u32)>,
+    /// Configuration interning attempts that found an existing id (a
+    /// duplicate configuration was deduplicated instead of re-explored).
+    config_hits: u64,
+    /// Configuration interning attempts that allocated a fresh id.
+    config_misses: u64,
 }
 
 impl Default for Interner {
@@ -241,6 +246,8 @@ impl Interner {
             config_table: IdTable::new(),
             scratch_slots: Vec::new(),
             scratch_bag: Vec::new(),
+            config_hits: 0,
+            config_misses: 0,
         }
     }
 
@@ -580,8 +587,10 @@ impl Interner {
             .config_table
             .find(hash, |id| configs[id as usize] == (store, bag))
         {
+            self.config_hits += 1;
             return (ConfigId(id), false);
         }
+        self.config_misses += 1;
         let id = next_id(self.configs.len(), "config");
         self.configs.push((store, bag));
         self.config_table.insert(hash, id);
@@ -630,6 +639,26 @@ impl Interner {
     /// The configuration ids in interning order (dense `0..config_count()`).
     pub fn config_ids(&self) -> impl Iterator<Item = ConfigId> + '_ {
         (0..self.configs.len()).map(|i| ConfigId(i as u32))
+    }
+
+    /// The id of the `index`-th interned configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index >= config_count()`.
+    #[must_use]
+    pub fn config_id(&self, index: usize) -> ConfigId {
+        assert!(index < self.configs.len(), "config index out of range");
+        ConfigId(index as u32)
+    }
+
+    /// Configuration dedup effectiveness: how many `intern_config*` calls
+    /// found an existing id (hits) vs. allocated a fresh one (misses).
+    ///
+    /// Observability data only — never consulted by the interner itself.
+    #[must_use]
+    pub fn intern_stats(&self) -> inseq_obs::HitMissSnapshot {
+        inseq_obs::HitMissSnapshot::new(self.config_hits, self.config_misses)
     }
 }
 

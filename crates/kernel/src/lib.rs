@@ -59,7 +59,9 @@ pub use action::{
 };
 pub use config::{Config, Step};
 pub use error::{ExploreError, KernelError};
-pub use explore::{Execution, Exploration, Explorer, Summary, DEFAULT_CONFIG_BUDGET};
+pub use explore::{
+    Execution, Exploration, Explorer, FailureWitness, Summary, Trace, DEFAULT_CONFIG_BUDGET,
+};
 pub use intern::{ArgsId, BagId, ConfigId, Interner, PaId, StoreId, ValueId};
 pub use multiset::Multiset;
 pub use program::{GlobalSchema, Program, ProgramBuilder};

@@ -12,8 +12,8 @@
 
 use std::fmt::Write as _;
 
-use crate::config::Config;
-use crate::explore::Execution;
+use crate::config::{Config, Step};
+use crate::explore::{Execution, Trace};
 use crate::program::GlobalSchema;
 
 /// Options for [`render_execution`].
@@ -49,12 +49,24 @@ pub fn render_execution(
     schema: &GlobalSchema,
     options: RenderOptions,
 ) -> String {
+    render_steps(&exec.steps, schema, options)
+}
+
+/// Renders a witness trace in the same Fig. 2 style as
+/// [`render_execution`] — the full firing sequence, not the capped one-line
+/// form of `Trace`'s `Display`.
+#[must_use]
+pub fn render_trace(trace: &Trace, schema: &GlobalSchema, options: RenderOptions) -> String {
+    render_steps(&trace.steps, schema, options)
+}
+
+fn render_steps(steps: &[Step], schema: &GlobalSchema, options: RenderOptions) -> String {
     let mut out = String::new();
-    let Some(first) = exec.steps.first() else {
+    let Some(first) = steps.first() else {
         return "(empty execution)".into();
     };
     let _ = writeln!(out, "{}", render_config(&first.before, schema, options));
-    for step in &exec.steps {
+    for step in steps {
         let _ = writeln!(out, "  --{}-->", step.fired);
         let _ = writeln!(out, "{}", render_config(&step.after, schema, options));
     }
@@ -92,6 +104,19 @@ mod tests {
             RenderOptions { show_stores: true },
         );
         assert!(text.contains("counter ="));
+    }
+
+    #[test]
+    fn trace_renders_like_its_execution() {
+        let p = counter_program();
+        let init = p.initial_config(vec![]).unwrap();
+        let exp = Explorer::new(&p).explore([init]).unwrap();
+        let exec = exp.terminating_executions(1).remove(0);
+        let trace: crate::explore::Trace = exec.clone().into();
+        assert_eq!(
+            render_trace(&trace, p.schema(), RenderOptions::default()),
+            render_execution(&exec, p.schema(), RenderOptions::default())
+        );
     }
 
     #[test]

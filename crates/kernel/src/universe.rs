@@ -28,6 +28,12 @@ pub struct StateUniverse {
     /// Stores at which a PA of a given action is present in some reachable
     /// configuration, together with its argument values.
     enabled_at: BTreeMap<ActionName, BTreeSet<(GlobalStore, Vec<Value>)>>,
+    /// For each store, the first absorbed configuration exhibiting it.
+    /// Because explorations are absorbed before synthetic (invariant-
+    /// produced) configurations, a provenance entry names a *reachable*
+    /// configuration whenever one exists, which is what lets a violated
+    /// premise over a store be turned into a concrete witness run.
+    provenance: BTreeMap<GlobalStore, crate::config::Config>,
 }
 
 impl StateUniverse {
@@ -58,6 +64,9 @@ impl StateUniverse {
     /// sequentialization, which need not be reachable in the original
     /// program.
     pub fn absorb_config(&mut self, config: &crate::config::Config) {
+        self.provenance
+            .entry(config.globals.clone())
+            .or_insert_with(|| config.clone());
         self.add_store(config.globals.clone());
         let pas: Vec<&PendingAsync> = config.pending.distinct().collect();
         for pa in &pas {
@@ -153,6 +162,16 @@ impl StateUniverse {
         self.enabled_at.get(action).into_iter().flatten()
     }
 
+    /// The configuration that first contributed `store` to the universe, if
+    /// `store` entered via [`absorb`](Self::absorb) /
+    /// [`absorb_config`](Self::absorb_config) rather than
+    /// [`add_store`](Self::add_store). Ask the originating exploration for a
+    /// trace to it to obtain a concrete witness run.
+    #[must_use]
+    pub fn provenance(&self, store: &GlobalStore) -> Option<&crate::config::Config> {
+        self.provenance.get(store)
+    }
+
     /// Number of stores in the universe.
     #[must_use]
     pub fn store_count(&self) -> usize {
@@ -192,6 +211,24 @@ mod tests {
             .next()
             .expect("Inc pair present");
         assert!(!stores.is_empty());
+    }
+
+    #[test]
+    fn provenance_names_first_contributing_config() {
+        let p = counter_program();
+        let init = p.initial_config(vec![]).unwrap();
+        let exp = Explorer::new(&p).explore([init]).unwrap();
+        let u = StateUniverse::from_exploration(&exp);
+        for store in u.stores() {
+            let config = u.provenance(store).expect("absorbed stores have provenance");
+            assert_eq!(&config.globals, store);
+            // The provenance config is reachable, so a witness exists.
+            assert!(exp.trace_to(config).is_some());
+        }
+        // Stores added directly (synthetic cases) carry no provenance.
+        let mut u = StateUniverse::new();
+        u.add_store(GlobalStore::default());
+        assert!(u.provenance(&GlobalStore::default()).is_none());
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The left-mover conditions of §3 (and their right-mover duals), checked by
 //! enumeration over a state universe.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::fmt;
 use std::hash::BuildHasherDefault;
@@ -9,6 +9,7 @@ use std::rc::Rc;
 use std::sync::Arc;
 
 use inseq_kernel::hash::FxHasher;
+use inseq_obs::HitMissSnapshot;
 use inseq_kernel::{
     ActionName, ActionOutcome, ActionSemantics, ArgsId, BagId, GlobalStore, Interner, PendingAsync,
     Program, StateUniverse, StoreId,
@@ -60,6 +61,23 @@ pub enum MoverViolation {
         /// The store at which the mover has no transition.
         store: GlobalStore,
     },
+}
+
+impl MoverViolation {
+    /// The store at which the violated condition was observed. Every
+    /// variant carries one; when the store entered the universe from an
+    /// exploration, [`inseq_kernel::StateUniverse::provenance`] names a
+    /// reachable configuration exhibiting it, from which the originating
+    /// exploration can reconstruct a concrete witness run.
+    #[must_use]
+    pub fn store(&self) -> &GlobalStore {
+        match self {
+            MoverViolation::GateNotForwardPreserved { store, .. }
+            | MoverViolation::GateNotBackwardPreserved { store, .. }
+            | MoverViolation::DoesNotCommute { store, .. }
+            | MoverViolation::Blocking { store, .. } => store,
+        }
+    }
 }
 
 impl fmt::Display for MoverViolation {
@@ -120,6 +138,28 @@ struct CachedTransition {
     created: BagId,
 }
 
+/// Observability counters of one [`MoverChecker`]: evaluation-cache
+/// effectiveness plus the number of pairwise condition checks performed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MoverStats {
+    /// Hits/misses of the `(action, store, args)` evaluation cache.
+    pub eval_cache: HitMissSnapshot,
+    /// `(mover, partner, store)` triples checked against conditions (1)-(3)
+    /// or their right-mover duals.
+    pub pairwise_checks: u64,
+}
+
+impl MoverStats {
+    /// Component-wise sum, for aggregating per-job checkers.
+    #[must_use]
+    pub fn merged(self, other: MoverStats) -> MoverStats {
+        MoverStats {
+            eval_cache: self.eval_cache.merged(other.eval_cache),
+            pairwise_checks: self.pairwise_checks + other.pairwise_checks,
+        }
+    }
+}
+
 /// A mover-condition checker bound to a program and a quantification
 /// universe. Action evaluations are memoized for the checker's lifetime.
 #[derive(Debug)]
@@ -128,6 +168,12 @@ pub struct MoverChecker<'a> {
     universe: &'a StateUniverse,
     interner: RefCell<Interner>,
     cache: RefCell<EvalCache>,
+    /// Stats live in `Cell`s (the checker is single-threaded by
+    /// construction — `RefCell` everywhere) so read-only checking methods
+    /// can count without widening their borrows.
+    eval_hits: Cell<u64>,
+    eval_misses: Cell<u64>,
+    pairwise: Cell<u64>,
 }
 
 impl<'a> MoverChecker<'a> {
@@ -139,6 +185,19 @@ impl<'a> MoverChecker<'a> {
             universe,
             interner: RefCell::new(Interner::new()),
             cache: RefCell::new(EvalCache::default()),
+            eval_hits: Cell::new(0),
+            eval_misses: Cell::new(0),
+            pairwise: Cell::new(0),
+        }
+    }
+
+    /// The checker's counters so far. Observability data only; resetting or
+    /// ignoring them never changes a verdict.
+    #[must_use]
+    pub fn stats(&self) -> MoverStats {
+        MoverStats {
+            eval_cache: HitMissSnapshot::new(self.eval_hits.get(), self.eval_misses.get()),
+            pairwise_checks: self.pairwise.get(),
         }
     }
 
@@ -150,8 +209,10 @@ impl<'a> MoverChecker<'a> {
     ) -> Rc<CachedOutcome> {
         let key = (Arc::as_ptr(action).cast::<()>() as usize, store, args);
         if let Some(hit) = self.cache.borrow().get(&key) {
+            self.eval_hits.set(self.eval_hits.get() + 1);
             return Rc::clone(hit);
         }
+        self.eval_misses.set(self.eval_misses.get() + 1);
         let out = {
             let interner = self.interner.borrow();
             action.eval(interner.store(store), interner.args(args))
@@ -228,6 +289,7 @@ impl<'a> MoverChecker<'a> {
         pa_x: &PendingAsync,
         g: &GlobalStore,
     ) -> Result<(), MoverViolation> {
+        self.pairwise.set(self.pairwise.get() + 1);
         let (g_id, l_args, x_args) = {
             let mut interner = self.interner.borrow_mut();
             (
@@ -373,6 +435,7 @@ impl<'a> MoverChecker<'a> {
         pa_x: &PendingAsync,
         g: &GlobalStore,
     ) -> Result<(), MoverViolation> {
+        self.pairwise.set(self.pairwise.get() + 1);
         let (g_id, r_args, x_args) = {
             let mut interner = self.interner.borrow_mut();
             (
@@ -494,4 +557,74 @@ pub fn classify_actions(
         .action_names()
         .map(|name| (name.clone(), infer_mover_type(program, universe, name)))
         .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inseq_kernel::demo::counter_program;
+    use inseq_kernel::Explorer;
+
+    #[test]
+    fn stats_count_pairwise_checks_and_cache_traffic() {
+        let p = counter_program();
+        let init = p.initial_config(vec![]).unwrap();
+        let exp = Explorer::new(&p).explore([init]).unwrap();
+        let u = StateUniverse::from_exploration(&exp);
+        let checker = MoverChecker::new(&p, &u);
+        assert_eq!(checker.stats(), MoverStats::default());
+        let inc = p.action(&"Inc".into()).unwrap();
+        checker.check_left(inc, &"Inc".into()).unwrap();
+        let stats = checker.stats();
+        // Inc is co-enabled with itself at at least one store, so at least
+        // one pairwise triple was checked, and the same (action, store,
+        // args) evaluations recur across conditions (1)-(3).
+        assert!(stats.pairwise_checks > 0);
+        assert!(stats.eval_cache.misses > 0);
+        assert!(stats.eval_cache.hits > 0);
+        // A second pass over identical queries is answered from the cache.
+        let before = checker.stats();
+        checker.check_left(inc, &"Inc".into()).unwrap();
+        let after = checker.stats();
+        assert_eq!(after.eval_cache.misses, before.eval_cache.misses);
+        assert!(after.eval_cache.hits > before.eval_cache.hits);
+        // Merging is component-wise.
+        let merged = before.merged(after);
+        assert_eq!(
+            merged.pairwise_checks,
+            before.pairwise_checks + after.pairwise_checks
+        );
+    }
+
+    #[test]
+    fn every_violation_variant_exposes_its_store() {
+        let store = GlobalStore::default();
+        let pa = PendingAsync::new("A", vec![]);
+        let violations = [
+            MoverViolation::GateNotForwardPreserved {
+                mover: pa.clone(),
+                other: pa.clone(),
+                store: store.clone(),
+                reason: "r".into(),
+            },
+            MoverViolation::GateNotBackwardPreserved {
+                mover: pa.clone(),
+                other: pa.clone(),
+                store: store.clone(),
+            },
+            MoverViolation::DoesNotCommute {
+                mover: pa.clone(),
+                other: pa.clone(),
+                store: store.clone(),
+                target: store.clone(),
+            },
+            MoverViolation::Blocking {
+                mover: pa,
+                store: store.clone(),
+            },
+        ];
+        for v in &violations {
+            assert_eq!(v.store(), &store);
+        }
+    }
 }

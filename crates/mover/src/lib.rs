@@ -31,7 +31,7 @@ mod types;
 
 pub use check::{
     check_left_mover, check_right_mover, classify_actions, infer_mover_type, MoverChecker,
-    MoverViolation,
+    MoverStats, MoverViolation,
 };
 pub use parallel::classify_actions_with;
 pub use reduction::{atomic_pattern, summarize_chain, summarize_mover_types};

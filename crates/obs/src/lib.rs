@@ -1,0 +1,230 @@
+//! Observability primitives for the inductive-sequentialization workspace.
+//!
+//! The engine's parallel hot paths (sharded exploration, the job scheduler,
+//! the mover checker's evaluation cache) need counters that are cheap enough
+//! to sit inside inner loops and safe to bump from several threads at once.
+//! This crate provides exactly three things and nothing else:
+//!
+//! * [`Counter`] — a relaxed [`AtomicU64`]: one uncontended `fetch_add` per
+//!   event, no ordering guarantees beyond the final sum (which is all a
+//!   statistic needs);
+//! * [`HitMiss`] / [`HitMissSnapshot`] — the cache-effectiveness pair used by
+//!   the kernel interner, the engine's footprint memo, and the mover
+//!   checker's evaluation cache;
+//! * [`PhaseStat`] — one timed phase (a Fig. 3 premise, an exploration, a
+//!   scheduler job) with a wall clock and an item count.
+//!
+//! Counters are *observability data*: they must never influence a verdict,
+//! a report's identity, or the explored state space. Consumers therefore
+//! exclude snapshot types from their `PartialEq` implementations (see
+//! `inseq_core::IsReport`), and this crate deliberately offers no global
+//! registry — every statistic lives in the component that produces it, so
+//! two concurrent explorations can never bleed counts into each other.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A monotonically increasing event counter, safe to bump from any thread.
+///
+/// All operations use [`Ordering::Relaxed`]: increments from racing threads
+/// are never lost, but a concurrent [`get`](Counter::get) may observe any
+/// interleaving prefix. Read totals only after the producing threads have
+/// been joined when an exact figure matters.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Creates a counter at zero.
+    #[must_use]
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current total.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A hit/miss counter pair for a cache or memo, bump-able from any thread.
+#[derive(Debug, Default)]
+pub struct HitMiss {
+    /// Lookups answered from the cache.
+    pub hits: Counter,
+    /// Lookups that had to do the underlying work.
+    pub misses: Counter,
+}
+
+impl HitMiss {
+    /// Creates a zeroed pair.
+    #[must_use]
+    pub const fn new() -> Self {
+        HitMiss {
+            hits: Counter::new(),
+            misses: Counter::new(),
+        }
+    }
+
+    /// The current totals as a plain-value snapshot.
+    #[must_use]
+    pub fn snapshot(&self) -> HitMissSnapshot {
+        HitMissSnapshot {
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+        }
+    }
+}
+
+/// A plain-value snapshot of a [`HitMiss`] pair, for reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HitMissSnapshot {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to do the underlying work.
+    pub misses: u64,
+}
+
+impl HitMissSnapshot {
+    /// Creates a snapshot from plain totals.
+    #[must_use]
+    pub fn new(hits: u64, misses: u64) -> Self {
+        HitMissSnapshot { hits, misses }
+    }
+
+    /// Total lookups.
+    #[must_use]
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit rate in `[0, 1]`; zero when there were no lookups.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups() == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)] // display statistic only
+            {
+                self.hits as f64 / self.lookups() as f64
+            }
+        }
+    }
+
+    /// Component-wise sum, for merging per-shard snapshots.
+    #[must_use]
+    pub fn merged(self, other: HitMissSnapshot) -> HitMissSnapshot {
+        HitMissSnapshot {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+        }
+    }
+}
+
+impl fmt::Display for HitMissSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} hit / {} miss ({:.0}%)",
+            self.hits,
+            self.misses,
+            self.hit_rate() * 100.0
+        )
+    }
+}
+
+/// One timed phase of a larger check: a name, its wall clock, and how many
+/// items (configurations, premise instances, pairwise checks, …) it covered.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PhaseStat {
+    /// The phase's name (e.g. `explore`, `(I2) I∖PA_E ≼ M'`).
+    pub name: String,
+    /// Wall-clock time the phase took.
+    pub wall: Duration,
+    /// Items the phase covered; zero when not applicable.
+    pub items: usize,
+}
+
+impl PhaseStat {
+    /// Creates a phase stat.
+    #[must_use]
+    pub fn new(name: impl Into<String>, wall: Duration, items: usize) -> Self {
+        PhaseStat {
+            name: name.into(),
+            wall,
+            items,
+        }
+    }
+}
+
+impl fmt::Display for PhaseStat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {:.2} ms", self.name, self.wall.as_secs_f64() * 1e3)?;
+        if self.items > 0 {
+            write!(f, " ({} items)", self.items)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates_across_threads() {
+        let c = Counter::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        c.incr();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 4000);
+    }
+
+    #[test]
+    fn hit_miss_snapshot_math() {
+        let hm = HitMiss::new();
+        hm.hits.add(3);
+        hm.misses.incr();
+        let s = hm.snapshot();
+        assert_eq!(s.lookups(), 4);
+        assert!((s.hit_rate() - 0.75).abs() < 1e-9);
+        let merged = s.merged(HitMissSnapshot::new(1, 1));
+        assert_eq!(merged, HitMissSnapshot::new(4, 2));
+        assert!(s.to_string().contains("3 hit / 1 miss"));
+    }
+
+    #[test]
+    fn zero_lookups_have_zero_rate() {
+        assert_eq!(HitMissSnapshot::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn phase_stat_displays_items_only_when_present() {
+        let p = PhaseStat::new("explore", Duration::from_millis(2), 25);
+        assert!(p.to_string().contains("25 items"));
+        let p = PhaseStat::new("(I1)", Duration::from_millis(1), 0);
+        assert!(!p.to_string().contains("items"));
+    }
+}

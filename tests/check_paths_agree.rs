@@ -1,0 +1,94 @@
+//! The two premise-discharge paths of the IS rule — the sequential
+//! `IsApplication::check()` and the engine-scheduled `check_with()` — must
+//! return identical reports on every Table-1 protocol. `check()` delegates
+//! to the same shared (I1)/(I2)/(I3) helpers as the job DAG and counts
+//! `induction_steps` in the shared preparation step; this test pins both
+//! paths to the same numbers so the helpers cannot drift apart again.
+
+use inductive_sequentialization::core::{IsApplication, IsReport};
+use inductive_sequentialization::engine::Engine;
+use inductive_sequentialization::protocols::{
+    broadcast, chang_roberts, n_buyer, paxos, ping_pong, producer_consumer, two_phase_commit,
+};
+
+fn assert_paths_agree(label: &str, application: &IsApplication) -> IsReport {
+    let sequential = application
+        .check()
+        .unwrap_or_else(|e| panic!("{label}: check() failed: {e}"));
+    let engine = Engine::new().with_threads(2);
+    let (parallel, engine_report) = application
+        .check_with(&engine)
+        .unwrap_or_else(|e| panic!("{label}: check_with() failed: {e}"));
+    assert!(engine_report.all_passed(), "{label}: a scheduled job failed");
+    // Report equality covers every deterministic count, `induction_steps`
+    // included; spell it out anyway so a drift names the field.
+    assert_eq!(
+        sequential.induction_steps, parallel.induction_steps,
+        "{label}: induction-step accounting differs between paths"
+    );
+    assert_eq!(sequential, parallel, "{label}: reports differ");
+
+    // Observability rides along on both paths without entering identity:
+    // both explored, so both saw interner traffic and timed their premises.
+    assert!(
+        sequential.stats.intern.lookups() > 0,
+        "{label}: sequential path reports no interner traffic"
+    );
+    assert!(
+        parallel.stats.intern.lookups() > 0,
+        "{label}: parallel path reports no interner traffic"
+    );
+    assert!(
+        !sequential.stats.premises.is_empty() && !parallel.stats.premises.is_empty(),
+        "{label}: premise timings missing"
+    );
+    sequential
+}
+
+#[test]
+fn check_and_check_with_agree_on_all_seven_protocols() {
+    let reports = [
+        assert_paths_agree(
+            "Broadcast consensus",
+            &broadcast::oneshot_application(&broadcast::build(), &broadcast::Instance::new(&[3, 1])),
+        ),
+        assert_paths_agree(
+            "Ping-Pong",
+            &ping_pong::application(&ping_pong::build(), ping_pong::Instance::new(2)),
+        ),
+        assert_paths_agree(
+            "Producer-Consumer",
+            &producer_consumer::application(
+                &producer_consumer::build(),
+                producer_consumer::Instance::new(2),
+            ),
+        ),
+        assert_paths_agree(
+            "N-Buyer",
+            &n_buyer::application(&n_buyer::build(), &n_buyer::Instance::new(10, &[6, 6])),
+        ),
+        assert_paths_agree(
+            "Chang-Roberts",
+            &chang_roberts::application(
+                &chang_roberts::build(),
+                &chang_roberts::Instance::new(&[20, 10]),
+            ),
+        ),
+        assert_paths_agree(
+            "Two-phase commit",
+            &two_phase_commit::application(
+                &two_phase_commit::build(),
+                &two_phase_commit::Instance::new(&[true, false]),
+            ),
+        ),
+        assert_paths_agree(
+            "Paxos",
+            &paxos::application(&paxos::build(), paxos::Instance::new(1, 2)),
+        ),
+    ];
+    // Every application actually exercised the induction machinery.
+    assert!(
+        reports.iter().any(|r| r.induction_steps > 0),
+        "no protocol produced an induction step"
+    );
+}
