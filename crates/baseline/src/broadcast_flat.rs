@@ -236,10 +236,7 @@ pub fn invariant() -> FlatInvariant {
                             "j",
                             Term::int(1),
                             n(),
-                            Formula::eq(
-                                Term::count_in(channel("i"), value_at("j")),
-                                Term::int(1),
-                            ),
+                            Formula::eq(Term::count_in(channel("i"), value_at("j")), Term::int(1)),
                         ),
                     ]),
                 ),

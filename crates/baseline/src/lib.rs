@@ -246,8 +246,7 @@ pub fn check_flat_invariant(
                     mutant.pending.insert(pa.clone());
                 }
             } else {
-                let present: Vec<PendingAsync> =
-                    mutant.pending.distinct().cloned().collect();
+                let present: Vec<PendingAsync> = mutant.pending.distinct().cloned().collect();
                 if let Some(pa) = present.choose(&mut rng) {
                     mutant.pending.remove_one(pa);
                 }
@@ -269,10 +268,7 @@ pub fn check_flat_invariant(
                     .eval_pa(&mutant.globals, &pa)
                     .map_err(|e| BaselineError::Internal(e.to_string()))?;
                 if let inseq_kernel::ActionOutcome::Transitions(ts) = outcome {
-                    let rest = mutant
-                        .pending
-                        .without(&pa)
-                        .expect("distinct PA is present");
+                    let rest = mutant.pending.without(&pa).expect("distinct PA is present");
                     for t in ts {
                         let next = Config::new(t.globals, rest.union(&t.created));
                         if !holds(&next)? {

@@ -208,7 +208,11 @@ pub fn invariant() -> FlatInvariant {
                         Formula::eq(
                             Term::pending_count(
                                 "Vote",
-                                vec![Term::bound("r"), Term::bound("n"), vote_value(Term::bound("r"))],
+                                vec![
+                                    Term::bound("r"),
+                                    Term::bound("n"),
+                                    vote_value(Term::bound("r")),
+                                ],
                             ),
                             Term::int(1),
                         ),
@@ -290,7 +294,10 @@ mod tests {
             },
         )
         .expect("the flat Paxos invariant holds");
-        assert!(report.conjuncts >= 6, "needs strictly more conjuncts than PaxosInv's 4 parts");
+        assert!(
+            report.conjuncts >= 6,
+            "needs strictly more conjuncts than PaxosInv's 4 parts"
+        );
     }
 
     #[test]

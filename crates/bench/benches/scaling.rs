@@ -21,16 +21,20 @@ fn bench_broadcast_scaling(c: &mut Criterion) {
                     .expect("IS holds")
             });
         });
-        group.bench_with_input(BenchmarkId::new("raw_reachability_p2", n), &instance, |b, inst| {
-            let artifacts = broadcast::build();
-            b.iter(|| {
-                let init = broadcast::init_config(&artifacts.p2, &artifacts, inst);
-                Explorer::new(&artifacts.p2)
-                    .explore([init])
-                    .expect("within budget")
-                    .config_count()
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("raw_reachability_p2", n),
+            &instance,
+            |b, inst| {
+                let artifacts = broadcast::build();
+                b.iter(|| {
+                    let init = broadcast::init_config(&artifacts.p2, &artifacts, inst);
+                    Explorer::new(&artifacts.p2)
+                        .explore([init])
+                        .expect("within budget")
+                        .config_count()
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -40,10 +44,18 @@ fn bench_pingpong_scaling(c: &mut Criterion) {
     group.sample_size(10);
     for k in [2i64, 4, 8, 16] {
         let instance = ping_pong::Instance::new(k);
-        group.bench_with_input(BenchmarkId::new("is_application", k), &instance, |b, inst| {
-            let artifacts = ping_pong::build();
-            b.iter(|| ping_pong::application(&artifacts, *inst).check().expect("IS holds"));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("is_application", k),
+            &instance,
+            |b, inst| {
+                let artifacts = ping_pong::build();
+                b.iter(|| {
+                    ping_pong::application(&artifacts, *inst)
+                        .check()
+                        .expect("IS holds")
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -53,24 +65,32 @@ fn bench_prodcons_scaling(c: &mut Criterion) {
     group.sample_size(10);
     for k in [2i64, 4, 6, 8] {
         let instance = producer_consumer::Instance::new(k);
-        group.bench_with_input(BenchmarkId::new("is_application", k), &instance, |b, inst| {
-            let artifacts = producer_consumer::build();
-            b.iter(|| {
-                producer_consumer::application(&artifacts, *inst)
-                    .check()
-                    .expect("IS holds")
-            });
-        });
-        group.bench_with_input(BenchmarkId::new("raw_reachability_p2", k), &instance, |b, inst| {
-            let artifacts = producer_consumer::build();
-            b.iter(|| {
-                let init = producer_consumer::init_config(&artifacts.p2, &artifacts, *inst);
-                Explorer::new(&artifacts.p2)
-                    .explore([init])
-                    .expect("within budget")
-                    .config_count()
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("is_application", k),
+            &instance,
+            |b, inst| {
+                let artifacts = producer_consumer::build();
+                b.iter(|| {
+                    producer_consumer::application(&artifacts, *inst)
+                        .check()
+                        .expect("IS holds")
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("raw_reachability_p2", k),
+            &instance,
+            |b, inst| {
+                let artifacts = producer_consumer::build();
+                b.iter(|| {
+                    let init = producer_consumer::init_config(&artifacts.p2, &artifacts, *inst);
+                    Explorer::new(&artifacts.p2)
+                        .explore([init])
+                        .expect("within budget")
+                        .config_count()
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -56,5 +56,9 @@ fn bench_two_phase_commit_parallel(c: &mut Criterion) {
     bench_case(c, "scaling_parallel/two_phase_commit", &case);
 }
 
-criterion_group!(benches, bench_paxos_parallel, bench_two_phase_commit_parallel);
+criterion_group!(
+    benches,
+    bench_paxos_parallel,
+    bench_two_phase_commit_parallel
+);
 criterion_main!(benches);

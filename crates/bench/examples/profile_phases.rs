@@ -27,25 +27,34 @@ fn main() {
     }
     // Full pipelines for the heavy hitters.
     for (name, run) in [
-        ("Paxos", Box::new(|| {
-            inseq_protocols::paxos::verify(inseq_protocols::paxos::Instance::new(2, 2))
+        (
+            "Paxos",
+            Box::new(|| {
+                inseq_protocols::paxos::verify(inseq_protocols::paxos::Instance::new(2, 2))
+                    .map(|_| ())
+                    .unwrap()
+            }) as Box<dyn Fn()>,
+        ),
+        (
+            "Broadcast",
+            Box::new(|| {
+                inseq_protocols::broadcast::verify(&inseq_protocols::broadcast::Instance::new(&[
+                    3, 1, 2,
+                ]))
                 .map(|_| ())
                 .unwrap()
-        }) as Box<dyn Fn()>),
-        ("Broadcast", Box::new(|| {
-            inseq_protocols::broadcast::verify(&inseq_protocols::broadcast::Instance::new(&[
-                3, 1, 2,
-            ]))
-            .map(|_| ())
-            .unwrap()
-        })),
-        ("2PC", Box::new(|| {
-            inseq_protocols::two_phase_commit::verify(
-                &inseq_protocols::two_phase_commit::Instance::new(&[true, false, true]),
-            )
-            .map(|_| ())
-            .unwrap()
-        })),
+            }),
+        ),
+        (
+            "2PC",
+            Box::new(|| {
+                inseq_protocols::two_phase_commit::verify(
+                    &inseq_protocols::two_phase_commit::Instance::new(&[true, false, true]),
+                )
+                .map(|_| ())
+                .unwrap()
+            }),
+        ),
     ] {
         let t = Instant::now();
         run();

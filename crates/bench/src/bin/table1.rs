@@ -19,9 +19,15 @@
 //! `--stats` appends an observability section to the rendered table:
 //! per-protocol interner and mover-cache hit rates, pairwise-check counts,
 //! and the slowest premises. The JSON rows always carry these counters.
+//!
+//! `--exec compiled|interp` selects the DSL evaluation backend for every
+//! action in the run: the register-bytecode VM (the default) or the
+//! tree-walk reference interpreter. Used to regenerate the before/after
+//! rows of `BENCH_table1.json`.
 
 use std::process::ExitCode;
 
+use inseq_kernel::ExecStats;
 use inseq_obs::HitMissSnapshot;
 use inseq_protocols::common::CaseReport;
 
@@ -29,18 +35,20 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
-/// Interner traffic, mover-cache traffic, and pairwise-check count of one
-/// row, summed over its IS applications.
-fn row_stats(r: &CaseReport) -> (HitMissSnapshot, HitMissSnapshot, u64) {
+/// Interner traffic, mover-cache traffic, pairwise-check count, and
+/// evaluation-backend counters of one row, summed over its IS applications.
+fn row_stats(r: &CaseReport) -> (HitMissSnapshot, HitMissSnapshot, u64, ExecStats) {
     let mut intern = HitMissSnapshot::default();
     let mut mover = HitMissSnapshot::default();
     let mut pairwise = 0u64;
+    let mut exec = ExecStats::default();
     for p in &r.reports {
         intern = intern.merged(p.stats.intern);
         mover = mover.merged(p.stats.mover_cache);
         pairwise += p.stats.pairwise_checks;
+        exec = exec.merged(p.stats.exec);
     }
-    (intern, mover, pairwise)
+    (intern, mover, pairwise, exec)
 }
 
 fn rows_as_json(rows: &[CaseReport]) -> String {
@@ -51,7 +59,7 @@ fn rows_as_json(rows: &[CaseReport]) -> String {
         }
         let visited: usize = r.reports.iter().map(|p| p.reachable_configs).sum();
         let edges: usize = r.reports.iter().map(|p| p.edges).sum();
-        let (intern, mover, pairwise) = row_stats(r);
+        let (intern, mover, pairwise, exec) = row_stats(r);
         let premises: Vec<String> = r
             .reports
             .iter()
@@ -71,7 +79,9 @@ fn rows_as_json(rows: &[CaseReport]) -> String {
              \"visited_configs\": {}, \"edges\": {}, \
              \"intern_hits\": {}, \"intern_misses\": {}, \
              \"mover_cache_hits\": {}, \"mover_cache_misses\": {}, \
-             \"pairwise_checks\": {}, \"premises\": [{}]}}",
+             \"pairwise_checks\": {}, \
+             \"compiled_actions\": {}, \"compile_nanos\": {}, \
+             \"vm_evals\": {}, \"interp_evals\": {}, \"premises\": [{}]}}",
             json_escape(&r.name),
             json_escape(&r.instance),
             r.is_applications,
@@ -86,6 +96,10 @@ fn rows_as_json(rows: &[CaseReport]) -> String {
             mover.hits,
             mover.misses,
             pairwise,
+            exec.compiled_actions,
+            exec.compile_nanos,
+            exec.vm_evals,
+            exec.interp_evals,
             premises.join(", ")
         ));
     }
@@ -98,10 +112,19 @@ fn rows_as_json(rows: &[CaseReport]) -> String {
 fn render_stats(rows: &[CaseReport]) -> String {
     let mut out = String::from("\nObservability (summed over each row's IS applications):\n");
     for r in rows {
-        let (intern, mover, pairwise) = row_stats(r);
+        let (intern, mover, pairwise, exec) = row_stats(r);
         out.push_str(&format!(
             "  {:<22} interner {intern}; mover cache {mover} over {pairwise} pairwise checks\n",
             r.name
+        ));
+        out.push_str(&format!(
+            "    exec: {} compiled action(s) ({} ops, {:.3}ms compile), \
+             {} VM / {} interp evaluations\n",
+            exec.compiled_actions,
+            exec.compiled_ops,
+            exec.compile_nanos as f64 / 1e6,
+            exec.vm_evals,
+            exec.interp_evals
         ));
         let mut premises: Vec<_> = r
             .reports
@@ -175,20 +198,57 @@ fn parse_jobs(args: &[String]) -> Result<usize, String> {
             None
         };
         if let Some(v) = value {
-            jobs = v
-                .parse::<usize>()
-                .ok()
-                .filter(|&n| n >= 1)
-                .ok_or_else(|| format!("invalid --jobs value `{v}` (expected a positive integer)"))?;
+            jobs = v.parse::<usize>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                format!("invalid --jobs value `{v}` (expected a positive integer)")
+            })?;
         }
     }
     Ok(jobs)
+}
+
+fn parse_exec(args: &[String]) -> Result<Option<inseq_lang::ExecMode>, String> {
+    for (i, arg) in args.iter().enumerate() {
+        let value = if let Some(v) = arg.strip_prefix("--exec=") {
+            Some(v.to_owned())
+        } else if arg == "--exec" {
+            Some(
+                args.get(i + 1)
+                    .cloned()
+                    .ok_or("--exec requires a backend (compiled|interp)")?,
+            )
+        } else {
+            None
+        };
+        if let Some(v) = value {
+            return match v.as_str() {
+                "compiled" => Ok(Some(inseq_lang::ExecMode::Compiled)),
+                "interp" => Ok(Some(inseq_lang::ExecMode::Interp)),
+                other => Err(format!(
+                    "invalid --exec value `{other}` (expected `compiled` or `interp`)"
+                )),
+            };
+        }
+    }
+    Ok(None)
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let compare = args.iter().any(|a| a == "--compare");
     let stats = args.iter().any(|a| a == "--stats");
+    match parse_exec(&args) {
+        Ok(Some(mode)) => {
+            if !inseq_lang::set_default_exec_mode(mode) {
+                eprintln!("--exec: evaluation backend was already fixed for this process");
+                return ExitCode::FAILURE;
+            }
+        }
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    }
     let json = parse_json_mode(&args);
     let jobs = match parse_jobs(&args) {
         Ok(jobs) => jobs,
@@ -250,7 +310,9 @@ fn main() -> ExitCode {
     }
 
     if compare {
-        println!("\n§5.2 invariant-complexity comparison (IS artifacts vs flat inductive invariants)\n");
+        println!(
+            "\n§5.2 invariant-complexity comparison (IS artifacts vs flat inductive invariants)\n"
+        );
         match inseq_bench::broadcast_comparison() {
             Ok(c) => println!("{c}\n"),
             Err(e) => {

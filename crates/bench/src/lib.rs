@@ -12,7 +12,7 @@
 
 use std::time::Duration;
 
-use inseq_baseline::{check_flat_invariant, broadcast_flat, paxos_flat, FlatOptions};
+use inseq_baseline::{broadcast_flat, check_flat_invariant, paxos_flat, FlatOptions};
 use inseq_protocols::common::{CaseError, CaseReport};
 use inseq_protocols::{
     broadcast, chang_roberts, n_buyer, paxos, ping_pong, producer_consumer, two_phase_commit,
@@ -90,34 +90,63 @@ pub fn table1_rows() -> Result<Vec<CaseReport>, CaseError> {
 ///
 /// # Errors
 ///
-/// Returns the first failing selected case, or a synthetic error when no
-/// protocol matches the filter.
+/// Returns the first failing selected case, or a synthetic error when any
+/// needle matches no protocol (a misspelled `--only` must not silently
+/// shrink the benchmark).
 pub fn table1_rows_only(needles: &[String]) -> Result<Vec<CaseReport>, CaseError> {
     type CaseRunner = Box<dyn FnOnce() -> Result<CaseReport, CaseError>>;
     let runners: Vec<(&str, CaseRunner)> = vec![
-        ("Broadcast consensus", Box::new(|| broadcast::verify(&instances::broadcast()))),
-        ("Ping-Pong", Box::new(|| ping_pong::verify(instances::ping_pong()))),
-        ("Producer-Consumer", Box::new(|| producer_consumer::verify(instances::producer_consumer()))),
-        ("N-Buyer", Box::new(|| n_buyer::verify(&instances::n_buyer()))),
-        ("Chang-Roberts", Box::new(|| chang_roberts::verify(&instances::chang_roberts()))),
-        ("Two-phase commit", Box::new(|| two_phase_commit::verify(&instances::two_phase_commit()))),
+        (
+            "Broadcast consensus",
+            Box::new(|| broadcast::verify(&instances::broadcast())),
+        ),
+        (
+            "Ping-Pong",
+            Box::new(|| ping_pong::verify(instances::ping_pong())),
+        ),
+        (
+            "Producer-Consumer",
+            Box::new(|| producer_consumer::verify(instances::producer_consumer())),
+        ),
+        (
+            "N-Buyer",
+            Box::new(|| n_buyer::verify(&instances::n_buyer())),
+        ),
+        (
+            "Chang-Roberts",
+            Box::new(|| chang_roberts::verify(&instances::chang_roberts())),
+        ),
+        (
+            "Two-phase commit",
+            Box::new(|| two_phase_commit::verify(&instances::two_phase_commit())),
+        ),
         ("Paxos", Box::new(|| paxos::verify(instances::paxos()))),
     ];
-    let matches = |name: &str| {
-        let name = name.to_lowercase();
-        needles.iter().any(|n| name.contains(&n.to_lowercase()))
-    };
-    let mut rows = Vec::new();
-    for (name, run) in runners {
-        if matches(name) {
-            rows.push(run()?);
-        }
-    }
-    if rows.is_empty() {
+    if needles.is_empty() {
         return Err(CaseError::new(
             "--only",
-            format!("no Table-1 protocol matches {needles:?}"),
+            "no needles given; pass one or more protocol-name fragments".to_owned(),
         ));
+    }
+    let matched_by = |needle: &String| {
+        let needle = needle.to_lowercase();
+        move |name: &str| name.to_lowercase().contains(&needle)
+    };
+    if let Some(unmatched) = needles
+        .iter()
+        .find(|needle| !runners.iter().any(|(name, _)| matched_by(needle)(name)))
+    {
+        let known: Vec<&str> = runners.iter().map(|(name, _)| *name).collect();
+        return Err(CaseError::new(
+            "--only",
+            format!("needle `{unmatched}` matches no Table-1 protocol; known protocols: {known:?}"),
+        ));
+    }
+    let mut rows = Vec::new();
+    for (name, run) in runners {
+        if needles.iter().any(|needle| matched_by(needle)(name)) {
+            rows.push(run()?);
+        }
     }
     Ok(rows)
 }
@@ -136,12 +165,30 @@ pub fn table1_rows_with(jobs: usize) -> Result<Vec<CaseReport>, CaseError> {
 
     type CaseRunner = Box<dyn FnOnce() -> Result<CaseReport, CaseError> + Send>;
     let runners: Vec<(&str, CaseRunner)> = vec![
-        ("Broadcast consensus", Box::new(|| broadcast::verify(&instances::broadcast()))),
-        ("Ping-Pong", Box::new(|| ping_pong::verify(instances::ping_pong()))),
-        ("Producer-Consumer", Box::new(|| producer_consumer::verify(instances::producer_consumer()))),
-        ("N-Buyer", Box::new(|| n_buyer::verify(&instances::n_buyer()))),
-        ("Chang-Roberts", Box::new(|| chang_roberts::verify(&instances::chang_roberts()))),
-        ("Two-phase commit", Box::new(|| two_phase_commit::verify(&instances::two_phase_commit()))),
+        (
+            "Broadcast consensus",
+            Box::new(|| broadcast::verify(&instances::broadcast())),
+        ),
+        (
+            "Ping-Pong",
+            Box::new(|| ping_pong::verify(instances::ping_pong())),
+        ),
+        (
+            "Producer-Consumer",
+            Box::new(|| producer_consumer::verify(instances::producer_consumer())),
+        ),
+        (
+            "N-Buyer",
+            Box::new(|| n_buyer::verify(&instances::n_buyer())),
+        ),
+        (
+            "Chang-Roberts",
+            Box::new(|| chang_roberts::verify(&instances::chang_roberts())),
+        ),
+        (
+            "Two-phase commit",
+            Box::new(|| two_phase_commit::verify(&instances::two_phase_commit())),
+        ),
         ("Paxos", Box::new(|| paxos::verify(instances::paxos()))),
     ];
 
@@ -244,9 +291,8 @@ pub fn broadcast_comparison() -> Result<Comparison, String> {
     let instance = instances::broadcast();
     // IS side.
     let artifacts = broadcast::build();
-    let (chain_result, is_time) = inseq_protocols::common::timed(|| {
-        broadcast::iterated_chain(&artifacts, &instance).run()
-    });
+    let (chain_result, is_time) =
+        inseq_protocols::common::timed(|| broadcast::iterated_chain(&artifacts, &instance).run());
     let outcome = chain_result.map_err(|e| e.to_string())?;
     let is_loc: usize = [
         &artifacts.main_seq,
@@ -290,9 +336,8 @@ pub fn broadcast_comparison() -> Result<Comparison, String> {
 pub fn paxos_comparison() -> Result<Comparison, String> {
     let instance = instances::paxos();
     let artifacts = paxos::build();
-    let (check_result, is_time) = inseq_protocols::common::timed(|| {
-        paxos::application(&artifacts, instance).check()
-    });
+    let (check_result, is_time) =
+        inseq_protocols::common::timed(|| paxos::application(&artifacts, instance).check());
     check_result.map_err(|e| e.to_string())?;
     let is_loc: usize = [
         &artifacts.round_seq,

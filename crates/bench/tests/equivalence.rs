@@ -75,8 +75,12 @@ fn exploration_is_deterministic_across_runs() {
     // sequential explorer: two explorations of the same case are identical
     // config-for-config and edge-for-edge (not merely set-equal).
     for case in exploration_cases().into_iter().take(4) {
-        let a = Explorer::new(&case.program).explore([case.init.clone()]).unwrap();
-        let b = Explorer::new(&case.program).explore([case.init.clone()]).unwrap();
+        let a = Explorer::new(&case.program)
+            .explore([case.init.clone()])
+            .unwrap();
+        let b = Explorer::new(&case.program)
+            .explore([case.init.clone()])
+            .unwrap();
         let ca: Vec<&Config> = a.configs().collect();
         let cb: Vec<&Config> = b.configs().collect();
         assert_eq!(ca, cb, "{case}: visit order must be deterministic");

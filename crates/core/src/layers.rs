@@ -22,9 +22,7 @@
 use std::fmt;
 use std::sync::Arc;
 
-use inseq_kernel::{
-    ActionName, ActionSemantics, Config, Explorer, Program, StateUniverse,
-};
+use inseq_kernel::{ActionName, ActionSemantics, Config, Explorer, Program, StateUniverse};
 use inseq_refine::{check_action_refinement, check_program_refinement};
 
 use crate::rule::{IsApplication, IsViolation};

@@ -67,10 +67,10 @@ pub fn find_witness_executions(
     init: Config,
     budget: usize,
 ) -> Result<Vec<RewriteWitness>, RewriteError> {
-    let exp_p = Explorer::new(p).with_budget(budget).explore([init.clone()])?;
-    let exp_pp = Explorer::new(p_prime)
+    let exp_p = Explorer::new(p)
         .with_budget(budget)
-        .explore([init])?;
+        .explore([init.clone()])?;
+    let exp_pp = Explorer::new(p_prime).with_budget(budget).explore([init])?;
     let mut witnesses = Vec::new();
     for terminal in exp_p.terminal_stores() {
         let target = Config::new(terminal.clone(), inseq_kernel::Multiset::new());
@@ -156,7 +156,10 @@ impl std::fmt::Display for PermutationError {
                 write!(f, "absorbing {pa} leaves the invariant (I3)")
             }
             PermutationError::ReplacementCannotFinish => {
-                write!(f, "final invariant transition is not a replacement transition (I2)")
+                write!(
+                    f,
+                    "final invariant transition is not a replacement transition (I2)"
+                )
             }
             PermutationError::MalformedExecution(msg) => write!(f, "malformed execution: {msg}"),
         }
@@ -168,16 +171,12 @@ impl std::error::Error for PermutationError {}
 /// The pending asyncs created by a step, reconstructed from its
 /// configurations.
 fn created_by(step: &Step) -> Result<Multiset<PendingAsync>, PermutationError> {
-    let consumed = step
-        .before
-        .pending
-        .without(&step.fired)
-        .ok_or_else(|| {
-            PermutationError::MalformedExecution(format!(
-                "fired PA {} not pending before its step",
-                step.fired
-            ))
-        })?;
+    let consumed = step.before.pending.without(&step.fired).ok_or_else(|| {
+        PermutationError::MalformedExecution(format!(
+            "fired PA {} not pending before its step",
+            step.fired
+        ))
+    })?;
     step.after.pending.checked_sub(&consumed).ok_or_else(|| {
         PermutationError::MalformedExecution("step removed unrelated pending asyncs".into())
     })
@@ -302,9 +301,7 @@ pub fn permute_execution(
             // New order: l first from x_step.before, then x.
             let l_trans = match alpha.eval(&x_step.before.globals, &chosen.args) {
                 ActionOutcome::Failure { .. } => None,
-                ActionOutcome::Transitions(ts) => {
-                    ts.into_iter().find(|t| t.created == l_created)
-                }
+                ActionOutcome::Transitions(ts) => ts.into_iter().find(|t| t.created == l_created),
             };
             let Some(l_trans) = l_trans else {
                 return Err(PermutationError::CannotCommute {

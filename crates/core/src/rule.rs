@@ -9,8 +9,8 @@ use std::time::Instant;
 
 use inseq_engine::{Engine, EngineReport, Job, JobResult, ParallelExplorer};
 use inseq_kernel::{
-    ActionName, ActionOutcome, ActionSemantics, Config, Exploration, Explorer, GlobalStore,
-    Multiset, PendingAsync, Program, StateUniverse, Trace, Transition, Value,
+    ActionName, ActionOutcome, ActionSemantics, Config, ExecStats, Exploration, Explorer,
+    GlobalStore, Multiset, PendingAsync, Program, StateUniverse, Trace, Transition, Value,
 };
 use inseq_mover::{MoverChecker, MoverStats, MoverViolation};
 use inseq_obs::{HitMissSnapshot, PhaseStat};
@@ -158,7 +158,10 @@ impl fmt::Display for IsViolation {
                 write!(f, "`{action}` does not refine its abstraction: {violation}")
             }
             IsViolation::NotInvariantBase { violation } => {
-                write!(f, "(I1) target action is not summarised by the invariant action: {violation}")
+                write!(
+                    f,
+                    "(I1) target action is not summarised by the invariant action: {violation}"
+                )
             }
             IsViolation::ReplacementGateTooWeak {
                 store,
@@ -186,7 +189,9 @@ impl fmt::Display for IsViolation {
                 )?;
                 write_witness(f, witness)
             }
-            IsViolation::ChoiceInvalid { message } => write!(f, "choice function invalid: {message}"),
+            IsViolation::ChoiceInvalid { message } => {
+                write!(f, "choice function invalid: {message}")
+            }
             IsViolation::AbstractionGateNotDischarged {
                 action,
                 store,
@@ -270,6 +275,9 @@ pub struct IsStats {
     pub mover_cache: HitMissSnapshot,
     /// `(mover, partner, store)` triples examined during (LM).
     pub pairwise_checks: u64,
+    /// Action-evaluation backend counters (compiled bytecode vs. the
+    /// tree-walk interpreter), summed over the program's actions.
+    pub exec: ExecStats,
     /// Per-premise wall clock and item counts, in completion order.
     pub premises: Vec<PhaseStat>,
 }
@@ -337,8 +345,12 @@ impl fmt::Display for IsReport {
             )?;
         }
         if !self.stats.premises.is_empty() {
-            let rendered: Vec<String> =
-                self.stats.premises.iter().map(PhaseStat::to_string).collect();
+            let rendered: Vec<String> = self
+                .stats
+                .premises
+                .iter()
+                .map(PhaseStat::to_string)
+                .collect();
             write!(f, "; premises [{}]", rendered.join(", "))?;
         }
         Ok(())
@@ -620,6 +632,7 @@ impl IsApplication {
         let mut report = prep.report;
         report.stats.mover_cache = mover_stats.eval_cache;
         report.stats.pairwise_checks = mover_stats.pairwise_checks;
+        report.stats.exec = self.program.exec_stats();
         report.stats.premises = premises;
         Ok(report)
     }
@@ -665,7 +678,8 @@ impl IsApplication {
         self.structural_checks()?;
 
         let prep_slot: std::sync::OnceLock<CheckPrep> = std::sync::OnceLock::new();
-        let mover_stats: std::sync::Mutex<MoverStats> = std::sync::Mutex::new(MoverStats::default());
+        let mover_stats: std::sync::Mutex<MoverStats> =
+            std::sync::Mutex::new(MoverStats::default());
         let lm_stats = &mover_stats;
         let violations: std::sync::Mutex<BTreeMap<usize, IsViolation>> =
             std::sync::Mutex::new(BTreeMap::new());
@@ -733,14 +747,16 @@ impl IsApplication {
                     let p = prep();
                     let checker = MoverChecker::new(&self.program, &p.universe);
                     let outcome = self.alpha(action_name).and_then(|alpha| {
-                        checker.check_left(&alpha, action_name).map_err(|violation| {
-                            let witness = p.trace_for(violation.store());
-                            IsViolation::NotLeftMover {
-                                action: action_name.clone(),
-                                violation,
-                                witness,
-                            }
-                        })
+                        checker
+                            .check_left(&alpha, action_name)
+                            .map_err(|violation| {
+                                let witness = p.trace_for(violation.store());
+                                IsViolation::NotLeftMover {
+                                    action: action_name.clone(),
+                                    violation,
+                                    witness,
+                                }
+                            })
                     });
                     let mut agg = lm_stats.lock().expect("mover stats poisoned");
                     *agg = agg.merged(checker.stats());
@@ -772,6 +788,7 @@ impl IsApplication {
         let lm = mover_stats.into_inner().expect("mover stats poisoned");
         report.stats.mover_cache = lm.eval_cache;
         report.stats.pairwise_checks = lm.pairwise_checks;
+        report.stats.exec = self.program.exec_stats();
         report.stats.premises = engine_report
             .jobs
             .iter()
@@ -850,10 +867,8 @@ impl IsApplication {
         invariant: &Arc<dyn ActionSemantics>,
         exploration: Option<Exploration>,
     ) -> CheckPrep {
-        let target_inputs: Vec<(GlobalStore, Vec<Value>)> = universe
-            .enabled_at(&self.target)
-            .cloned()
-            .collect();
+        let target_inputs: Vec<(GlobalStore, Vec<Value>)> =
+            universe.enabled_at(&self.target).cloned().collect();
         report.target_inputs = target_inputs.len();
 
         let mut inv_transitions: Vec<(GlobalStore, Vec<Value>, InvOutcome)> = Vec::new();
@@ -897,7 +912,9 @@ impl IsApplication {
         let concrete = self
             .program
             .action(action_name)
-            .map_err(|e| IsViolation::Structural { message: e.to_string() })?;
+            .map_err(|e| IsViolation::Structural {
+                message: e.to_string(),
+            })?;
         let alpha = self.alpha(action_name)?;
         let inputs: Vec<(GlobalStore, Vec<Value>)> =
             prep.universe.enabled_at(action_name).cloned().collect();
@@ -918,10 +935,12 @@ impl IsApplication {
         prep: &CheckPrep,
         invariant: &Arc<dyn ActionSemantics>,
     ) -> Result<(), IsViolation> {
-        let target_action = self
-            .program
-            .action(&self.target)
-            .map_err(|e| IsViolation::Structural { message: e.to_string() })?;
+        let target_action =
+            self.program
+                .action(&self.target)
+                .map_err(|e| IsViolation::Structural {
+                    message: e.to_string(),
+                })?;
         check_action_refinement(
             target_action,
             invariant,
@@ -1016,10 +1035,8 @@ impl IsApplication {
                     .without(&chosen)
                     .expect("chosen PA is in the created multiset");
                 for ta in &alpha_ts {
-                    let composed = Transition::new(
-                        ta.globals.clone(),
-                        remaining.union(&ta.created),
-                    );
+                    let composed =
+                        Transition::new(ta.globals.clone(), remaining.union(&ta.created));
                     if !i_ts.contains(&composed) {
                         return Err(IsViolation::NotInductive {
                             action: chosen.action.clone(),
@@ -1112,7 +1129,9 @@ impl IsApplication {
         self.program
             .action(action)
             .cloned()
-            .map_err(|e| IsViolation::Structural { message: e.to_string() })
+            .map_err(|e| IsViolation::Structural {
+                message: e.to_string(),
+            })
     }
 
     /// `PA_E(t)` restricted to the created multiset.

@@ -104,9 +104,8 @@ fn adders_transformed_program_is_refined() {
     check_program_refinement(&a.program, &p_prime, [a.init.clone()], 100_000)
         .expect("IS guarantees refinement");
     // And witnesses exist for every terminating store (Fig. 2).
-    let ws =
-        inseq_core::rewrite::find_witness_executions(&a.program, &p_prime, a.init, 100_000)
-            .unwrap();
+    let ws = inseq_core::rewrite::find_witness_executions(&a.program, &p_prime, a.init, 100_000)
+        .unwrap();
     assert_eq!(ws.len(), 1);
     assert_eq!(ws[0].terminal.get(0), &Value::Int(3));
 }
@@ -148,17 +147,20 @@ fn wrong_invariant_is_rejected() {
         .invariant(bad_inv as Arc<dyn ActionSemantics>)
         .check()
         .unwrap_err();
-    assert!(matches!(err, IsViolation::NotInvariantBase { .. }), "got: {err}");
+    assert!(
+        matches!(err, IsViolation::NotInvariantBase { .. }),
+        "got: {err}"
+    );
 }
 
 #[test]
 fn bad_choice_function_is_rejected() {
     let a = adders();
-    let err = adders_application(&a)
-        .choice(|_| None)
-        .check()
-        .unwrap_err();
-    assert!(matches!(err, IsViolation::ChoiceInvalid { .. }), "got: {err}");
+    let err = adders_application(&a).choice(|_| None).check().unwrap_err();
+    assert!(
+        matches!(err, IsViolation::ChoiceInvalid { .. }),
+        "got: {err}"
+    );
 }
 
 #[test]
@@ -168,7 +170,10 @@ fn choice_returning_foreign_pa_is_rejected() {
         .choice(|_| Some(PendingAsync::new("Add", vec![Value::Int(99)])))
         .check()
         .unwrap_err();
-    assert!(matches!(err, IsViolation::ChoiceInvalid { .. }), "got: {err}");
+    assert!(
+        matches!(err, IsViolation::ChoiceInvalid { .. }),
+        "got: {err}"
+    );
 }
 
 #[test]

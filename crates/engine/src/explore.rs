@@ -166,6 +166,9 @@ impl<'p> ParallelExplorer<'p> {
         &self,
         initial: impl IntoIterator<Item = Config>,
     ) -> Result<ParallelExploration, ExploreError> {
+        // Force one-time action setup (e.g. compiling to bytecode) before
+        // spawning workers, so shards never race on first-eval compilation.
+        self.program.prepare_actions();
         let n = self.workers;
         let mut seed_batches: Vec<Vec<(u64, Config)>> = vec![Vec::new(); n];
         for config in initial {
@@ -850,9 +853,7 @@ impl Worker<'_, '_> {
                         let mut route = route0;
                         {
                             let parent = self.interner.store(sid);
-                            for (i, (old, new)) in
-                                parent.iter().zip(t.globals.iter()).enumerate()
-                            {
+                            for (i, (old, new)) in parent.iter().zip(t.globals.iter()).enumerate() {
                                 if old != new {
                                     route ^= slot_hash(i, old) ^ slot_hash(i, new);
                                 }
@@ -868,8 +869,7 @@ impl Worker<'_, '_> {
                                 break 'eval;
                             }
                         } else {
-                            let next =
-                                self.materialize(bagid, paid, t.globals.clone(), &t.created);
+                            let next = self.materialize(bagid, paid, t.globals.clone(), &t.created);
                             self.stage_remote(owner, route, next);
                         }
                     }
@@ -1218,7 +1218,10 @@ mod tests {
     #[test]
     fn empty_initial_set_is_trivially_good() {
         let p = counter_program();
-        let exp = ParallelExplorer::new(&p).with_workers(2).explore([]).unwrap();
+        let exp = ParallelExplorer::new(&p)
+            .with_workers(2)
+            .explore([])
+            .unwrap();
         assert_eq!(exp.config_count(), 0);
         assert!(exp.summary().good);
     }
@@ -1271,7 +1274,10 @@ mod tests {
         );
         let p = b.build().unwrap();
         let init = p.initial_config(vec![]).unwrap();
-        let exp = ParallelExplorer::new(&p).with_workers(2).explore([init]).unwrap();
+        let exp = ParallelExplorer::new(&p)
+            .with_workers(2)
+            .explore([init])
+            .unwrap();
         assert!(exp.has_deadlock());
         assert_eq!(exp.deadlocked_configs().count(), 1);
     }

@@ -474,7 +474,11 @@ mod tests {
             }),
         ];
         let report = Engine::new().with_threads(2).run(jobs);
-        assert_eq!(ran.load(Ordering::Relaxed), 1, "only the independent job runs");
+        assert_eq!(
+            ran.load(Ordering::Relaxed),
+            1,
+            "only the independent job runs"
+        );
         assert!(!report.all_passed());
         assert_eq!(report.jobs[0].status, JobStatus::Failed);
         assert_eq!(report.jobs[1].status, JobStatus::Skipped);

@@ -204,6 +204,39 @@ impl Footprint {
     }
 }
 
+/// Execution counters reported by [`ActionSemantics::exec_stats`].
+///
+/// Observability only: these never influence verdicts. The fields describe
+/// how an action has been executed so far — through a compiled form, the
+/// reference interpreter, or both.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Actions that have been lowered to a compiled form.
+    pub compiled_actions: u64,
+    /// Wall time spent compiling, in nanoseconds.
+    pub compile_nanos: u64,
+    /// Total ops across all compiled bodies.
+    pub compiled_ops: u64,
+    /// Evaluations served by the compiled (VM) path.
+    pub vm_evals: u64,
+    /// Evaluations served by the reference interpreter.
+    pub interp_evals: u64,
+}
+
+impl ExecStats {
+    /// Field-wise sum of two stat blocks.
+    #[must_use]
+    pub fn merged(self, other: ExecStats) -> ExecStats {
+        ExecStats {
+            compiled_actions: self.compiled_actions + other.compiled_actions,
+            compile_nanos: self.compile_nanos + other.compile_nanos,
+            compiled_ops: self.compiled_ops + other.compiled_ops,
+            vm_evals: self.vm_evals + other.vm_evals,
+            interp_evals: self.interp_evals + other.interp_evals,
+        }
+    }
+}
+
 /// The semantics of a gated atomic action.
 ///
 /// Implementors compute, for a given input store, whether the gate `ρ` holds
@@ -228,6 +261,18 @@ pub trait ActionSemantics: fmt::Debug + Send + Sync {
     /// transitions keyed on the projected store instead of the whole one.
     fn footprint(&self) -> Option<Footprint> {
         None
+    }
+
+    /// One-time setup ahead of hot evaluation — e.g. forcing a compile
+    /// cache — so the cost lands before timing-sensitive loops instead of on
+    /// the first [`eval`](ActionSemantics::eval). Must be idempotent and
+    /// must not change semantics. The default does nothing.
+    fn prepare(&self) {}
+
+    /// Execution counters accumulated so far (see [`ExecStats`]). The
+    /// default reports all zeros.
+    fn exec_stats(&self) -> ExecStats {
+        ExecStats::default()
     }
 }
 

@@ -92,10 +92,7 @@ mod tests {
 
     #[test]
     fn display_shows_pas() {
-        let c = Config::initialized(
-            GlobalStore::new(vec![]),
-            PendingAsync::new("Main", vec![]),
-        );
+        let c = Config::initialized(GlobalStore::new(vec![]), PendingAsync::new("Main", vec![]));
         assert_eq!(c.to_string(), "(<>, {|Main()|})");
     }
 }

@@ -67,6 +67,9 @@ impl<'p> Explorer<'p> {
         &self,
         initial: impl IntoIterator<Item = Config>,
     ) -> Result<Exploration, ExploreError> {
+        // One-time action setup (e.g. compiling to bytecode) before the hot
+        // loop, so first-evaluation cost never lands mid-exploration.
+        self.program.prepare_actions();
         let mut interner = Interner::new();
         // `(store, bag)` parts per config id, so dequeuing a configuration
         // is two array reads instead of a deep clone.
@@ -123,9 +126,7 @@ impl<'p> Explorer<'p> {
                         if !transitions.is_empty() {
                             progressed = true;
                         }
-                        let writes = footprints
-                            .get(&interner.pa(paid).action)
-                            .map(Vec::as_slice);
+                        let writes = footprints.get(&interner.pa(paid).action).map(Vec::as_slice);
                         for t in transitions {
                             let next_sid = interner.intern_store_diff(sid, &t.globals, writes);
                             let next_bag = interner.bag_after(bagid, paid, &t.created);
@@ -628,7 +629,10 @@ mod tests {
     fn budget_is_enforced() {
         let p = counter_program();
         let init = p.initial_config(vec![]).unwrap();
-        let err = Explorer::new(&p).with_budget(1).explore([init]).unwrap_err();
+        let err = Explorer::new(&p)
+            .with_budget(1)
+            .explore([init])
+            .unwrap_err();
         let ExploreError::BudgetExceeded {
             limit: 1,
             visited,

@@ -333,11 +333,7 @@ impl Interner {
     /// Like [`intern_store_diff`](Self::intern_store_diff) for a successor
     /// described as parent plus a write-delta (the memoized-evaluation
     /// path); the post-store is materialized only if it turns out fresh.
-    pub fn intern_store_writes(
-        &mut self,
-        parent: StoreId,
-        writes: &[(usize, Value)],
-    ) -> StoreId {
+    pub fn intern_store_writes(&mut self, parent: StoreId, writes: &[(usize, Value)]) -> StoreId {
         {
             let (scratch, keys) = (&mut self.scratch_slots, &self.store_keys);
             scratch.clear();
@@ -362,7 +358,10 @@ impl Interner {
         let hash = hash_value_ids(&self.scratch_slots);
         {
             let (keys, scratch) = (&self.store_keys, &self.scratch_slots);
-            if let Some(id) = self.store_table.find(hash, |id| keys[id as usize] == *scratch) {
+            if let Some(id) = self
+                .store_table
+                .find(hash, |id| keys[id as usize] == *scratch)
+            {
                 return StoreId(id);
             }
         }
@@ -530,7 +529,10 @@ impl Interner {
         let hash = hash_bag_entries(&self.scratch_bag);
         {
             let (bags, scratch) = (&self.bags, &self.scratch_bag);
-            if let Some(id) = self.bag_table.find(hash, |id| bags[id as usize] == *scratch) {
+            if let Some(id) = self
+                .bag_table
+                .find(hash, |id| bags[id as usize] == *scratch)
+            {
                 return BagId(id);
             }
         }
@@ -549,7 +551,9 @@ impl Interner {
         }
         let bags = &self.bags;
         self.bag_table
-            .find(hash_bag_entries(&entries), |id| bags[id as usize] == entries)
+            .find(hash_bag_entries(&entries), |id| {
+                bags[id as usize] == entries
+            })
             .map(BagId)
     }
 

@@ -55,7 +55,8 @@ mod universe;
 mod value;
 
 pub use action::{
-    ActionName, ActionOutcome, ActionSemantics, Footprint, NativeAction, PendingAsync, Transition,
+    ActionName, ActionOutcome, ActionSemantics, ExecStats, Footprint, NativeAction, PendingAsync,
+    Transition,
 };
 pub use config::{Config, Step};
 pub use error::{ExploreError, KernelError};

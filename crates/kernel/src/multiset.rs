@@ -165,10 +165,7 @@ impl<T: Ord> Multiset<T> {
     /// Whether every occurrence in `other` also occurs in `self`.
     #[must_use]
     pub fn includes(&self, other: &Self) -> bool {
-        other
-            .counts
-            .iter()
-            .all(|(item, &c)| self.count(item) >= c)
+        other.counts.iter().all(|(item, &c)| self.count(item) >= c)
     }
 
     /// Iterates over elements, repeating each according to its multiplicity.

@@ -135,10 +135,33 @@ impl Program {
         self.actions.keys()
     }
 
+    /// Runs every action's [`ActionSemantics::prepare`] hook, so one-time
+    /// setup (e.g. compiling to bytecode) happens before hot loops instead of
+    /// on first evaluation. Idempotent.
+    pub fn prepare_actions(&self) {
+        for action in self.actions.values() {
+            action.prepare();
+        }
+    }
+
+    /// Execution counters summed over all actions.
+    #[must_use]
+    pub fn exec_stats(&self) -> crate::action::ExecStats {
+        self.actions
+            .values()
+            .fold(crate::action::ExecStats::default(), |acc, a| {
+                acc.merged(a.exec_stats())
+            })
+    }
+
     /// The functional update `P[name ↦ action]` used by refinement steps
     /// (Proposition 3.3) and by the IS transformation itself.
     #[must_use]
-    pub fn with_action(&self, name: impl Into<ActionName>, action: Arc<dyn ActionSemantics>) -> Self {
+    pub fn with_action(
+        &self,
+        name: impl Into<ActionName>,
+        action: Arc<dyn ActionSemantics>,
+    ) -> Self {
         let mut next = self.clone();
         next.actions.insert(name.into(), action);
         next
@@ -307,7 +330,9 @@ mod tests {
 
     #[test]
     fn builder_requires_main() {
-        let err = Program::builder(GlobalSchema::default()).build().unwrap_err();
+        let err = Program::builder(GlobalSchema::default())
+            .build()
+            .unwrap_err();
         assert_eq!(err, KernelError::MissingMain);
     }
 

@@ -44,11 +44,7 @@ pub fn render_config(config: &Config, schema: &GlobalSchema, options: RenderOpti
 /// Renders a whole execution, one configuration per line, with the fired
 /// pending asyncs as arrow labels between them.
 #[must_use]
-pub fn render_execution(
-    exec: &Execution,
-    schema: &GlobalSchema,
-    options: RenderOptions,
-) -> String {
+pub fn render_execution(exec: &Execution, schema: &GlobalSchema, options: RenderOptions) -> String {
     render_steps(&exec.steps, schema, options)
 }
 
@@ -89,7 +85,10 @@ mod tests {
         assert!(text.starts_with("{Main()}"));
         assert!(text.contains("--Main()-->"));
         assert!(text.contains("Inc()"));
-        assert!(text.trim_end().ends_with("{}"), "ends in the empty cloud: {text}");
+        assert!(
+            text.trim_end().ends_with("{}"),
+            "ends in the empty cloud: {text}"
+        );
     }
 
     #[test]
@@ -98,11 +97,7 @@ mod tests {
         let init = p.initial_config(vec![]).unwrap();
         let exp = Explorer::new(&p).explore([init]).unwrap();
         let exec = exp.terminating_executions(1).remove(0);
-        let text = render_execution(
-            &exec,
-            p.schema(),
-            RenderOptions { show_stores: true },
-        );
+        let text = render_execution(&exec, p.schema(), RenderOptions { show_stores: true });
         assert!(text.contains("counter ="));
     }
 

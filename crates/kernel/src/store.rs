@@ -1,6 +1,7 @@
 //! Global stores: valuations of the program's global variables.
 
 use std::fmt;
+use std::sync::Arc;
 
 use crate::program::GlobalSchema;
 use crate::value::Value;
@@ -9,18 +10,28 @@ use crate::value::Value;
 ///
 /// Storage is positional — index `i` holds the value of the `i`-th variable
 /// declared in the program's [`GlobalSchema`]. The schema (name ↔ index
-/// mapping) lives on the [`Program`](crate::Program) so stores stay compact;
-/// they are cloned on every transition during exploration.
+/// mapping) lives on the [`Program`](crate::Program) so stores stay compact.
+///
+/// Slots are `Arc`-shared: stores are cloned on every transition during
+/// exploration and on every evaluation branch, and almost every clone leaves
+/// most slots untouched, so cloning bumps one refcount per slot instead of
+/// deep-copying every value. Updates replace the slot's `Arc` (values are
+/// immutable once stored). Equality, ordering, and hashing all delegate to
+/// the pointed-to `Value`s, so observable semantics — including hash-consed
+/// config identity — are exactly those of a `Vec<Value>` store, with the
+/// bonus that comparisons of slots sharing an allocation are O(1).
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct GlobalStore {
-    values: Vec<Value>,
+    values: Vec<Arc<Value>>,
 }
 
 impl GlobalStore {
     /// Creates a store from the values of all globals, in schema order.
     #[must_use]
     pub fn new(values: Vec<Value>) -> Self {
-        GlobalStore { values }
+        GlobalStore {
+            values: values.into_iter().map(Arc::new).collect(),
+        }
     }
 
     /// Number of global variables.
@@ -53,7 +64,7 @@ impl GlobalStore {
     #[must_use]
     pub fn with(&self, index: usize, value: Value) -> Self {
         let mut next = self.clone();
-        next.values[index] = value;
+        next.values[index] = Arc::new(value);
         next
     }
 
@@ -63,12 +74,12 @@ impl GlobalStore {
     ///
     /// Panics if `index` is out of bounds for the schema.
     pub fn set(&mut self, index: usize, value: Value) {
-        self.values[index] = value;
+        self.values[index] = Arc::new(value);
     }
 
     /// Iterates over the values in schema order.
     pub fn iter(&self) -> impl Iterator<Item = &Value> {
-        self.values.iter()
+        self.values.iter().map(Arc::as_ref)
     }
 
     /// Renders the store with variable names taken from `schema`.

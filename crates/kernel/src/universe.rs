@@ -220,7 +220,9 @@ mod tests {
         let exp = Explorer::new(&p).explore([init]).unwrap();
         let u = StateUniverse::from_exploration(&exp);
         for store in u.stores() {
-            let config = u.provenance(store).expect("absorbed stores have provenance");
+            let config = u
+                .provenance(store)
+                .expect("absorbed stores have provenance");
             assert_eq!(&config.globals, store);
             // The provenance config is reachable, so a witness exists.
             assert!(exp.trace_to(config).is_some());

@@ -302,7 +302,10 @@ mod tests {
 
     #[test]
     fn value_constructors() {
-        assert_eq!(Value::some(Value::Int(3)), Value::Opt(Some(Box::new(Value::Int(3)))));
+        assert_eq!(
+            Value::some(Value::Int(3)),
+            Value::Opt(Some(Box::new(Value::Int(3))))
+        );
         assert_eq!(Value::none(), Value::Opt(None));
         assert_eq!(Value::from(true), Value::Bool(true));
         assert_eq!(Value::from(4i64), Value::Int(4));

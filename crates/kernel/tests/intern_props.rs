@@ -9,9 +9,7 @@ use std::hash::{Hash, Hasher};
 
 use proptest::prelude::*;
 
-use inseq_kernel::{
-    Config, GlobalStore, Interner, Map, Multiset, PendingAsync, Value,
-};
+use inseq_kernel::{Config, GlobalStore, Interner, Map, Multiset, PendingAsync, Value};
 
 fn hash_of<T: Hash>(t: &T) -> u64 {
     let mut h = DefaultHasher::new();
@@ -37,15 +35,17 @@ fn value_strategy() -> impl Strategy<Value = Value> {
             proptest::collection::vec(inner.clone(), 0..4)
                 .prop_map(|items| Value::Bag(items.into_iter().collect())),
             proptest::collection::vec(inner.clone(), 0..4).prop_map(Value::Seq),
-            (inner.clone(), proptest::collection::vec((inner.clone(), inner), 0..3)).prop_map(
-                |(default, entries)| {
+            (
+                inner.clone(),
+                proptest::collection::vec((inner.clone(), inner), 0..3)
+            )
+                .prop_map(|(default, entries)| {
                     let mut map = Map::new(default);
                     for (k, v) in entries {
                         map.set_in_place(k, v);
                     }
                     Value::Map(map)
-                }
-            ),
+                }),
         ]
     })
 }

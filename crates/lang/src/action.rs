@@ -2,18 +2,21 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use inseq_kernel::{
-    ActionName, ActionOutcome, ActionSemantics, GlobalSchema, GlobalStore, KernelError, Program,
-    Value,
+    ActionName, ActionOutcome, ActionSemantics, ExecStats, GlobalSchema, GlobalStore, KernelError,
+    Program, Value,
 };
+use inseq_obs::Counter;
 
+use crate::compile::{self, CompiledAction, ExecMode};
 use crate::error::TypeError;
 use crate::interp;
 use crate::sort::Sort;
 use crate::stmt::Stmt;
 use crate::typeck;
+use crate::vm;
 
 /// The declarations of a protocol's global variables: names paired with
 /// sorts, in declaration order.
@@ -85,10 +88,7 @@ impl GlobalDecls {
 
     /// Iterates over `(name, sort)` pairs in declaration order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &Sort)> {
-        self.names
-            .iter()
-            .map(String::as_str)
-            .zip(self.sorts.iter())
+        self.names.iter().map(String::as_str).zip(self.sorts.iter())
     }
 
     /// The kernel schema corresponding to these declarations.
@@ -152,6 +152,14 @@ pub struct DslAction {
     body: Vec<Stmt>,
     globals: Arc<GlobalDecls>,
     slots: BTreeMap<String, Slot>,
+    /// Per-action execution-mode override; `None` defers to the process-wide
+    /// default ([`crate::set_default_exec_mode`] / `INSEQ_EXEC`).
+    exec: Option<ExecMode>,
+    /// Compile cache: one compile per action, shared by clones of the inner
+    /// `Arc`. `Some(None)` records a failed compile (interpreter fallback).
+    compiled: OnceLock<Option<Arc<CompiledAction>>>,
+    /// Evaluations served by the interpreter (observability only).
+    interp_evals: Arc<Counter>,
 }
 
 impl fmt::Debug for DslAction {
@@ -212,6 +220,49 @@ impl DslAction {
         self.slots.get(name).copied()
     }
 
+    /// The compiled form of this action, compiling on first use. `None`
+    /// means compilation failed and evaluation falls back to the
+    /// interpreter.
+    pub(crate) fn compiled(&self) -> Option<Arc<CompiledAction>> {
+        self.compiled
+            .get_or_init(|| compile::compile_action(self).ok().map(Arc::new))
+            .clone()
+    }
+
+    fn use_compiled(&self) -> bool {
+        matches!(
+            self.exec.unwrap_or_else(compile::default_exec_mode),
+            ExecMode::Compiled
+        )
+    }
+
+    /// A copy of this action forced to the given execution mode, regardless
+    /// of the process-wide default. The compile cache and counters are
+    /// shared with the original, so forcing a mode is cheap and race-free —
+    /// differential tests use this to run the same action on both paths.
+    #[must_use]
+    pub fn with_exec_mode(&self, mode: ExecMode) -> Arc<DslAction> {
+        let mut action = self.clone();
+        action.exec = Some(mode);
+        Arc::new(action)
+    }
+
+    /// Evaluates through the tree-walk interpreter — the reference
+    /// semantics — regardless of execution mode. Differential tests use this
+    /// as the oracle; it does not bump execution counters.
+    #[must_use]
+    pub fn eval_interp(&self, globals: &GlobalStore, args: &[Value]) -> ActionOutcome {
+        interp::run_action(self, globals, args)
+    }
+
+    /// Evaluates through the register VM, or `None` when the action does not
+    /// compile. Does not bump execution counters.
+    #[must_use]
+    pub fn eval_compiled(&self, globals: &GlobalStore, args: &[Value]) -> Option<ActionOutcome> {
+        self.compiled()
+            .map(|ca| vm::run_compiled(&ca, globals, args))
+    }
+
     pub(crate) fn local_sorts(&self) -> impl Iterator<Item = &Sort> {
         self.params
             .iter()
@@ -226,11 +277,44 @@ impl ActionSemantics for DslAction {
     }
 
     fn eval(&self, globals: &GlobalStore, args: &[Value]) -> ActionOutcome {
+        if self.use_compiled() {
+            if let Some(ca) = self.compiled() {
+                ca.vm_evals.incr();
+                return vm::run_compiled(&ca, globals, args);
+            }
+        }
+        self.interp_evals.incr();
         interp::run_action(self, globals, args)
     }
 
     fn footprint(&self) -> Option<inseq_kernel::Footprint> {
+        if self.use_compiled() {
+            if let Some(ca) = self.compiled() {
+                return Some(ca.footprint.clone());
+            }
+        }
         Some(crate::footprint::analyze(self))
+    }
+
+    fn prepare(&self) {
+        if self.use_compiled() {
+            let _ = self.compiled();
+        }
+    }
+
+    fn exec_stats(&self) -> ExecStats {
+        let mut stats = ExecStats {
+            interp_evals: self.interp_evals.get(),
+            ..ExecStats::default()
+        };
+        // Non-forcing read: report only what has actually been compiled.
+        if let Some(Some(ca)) = self.compiled.get() {
+            stats.compiled_actions = 1;
+            stats.compile_nanos = ca.compile_nanos;
+            stats.compiled_ops = ca.op_count;
+            stats.vm_evals = ca.vm_evals.get();
+        }
+        stats
     }
 }
 
@@ -301,6 +385,9 @@ impl ActionBuilder {
             body: self.body,
             globals: self.globals,
             slots,
+            exec: None,
+            compiled: OnceLock::new(),
+            interp_evals: Arc::new(Counter::new()),
         };
         typeck::check_action(&action)?;
         Ok(Arc::new(action))
@@ -379,9 +466,7 @@ mod tests {
             .unwrap();
         let p = program_of(&g, [main], "Main").unwrap();
         assert!(p.defines(&"Main".into()));
-        let init = p
-            .initial_config_with(g.initial_store(), vec![])
-            .unwrap();
+        let init = p.initial_config_with(g.initial_store(), vec![]).unwrap();
         assert_eq!(init.pending.len(), 1);
     }
 }

@@ -9,33 +9,35 @@
 //! domain), the input store lies outside the gate `ρ` and the whole
 //! evaluation reports failure — exactly the gate/transition separation of
 //! §3 of the paper.
+//!
+//! This tree walk is the *reference semantics*: the register VM
+//! ([`crate::vm`]) must produce bit-identical outcomes, and the differential
+//! test suite holds it to that. Value-level operations are shared with the
+//! VM through [`crate::rt`] so the two evaluators cannot drift on results or
+//! diagnostic strings.
 
 use std::collections::BTreeSet;
 
-use inseq_kernel::{
-    ActionOutcome, GlobalStore, Multiset, PendingAsync, Transition, Value,
-};
+use inseq_kernel::{ActionOutcome, GlobalStore, Multiset, PendingAsync, Value};
 
 use crate::action::{DslAction, Slot};
 use crate::expr::{BinOp, Expr};
+use crate::rt::{self, EvalState, Fail};
 use crate::stmt::Stmt;
-
-/// A gate violation or partial-operation error, with a diagnostic message.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub(crate) struct Fail(pub String);
 
 type Branches = Result<BTreeSet<EvalState>, Fail>;
 
-/// One evaluation branch: the store so far plus the pending asyncs created.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
-struct EvalState {
-    globals: GlobalStore,
-    locals: Vec<Value>,
-    created: Multiset<PendingAsync>,
-}
+/// Quantifier bindings, innermost last. Quantifier loops bind in place —
+/// push one slot per quantifier, overwrite it per domain item, pop on the
+/// way out — instead of re-cloning the environment per item.
+type Bound<'a> = Vec<(&'a str, Value)>;
 
 /// Entry point used by `DslAction`'s `ActionSemantics` implementation.
-pub(crate) fn run_action(action: &DslAction, globals: &GlobalStore, args: &[Value]) -> ActionOutcome {
+pub(crate) fn run_action(
+    action: &DslAction,
+    globals: &GlobalStore,
+    args: &[Value],
+) -> ActionOutcome {
     assert_eq!(
         args.len(),
         action.params().len(),
@@ -53,14 +55,7 @@ pub(crate) fn run_action(action: &DslAction, globals: &GlobalStore, args: &[Valu
     states.insert(init);
     match exec_block(action, action.body(), states) {
         Err(Fail(reason)) => ActionOutcome::Failure { reason },
-        Ok(states) => ActionOutcome::Transitions(
-            states
-                .into_iter()
-                .map(|s| Transition::new(s.globals, s.created))
-                .collect::<BTreeSet<_>>()
-                .into_iter()
-                .collect(),
-        ),
+        Ok(states) => ActionOutcome::Transitions(rt::states_to_transitions(states)),
     }
 }
 
@@ -85,13 +80,13 @@ fn exec_stmt(action: &DslAction, stmt: &Stmt, mut state: EvalState) -> Branches 
             out.insert(state);
         }
         Stmt::Assign(x, e) => {
-            let v = eval(action, &state, &[], e)?;
+            let v = eval_top(action, &state, e)?;
             write_var(action, &mut state, x, v)?;
             out.insert(state);
         }
         Stmt::AssignAt(x, k, v) => {
-            let key = eval(action, &state, &[], k)?;
-            let val = eval(action, &state, &[], v)?;
+            let key = eval_top(action, &state, k)?;
+            let val = eval_top(action, &state, v)?;
             let cur = read_var(action, &state, x)?;
             let updated = match cur {
                 Value::Map(m) => Value::Map(m.set(key, val)),
@@ -106,27 +101,27 @@ fn exec_stmt(action: &DslAction, stmt: &Stmt, mut state: EvalState) -> Branches 
             out.insert(state);
         }
         Stmt::Assume(e) => {
-            if eval(action, &state, &[], e)?.as_bool() {
+            if eval_top(action, &state, e)?.as_bool() {
                 out.insert(state);
             }
         }
         Stmt::Assert(e, msg) => {
-            if eval(action, &state, &[], e)?.as_bool() {
+            if eval_top(action, &state, e)?.as_bool() {
                 out.insert(state);
             } else {
                 return Err(Fail(format!("{} (in `{}`)", msg, action.name())));
             }
         }
         Stmt::If(c, t, e) => {
-            let cond = eval(action, &state, &[], c)?.as_bool();
+            let cond = eval_top(action, &state, c)?.as_bool();
             let branch = if cond { t } else { e };
             let mut states = BTreeSet::new();
             states.insert(state);
             return exec_block(action, branch, states);
         }
         Stmt::ForRange(x, lo, hi, body) => {
-            let lo = eval(action, &state, &[], lo)?.as_int();
-            let hi = eval(action, &state, &[], hi)?.as_int();
+            let lo = eval_top(action, &state, lo)?.as_int();
+            let hi = eval_top(action, &state, hi)?.as_int();
             let mut states = BTreeSet::new();
             states.insert(state);
             for i in lo..=hi {
@@ -143,35 +138,17 @@ fn exec_stmt(action: &DslAction, stmt: &Stmt, mut state: EvalState) -> Branches 
             return Ok(states);
         }
         Stmt::Choose(x, domain) => {
-            let dom = eval(action, &state, &[], domain)?;
-            let elems: Vec<Value> = match dom {
-                Value::Set(s) => s.into_iter().collect(),
-                Value::Bag(b) => b.distinct().cloned().collect(),
-                other => {
-                    return Err(Fail(format!(
-                        "choose needs a set or bag, found {other} in `{}`",
-                        action.name()
-                    )))
-                }
-            };
-            for v in elems {
+            let dom = eval_top(action, &state, domain)?;
+            for v in rt::choose_elems(dom, action.name())? {
                 let mut s = state.clone();
                 write_var(action, &mut s, x, v)?;
                 out.insert(s);
             }
         }
         Stmt::Send { chan, key, msg } => {
-            let m = eval(action, &state, &[], msg)?;
-            update_channel(action, &mut state, chan, key, |c| match c {
-                Value::Bag(b) => Ok(vec![(Value::Bag(b.with(m.clone())), None)]),
-                Value::Seq(mut s) => {
-                    s.push(m.clone());
-                    Ok(vec![(Value::Seq(s), None)])
-                }
-                other => Err(Fail(format!(
-                    "send needs a Bag or Seq channel, found {other} in `{}`",
-                    action.name()
-                ))),
+            let m = eval_top(action, &state, msg)?;
+            update_channel(action, &mut state, chan, key, |c| {
+                Ok(vec![(rt::send_value(c, &m, action.name())?, None)])
             })?
             .into_iter()
             .for_each(|(s, _)| {
@@ -179,27 +156,11 @@ fn exec_stmt(action: &DslAction, stmt: &Stmt, mut state: EvalState) -> Branches 
             });
         }
         Stmt::Recv { var, chan, key } => {
-            let branches = update_channel(action, &mut state, chan, key, |c| match c {
-                Value::Bag(b) => Ok(b
-                    .distinct()
-                    .map(|msg| {
-                        let rest = b.without(msg).expect("distinct elements are present");
-                        (Value::Bag(rest), Some(msg.clone()))
-                    })
-                    .collect()),
-                Value::Seq(s) => {
-                    if s.is_empty() {
-                        Ok(vec![])
-                    } else {
-                        let mut rest = s.clone();
-                        let head = rest.remove(0);
-                        Ok(vec![(Value::Seq(rest), Some(head))])
-                    }
-                }
-                other => Err(Fail(format!(
-                    "receive needs a Bag or Seq channel, found {other} in `{}`",
-                    action.name()
-                ))),
+            let branches = update_channel(action, &mut state, chan, key, |c| {
+                Ok(rt::recv_branches(c, action.name())?
+                    .into_iter()
+                    .map(|(rest, msg)| (rest, Some(msg)))
+                    .collect())
             })?;
             for (mut s, msg) in branches {
                 let msg = msg.expect("receive branches carry a message");
@@ -210,17 +171,15 @@ fn exec_stmt(action: &DslAction, stmt: &Stmt, mut state: EvalState) -> Branches 
         Stmt::Async { callee, args } => {
             let vals = args
                 .iter()
-                .map(|a| eval(action, &state, &[], a))
+                .map(|a| eval_top(action, &state, a))
                 .collect::<Result<Vec<_>, _>>()?;
-            state
-                .created
-                .insert(PendingAsync::new(callee.name(), vals));
+            state.created.insert(PendingAsync::new(callee.name(), vals));
             out.insert(state);
         }
         Stmt::AsyncNamed { name, args, .. } => {
             let vals = args
                 .iter()
-                .map(|a| eval(action, &state, &[], a))
+                .map(|a| eval_top(action, &state, a))
                 .collect::<Result<Vec<_>, _>>()?;
             state.created.insert(PendingAsync::new(name.as_str(), vals));
             out.insert(state);
@@ -228,7 +187,7 @@ fn exec_stmt(action: &DslAction, stmt: &Stmt, mut state: EvalState) -> Branches 
         Stmt::Call { callee, args } => {
             let vals = args
                 .iter()
-                .map(|a| eval(action, &state, &[], a))
+                .map(|a| eval_top(action, &state, a))
                 .collect::<Result<Vec<_>, _>>()?;
             let mut callee_locals = vals;
             callee_locals.extend(callee.locals().iter().map(|(_, s)| s.default_value()));
@@ -276,7 +235,7 @@ fn update_channel(
                 .collect()
         }
         Some(kexpr) => {
-            let k = eval(action, state, &[], kexpr)?;
+            let k = eval_top(action, state, kexpr)?;
             let map = match current {
                 Value::Map(m) => m,
                 other => {
@@ -312,7 +271,12 @@ fn read_var(action: &DslAction, state: &EvalState, name: &str) -> Result<Value, 
     }
 }
 
-fn write_var(action: &DslAction, state: &mut EvalState, name: &str, value: Value) -> Result<(), Fail> {
+fn write_var(
+    action: &DslAction,
+    state: &mut EvalState,
+    name: &str,
+    value: Value,
+) -> Result<(), Fail> {
     match action.slot(name) {
         Some(Slot::Local(i)) => {
             state.locals[i] = value;
@@ -329,13 +293,19 @@ fn write_var(action: &DslAction, state: &mut EvalState, name: &str, value: Value
     }
 }
 
+/// Evaluates a statement-level expression (no enclosing quantifier).
+fn eval_top(action: &DslAction, state: &EvalState, expr: &Expr) -> Result<Value, Fail> {
+    eval(action, state, &mut Vec::new(), expr)
+}
+
 /// Evaluates a pure expression. `bound` is the stack of quantifier bindings,
-/// innermost last.
-fn eval(
+/// innermost last; quantifier arms push a slot, rebind it per item, and pop
+/// it before returning.
+fn eval<'a>(
     action: &DslAction,
     state: &EvalState,
-    bound: &[(String, Value)],
-    expr: &Expr,
+    bound: &mut Bound<'a>,
+    expr: &'a Expr,
 ) -> Result<Value, Fail> {
     match expr {
         Expr::Const(v) => Ok(v.clone()),
@@ -360,294 +330,174 @@ fn eval(
             eval(action, state, bound, e)?,
             Value::Opt(Some(_))
         ))),
-        Expr::Unwrap(e) => match eval(action, state, bound, e)? {
-            Value::Opt(Some(v)) => Ok(*v),
-            Value::Opt(None) => Err(Fail(format!("unwrap of None in `{}`", action.name()))),
-            other => Err(Fail(format!(
-                "unwrap needs an Option, found {other} in `{}`",
-                action.name()
-            ))),
-        },
+        Expr::Unwrap(e) => rt::unwrap_value(eval(action, state, bound, e)?, action.name()),
         Expr::Tuple(es) => Ok(Value::Tuple(
             es.iter()
                 .map(|e| eval(action, state, bound, e))
                 .collect::<Result<_, _>>()?,
         )),
-        Expr::Proj(e, i) => match eval(action, state, bound, e)? {
-            Value::Tuple(vs) if *i < vs.len() => Ok(vs[*i].clone()),
-            other => Err(Fail(format!(
-                "projection .{i} out of range on {other} in `{}`",
-                action.name()
-            ))),
-        },
+        Expr::Proj(e, i) => rt::proj_value(eval(action, state, bound, e)?, *i, action.name()),
         Expr::MapGet(m, k) => {
             let map = eval(action, state, bound, m)?;
             let key = eval(action, state, bound, k)?;
-            match map {
-                Value::Map(m) => Ok(m.get(&key).clone()),
-                Value::Seq(s) => {
-                    let i = key.as_int();
-                    usize::try_from(i)
-                        .ok()
-                        .and_then(|i| s.get(i).cloned())
-                        .ok_or_else(|| {
-                            Fail(format!("sequence index {i} out of range in `{}`", action.name()))
-                        })
-                }
-                other => Err(Fail(format!(
-                    "indexing needs a Map or Seq, found {other} in `{}`",
-                    action.name()
-                ))),
-            }
+            rt::map_get_value(map, key, action.name())
         }
         Expr::MapSet(m, k, v) => {
             let map = eval(action, state, bound, m)?;
             let key = eval(action, state, bound, k)?;
             let val = eval(action, state, bound, v)?;
-            match map {
-                Value::Map(m) => Ok(Value::Map(m.set(key, val))),
-                other => Err(Fail(format!(
-                    "map update needs a Map, found {other} in `{}`",
-                    action.name()
-                ))),
-            }
+            rt::map_set_value(map, key, val, action.name())
         }
         Expr::SizeOf(e) => {
             let v = eval(action, state, bound, e)?;
-            let n = match &v {
-                Value::Set(s) => s.len(),
-                Value::Bag(b) => b.len(),
-                Value::Seq(s) => s.len(),
-                Value::Map(m) => m.support_len(),
-                other => {
-                    return Err(Fail(format!(
-                        "|..| needs a collection, found {other} in `{}`",
-                        action.name()
-                    )))
-                }
-            };
-            Ok(Value::Int(n as i64))
+            rt::size_of_value(&v, action.name())
         }
         Expr::Contains(c, e) => {
             let coll = eval(action, state, bound, c)?;
             let item = eval(action, state, bound, e)?;
-            let b = match &coll {
-                Value::Set(s) => s.contains(&item),
-                Value::Bag(b) => b.contains(&item),
-                Value::Seq(s) => s.contains(&item),
-                other => {
-                    return Err(Fail(format!(
-                        "`in` needs a collection, found {other} in `{}`",
-                        action.name()
-                    )))
-                }
-            };
-            Ok(Value::Bool(b))
+            rt::contains_value(&coll, &item, action.name())
         }
         Expr::CountOf(c, e) => {
             let coll = eval(action, state, bound, c)?;
             let item = eval(action, state, bound, e)?;
-            match &coll {
-                Value::Bag(b) => Ok(Value::Int(b.count(&item) as i64)),
-                other => Err(Fail(format!(
-                    "count needs a Bag, found {other} in `{}`",
-                    action.name()
-                ))),
-            }
+            rt::count_of_value(&coll, &item, action.name())
         }
         Expr::WithElem(c, e) => {
             let coll = eval(action, state, bound, c)?;
             let item = eval(action, state, bound, e)?;
-            match coll {
-                Value::Set(mut s) => {
-                    s.insert(item);
-                    Ok(Value::Set(s))
-                }
-                Value::Bag(b) => Ok(Value::Bag(b.with(item))),
-                Value::Seq(mut s) => {
-                    s.push(item);
-                    Ok(Value::Seq(s))
-                }
-                other => Err(Fail(format!(
-                    "add needs a collection, found {other} in `{}`",
-                    action.name()
-                ))),
-            }
+            rt::with_elem_value(coll, item, action.name())
         }
         Expr::WithoutElem(c, e) => {
             let coll = eval(action, state, bound, c)?;
             let item = eval(action, state, bound, e)?;
-            match coll {
-                Value::Set(mut s) => {
-                    s.remove(&item);
-                    Ok(Value::Set(s))
-                }
-                Value::Bag(b) => Ok(Value::Bag(b.without(&item).unwrap_or(b))),
-                other => Err(Fail(format!(
-                    "remove needs a Set or Bag, found {other} in `{}`",
-                    action.name()
-                ))),
-            }
+            rt::without_elem_value(coll, item, action.name())
         }
         Expr::UnionOf(a, b) => {
             let va = eval(action, state, bound, a)?;
             let vb = eval(action, state, bound, b)?;
-            match (va, vb) {
-                (Value::Set(mut x), Value::Set(y)) => {
-                    x.extend(y);
-                    Ok(Value::Set(x))
-                }
-                (Value::Bag(x), Value::Bag(y)) => Ok(Value::Bag(x.union(&y))),
-                (x, y) => Err(Fail(format!(
-                    "union needs two Sets or two Bags, found {x} and {y} in `{}`",
-                    action.name()
-                ))),
-            }
+            rt::union_of_value(va, vb, action.name())
         }
         Expr::IncludedIn(a, b) => {
             let va = eval(action, state, bound, a)?;
             let vb = eval(action, state, bound, b)?;
-            match (va, vb) {
-                (Value::Set(x), Value::Set(y)) => Ok(Value::Bool(x.is_subset(&y))),
-                (Value::Bag(x), Value::Bag(y)) => Ok(Value::Bool(y.includes(&x))),
-                (x, y) => Err(Fail(format!(
-                    "subset needs two Sets or two Bags, found {x} and {y} in `{}`",
-                    action.name()
-                ))),
-            }
+            rt::included_in_value(va, vb, action.name())
         }
         Expr::RangeSet(lo, hi) => {
             let lo = eval(action, state, bound, lo)?.as_int();
             let hi = eval(action, state, bound, hi)?.as_int();
-            Ok(Value::Set((lo..=hi).map(Value::Int).collect()))
+            Ok(rt::range_set_value(lo, hi))
         }
         Expr::MinOf(e) | Expr::MaxOf(e) => {
             let v = eval(action, state, bound, e)?;
-            let items: Vec<i64> = collection_ints(&v, action)?;
-            let picked = if matches!(expr, Expr::MinOf(_)) {
-                items.iter().min()
-            } else {
-                items.iter().max()
-            };
-            picked.copied().map(Value::Int).ok_or_else(|| {
-                Fail(format!("min/max of an empty collection in `{}`", action.name()))
-            })
+            rt::min_max_of_value(&v, matches!(expr, Expr::MinOf(_)), action.name())
         }
         Expr::SumOf(e) => {
             let v = eval(action, state, bound, e)?;
-            let items = collection_ints(&v, action)?;
-            Ok(Value::Int(items.iter().sum()))
+            rt::sum_of_value(&v, action.name())
         }
         Expr::Forall(x, s, body) => {
-            let mut inner = extend_bound(bound, x);
-            for item in domain_elems(action, state, bound, s)? {
-                set_last_binding(&mut inner, item);
-                if !eval(action, state, &inner, body)?.as_bool() {
-                    return Ok(Value::Bool(false));
+            let dom = domain_elems(action, state, bound, s)?;
+            with_binding(bound, x, |bound| {
+                for item in dom {
+                    set_last_binding(bound, item);
+                    if !eval(action, state, bound, body)?.as_bool() {
+                        return Ok(Value::Bool(false));
+                    }
                 }
-            }
-            Ok(Value::Bool(true))
+                Ok(Value::Bool(true))
+            })
         }
         Expr::Exists(x, s, body) => {
-            let mut inner = extend_bound(bound, x);
-            for item in domain_elems(action, state, bound, s)? {
-                set_last_binding(&mut inner, item);
-                if eval(action, state, &inner, body)?.as_bool() {
-                    return Ok(Value::Bool(true));
+            let dom = domain_elems(action, state, bound, s)?;
+            with_binding(bound, x, |bound| {
+                for item in dom {
+                    set_last_binding(bound, item);
+                    if eval(action, state, bound, body)?.as_bool() {
+                        return Ok(Value::Bool(true));
+                    }
                 }
-            }
-            Ok(Value::Bool(false))
+                Ok(Value::Bool(false))
+            })
         }
         Expr::Filter(x, s, body) => {
-            let mut kept = std::collections::BTreeSet::new();
-            let mut inner = extend_bound(bound, x);
-            for item in domain_elems(action, state, bound, s)? {
-                set_last_binding(&mut inner, item.clone());
-                if eval(action, state, &inner, body)?.as_bool() {
-                    kept.insert(item);
+            let dom = domain_elems(action, state, bound, s)?;
+            with_binding(bound, x, |bound| {
+                let mut kept = BTreeSet::new();
+                for item in dom {
+                    set_last_binding(bound, item.clone());
+                    if eval(action, state, bound, body)?.as_bool() {
+                        kept.insert(item);
+                    }
                 }
-            }
-            Ok(Value::Set(kept))
+                Ok(Value::Set(kept))
+            })
         }
         Expr::MapImage(x, s, body) => {
-            let mut image = std::collections::BTreeSet::new();
-            let mut inner = extend_bound(bound, x);
-            for item in domain_elems(action, state, bound, s)? {
-                set_last_binding(&mut inner, item);
-                image.insert(eval(action, state, &inner, body)?);
-            }
-            Ok(Value::Set(image))
+            let dom = domain_elems(action, state, bound, s)?;
+            with_binding(bound, x, |bound| {
+                let mut image = BTreeSet::new();
+                for item in dom {
+                    set_last_binding(bound, item);
+                    image.insert(eval(action, state, bound, body)?);
+                }
+                Ok(Value::Set(image))
+            })
         }
     }
 }
 
-/// The binding environment for a quantifier body: the outer bindings plus one
-/// slot for the quantified variable. Built once per quantifier — the loop
-/// overwrites the last slot per domain item via [`set_last_binding`] instead
-/// of re-cloning the whole environment.
-fn extend_bound(bound: &[(String, Value)], x: &str) -> Vec<(String, Value)> {
-    let mut inner = Vec::with_capacity(bound.len() + 1);
-    inner.extend_from_slice(bound);
-    inner.push((x.to_owned(), Value::Bool(false)));
-    inner
+/// Pushes one binding slot for a quantified variable, runs `f`, and pops the
+/// slot again — on success *and* on failure — so the caller's environment is
+/// never left with a stale binding.
+fn with_binding<'a>(
+    bound: &mut Bound<'a>,
+    x: &'a str,
+    f: impl FnOnce(&mut Bound<'a>) -> Result<Value, Fail>,
+) -> Result<Value, Fail> {
+    bound.push((x, Value::Bool(false)));
+    let result = f(bound);
+    bound.pop();
+    result
 }
 
-/// Rebinds the innermost (quantified) variable of an environment built by
-/// [`extend_bound`].
-fn set_last_binding(inner: &mut [(String, Value)], item: Value) {
+/// Rebinds the innermost (quantified) variable in place.
+fn set_last_binding(inner: &mut Bound<'_>, item: Value) {
     inner
         .last_mut()
-        .expect("extend_bound always pushes a slot")
+        .expect("with_binding always pushes a slot")
         .1 = item;
 }
 
-fn collection_ints(v: &Value, action: &DslAction) -> Result<Vec<i64>, Fail> {
-    match v {
-        Value::Set(s) => s.iter().map(|v| Ok(v.as_int())).collect(),
-        Value::Bag(b) => b.iter().map(|v| Ok(v.as_int())).collect(),
-        Value::Seq(s) => s.iter().map(|v| Ok(v.as_int())).collect(),
-        other => Err(Fail(format!(
-            "expected a collection of Int, found {other} in `{}`",
-            action.name()
-        ))),
-    }
-}
-
-fn domain_elems(
+fn domain_elems<'a>(
     action: &DslAction,
     state: &EvalState,
-    bound: &[(String, Value)],
-    s: &Expr,
+    bound: &mut Bound<'a>,
+    s: &'a Expr,
 ) -> Result<Vec<Value>, Fail> {
-    match eval(action, state, bound, s)? {
-        Value::Set(set) => Ok(set.into_iter().collect()),
-        Value::Bag(bag) => Ok(bag.distinct().cloned().collect()),
-        Value::Seq(seq) => Ok(seq),
-        other => Err(Fail(format!(
-            "quantifier domain must be a collection, found {other} in `{}`",
-            action.name()
-        ))),
-    }
+    let v = eval(action, state, bound, s)?;
+    rt::domain_values(v, action.name())
 }
 
-fn eval_bin(
+fn eval_bin<'a>(
     action: &DslAction,
     state: &EvalState,
-    bound: &[(String, Value)],
+    bound: &mut Bound<'a>,
     op: BinOp,
-    a: &Expr,
-    b: &Expr,
+    a: &'a Expr,
+    b: &'a Expr,
 ) -> Result<Value, Fail> {
-    // Short-circuiting boolean operators.
+    // Short-circuiting boolean operators are control flow, not value ops.
     match op {
         BinOp::And => {
             return Ok(Value::Bool(
-                eval(action, state, bound, a)?.as_bool() && eval(action, state, bound, b)?.as_bool(),
+                eval(action, state, bound, a)?.as_bool()
+                    && eval(action, state, bound, b)?.as_bool(),
             ))
         }
         BinOp::Or => {
             return Ok(Value::Bool(
-                eval(action, state, bound, a)?.as_bool() || eval(action, state, bound, b)?.as_bool(),
+                eval(action, state, bound, a)?.as_bool()
+                    || eval(action, state, bound, b)?.as_bool(),
             ))
         }
         BinOp::Implies => {
@@ -660,31 +510,5 @@ fn eval_bin(
     }
     let va = eval(action, state, bound, a)?;
     let vb = eval(action, state, bound, b)?;
-    let out = match op {
-        BinOp::Add => Value::Int(va.as_int() + vb.as_int()),
-        BinOp::Sub => Value::Int(va.as_int() - vb.as_int()),
-        BinOp::Mul => Value::Int(va.as_int() * vb.as_int()),
-        BinOp::Div => {
-            let d = vb.as_int();
-            if d == 0 {
-                return Err(Fail(format!("division by zero in `{}`", action.name())));
-            }
-            Value::Int(va.as_int().div_euclid(d))
-        }
-        BinOp::Mod => {
-            let d = vb.as_int();
-            if d == 0 {
-                return Err(Fail(format!("modulo by zero in `{}`", action.name())));
-            }
-            Value::Int(va.as_int().rem_euclid(d))
-        }
-        BinOp::Eq => Value::Bool(va == vb),
-        BinOp::Ne => Value::Bool(va != vb),
-        BinOp::Lt => Value::Bool(va.as_int() < vb.as_int()),
-        BinOp::Le => Value::Bool(va.as_int() <= vb.as_int()),
-        BinOp::Gt => Value::Bool(va.as_int() > vb.as_int()),
-        BinOp::Ge => Value::Bool(va.as_int() >= vb.as_int()),
-        BinOp::And | BinOp::Or | BinOp::Implies => unreachable!("handled above"),
-    };
-    Ok(out)
+    rt::bin_values(op, va, vb, action.name())
 }

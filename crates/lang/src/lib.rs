@@ -49,16 +49,20 @@
 #![warn(missing_docs)]
 
 mod action;
+mod compile;
 mod error;
 mod expr;
 mod footprint;
 mod interp;
 mod pretty;
+mod rt;
 mod sort;
 mod stmt;
 mod typeck;
+mod vm;
 
 pub use action::{program_of, ActionBuilder, DslAction, GlobalDecls};
+pub use compile::{set_default_exec_mode, ExecMode};
 pub use error::TypeError;
 pub use expr::{BinOp, Expr};
 pub use pretty::{action_loc, pretty_action};

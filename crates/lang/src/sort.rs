@@ -158,6 +158,9 @@ mod tests {
 
     #[test]
     fn display_is_compact() {
-        assert_eq!(Sort::map(Sort::Int, Sort::bag(Sort::Int)).to_string(), "Map<Int, Bag<Int>>");
+        assert_eq!(
+            Sort::map(Sort::Int, Sort::bag(Sort::Int)).to_string(),
+            "Map<Int, Bag<Int>>"
+        );
     }
 }

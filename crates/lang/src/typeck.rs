@@ -86,10 +86,9 @@ impl Ty {
             (Ty::Set(a), Ty::Set(b)) => Some(Ty::Set(Box::new(a.unify(b)?))),
             (Ty::Bag(a), Ty::Bag(b)) => Some(Ty::Bag(Box::new(a.unify(b)?))),
             (Ty::Seq(a), Ty::Seq(b)) => Some(Ty::Seq(Box::new(a.unify(b)?))),
-            (Ty::Map(ka, va), Ty::Map(kb, vb)) => Some(Ty::Map(
-                Box::new(ka.unify(kb)?),
-                Box::new(va.unify(vb)?),
-            )),
+            (Ty::Map(ka, va), Ty::Map(kb, vb)) => {
+                Some(Ty::Map(Box::new(ka.unify(kb)?), Box::new(va.unify(vb)?)))
+            }
             _ => None,
         }
     }
@@ -375,15 +374,13 @@ fn infer(ctx: &Ctx<'_>, e: &Expr) -> Result<Ty, TypeError> {
             expect(ctx, a, &el)?;
             Ok(Ty::Bool)
         }
-        Expr::CountOf(c, a) => {
-            match infer(ctx, c)? {
-                Ty::Bag(el) => {
-                    expect(ctx, a, &el)?;
-                    Ok(Ty::Int)
-                }
-                other => Err(ctx.err(format!("count on non-bag {other:?}"))),
+        Expr::CountOf(c, a) => match infer(ctx, c)? {
+            Ty::Bag(el) => {
+                expect(ctx, a, &el)?;
+                Ok(Ty::Int)
             }
-        }
+            other => Err(ctx.err(format!("count on non-bag {other:?}"))),
+        },
         Expr::WithElem(c, a) | Expr::WithoutElem(c, a) => {
             let ct = infer(ctx, c)?;
             let el = match &ct {

@@ -27,7 +27,13 @@ fn set_union_and_inclusion() {
             assign("a", range(int(1), int(3))),
             assign("b", range(int(3), int(5))),
             assign("u", union(var("a"), var("b"))),
-            assign("inc", and(included_in(var("a"), var("u")), included_in(var("b"), var("u")))),
+            assign(
+                "inc",
+                and(
+                    included_in(var("a"), var("u")),
+                    included_in(var("b"), var("u")),
+                ),
+            ),
         ])
         .finish()
         .unwrap();
@@ -45,10 +51,19 @@ fn bag_union_adds_multiplicities_and_inclusion_is_multiset() {
     let g = Arc::new(decls);
     let action = DslAction::build("A", &g)
         .body(vec![
-            assign("x", with_elem(with_elem(lit(Value::empty_bag()), int(7)), int(7))),
+            assign(
+                "x",
+                with_elem(with_elem(lit(Value::empty_bag()), int(7)), int(7)),
+            ),
             assign("y", with_elem(lit(Value::empty_bag()), int(7))),
             // y ⊑ x but x ⋢ y as multisets.
-            assign("ok", and(included_in(var("y"), var("x")), not(included_in(var("x"), var("y"))))),
+            assign(
+                "ok",
+                and(
+                    included_in(var("y"), var("x")),
+                    not(included_in(var("x"), var("y"))),
+                ),
+            ),
             assign("x", union(var("x"), var("y"))),
         ])
         .finish()
@@ -66,7 +81,15 @@ fn count_and_contains_on_bags() {
     decls.declare("m", Sort::Bool);
     let g = Arc::new(decls);
     let mut store = g.initial_store();
-    store.set(0, Value::Bag([4, 4, 9].map(Value::Int).into_iter().collect::<Multiset<_>>()));
+    store.set(
+        0,
+        Value::Bag(
+            [4, 4, 9]
+                .map(Value::Int)
+                .into_iter()
+                .collect::<Multiset<_>>(),
+        ),
+    );
     let action = DslAction::build("A", &g)
         .body(vec![
             assign("c", count(var("bag"), int(4))),
@@ -139,7 +162,10 @@ fn quantifier_domains_include_bags_and_seqs() {
     decls.declare("has_five", Sort::Bool);
     let g = Arc::new(decls);
     let mut store = g.initial_store();
-    store.set(0, Value::Bag([1, 2].map(Value::Int).into_iter().collect::<Multiset<_>>()));
+    store.set(
+        0,
+        Value::Bag([1, 2].map(Value::Int).into_iter().collect::<Multiset<_>>()),
+    );
     store.set(1, Value::Seq(vec![Value::Int(5), Value::Int(6)]));
     let action = DslAction::build("A", &g)
         .body(vec![

@@ -55,7 +55,10 @@ fn failing_branch_poisons_the_whole_gate() {
         .local("b", Sort::Int)
         .body(vec![
             choose("b", range(int(0), int(1))),
-            if_(eq(var("b"), int(1)), vec![assert_msg(boolean(false), "bad")]),
+            if_(
+                eq(var("b"), int(1)),
+                vec![assert_msg(boolean(false), "bad")],
+            ),
         ])
         .finish()
         .unwrap();
@@ -194,7 +197,11 @@ fn seq_channel_is_fifo() {
     let s1 = transitions_of(&producer, &g.initial_store(), &[]).remove(0);
     let s2s = transitions_of(&consumer, &s1, &[]);
     assert_eq!(s2s.len(), 1, "FIFO receive is deterministic");
-    assert_eq!(s2s[0].get(1), &Value::Int(1), "head of the queue comes first");
+    assert_eq!(
+        s2s[0].get(1),
+        &Value::Int(1),
+        "head of the queue comes first"
+    );
 }
 
 #[test]
@@ -235,9 +242,10 @@ fn async_creates_pending_asyncs() {
     let ts = out.transitions().unwrap();
     assert_eq!(ts.len(), 1);
     assert_eq!(ts[0].created.len(), 3);
-    assert!(ts[0]
-        .created
-        .contains(&inseq_kernel::PendingAsync::new("Child", vec![Value::Int(2)])));
+    assert!(ts[0].created.contains(&inseq_kernel::PendingAsync::new(
+        "Child",
+        vec![Value::Int(2)]
+    )));
 }
 
 #[test]
@@ -253,9 +261,10 @@ fn async_named_matches_async_resolved() {
         .unwrap();
     let out = a.eval(&g.initial_store(), &[]);
     let ts = out.transitions().unwrap();
-    assert!(ts[0]
-        .created
-        .contains(&inseq_kernel::PendingAsync::new("Child", vec![Value::Int(5)])));
+    assert!(ts[0].created.contains(&inseq_kernel::PendingAsync::new(
+        "Child",
+        vec![Value::Int(5)]
+    )));
 }
 
 #[test]
@@ -267,10 +276,7 @@ fn call_inlines_into_the_same_atomic_step() {
         .finish()
         .unwrap();
     let main = DslAction::build("Main", &g)
-        .body(vec![
-            call(&child, vec![int(5)]),
-            call(&child, vec![int(6)]),
-        ])
+        .body(vec![call(&child, vec![int(5)]), call(&child, vec![int(6)])])
         .finish()
         .unwrap();
     let ts = transitions_of(&main, &g.initial_store(), &[]);
@@ -328,7 +334,10 @@ fn quantifiers_and_comprehensions() {
                 filter(
                     "i",
                     range(int(1), int(6)),
-                    eq(Expr::Bin(BinOp::Mod, var("i").boxed(), int(2).boxed()), int(0)),
+                    eq(
+                        Expr::Bin(BinOp::Mod, var("i").boxed(), int(2).boxed()),
+                        int(0),
+                    ),
                 ),
             ),
         ])
@@ -375,11 +384,7 @@ fn division_by_zero_is_a_gate_violation() {
     let a = DslAction::build("A", &g)
         .body(vec![assign(
             "x",
-            inseq_lang::Expr::Bin(
-                inseq_lang::BinOp::Div,
-                int(1).boxed(),
-                int(0).boxed(),
-            ),
+            inseq_lang::Expr::Bin(inseq_lang::BinOp::Div, int(1).boxed(), int(0).boxed()),
         )])
         .finish()
         .unwrap();

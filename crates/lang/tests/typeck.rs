@@ -79,7 +79,15 @@ fn loops_and_choice() {
     rejects("D3", vec![choose("i", var("x"))]);
     rejects("D4", vec![choose("i", var("bset"))]); // Int var, Bool elements
     accepts("D5", vec![choose("i", var("s"))]);
-    accepts("D6", vec![for_range("i", int(1), var("x"), vec![assign("x", var("i"))])]);
+    accepts(
+        "D6",
+        vec![for_range(
+            "i",
+            int(1),
+            var("x"),
+            vec![assign("x", var("i"))],
+        )],
+    );
 }
 
 #[test]
@@ -87,13 +95,30 @@ fn collections_and_quantifiers() {
     rejects("E1", vec![assign("x", size(var("x")))]);
     rejects("E2", vec![assume(contains(var("s"), var("flag")))]);
     rejects("E3", vec![assume(forall("k", var("s"), var("k")))]); // body not Bool
-    accepts("E4", vec![assume(forall("k", var("s"), gt(var("k"), int(0))))]);
+    accepts(
+        "E4",
+        vec![assume(forall("k", var("s"), gt(var("k"), int(0))))],
+    );
     rejects("E5", vec![assign("x", min_of(var("bset")))]);
     accepts("E6", vec![assign("x", min_of(var("s")))]);
     // Map operations.
-    rejects("F1", vec![assign_at("m", boolean(true), lit(inseq_kernel::Value::empty_bag()))]);
+    rejects(
+        "F1",
+        vec![assign_at(
+            "m",
+            boolean(true),
+            lit(inseq_kernel::Value::empty_bag()),
+        )],
+    );
     rejects("F2", vec![assign_at("x", int(1), int(2))]);
-    accepts("F3", vec![assign_at("m", int(1), lit(inseq_kernel::Value::empty_bag()))]);
+    accepts(
+        "F3",
+        vec![assign_at(
+            "m",
+            int(1),
+            lit(inseq_kernel::Value::empty_bag()),
+        )],
+    );
 }
 
 #[test]
@@ -135,15 +160,16 @@ fn call_and_async_arity() {
 
 #[test]
 fn empty_collection_literals_unify_with_any_element_sort() {
-    accepts("H1", vec![assign("s", lit(inseq_kernel::Value::empty_set()))]);
+    accepts(
+        "H1",
+        vec![assign("s", lit(inseq_kernel::Value::empty_set()))],
+    );
     accepts(
         "H2",
         vec![assign("ch", lit(inseq_kernel::Value::empty_bag()))],
     );
     // But a non-empty literal of the wrong element sort is rejected.
-    let bad_set = inseq_kernel::Value::Set(
-        [inseq_kernel::Value::Bool(true)].into_iter().collect(),
-    );
+    let bad_set = inseq_kernel::Value::Set([inseq_kernel::Value::Bool(true)].into_iter().collect());
     rejects("H3", vec![assign("s", lit(bad_set))]);
 }
 

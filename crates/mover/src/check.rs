@@ -9,11 +9,11 @@ use std::rc::Rc;
 use std::sync::Arc;
 
 use inseq_kernel::hash::FxHasher;
-use inseq_obs::HitMissSnapshot;
 use inseq_kernel::{
     ActionName, ActionOutcome, ActionSemantics, ArgsId, BagId, GlobalStore, Interner, PendingAsync,
     Program, StateUniverse, StoreId,
 };
+use inseq_obs::HitMissSnapshot;
 
 use crate::types::MoverType;
 
@@ -92,7 +92,11 @@ impl fmt::Display for MoverViolation {
                 f,
                 "gate of {mover} is not forward-preserved by {other} at {store}: {reason}"
             ),
-            MoverViolation::GateNotBackwardPreserved { mover, other, store } => write!(
+            MoverViolation::GateNotBackwardPreserved {
+                mover,
+                other,
+                store,
+            } => write!(
                 f,
                 "gate of {other} is not backward-preserved by {mover} at {store}"
             ),
@@ -180,6 +184,9 @@ impl<'a> MoverChecker<'a> {
     /// Creates a checker for `program` quantifying over `universe`.
     #[must_use]
     pub fn new(program: &'a Program, universe: &'a StateUniverse) -> Self {
+        // One-time action setup (e.g. compiling to bytecode) ahead of the
+        // quadratic pairwise-eval loops.
+        program.prepare_actions();
         MoverChecker {
             program,
             universe,
@@ -250,6 +257,9 @@ impl<'a> MoverChecker<'a> {
         mover: &Arc<dyn ActionSemantics>,
         mover_name: &ActionName,
     ) -> Result<(), MoverViolation> {
+        // The mover may be an abstraction outside the program's action map,
+        // so it gets its own setup call.
+        mover.prepare();
         // Conditions (1)-(3): pairwise against every co-enabled partner.
         for (pa_l, pa_x, stores) in self.universe.coenabled_with_first(mover_name) {
             let x = match self.program.action(&pa_x.action) {
@@ -415,6 +425,7 @@ impl<'a> MoverChecker<'a> {
         mover: &Arc<dyn ActionSemantics>,
         mover_name: &ActionName,
     ) -> Result<(), MoverViolation> {
+        mover.prepare();
         for (pa_r, pa_x, stores) in self.universe.coenabled_with_first(mover_name) {
             let x = match self.program.action(&pa_x.action) {
                 Ok(x) => x,

@@ -29,12 +29,8 @@ pub fn classify_actions_with(
     engine: &Engine,
 ) -> (BTreeMap<ActionName, MoverType>, EngineReport) {
     let names: Vec<ActionName> = program.action_names().cloned().collect();
-    let flags: Mutex<BTreeMap<ActionName, (bool, bool)>> = Mutex::new(
-        names
-            .iter()
-            .map(|n| (n.clone(), (false, false)))
-            .collect(),
-    );
+    let flags: Mutex<BTreeMap<ActionName, (bool, bool)>> =
+        Mutex::new(names.iter().map(|n| (n.clone(), (false, false))).collect());
 
     let mut jobs: Vec<Job<'_>> = Vec::with_capacity(names.len() * 2);
     for name in &names {

@@ -84,9 +84,7 @@ pub fn summarize_chain(
     entry: &ActionName,
     chain: &std::collections::BTreeSet<ActionName>,
 ) -> inseq_kernel::NativeAction {
-    use inseq_kernel::{
-        ActionOutcome, GlobalStore, Multiset, PendingAsync, Transition, Value,
-    };
+    use inseq_kernel::{ActionOutcome, GlobalStore, Multiset, PendingAsync, Transition, Value};
     use std::collections::BTreeSet;
 
     let program = program.clone();

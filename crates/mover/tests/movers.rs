@@ -26,7 +26,10 @@ fn bag_program() -> (inseq_kernel::Program, StateUniverse) {
         .unwrap();
     let recv_a = DslAction::build("Recv", &g)
         .local("v", Sort::Int)
-        .body(vec![recv("v", "ch"), assign_at("got", var("v"), boolean(true))])
+        .body(vec![
+            recv("v", "ch"),
+            assign_at("got", var("v"), boolean(true)),
+        ])
         .finish()
         .unwrap();
     let main = DslAction::build("Main", &g)

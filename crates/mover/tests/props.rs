@@ -2,7 +2,6 @@
 //! actions must classify as both-movers, non-commutative ones must not, and
 //! classification is stable across equivalent universes.
 
-
 use proptest::prelude::*;
 
 use inseq_kernel::{

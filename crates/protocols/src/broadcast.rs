@@ -264,7 +264,12 @@ pub fn build() -> Artifacts {
         ];
         ghost_fill(&mut body);
         body.extend([
-            for_range("i", int(1), var("k"), vec![call(&broadcast, vec![var("i")])]),
+            for_range(
+                "i",
+                int(1),
+                var("k"),
+                vec![call(&broadcast, vec![var("i")])],
+            ),
             for_range(
                 "i",
                 add(var("k"), int(1)),
@@ -296,7 +301,12 @@ pub fn build() -> Artifacts {
         let mut body = vec![choose("k", range(int(0), var("n")))];
         ghost_fill(&mut body);
         body.extend([
-            for_range("i", int(1), var("k"), vec![call(&broadcast, vec![var("i")])]),
+            for_range(
+                "i",
+                int(1),
+                var("k"),
+                vec![call(&broadcast, vec![var("i")])],
+            ),
             for_range(
                 "i",
                 add(var("k"), int(1)),
@@ -324,7 +334,12 @@ pub fn build() -> Artifacts {
         let mut body = Vec::new();
         ghost_fill(&mut body);
         body.extend([
-            for_range("i", int(1), var("n"), vec![call(&broadcast, vec![var("i")])]),
+            for_range(
+                "i",
+                int(1),
+                var("n"),
+                vec![call(&broadcast, vec![var("i")])],
+            ),
             for_range(
                 "i",
                 int(1),
@@ -346,7 +361,12 @@ pub fn build() -> Artifacts {
         let mut body = vec![choose("l", range(int(0), var("n")))];
         ghost_fill(&mut body);
         body.extend([
-            for_range("i", int(1), var("n"), vec![call(&broadcast, vec![var("i")])]),
+            for_range(
+                "i",
+                int(1),
+                var("n"),
+                vec![call(&broadcast, vec![var("i")])],
+            ),
             for_range("i", int(1), var("l"), vec![call(&collect, vec![var("i")])]),
             for_range(
                 "i",
@@ -436,7 +456,11 @@ pub fn build() -> Artifacts {
 
     let p1 = program_of(
         &g,
-        [Arc::clone(&bstep), Arc::clone(&cstep), Arc::clone(&main_impl)],
+        [
+            Arc::clone(&bstep),
+            Arc::clone(&cstep),
+            Arc::clone(&main_impl),
+        ],
         "Main",
     )
     .expect("P1 is well-formed");
@@ -524,7 +548,10 @@ pub fn spec(artifacts: &Artifacts, instance: &Instance) -> impl Fn(&GlobalStore)
     }
 }
 
-fn choose_smallest(created: &inseq_kernel::Multiset<inseq_kernel::PendingAsync>, action: &str) -> Option<inseq_kernel::PendingAsync> {
+fn choose_smallest(
+    created: &inseq_kernel::Multiset<inseq_kernel::PendingAsync>,
+    action: &str,
+) -> Option<inseq_kernel::PendingAsync> {
     created
         .distinct()
         .filter(|pa| pa.action.as_str() == action)
@@ -547,7 +574,8 @@ pub fn oneshot_application(artifacts: &Artifacts, instance: &Instance) -> IsAppl
             Arc::clone(&artifacts.collect_abs) as Arc<dyn ActionSemantics>,
         )
         .choice(|t| {
-            choose_smallest(t.created, "Broadcast").or_else(|| choose_smallest(t.created, "Collect"))
+            choose_smallest(t.created, "Broadcast")
+                .or_else(|| choose_smallest(t.created, "Collect"))
         })
         .measure(Measure::pending_async_count())
         .instance(init)
@@ -605,8 +633,13 @@ pub fn verify(instance: &Instance) -> Result<CaseReport, CaseError> {
         check_program_refinement(&artifacts.p2, &outcome.program, [init2.clone()], budget)
             .map_err(|e| CaseError::new(NAME, format!("P2 ⋠ P': {e}")))?;
         // Property (1) on the sequentialization — and on P2 itself.
-        check_spec(&outcome.program, init2.clone(), budget, spec(&artifacts, instance))
-            .map_err(|e| CaseError::new(NAME, e))?;
+        check_spec(
+            &outcome.program,
+            init2.clone(),
+            budget,
+            spec(&artifacts, instance),
+        )
+        .map_err(|e| CaseError::new(NAME, e))?;
         check_spec(&artifacts.p2, init2, budget, spec(&artifacts, instance))
             .map_err(|e| CaseError::new(NAME, e))?;
         Ok(outcome.reports)
@@ -677,7 +710,9 @@ mod tests {
     fn iterated_chain_passes_n2() {
         let instance = Instance::new(&[2, 5]);
         let artifacts = build();
-        let outcome = iterated_chain(&artifacts, &instance).run().expect("both applications hold");
+        let outcome = iterated_chain(&artifacts, &instance)
+            .run()
+            .expect("both applications hold");
         assert_eq!(outcome.reports.len(), 2);
     }
 

@@ -126,7 +126,11 @@ fn succ(i: Expr) -> Expr {
 
 /// The ring maximum.
 fn max_id() -> Expr {
-    max_of(image("x", range(int(1), var("n")), get(var("id"), var("x"))))
+    max_of(image(
+        "x",
+        range(int(1), var("n")),
+        get(var("id"), var("x")),
+    ))
 }
 
 /// Builds all programs and artifacts.
@@ -171,7 +175,10 @@ pub fn build() -> Artifacts {
             "i",
             int(1),
             var("n"),
-            vec![async_call(&pass, vec![succ(var("i")), get(var("id"), var("i"))])],
+            vec![async_call(
+                &pass,
+                vec![succ(var("i")), get(var("id"), var("i"))],
+            )],
         )])
         .finish()
         .expect("Main type-checks");
@@ -266,7 +273,10 @@ pub fn build() -> Artifacts {
             "o",
             add(var("j"), int(1)),
             var("n"),
-            vec![async_call(&pass, vec![succ(var("o")), get(var("id"), var("o"))])],
+            vec![async_call(
+                &pass,
+                vec![succ(var("o")), get(var("id"), var("o"))],
+            )],
         ));
         DslAction::build("InvPass", &g)
             .local("j", Sort::Int)
@@ -328,7 +338,10 @@ pub fn build() -> Artifacts {
             "o",
             add(var("j"), int(1)),
             var("n"),
-            vec![async_call(&pass, vec![succ(var("o")), get(var("id"), var("o"))])],
+            vec![async_call(
+                &pass,
+                vec![succ(var("o")), get(var("id"), var("o"))],
+            )],
         ));
         DslAction::build("InvOneShot", &g)
             .local("j", Sort::Int)
@@ -373,7 +386,10 @@ pub fn build() -> Artifacts {
             "i",
             int(1),
             var("n"),
-            vec![async_call(&deliver, vec![succ(var("i")), get(var("id"), var("i"))])],
+            vec![async_call(
+                &deliver,
+                vec![succ(var("i")), get(var("id"), var("i"))],
+            )],
         )])
         .finish()
         .expect("P1 main type-checks");
@@ -476,10 +492,7 @@ fn weight(pa: &PendingAsync, instance: &Instance) -> u64 {
     }
 }
 
-fn smallest_pass(
-    created: &Multiset<PendingAsync>,
-    instance: &Instance,
-) -> Option<PendingAsync> {
+fn smallest_pass(created: &Multiset<PendingAsync>, instance: &Instance) -> Option<PendingAsync> {
     created
         .distinct()
         .filter(|pa| pa.action.as_str() == "Pass")
@@ -570,8 +583,13 @@ pub fn verify(instance: &Instance) -> Result<CaseReport, CaseError> {
             .map_err(|e| CaseError::new(NAME, e))?;
         check_program_refinement(&artifacts.p2, &outcome.program, [init2.clone()], budget)
             .map_err(|e| CaseError::new(NAME, format!("P2 ⋠ P': {e}")))?;
-        check_spec(&outcome.program, init2.clone(), budget, spec(&artifacts, instance))
-            .map_err(|e| CaseError::new(NAME, e))?;
+        check_spec(
+            &outcome.program,
+            init2.clone(),
+            budget,
+            spec(&artifacts, instance),
+        )
+        .map_err(|e| CaseError::new(NAME, e))?;
         check_spec(&artifacts.p2, init2, budget, spec(&artifacts, instance))
             .map_err(|e| CaseError::new(NAME, e))?;
         Ok(outcome.reports)

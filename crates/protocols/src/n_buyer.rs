@@ -144,20 +144,20 @@ pub fn build() -> Artifacts {
         ];
         body.extend(pledged_sum_into("already", sub(var("i"), int(1))));
         body.push(assign(
-                "mine",
-                ite(
-                    lt(
-                        sub(var("price"), var("already")),
-                        get(var("budget"), var("i")),
-                    ),
-                    ite(
-                        gt(sub(var("price"), var("already")), int(0)),
-                        sub(var("price"), var("already")),
-                        int(0),
-                    ),
+            "mine",
+            ite(
+                lt(
+                    sub(var("price"), var("already")),
                     get(var("budget"), var("i")),
                 ),
-            ));
+                ite(
+                    gt(sub(var("price"), var("already")), int(0)),
+                    sub(var("price"), var("already")),
+                    int(0),
+                ),
+                get(var("budget"), var("i")),
+            ),
+        ));
         body.push(assign_at("pledged", var("i"), some(var("mine"))));
         body
     };
@@ -216,7 +216,12 @@ pub fn build() -> Artifacts {
         .local("i", Sort::Int)
         .body(vec![
             call(&quote, vec![]),
-            for_range("i", int(1), var("n"), vec![call(&contribute, vec![var("i")])]),
+            for_range(
+                "i",
+                int(1),
+                var("n"),
+                vec![call(&contribute, vec![var("i")])],
+            ),
             call(&order, vec![]),
         ])
         .finish()
@@ -247,7 +252,10 @@ pub fn build() -> Artifacts {
                 vec![call(&order, vec![])],
             ),
             // Remaining pending asyncs.
-            if_(lt(var("t"), int(1)), vec![async_call(&request_quote, vec![])]),
+            if_(
+                lt(var("t"), int(1)),
+                vec![async_call(&request_quote, vec![])],
+            ),
             if_(
                 and(ge(var("t"), int(1)), lt(var("t"), int(2))),
                 vec![async_call(&quote, vec![])],
@@ -422,12 +430,7 @@ pub fn init_config(program: &Program, artifacts: &Artifacts, instance: &Instance
 pub fn exploration_case(instance: &Instance) -> ExplorationCase {
     let artifacts = build();
     let init = init_config(&artifacts.p2, &artifacts, instance);
-    ExplorationCase::new(
-        "N-Buyer",
-        format!("n = {}", instance.n),
-        artifacts.p2,
-        init,
-    )
+    ExplorationCase::new("N-Buyer", format!("n = {}", instance.n), artifacts.p2, init)
 }
 
 /// The paper's functional spec: an order implies the contributions sum to
@@ -513,10 +516,12 @@ pub fn iterated_chain(artifacts: &Artifacts, instance: &Instance) -> IsChain {
 
     let pending_buyers_and_order = |from: inseq_lang::Expr| {
         vec![
-            for_range("i", from, var("n"), vec![async_call(
-                &artifacts.contribute,
-                vec![var("i")],
-            )]),
+            for_range(
+                "i",
+                from,
+                var("n"),
+                vec![async_call(&artifacts.contribute, vec![var("i")])],
+            ),
             async_call(&artifacts.order, vec![]),
         ]
     };
@@ -558,16 +563,19 @@ pub fn iterated_chain(artifacts: &Artifacts, instance: &Instance) -> IsChain {
                 .find(|pa| pa.action.as_str() == "RequestQuote")
                 .cloned()
         })
-        .measure(Measure::lexicographic("2·#RequestQuote + #Quote", |_, omega| {
-            vec![omega
-                .iter()
-                .map(|pa| match pa.action.as_str() {
-                    "RequestQuote" => 2,
-                    "Quote" => 1,
-                    _ => 0,
-                })
-                .sum()]
-        }))
+        .measure(Measure::lexicographic(
+            "2·#RequestQuote + #Quote",
+            |_, omega| {
+                vec![omega
+                    .iter()
+                    .map(|pa| match pa.action.as_str() {
+                        "RequestQuote" => 2,
+                        "Quote" => 1,
+                        _ => 0,
+                    })
+                    .sum()]
+            },
+        ))
         .instance(init.clone());
 
     // --- Application 2: eliminate Quote ---------------------------------
@@ -615,7 +623,12 @@ pub fn iterated_chain(artifacts: &Artifacts, instance: &Instance) -> IsChain {
         .local("i", Sort::Int)
         .body(vec![
             assign("quoted", boolean(true)),
-            for_range("i", int(1), var("n"), vec![call(&artifacts.contribute, vec![var("i")])]),
+            for_range(
+                "i",
+                int(1),
+                var("n"),
+                vec![call(&artifacts.contribute, vec![var("i")])],
+            ),
             async_call(&artifacts.order, vec![]),
         ])
         .finish()
@@ -626,11 +639,18 @@ pub fn iterated_chain(artifacts: &Artifacts, instance: &Instance) -> IsChain {
         .body(vec![
             choose("c", range(int(0), var("n"))),
             assign("quoted", boolean(true)),
-            for_range("i", int(1), var("c"), vec![call(&artifacts.contribute, vec![var("i")])]),
-            for_range("i", add(var("c"), int(1)), var("n"), vec![async_call(
-                &artifacts.contribute,
-                vec![var("i")],
-            )]),
+            for_range(
+                "i",
+                int(1),
+                var("c"),
+                vec![call(&artifacts.contribute, vec![var("i")])],
+            ),
+            for_range(
+                "i",
+                add(var("c"), int(1)),
+                var("n"),
+                vec![async_call(&artifacts.contribute, vec![var("i")])],
+            ),
             async_call(&artifacts.order, vec![]),
         ])
         .finish()
@@ -660,7 +680,12 @@ pub fn iterated_chain(artifacts: &Artifacts, instance: &Instance) -> IsChain {
         .body(vec![
             choose("s", range(int(0), int(1))),
             assign("quoted", boolean(true)),
-            for_range("i", int(1), var("n"), vec![call(&artifacts.contribute, vec![var("i")])]),
+            for_range(
+                "i",
+                int(1),
+                var("n"),
+                vec![call(&artifacts.contribute, vec![var("i")])],
+            ),
             if_else(
                 eq(var("s"), int(0)),
                 vec![async_call(&artifacts.order, vec![])],
@@ -755,7 +780,9 @@ mod tests {
         let instance = Instance::new(10, &[6, 6]);
         let artifacts = build();
         let init = init_config(&artifacts.p2, &artifacts, &instance);
-        let exp = inseq_kernel::Explorer::new(&artifacts.p2).explore([init]).unwrap();
+        let exp = inseq_kernel::Explorer::new(&artifacts.p2)
+            .explore([init])
+            .unwrap();
         assert!(!exp.has_failure());
         let ordered_idx = artifacts.decls.index_of("ordered").unwrap();
         assert!(exp
@@ -768,7 +795,9 @@ mod tests {
         let instance = Instance::new(10, &[3, 2]);
         let artifacts = build();
         let init = init_config(&artifacts.p2, &artifacts, &instance);
-        let exp = inseq_kernel::Explorer::new(&artifacts.p2).explore([init]).unwrap();
+        let exp = inseq_kernel::Explorer::new(&artifacts.p2)
+            .explore([init])
+            .unwrap();
         let ordered_idx = artifacts.decls.index_of("ordered").unwrap();
         assert!(exp
             .terminal_stores()

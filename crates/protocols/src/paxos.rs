@@ -191,47 +191,66 @@ fn proposal_stmts(r: Expr) -> Vec<Stmt> {
     vec![
         assign("proposed", boolean(false)),
         choose("b", range(int(0), int(1))),
-        if_(eq(var("b"), int(1)), vec![
-            // Choose the received join quorum ns ⊆ joinedNodes[r].
-            assign("ns", lit(Value::empty_set())),
-            for_range("pn", int(1), var("N"), vec![if_(
-                contains(get(var("joinedNodes"), r.clone()), var("pn")),
-                vec![
-                    choose("b", range(int(0), int(1))),
-                    if_(
-                        eq(var("b"), int(1)),
-                        vec![assign("ns", with_elem(var("ns"), var("pn")))],
-                    ),
-                ],
-            )]),
-            if_(ge(size(var("ns")), var("quorum")), vec![
-                // Value selection: the vote of the highest round r' < r in
-                // which a member of ns voted; otherwise fresh (= r).
-                assign("found", boolean(false)),
-                assign("v", int(0)),
-                for_range("rp", int(1), sub(r.clone(), int(1)), vec![if_(
-                    and(
-                        is_some(get(var("voteInfo"), var("rp"))),
-                        exists(
-                            "qn",
-                            var("ns"),
-                            contains(proj(unwrap(get(var("voteInfo"), var("rp"))), 1), var("qn")),
-                        ),
-                    ),
-                    vec![
-                        assign("found", boolean(true)),
-                        assign("v", proj(unwrap(get(var("voteInfo"), var("rp"))), 0)),
-                    ],
-                )]),
-                if_(not(var("found")), vec![assign("v", r.clone())]),
-                assign_at(
-                    "voteInfo",
-                    r,
-                    some(tuple(vec![var("v"), lit(Value::empty_set())])),
+        if_(
+            eq(var("b"), int(1)),
+            vec![
+                // Choose the received join quorum ns ⊆ joinedNodes[r].
+                assign("ns", lit(Value::empty_set())),
+                for_range(
+                    "pn",
+                    int(1),
+                    var("N"),
+                    vec![if_(
+                        contains(get(var("joinedNodes"), r.clone()), var("pn")),
+                        vec![
+                            choose("b", range(int(0), int(1))),
+                            if_(
+                                eq(var("b"), int(1)),
+                                vec![assign("ns", with_elem(var("ns"), var("pn")))],
+                            ),
+                        ],
+                    )],
                 ),
-                assign("proposed", boolean(true)),
-            ]),
-        ]),
+                if_(
+                    ge(size(var("ns")), var("quorum")),
+                    vec![
+                        // Value selection: the vote of the highest round r' < r in
+                        // which a member of ns voted; otherwise fresh (= r).
+                        assign("found", boolean(false)),
+                        assign("v", int(0)),
+                        for_range(
+                            "rp",
+                            int(1),
+                            sub(r.clone(), int(1)),
+                            vec![if_(
+                                and(
+                                    is_some(get(var("voteInfo"), var("rp"))),
+                                    exists(
+                                        "qn",
+                                        var("ns"),
+                                        contains(
+                                            proj(unwrap(get(var("voteInfo"), var("rp"))), 1),
+                                            var("qn"),
+                                        ),
+                                    ),
+                                ),
+                                vec![
+                                    assign("found", boolean(true)),
+                                    assign("v", proj(unwrap(get(var("voteInfo"), var("rp"))), 0)),
+                                ],
+                            )],
+                        ),
+                        if_(not(var("found")), vec![assign("v", r.clone())]),
+                        assign_at(
+                            "voteInfo",
+                            r,
+                            some(tuple(vec![var("v"), lit(Value::empty_set())])),
+                        ),
+                        assign("proposed", boolean(true)),
+                    ],
+                ),
+            ],
+        ),
     ]
 }
 
@@ -346,18 +365,26 @@ pub fn build() -> Artifacts {
     let propose = {
         let mut body = vec![ghost_consume(TAG_PROPOSE, var("r"), int(0))];
         body.extend(proposal_stmts(var("r")));
-        body.push(if_(var("proposed"), vec![
-            for_range("pn", int(1), var("N"), vec![
-                ghost_add(TAG_VOTE, var("r"), var("pn")),
-                async_named(
-                    "Vote",
-                    vec![Sort::Int, Sort::Int, Sort::Int],
-                    vec![var("r"), var("pn"), var("v")],
+        body.push(if_(
+            var("proposed"),
+            vec![
+                for_range(
+                    "pn",
+                    int(1),
+                    var("N"),
+                    vec![
+                        ghost_add(TAG_VOTE, var("r"), var("pn")),
+                        async_named(
+                            "Vote",
+                            vec![Sort::Int, Sort::Int, Sort::Int],
+                            vec![var("r"), var("pn"), var("v")],
+                        ),
+                    ],
                 ),
-            ]),
-            ghost_add(TAG_CONCLUDE, var("r"), int(0)),
-            async_call(&conclude, vec![var("r"), var("v")]),
-        ]));
+                ghost_add(TAG_CONCLUDE, var("r"), int(0)),
+                async_call(&conclude, vec![var("r"), var("v")]),
+            ],
+        ));
         DslAction::build("Propose", &g)
             .param("r", Sort::Int)
             .local("ns", Sort::set(Sort::Int))
@@ -377,10 +404,15 @@ pub fn build() -> Artifacts {
         .local("n", Sort::Int)
         .body(vec![
             ghost_consume(TAG_START, var("r"), int(0)),
-            for_range("n", int(1), var("N"), vec![
-                ghost_add(TAG_JOIN, var("r"), var("n")),
-                async_call(&join, vec![var("r"), var("n")]),
-            ]),
+            for_range(
+                "n",
+                int(1),
+                var("N"),
+                vec![
+                    ghost_add(TAG_JOIN, var("r"), var("n")),
+                    async_call(&join, vec![var("r"), var("n")]),
+                ],
+            ),
             ghost_add(TAG_PROPOSE, var("r"), int(0)),
             async_call(&propose, vec![var("r")]),
         ])
@@ -389,10 +421,15 @@ pub fn build() -> Artifacts {
 
     let main = DslAction::build("Main", &g)
         .local("r", Sort::Int)
-        .body(vec![for_range("r", int(1), var("R"), vec![
-            ghost_add(TAG_START, var("r"), int(0)),
-            async_call(&start_round, vec![var("r")]),
-        ])])
+        .body(vec![for_range(
+            "r",
+            int(1),
+            var("R"),
+            vec![
+                ghost_add(TAG_START, var("r"), int(0)),
+                async_call(&start_round, vec![var("r")]),
+            ],
+        )])
         .finish()
         .expect("Main type-checks");
 
@@ -400,12 +437,21 @@ pub fn build() -> Artifacts {
     let round_seq = {
         let mut body = Vec::new();
         // Joins in acceptor order (each may be dropped).
-        body.push(for_range("n", int(1), var("N"), join_effect(var("r"), var("n"))));
+        body.push(for_range(
+            "n",
+            int(1),
+            var("N"),
+            join_effect(var("r"), var("n")),
+        ));
         // Proposal; on success, votes in acceptor order and the conclusion.
         body.extend(proposal_stmts(var("r")));
         body.push(if_(var("proposed"), {
-            let mut inner =
-                vec![for_range("n", int(1), var("N"), vote_effect(var("r"), var("n")))];
+            let mut inner = vec![for_range(
+                "n",
+                int(1),
+                var("N"),
+                vote_effect(var("r"), var("n")),
+            )];
             inner.extend(conclude_effect(
                 var("r"),
                 proj(unwrap(get(var("voteInfo"), var("r"))), 0),
@@ -463,61 +509,84 @@ pub fn build() -> Artifacts {
             vec![call(&round_seq, vec![var("cr")])],
         ));
         // Partial round k.
-        body.push(if_(le(var("k"), var("R")), vec![
-            choose("s", range(int(0), add(mul(int(2), var("N")), int(2)))),
-            if_else(
-                eq(var("s"), int(0)),
-                vec![
-                    ghost_add(TAG_START, var("k"), int(0)),
-                    async_call(&start_round, vec![var("k")]),
-                ],
-                vec![if_else(
-                    le(var("s"), add(var("N"), int(1))),
+        body.push(if_(
+            le(var("k"), var("R")),
+            vec![
+                choose("s", range(int(0), add(mul(int(2), var("N")), int(2)))),
+                if_else(
+                    eq(var("s"), int(0)),
                     vec![
-                        // s-1 joins processed; the rest + Propose pending.
-                        for_range("n", int(1), sub(var("s"), int(1)), join_effect(var("k"), var("n"))),
-                        for_range("n", var("s"), var("N"), vec![
-                            ghost_add(TAG_JOIN, var("k"), var("n")),
-                            async_call(&join, vec![var("k"), var("n")]),
-                        ]),
-                        ghost_add(TAG_PROPOSE, var("k"), int(0)),
-                        async_call(&propose, vec![var("k")]),
+                        ghost_add(TAG_START, var("k"), int(0)),
+                        async_call(&start_round, vec![var("k")]),
                     ],
-                    {
-                        // All joins processed; the proposal succeeded; u
-                        // votes processed.
-                        let mut branch = vec![for_range(
-                            "n",
-                            int(1),
-                            var("N"),
-                            join_effect(var("k"), var("n")),
-                        )];
-                        branch.extend(proposal_stmts(var("k")));
-                        branch.push(assume(var("proposed")));
-                        branch.push(assign("u", sub(var("s"), add(var("N"), int(2)))));
-                        branch.push(for_range("n", int(1), var("u"), vote_effect(var("k"), var("n"))));
-                        branch.push(for_range("n", add(var("u"), int(1)), var("N"), vec![
-                            ghost_add(TAG_VOTE, var("k"), var("n")),
-                            async_named(
-                                "Vote",
-                                vec![Sort::Int, Sort::Int, Sort::Int],
+                    vec![if_else(
+                        le(var("s"), add(var("N"), int(1))),
+                        vec![
+                            // s-1 joins processed; the rest + Propose pending.
+                            for_range(
+                                "n",
+                                int(1),
+                                sub(var("s"), int(1)),
+                                join_effect(var("k"), var("n")),
+                            ),
+                            for_range(
+                                "n",
+                                var("s"),
+                                var("N"),
                                 vec![
-                                    var("k"),
-                                    var("n"),
-                                    proj(unwrap(get(var("voteInfo"), var("k"))), 0),
+                                    ghost_add(TAG_JOIN, var("k"), var("n")),
+                                    async_call(&join, vec![var("k"), var("n")]),
                                 ],
                             ),
-                        ]));
-                        branch.push(ghost_add(TAG_CONCLUDE, var("k"), int(0)));
-                        branch.push(async_call(&conclude, vec![
-                            var("k"),
-                            proj(unwrap(get(var("voteInfo"), var("k"))), 0),
-                        ]));
-                        branch
-                    },
-                )],
-            ),
-        ]));
+                            ghost_add(TAG_PROPOSE, var("k"), int(0)),
+                            async_call(&propose, vec![var("k")]),
+                        ],
+                        {
+                            // All joins processed; the proposal succeeded; u
+                            // votes processed.
+                            let mut branch = vec![for_range(
+                                "n",
+                                int(1),
+                                var("N"),
+                                join_effect(var("k"), var("n")),
+                            )];
+                            branch.extend(proposal_stmts(var("k")));
+                            branch.push(assume(var("proposed")));
+                            branch.push(assign("u", sub(var("s"), add(var("N"), int(2)))));
+                            branch.push(for_range(
+                                "n",
+                                int(1),
+                                var("u"),
+                                vote_effect(var("k"), var("n")),
+                            ));
+                            branch.push(for_range(
+                                "n",
+                                add(var("u"), int(1)),
+                                var("N"),
+                                vec![
+                                    ghost_add(TAG_VOTE, var("k"), var("n")),
+                                    async_named(
+                                        "Vote",
+                                        vec![Sort::Int, Sort::Int, Sort::Int],
+                                        vec![
+                                            var("k"),
+                                            var("n"),
+                                            proj(unwrap(get(var("voteInfo"), var("k"))), 0),
+                                        ],
+                                    ),
+                                ],
+                            ));
+                            branch.push(ghost_add(TAG_CONCLUDE, var("k"), int(0)));
+                            branch.push(async_call(
+                                &conclude,
+                                vec![var("k"), proj(unwrap(get(var("voteInfo"), var("k"))), 0)],
+                            ));
+                            branch
+                        },
+                    )],
+                ),
+            ],
+        ));
         DslAction::build("PaxosInv", &g)
             .local("k", Sort::Int)
             .local("s", Sort::Int)
@@ -693,8 +762,8 @@ fn position(pa: &PendingAsync) -> (i64, i64, i64) {
 fn weight(pa: &PendingAsync, n: i64) -> u64 {
     let w = match pa.action.as_str() {
         "Join" | "Vote" | "Conclude" => 1,
-        "Propose" => n + 2,          // spawns N votes + conclude (= N + 1)
-        "StartRound" => 2 * n + 4,   // spawns N joins + propose (= N + N + 2)
+        "Propose" => n + 2,        // spawns N votes + conclude (= N + 1)
+        "StartRound" => 2 * n + 4, // spawns N joins + propose (= N + N + 2)
         _ => 0,
     };
     u64::try_from(w).unwrap_or(0)
@@ -717,12 +786,18 @@ pub fn application(artifacts: &Artifacts, instance: Instance) -> IsApplication {
             "StartRound",
             Arc::clone(&artifacts.start_round_abs) as Arc<dyn ActionSemantics>,
         )
-        .abstraction("Join", Arc::clone(&artifacts.join_abs) as Arc<dyn ActionSemantics>)
+        .abstraction(
+            "Join",
+            Arc::clone(&artifacts.join_abs) as Arc<dyn ActionSemantics>,
+        )
         .abstraction(
             "Propose",
             Arc::clone(&artifacts.propose_abs) as Arc<dyn ActionSemantics>,
         )
-        .abstraction("Vote", Arc::clone(&artifacts.vote_abs) as Arc<dyn ActionSemantics>)
+        .abstraction(
+            "Vote",
+            Arc::clone(&artifacts.vote_abs) as Arc<dyn ActionSemantics>,
+        )
         .abstraction(
             "Conclude",
             Arc::clone(&artifacts.conclude_abs) as Arc<dyn ActionSemantics>,
@@ -810,9 +885,10 @@ mod tests {
     fn sequentialized_paxos_satisfies_agreement() {
         let instance = Instance::new(2, 2);
         let artifacts = build();
-        let p_prime = artifacts
-            .p2
-            .with_action("Main", Arc::clone(&artifacts.main_seq) as Arc<dyn ActionSemantics>);
+        let p_prime = artifacts.p2.with_action(
+            "Main",
+            Arc::clone(&artifacts.main_seq) as Arc<dyn ActionSemantics>,
+        );
         let init = init_config(&p_prime, &artifacts, instance);
         check_spec(&p_prime, init, 2_000_000, spec(&artifacts, instance)).unwrap();
     }
@@ -831,7 +907,9 @@ mod tests {
         let instance = Instance::new(1, 2);
         let artifacts = build();
         let init = init_config(&artifacts.p2, &artifacts, instance);
-        let exp = inseq_kernel::Explorer::new(&artifacts.p2).explore([init]).unwrap();
+        let exp = inseq_kernel::Explorer::new(&artifacts.p2)
+            .explore([init])
+            .unwrap();
         let dec_idx = artifacts.decls.index_of("decision").unwrap();
         assert!(exp.terminal_stores().any(|s| {
             s.get(dec_idx).as_map().get(&Value::Int(1)) == &Value::some(Value::Int(1))

@@ -43,7 +43,10 @@ fn decls() -> Arc<GlobalDecls> {
     g.declare("acceptorMax", Sort::map(Sort::Int, Sort::Int));
     g.declare(
         "lastVote",
-        Sort::map(Sort::Int, Sort::opt(Sort::Tuple(vec![Sort::Int, Sort::Int]))),
+        Sort::map(
+            Sort::Int,
+            Sort::opt(Sort::Tuple(vec![Sort::Int, Sort::Int])),
+        ),
     );
     // joinChannel[r]: bag of (node, lastVote) join responses.
     g.declare(
@@ -160,10 +163,13 @@ pub fn build() -> ImplArtifacts {
         .param("got", Sort::Int)
         .param("best", Sort::opt(Sort::Tuple(vec![Sort::Int, Sort::Int])))
         .local("b", Sort::Int)
-        .local("resp", Sort::Tuple(vec![
-            Sort::Int,
-            Sort::opt(Sort::Tuple(vec![Sort::Int, Sort::Int])),
-        ]))
+        .local(
+            "resp",
+            Sort::Tuple(vec![
+                Sort::Int,
+                Sort::opt(Sort::Tuple(vec![Sort::Int, Sort::Int])),
+            ]),
+        )
         .local("v", Sort::Int)
         .local("n", Sort::Int)
         .body(vec![if_else(
@@ -172,11 +178,7 @@ pub fn build() -> ImplArtifacts {
                 // Quorum of promises: propose.
                 assign(
                     "v",
-                    ite(
-                        is_some(var("best")),
-                        proj(unwrap(var("best")), 1),
-                        var("r"),
-                    ),
+                    ite(is_some(var("best")), proj(unwrap(var("best")), 1), var("r")),
                 ),
                 for_range(
                     "n",
@@ -271,7 +273,11 @@ pub fn build() -> ImplArtifacts {
         "Main",
     )
     .expect("P1 is well-formed");
-    ImplArtifacts { decls: g, p1, p1_actions }
+    ImplArtifacts {
+        decls: g,
+        p1,
+        p1_actions,
+    }
 }
 
 /// The initialized configuration for an instance.

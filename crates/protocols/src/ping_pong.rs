@@ -120,11 +120,18 @@ pub fn build() -> Artifacts {
         .local("v", Sort::Int)
         .body(vec![
             recv("v", "msgCh"),
-            assert_msg(eq(var("v"), var("i")), "Pong received a non-increasing number"),
+            assert_msg(
+                eq(var("v"), var("i")),
+                "Pong received a non-increasing number",
+            ),
             send("ackCh", var("i")),
             if_(
                 lt(var("i"), var("K")),
-                vec![async_named("Pong", int_sorts.clone(), vec![add(var("i"), int(1))])],
+                vec![async_named(
+                    "Pong",
+                    int_sorts.clone(),
+                    vec![add(var("i"), int(1))],
+                )],
             ),
         ])
         .finish()
@@ -163,12 +170,18 @@ pub fn build() -> Artifacts {
             assign("p", sub(var("t"), var("q"))),
             if_else(
                 and(gt(var("p"), var("q")), le(var("p"), var("K"))),
-                vec![assign("msgCh", with_elem(lit(Value::empty_bag()), var("p")))],
+                vec![assign(
+                    "msgCh",
+                    with_elem(lit(Value::empty_bag()), var("p")),
+                )],
                 vec![assign("msgCh", lit(Value::empty_bag()))],
             ),
             if_else(
                 and(eq(var("p"), var("q")), ge(var("q"), int(1))),
-                vec![assign("ackCh", with_elem(lit(Value::empty_bag()), var("q")))],
+                vec![assign(
+                    "ackCh",
+                    with_elem(lit(Value::empty_bag()), var("q")),
+                )],
                 vec![assign("ackCh", lit(Value::empty_bag()))],
             ),
             if_(
@@ -240,7 +253,10 @@ pub fn build() -> Artifacts {
         .local("v", Sort::Int)
         .body(vec![
             recv("v", "msgCh"),
-            assert_msg(eq(var("v"), var("i")), "Pong received a non-increasing number"),
+            assert_msg(
+                eq(var("v"), var("i")),
+                "Pong received a non-increasing number",
+            ),
             async_named("PongSend", int_sorts.clone(), vec![var("i")]),
         ])
         .finish()
@@ -251,7 +267,11 @@ pub fn build() -> Artifacts {
             send("ackCh", var("i")),
             if_(
                 lt(var("i"), var("K")),
-                vec![async_named("PongRecv", int_sorts, vec![add(var("i"), int(1))])],
+                vec![async_named(
+                    "PongRecv",
+                    int_sorts,
+                    vec![add(var("i"), int(1))],
+                )],
             ),
         ])
         .finish()
@@ -372,8 +392,14 @@ pub fn application(artifacts: &Artifacts, instance: Instance) -> IsApplication {
         .eliminate("Pong")
         .invariant(Arc::clone(&artifacts.inv) as Arc<dyn ActionSemantics>)
         .replacement(Arc::clone(&artifacts.main_seq) as Arc<dyn ActionSemantics>)
-        .abstraction("Ping", Arc::clone(&artifacts.ping_abs) as Arc<dyn ActionSemantics>)
-        .abstraction("Pong", Arc::clone(&artifacts.pong_abs) as Arc<dyn ActionSemantics>)
+        .abstraction(
+            "Ping",
+            Arc::clone(&artifacts.ping_abs) as Arc<dyn ActionSemantics>,
+        )
+        .abstraction(
+            "Pong",
+            Arc::clone(&artifacts.pong_abs) as Arc<dyn ActionSemantics>,
+        )
         .choice(|t| t.created.distinct().min_by_key(|pa| position(pa)).cloned())
         .measure(Measure::lexicographic(
             "Σ remaining-positions",

@@ -83,7 +83,11 @@ pub fn build() -> Artifacts {
             send("queue", var("i")),
             if_(
                 lt(var("i"), var("K")),
-                vec![async_named("Produce", int_sorts.clone(), vec![add(var("i"), int(1))])],
+                vec![async_named(
+                    "Produce",
+                    int_sorts.clone(),
+                    vec![add(var("i"), int(1))],
+                )],
             ),
         ])
         .finish()
@@ -96,10 +100,17 @@ pub fn build() -> Artifacts {
         .local("v", Sort::Int)
         .body(vec![
             recv("v", "queue"),
-            assert_msg(eq(var("v"), var("j")), "Consumer saw a non-increasing number"),
+            assert_msg(
+                eq(var("v"), var("j")),
+                "Consumer saw a non-increasing number",
+            ),
             if_(
                 lt(var("j"), var("K")),
-                vec![async_named("Consume", int_sorts.clone(), vec![add(var("j"), int(1))])],
+                vec![async_named(
+                    "Consume",
+                    int_sorts.clone(),
+                    vec![add(var("j"), int(1))],
+                )],
             ),
         ])
         .finish()
@@ -129,16 +140,15 @@ pub fn build() -> Artifacts {
             choose("t", range(int(0), mul(int(2), var("K")))),
             assign(
                 "c",
-                inseq_lang::Expr::Bin(
-                    inseq_lang::BinOp::Div,
-                    var("t").boxed(),
-                    int(2).boxed(),
-                ),
+                inseq_lang::Expr::Bin(inseq_lang::BinOp::Div, var("t").boxed(), int(2).boxed()),
             ),
             assign("p", sub(var("t"), var("c"))),
             if_else(
                 gt(var("p"), var("c")),
-                vec![assign("queue", with_elem(lit(Value::empty_seq()), var("p")))],
+                vec![assign(
+                    "queue",
+                    with_elem(lit(Value::empty_seq()), var("p")),
+                )],
                 vec![assign("queue", lit(Value::empty_seq()))],
             ),
             if_(
@@ -185,10 +195,17 @@ pub fn build() -> Artifacts {
         .param("j", Sort::Int)
         .param("v", Sort::Int)
         .body(vec![
-            assert_msg(eq(var("v"), var("j")), "Consumer saw a non-increasing number"),
+            assert_msg(
+                eq(var("v"), var("j")),
+                "Consumer saw a non-increasing number",
+            ),
             if_(
                 lt(var("j"), var("K")),
-                vec![async_named("ConsRecv", int_sorts, vec![add(var("j"), int(1))])],
+                vec![async_named(
+                    "ConsRecv",
+                    int_sorts,
+                    vec![add(var("j"), int(1))],
+                )],
             ),
         ])
         .finish()
@@ -214,7 +231,11 @@ pub fn build() -> Artifacts {
     .expect("P1 is well-formed");
     let p2 = program_of(
         &g,
-        [Arc::clone(&produce), Arc::clone(&consume), Arc::clone(&main)],
+        [
+            Arc::clone(&produce),
+            Arc::clone(&consume),
+            Arc::clone(&main),
+        ],
         "Main",
     )
     .expect("P2 is well-formed");

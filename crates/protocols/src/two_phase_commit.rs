@@ -130,7 +130,10 @@ pub fn build() -> Artifacts {
     // action Request(i): participant i receives the request and votes.
     let request = DslAction::build("Request", &g)
         .param("i", Sort::Int)
-        .body(vec![async_call(&vote_resp, vec![var("i"), get(var("vote"), var("i"))])])
+        .body(vec![async_call(
+            &vote_resp,
+            vec![var("i"), get(var("vote"), var("i"))],
+        )])
         .finish()
         .expect("Request type-checks");
 
@@ -153,7 +156,10 @@ pub fn build() -> Artifacts {
             "j",
             int(1),
             var("n"),
-            vec![async_call(&decision, vec![var("j"), unwrap(var("coordDecision"))])],
+            vec![async_call(
+                &decision,
+                vec![var("j"), unwrap(var("coordDecision"))],
+            )],
         ));
         DslAction::build("Decide", &g)
             .local("j", Sort::Int)
@@ -166,7 +172,12 @@ pub fn build() -> Artifacts {
     let main = DslAction::build("Main", &g)
         .local("i", Sort::Int)
         .body(vec![
-            for_range("i", int(1), var("n"), vec![async_call(&request, vec![var("i")])]),
+            for_range(
+                "i",
+                int(1),
+                var("n"),
+                vec![async_call(&request, vec![var("i")])],
+            ),
             async_call(&decide, vec![]),
         ])
         .finish()
@@ -175,10 +186,17 @@ pub fn build() -> Artifacts {
     // Main': the completed sequentialization.
     let main_seq = {
         let mut body = vec![
-            assign("yesVotes", filter("i", range(int(1), var("n")), get(var("vote"), var("i")))),
+            assign(
+                "yesVotes",
+                filter("i", range(int(1), var("n")), get(var("vote"), var("i"))),
+            ),
             assign(
                 "noVotes",
-                filter("i", range(int(1), var("n")), not(get(var("vote"), var("i")))),
+                filter(
+                    "i",
+                    range(int(1), var("n")),
+                    not(get(var("vote"), var("i"))),
+                ),
             ),
         ];
         decide_effect(&mut body);
@@ -186,7 +204,11 @@ pub fn build() -> Artifacts {
             "j",
             int(1),
             var("n"),
-            vec![assign_at("finalized", var("j"), some(unwrap(var("coordDecision"))))],
+            vec![assign_at(
+                "finalized",
+                var("j"),
+                some(unwrap(var("coordDecision"))),
+            )],
         ));
         DslAction::build("MainSeq", &g)
             .local("j", Sort::Int)
@@ -207,10 +229,17 @@ pub fn build() -> Artifacts {
             assume(or(eq(var("dec"), int(0)), eq(var("v"), var("n")))),
             assume(or(eq(var("d"), int(0)), eq(var("dec"), int(1)))),
             // Coordinator state after the first v votes.
-            assign("yesVotes", filter("i", range(int(1), var("v")), get(var("vote"), var("i")))),
+            assign(
+                "yesVotes",
+                filter("i", range(int(1), var("v")), get(var("vote"), var("i"))),
+            ),
             assign(
                 "noVotes",
-                filter("i", range(int(1), var("v")), not(get(var("vote"), var("i")))),
+                filter(
+                    "i",
+                    range(int(1), var("v")),
+                    not(get(var("vote"), var("i"))),
+                ),
             ),
         ];
         body.push(if_(eq(var("dec"), int(1)), {
@@ -220,13 +249,20 @@ pub fn build() -> Artifacts {
                 "j",
                 int(1),
                 var("d"),
-                vec![assign_at("finalized", var("j"), some(unwrap(var("coordDecision"))))],
+                vec![assign_at(
+                    "finalized",
+                    var("j"),
+                    some(unwrap(var("coordDecision"))),
+                )],
             ));
             inner.push(for_range(
                 "j",
                 add(var("d"), int(1)),
                 var("n"),
-                vec![async_call(&decision, vec![var("j"), unwrap(var("coordDecision"))])],
+                vec![async_call(
+                    &decision,
+                    vec![var("j"), unwrap(var("coordDecision"))],
+                )],
             ));
             inner
         }));
@@ -241,7 +277,10 @@ pub fn build() -> Artifacts {
                 "i",
                 add(var("v"), int(1)),
                 var("r"),
-                vec![async_call(&vote_resp, vec![var("i"), get(var("vote"), var("i"))])],
+                vec![async_call(
+                    &vote_resp,
+                    vec![var("i"), get(var("vote"), var("i"))],
+                )],
             ),
             if_(eq(var("dec"), int(0)), vec![async_call(&decide, vec![])]),
         ]);
@@ -304,7 +343,12 @@ pub fn build() -> Artifacts {
     let main_impl = DslAction::build("Main", &g)
         .local("i", Sort::Int)
         .body(vec![
-            for_range("i", int(1), var("n"), vec![async_call(&request, vec![var("i")])]),
+            for_range(
+                "i",
+                int(1),
+                var("n"),
+                vec![async_call(&request, vec![var("i")])],
+            ),
             async_call(&decide_impl, vec![]),
         ])
         .finish()
@@ -510,10 +554,15 @@ pub fn iterated_chain(artifacts: &Artifacts, instance: &Instance) -> IsChain {
     let main1 = DslAction::build("Main1", g)
         .local("i", Sort::Int)
         .body(vec![
-            for_range("i", int(1), var("n"), vec![async_call(
-                &artifacts.vote_resp,
-                vec![var("i"), get(var("vote"), var("i"))],
-            )]),
+            for_range(
+                "i",
+                int(1),
+                var("n"),
+                vec![async_call(
+                    &artifacts.vote_resp,
+                    vec![var("i"), get(var("vote"), var("i"))],
+                )],
+            ),
             async_call(&artifacts.decide, vec![]),
         ])
         .finish()
@@ -523,14 +572,21 @@ pub fn iterated_chain(artifacts: &Artifacts, instance: &Instance) -> IsChain {
         .local("i", Sort::Int)
         .body(vec![
             choose("r", range(int(0), var("n"))),
-            for_range("i", add(var("r"), int(1)), var("n"), vec![async_call(
-                &artifacts.request,
-                vec![var("i")],
-            )]),
-            for_range("i", int(1), var("r"), vec![async_call(
-                &artifacts.vote_resp,
-                vec![var("i"), get(var("vote"), var("i"))],
-            )]),
+            for_range(
+                "i",
+                add(var("r"), int(1)),
+                var("n"),
+                vec![async_call(&artifacts.request, vec![var("i")])],
+            ),
+            for_range(
+                "i",
+                int(1),
+                var("r"),
+                vec![async_call(
+                    &artifacts.vote_resp,
+                    vec![var("i"), get(var("vote"), var("i"))],
+                )],
+            ),
             async_call(&artifacts.decide, vec![]),
         ])
         .finish()
@@ -566,10 +622,15 @@ pub fn iterated_chain(artifacts: &Artifacts, instance: &Instance) -> IsChain {
     let inv2 = {
         let mut body = vec![choose("v", range(int(0), var("n")))];
         body.extend(vote_filters(var("v")));
-        body.push(for_range("i", add(var("v"), int(1)), var("n"), vec![async_call(
-            &artifacts.vote_resp,
-            vec![var("i"), get(var("vote"), var("i"))],
-        )]));
+        body.push(for_range(
+            "i",
+            add(var("v"), int(1)),
+            var("n"),
+            vec![async_call(
+                &artifacts.vote_resp,
+                vec![var("i"), get(var("vote"), var("i"))],
+            )],
+        ));
         body.push(async_call(&artifacts.decide, vec![]));
         DslAction::build("Inv2", g)
             .local("v", Sort::Int)
@@ -596,10 +657,15 @@ pub fn iterated_chain(artifacts: &Artifacts, instance: &Instance) -> IsChain {
     let main3 = {
         let mut body = vote_filters(var("n"));
         body.extend(decide_stmts());
-        body.push(for_range("j", int(1), var("n"), vec![async_call(
-            &artifacts.decision,
-            vec![var("j"), unwrap(var("coordDecision"))],
-        )]));
+        body.push(for_range(
+            "j",
+            int(1),
+            var("n"),
+            vec![async_call(
+                &artifacts.decision,
+                vec![var("j"), unwrap(var("coordDecision"))],
+            )],
+        ));
         DslAction::build("Main3", g)
             .local("j", Sort::Int)
             .body(body)
@@ -613,10 +679,15 @@ pub fn iterated_chain(artifacts: &Artifacts, instance: &Instance) -> IsChain {
             eq(var("dec"), int(1)),
             {
                 let mut inner = decide_stmts();
-                inner.push(for_range("j", int(1), var("n"), vec![async_call(
-                    &artifacts.decision,
-                    vec![var("j"), unwrap(var("coordDecision"))],
-                )]));
+                inner.push(for_range(
+                    "j",
+                    int(1),
+                    var("n"),
+                    vec![async_call(
+                        &artifacts.decision,
+                        vec![var("j"), unwrap(var("coordDecision"))],
+                    )],
+                ));
                 inner
             },
             vec![async_call(&artifacts.decide, vec![])],
@@ -655,15 +726,25 @@ pub fn iterated_chain(artifacts: &Artifacts, instance: &Instance) -> IsChain {
         let mut body = vec![choose("d", range(int(0), var("n")))];
         body.extend(vote_filters(var("n")));
         body.extend(decide_stmts());
-        body.push(for_range("j", int(1), var("d"), vec![assign_at(
-            "finalized",
-            var("j"),
-            some(unwrap(var("coordDecision"))),
-        )]));
-        body.push(for_range("j", add(var("d"), int(1)), var("n"), vec![async_call(
-            &artifacts.decision,
-            vec![var("j"), unwrap(var("coordDecision"))],
-        )]));
+        body.push(for_range(
+            "j",
+            int(1),
+            var("d"),
+            vec![assign_at(
+                "finalized",
+                var("j"),
+                some(unwrap(var("coordDecision"))),
+            )],
+        ));
+        body.push(for_range(
+            "j",
+            add(var("d"), int(1)),
+            var("n"),
+            vec![async_call(
+                &artifacts.decision,
+                vec![var("j"), unwrap(var("coordDecision"))],
+            )],
+        ));
         DslAction::build("Inv4", g)
             .local("d", Sort::Int)
             .local("j", Sort::Int)
@@ -767,7 +848,9 @@ mod tests {
         let instance = Instance::new(&[false, true]);
         let artifacts = build();
         let init = init_config(&artifacts.p2, &artifacts, &instance);
-        let exp = inseq_kernel::Explorer::new(&artifacts.p2).explore([init]).unwrap();
+        let exp = inseq_kernel::Explorer::new(&artifacts.p2)
+            .explore([init])
+            .unwrap();
         let fin_idx = artifacts.decls.index_of("finalized").unwrap();
         let has_early = exp.configs().any(|c| {
             let fin2 = c.globals.get(fin_idx).as_map().get(&Value::Int(2)).clone();
@@ -791,7 +874,11 @@ mod tests {
     #[test]
     fn is_application_passes_commit_and_abort() {
         let artifacts = build();
-        for votes in [&[true, true][..], &[true, false][..], &[false, true, true][..]] {
+        for votes in [
+            &[true, true][..],
+            &[true, false][..],
+            &[false, true, true][..],
+        ] {
             let instance = Instance::new(votes);
             application(&artifacts, &instance)
                 .check()

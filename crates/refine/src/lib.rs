@@ -78,12 +78,20 @@ pub enum RefinementViolation {
 impl fmt::Display for RefinementViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            RefinementViolation::FailureNotPreserved { store, args, reason } => write!(
+            RefinementViolation::FailureNotPreserved {
+                store,
+                args,
+                reason,
+            } => write!(
                 f,
                 "refinement failed: concrete action fails at {store} with args {args:?} \
                  but the abstract action does not ({reason})"
             ),
-            RefinementViolation::TransitionNotAbstracted { store, args, target } => write!(
+            RefinementViolation::TransitionNotAbstracted {
+                store,
+                args,
+                target,
+            } => write!(
                 f,
                 "refinement failed: concrete transition {store} -> {target} with args {args:?} \
                  has no abstract counterpart"
@@ -172,12 +180,16 @@ pub fn check_program_refinement(
     budget: usize,
 ) -> Result<(), RefinementViolation> {
     for init in inits {
-        let s2 = Explorer::new(p2).with_budget(budget).summarize(init.clone())?;
+        let s2 = Explorer::new(p2)
+            .with_budget(budget)
+            .summarize(init.clone())?;
         if !s2.good {
             // The abstract program may fail from here: anything refines it.
             continue;
         }
-        let exp1 = Explorer::new(p1).with_budget(budget).explore([init.clone()])?;
+        let exp1 = Explorer::new(p1)
+            .with_budget(budget)
+            .explore([init.clone()])?;
         if exp1.has_failure() {
             let reason = exp1
                 .failure_reports()
@@ -229,10 +241,19 @@ pub fn check_observed_refinement<O: Ord + std::fmt::Debug>(
         }
         let observed2: std::collections::BTreeSet<O> =
             exp2.terminal_stores().map(&observe2).collect();
-        let exp1 = Explorer::new(p1).with_budget(budget).explore([init1.clone()])?;
+        let exp1 = Explorer::new(p1)
+            .with_budget(budget)
+            .explore([init1.clone()])?;
         if exp1.has_failure() {
-            let reason = exp1.failure_reports().into_iter().next().unwrap_or_default();
-            return Err(RefinementViolation::GoodNotPreserved { init: init1, reason });
+            let reason = exp1
+                .failure_reports()
+                .into_iter()
+                .next()
+                .unwrap_or_default();
+            return Err(RefinementViolation::GoodNotPreserved {
+                init: init1,
+                reason,
+            });
         }
         for terminal in exp1.terminal_stores() {
             if !observed2.contains(&observe1(terminal)) {
@@ -296,7 +317,10 @@ mod tests {
         let store = GlobalStore::new(vec![]);
         let empty: &[Value] = &[];
         let err = check_action_refinement(&concrete, &abstrakt, [(&store, empty)]).unwrap_err();
-        assert!(matches!(err, RefinementViolation::FailureNotPreserved { .. }));
+        assert!(matches!(
+            err,
+            RefinementViolation::FailureNotPreserved { .. }
+        ));
     }
 
     #[test]
@@ -349,7 +373,10 @@ mod tests {
             |s: &GlobalStore| s.get(0).as_int() + 1,
         )
         .unwrap_err();
-        assert!(matches!(err, RefinementViolation::SummaryNotIncluded { .. }));
+        assert!(matches!(
+            err,
+            RefinementViolation::SummaryNotIncluded { .. }
+        ));
     }
 
     #[test]
@@ -363,9 +390,13 @@ mod tests {
         // which the failing program does not refine.
         let skipping = bad.with_action(
             "Fail",
-            Arc::new(NativeAction::new("Skip", 0, |g: &GlobalStore, _: &[Value]| {
-                ActionOutcome::Transitions(vec![Transition::pure(g.clone())])
-            })) as Arc<dyn ActionSemantics>,
+            Arc::new(NativeAction::new(
+                "Skip",
+                0,
+                |g: &GlobalStore, _: &[Value]| {
+                    ActionOutcome::Transitions(vec![Transition::pure(g.clone())])
+                },
+            )) as Arc<dyn ActionSemantics>,
         );
         let err = check_program_refinement(&bad, &skipping, [init_bad], 100_000).unwrap_err();
         assert!(matches!(err, RefinementViolation::GoodNotPreserved { .. }));

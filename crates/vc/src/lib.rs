@@ -188,10 +188,7 @@ impl Term {
 
     /// Pending asyncs of `action` matching an argument pattern.
     #[must_use]
-    pub fn pending_matching(
-        action: impl Into<ActionName>,
-        pattern: Vec<Option<Term>>,
-    ) -> Term {
+    pub fn pending_matching(action: impl Into<ActionName>, pattern: Vec<Option<Term>>) -> Term {
         Term::PendingMatching(action.into(), pattern)
     }
 
@@ -290,7 +287,11 @@ impl Term {
             Term::PendingMatching(action, pattern) => {
                 let wanted: Vec<Option<Value>> = pattern
                     .iter()
-                    .map(|p| p.as_ref().map(|t| t.eval_in(schema, config, bound)).transpose())
+                    .map(|p| {
+                        p.as_ref()
+                            .map(|t| t.eval_in(schema, config, bound))
+                            .transpose()
+                    })
                     .collect::<Result<_, _>>()?;
                 let count = config
                     .pending
@@ -422,8 +423,9 @@ impl Formula {
         match self {
             Formula::True => Ok(true),
             Formula::False => Ok(false),
-            Formula::Eq(a, b) => Ok(a.eval_in(schema, config, bound)?
-                == b.eval_in(schema, config, bound)?),
+            Formula::Eq(a, b) => {
+                Ok(a.eval_in(schema, config, bound)? == b.eval_in(schema, config, bound)?)
+            }
             Formula::Le(a, b) => Ok(int_of(&a.eval_in(schema, config, bound)?)?
                 <= int_of(&b.eval_in(schema, config, bound)?)?),
             Formula::IsSome(t) => Ok(matches!(
@@ -691,10 +693,7 @@ mod tests {
         let mut pending = Multiset::new();
         pending.insert(PendingAsync::new("Inc", vec![]));
         pending.insert(PendingAsync::new("Inc", vec![]));
-        let config = Config::new(
-            inseq_kernel::GlobalStore::new(vec![Value::Int(0)]),
-            pending,
-        );
+        let config = Config::new(inseq_kernel::GlobalStore::new(vec![Value::Int(0)]), pending);
         (schema, config)
     }
 
@@ -761,15 +760,23 @@ mod tests {
     fn simplify_folds_constants() {
         let f = Formula::And(vec![
             Formula::True,
-            Formula::Or(vec![Formula::False, Formula::eq(Term::int(1), Term::int(1))]),
+            Formula::Or(vec![
+                Formula::False,
+                Formula::eq(Term::int(1), Term::int(1)),
+            ]),
         ]);
         assert_eq!(simplify(f), Formula::eq(Term::int(1), Term::int(1)));
         assert_eq!(
-            simplify(Formula::Implies(Box::new(Formula::False), Box::new(Formula::False))),
+            simplify(Formula::Implies(
+                Box::new(Formula::False),
+                Box::new(Formula::False)
+            )),
             Formula::True
         );
         assert_eq!(
-            simplify(Formula::Not(Box::new(Formula::Not(Box::new(Formula::True))))),
+            simplify(Formula::Not(Box::new(Formula::Not(Box::new(
+                Formula::True
+            ))))),
             Formula::True
         );
     }
@@ -790,12 +797,12 @@ mod tests {
             "i",
             Term::int(1),
             Term::global("n"),
-            Formula::eq(Term::pending_count("A", vec![Term::bound("i")]), Term::int(1)),
+            Formula::eq(
+                Term::pending_count("A", vec![Term::bound("i")]),
+                Term::int(1),
+            ),
         );
-        assert_eq!(
-            f.to_string(),
-            "(forall i in [1, n]. #pending A(i) == 1)"
-        );
+        assert_eq!(f.to_string(), "(forall i in [1, n]. #pending A(i) == 1)");
     }
 
     #[test]
@@ -805,7 +812,10 @@ mod tests {
         // short-circuits.
         let f = Formula::Or(vec![
             Formula::True,
-            Formula::eq(Term::Unwrap(Box::new(Term::konst(Value::none()))), Term::int(1)),
+            Formula::eq(
+                Term::Unwrap(Box::new(Term::konst(Value::none()))),
+                Term::int(1),
+            ),
         ]);
         assert!(f.eval(&schema, &config).unwrap());
     }

@@ -44,8 +44,7 @@ fn formula_strategy() -> impl Strategy<Value = Formula> {
             inner.clone().prop_map(Formula::not),
             proptest::collection::vec(inner.clone(), 0..4).prop_map(Formula::And),
             proptest::collection::vec(inner.clone(), 0..4).prop_map(Formula::Or),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Formula::implies(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::implies(a, b)),
             (inner, -2i64..3, 0i64..4).prop_map(|(body, lo, hi)| Formula::forall(
                 "q",
                 Term::int(lo),

@@ -58,7 +58,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let main = DslAction::build("Main", &g)
         .local("i", Sort::Int)
         .body(vec![
-            for_range("i", int(1), var("n"), vec![async_call(&worker, vec![var("i")])]),
+            for_range(
+                "i",
+                int(1),
+                var("n"),
+                vec![async_call(&worker, vec![var("i")])],
+            ),
             async_call(&waiter, vec![]),
         ])
         .finish()?;

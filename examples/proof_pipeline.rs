@@ -71,7 +71,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .max_by_key(inseq_len)
         .expect("some terminating execution");
     println!("\na concurrent interleaving of P:");
-    print!("{}", render_execution(&exec, artifacts.p2.schema(), RenderOptions::default()));
+    print!(
+        "{}",
+        render_execution(&exec, artifacts.p2.schema(), RenderOptions::default())
+    );
 
     let rewritten = permute_execution(&app, &exec)?;
     validate_execution(&app.apply(), &rewritten).expect("legal in P'");

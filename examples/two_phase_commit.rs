@@ -52,7 +52,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         assert!(exp.terminal_stores().all(spec));
         println!(
             "  all participants consistently {} ✓\n",
-            if instance.expected_commit() { "COMMIT" } else { "ABORT" }
+            if instance.expected_commit() {
+                "COMMIT"
+            } else {
+                "ABORT"
+            }
         );
     }
     Ok(())

@@ -35,7 +35,10 @@ fn paxos_two_rounds_three_votes_on_contention() {
     let instance = paxos::Instance::new(2, 2);
     let artifacts = paxos::build();
     let report = paxos::application(&artifacts, instance).check().unwrap();
-    assert!(report.induction_steps >= 10, "rounds × phases induction steps");
+    assert!(
+        report.induction_steps >= 10,
+        "rounds × phases induction steps"
+    );
 }
 
 #[test]
@@ -43,8 +46,7 @@ fn n_buyer_boundary_budgets() {
     // Exactly affordable, overshooting, and unaffordable.
     for budgets in [&[5, 5][..], &[10, 10][..], &[4, 5][..]] {
         let instance = n_buyer::Instance::new(10, budgets);
-        n_buyer::verify(&instance)
-            .unwrap_or_else(|e| panic!("budgets {budgets:?}: {e}"));
+        n_buyer::verify(&instance).unwrap_or_else(|e| panic!("budgets {budgets:?}: {e}"));
     }
 }
 
@@ -57,8 +59,7 @@ fn two_phase_commit_all_vote_patterns_n2() {
         &[false, false][..],
     ] {
         let instance = two_phase_commit::Instance::new(votes);
-        two_phase_commit::verify(&instance)
-            .unwrap_or_else(|e| panic!("votes {votes:?}: {e}"));
+        two_phase_commit::verify(&instance).unwrap_or_else(|e| panic!("votes {votes:?}: {e}"));
     }
 }
 

@@ -14,8 +14,7 @@ fn fig1_pipeline_end_to_end() {
     // ① → ②: the fine-grained program refines the atomic-action program.
     let init1 = broadcast::init_config(&artifacts.p1, &artifacts, &instance);
     let init2 = broadcast::init_config(&artifacts.p2, &artifacts, &instance);
-    check_program_refinement(&artifacts.p1, &artifacts.p2, [init1], 2_000_000)
-        .expect("P1 ≼ P2");
+    check_program_refinement(&artifacts.p1, &artifacts.p2, [init1], 2_000_000).expect("P1 ≼ P2");
 
     // ② → ③ via the one-shot IS application (Example 4.1).
     let application = broadcast::oneshot_application(&artifacts, &instance);

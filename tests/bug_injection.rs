@@ -47,9 +47,17 @@ fn undercounting_collect_breaks_consensus_and_is_caught() {
         .p2
         .with_action("Collect", buggy_collect as Arc<dyn ActionSemantics>);
     let init = broadcast::init_config(&buggy, &artifacts, &instance);
-    let err = check_spec(&buggy, init, 1_000_000, broadcast::spec(&artifacts, &instance))
-        .expect_err("the bug must be caught");
-    assert!(err.contains("spec violated") || err.contains("deadlock"), "{err}");
+    let err = check_spec(
+        &buggy,
+        init,
+        1_000_000,
+        broadcast::spec(&artifacts, &instance),
+    )
+    .expect_err("the bug must be caught");
+    assert!(
+        err.contains("spec violated") || err.contains("deadlock"),
+        "{err}"
+    );
 }
 
 #[test]
@@ -67,7 +75,10 @@ fn overeager_2pc_coordinator_is_caught() {
                 "j",
                 int(1),
                 var("n"),
-                vec![async_call(&artifacts.decision, vec![var("j"), boolean(true)])],
+                vec![async_call(
+                    &artifacts.decision,
+                    vec![var("j"), boolean(true)],
+                )],
             ),
         ])
         .finish()
@@ -102,47 +113,66 @@ fn paxos_without_value_propagation_passes_is_but_fails_the_spec_sequentially() {
             without_elem(var("pendingAsyncs"), tuple(vec![int(2), var("r"), int(0)])),
         )];
         body.push(choose("b", range(int(0), int(1))));
-        body.push(if_(eq(var("b"), int(1)), vec![
-            assign("ns", lit(Value::empty_set())),
-            for_range("pn", int(1), var("N"), vec![if_(
-                contains(get(var("joinedNodes"), var("r")), var("pn")),
-                vec![
-                    choose("b", range(int(0), int(1))),
-                    if_(
-                        eq(var("b"), int(1)),
-                        vec![assign("ns", with_elem(var("ns"), var("pn")))],
-                    ),
-                ],
-            )]),
-            if_(ge(size(var("ns")), var("quorum")), vec![
-                assign("v", var("r")), // BUG: never adopt an earlier value
-                assign_at(
-                    "voteInfo",
-                    var("r"),
-                    some(tuple(vec![var("v"), lit(Value::empty_set())])),
+        body.push(if_(
+            eq(var("b"), int(1)),
+            vec![
+                assign("ns", lit(Value::empty_set())),
+                for_range(
+                    "pn",
+                    int(1),
+                    var("N"),
+                    vec![if_(
+                        contains(get(var("joinedNodes"), var("r")), var("pn")),
+                        vec![
+                            choose("b", range(int(0), int(1))),
+                            if_(
+                                eq(var("b"), int(1)),
+                                vec![assign("ns", with_elem(var("ns"), var("pn")))],
+                            ),
+                        ],
+                    )],
                 ),
-                for_range("pn", int(1), var("N"), vec![
-                    assign(
-                        "pendingAsyncs",
-                        with_elem(var("pendingAsyncs"), tuple(vec![int(3), var("r"), var("pn")])),
-                    ),
-                    async_named(
-                        "Vote",
-                        vec![Sort::Int, Sort::Int, Sort::Int],
-                        vec![var("r"), var("pn"), var("v")],
-                    ),
-                ]),
-                assign(
-                    "pendingAsyncs",
-                    with_elem(var("pendingAsyncs"), tuple(vec![int(4), var("r"), int(0)])),
+                if_(
+                    ge(size(var("ns")), var("quorum")),
+                    vec![
+                        assign("v", var("r")), // BUG: never adopt an earlier value
+                        assign_at(
+                            "voteInfo",
+                            var("r"),
+                            some(tuple(vec![var("v"), lit(Value::empty_set())])),
+                        ),
+                        for_range(
+                            "pn",
+                            int(1),
+                            var("N"),
+                            vec![
+                                assign(
+                                    "pendingAsyncs",
+                                    with_elem(
+                                        var("pendingAsyncs"),
+                                        tuple(vec![int(3), var("r"), var("pn")]),
+                                    ),
+                                ),
+                                async_named(
+                                    "Vote",
+                                    vec![Sort::Int, Sort::Int, Sort::Int],
+                                    vec![var("r"), var("pn"), var("v")],
+                                ),
+                            ],
+                        ),
+                        assign(
+                            "pendingAsyncs",
+                            with_elem(var("pendingAsyncs"), tuple(vec![int(4), var("r"), int(0)])),
+                        ),
+                        async_named(
+                            "Conclude",
+                            vec![Sort::Int, Sort::Int],
+                            vec![var("r"), var("v")],
+                        ),
+                    ],
                 ),
-                async_named(
-                    "Conclude",
-                    vec![Sort::Int, Sort::Int],
-                    vec![var("r"), var("v")],
-                ),
-            ]),
-        ]));
+            ],
+        ));
         DslAction::build("Propose", &g)
             .param("r", Sort::Int)
             .local("ns", Sort::set(Sort::Int))

@@ -19,7 +19,10 @@ fn assert_paths_agree(label: &str, application: &IsApplication) -> IsReport {
     let (parallel, engine_report) = application
         .check_with(&engine)
         .unwrap_or_else(|e| panic!("{label}: check_with() failed: {e}"));
-    assert!(engine_report.all_passed(), "{label}: a scheduled job failed");
+    assert!(
+        engine_report.all_passed(),
+        "{label}: a scheduled job failed"
+    );
     // Report equality covers every deterministic count, `induction_steps`
     // included; spell it out anyway so a drift names the field.
     assert_eq!(
@@ -50,7 +53,10 @@ fn check_and_check_with_agree_on_all_seven_protocols() {
     let reports = [
         assert_paths_agree(
             "Broadcast consensus",
-            &broadcast::oneshot_application(&broadcast::build(), &broadcast::Instance::new(&[3, 1])),
+            &broadcast::oneshot_application(
+                &broadcast::build(),
+                &broadcast::Instance::new(&[3, 1]),
+            ),
         ),
         assert_paths_agree(
             "Ping-Pong",

@@ -27,13 +27,21 @@ fn cooperation_counterexample_rejected_by_co_only() {
         .eliminate("Rec")
         .invariant(invariant)
         .replacement(m_prime)
-        .choice(|t| t.created.distinct().find(|pa| pa.action.as_str() == "Rec").cloned())
+        .choice(|t| {
+            t.created
+                .distinct()
+                .find(|pa| pa.action.as_str() == "Rec")
+                .cloned()
+        })
         .measure(Measure::pending_async_count())
         .instance(init)
         .budget(10_000)
         .check()
         .unwrap_err();
-    assert!(matches!(err, IsViolation::CooperationViolated { .. }), "{err}");
+    assert!(
+        matches!(err, IsViolation::CooperationViolated { .. }),
+        "{err}"
+    );
 }
 
 #[test]
@@ -81,7 +89,10 @@ fn unsound_abstraction_is_caught_by_refinement_premise() {
         .abstraction("Collect", bogus as Arc<dyn ActionSemantics>)
         .check()
         .unwrap_err();
-    assert!(matches!(err, IsViolation::AbstractionNotSound { .. }), "{err}");
+    assert!(
+        matches!(err, IsViolation::AbstractionNotSound { .. }),
+        "{err}"
+    );
 }
 
 #[test]
@@ -134,7 +145,10 @@ fn abstraction_for_non_eliminated_action_is_rejected() {
     let instance = broadcast::Instance::new(&[3, 1]);
     let artifacts = broadcast::build();
     let g = artifacts.decls.clone();
-    let noop = DslAction::build("Noop", &g).body(vec![skip()]).finish().unwrap();
+    let noop = DslAction::build("Noop", &g)
+        .body(vec![skip()])
+        .finish()
+        .unwrap();
     let err = broadcast::oneshot_application(&artifacts, &instance)
         .abstraction("Main", noop as Arc<dyn ActionSemantics>)
         .check()
@@ -151,7 +165,10 @@ fn non_decreasing_measure_is_rejected() {
         .measure(Measure::lexicographic("constant", |_, _| vec![0]))
         .check()
         .unwrap_err();
-    assert!(matches!(err, IsViolation::CooperationViolated { .. }), "{err}");
+    assert!(
+        matches!(err, IsViolation::CooperationViolated { .. }),
+        "{err}"
+    );
 }
 
 #[test]
@@ -182,13 +199,27 @@ fn one_line_lie_in_the_replacement_is_caught() {
                         ),
                     ],
                 ),
-                for_range("i", int(1), var("n"), vec![call(&artifacts.broadcast, vec![var("i")])]),
-                for_range("i", int(1), var("n"), vec![call(&artifacts.collect, vec![var("i")])]),
+                for_range(
+                    "i",
+                    int(1),
+                    var("n"),
+                    vec![call(&artifacts.broadcast, vec![var("i")])],
+                ),
+                for_range(
+                    "i",
+                    int(1),
+                    var("n"),
+                    vec![call(&artifacts.collect, vec![var("i")])],
+                ),
                 // The lie: overwrite node 1's decision with the minimum.
                 assign_at(
                     "decision",
                     int(1),
-                    some(min_of(image("x", range(int(1), var("n")), get(var("value"), var("x"))))),
+                    some(min_of(image(
+                        "x",
+                        range(int(1), var("n")),
+                        get(var("value"), var("x")),
+                    ))),
                 ),
             ])
             .finish()
@@ -198,5 +229,8 @@ fn one_line_lie_in_the_replacement_is_caught() {
         .replacement(wrong as Arc<dyn ActionSemantics>)
         .check()
         .unwrap_err();
-    assert!(matches!(err, IsViolation::ReplacementMissesTransition { .. }), "{err}");
+    assert!(
+        matches!(err, IsViolation::ReplacementMissesTransition { .. }),
+        "{err}"
+    );
 }

@@ -120,21 +120,25 @@ fn spawner_program(cap: i64, genome: &[(i64, Vec<usize>)]) -> Program {
             .collect();
         builder.action(
             spawn_names[i].clone(),
-            NativeAction::new(spawn_names[i].clone(), 0, move |g: &GlobalStore, _: &[Value]| {
-                let current = g.get(0).as_int();
-                if current < cap {
-                    let mut spawned = Multiset::new();
-                    for name in &created {
-                        spawned.insert(PendingAsync::new(name.as_str(), vec![]));
+            NativeAction::new(
+                spawn_names[i].clone(),
+                0,
+                move |g: &GlobalStore, _: &[Value]| {
+                    let current = g.get(0).as_int();
+                    if current < cap {
+                        let mut spawned = Multiset::new();
+                        for name in &created {
+                            spawned.insert(PendingAsync::new(name.as_str(), vec![]));
+                        }
+                        ActionOutcome::Transitions(vec![Transition::new(
+                            g.with(0, Value::Int(current + inc)),
+                            spawned,
+                        )])
+                    } else {
+                        ActionOutcome::Transitions(vec![Transition::pure(g.clone())])
                     }
-                    ActionOutcome::Transitions(vec![Transition::new(
-                        g.with(0, Value::Int(current + inc)),
-                        spawned,
-                    )])
-                } else {
-                    ActionOutcome::Transitions(vec![Transition::pure(g.clone())])
-                }
-            }),
+                },
+            ),
         );
     }
     let entry: Vec<String> = spawn_names.clone();

@@ -45,25 +45,20 @@ fn partial_elimination_keeps_the_unabsorbed_steps() {
     let init = broadcast::init_config(&artifacts.p2, &artifacts, &instance);
 
     // Reconstruct the first application of the chain.
-    let app = inductive_sequentialization::core::IsApplication::new(
-        artifacts.p2.clone(),
-        "Main",
-    )
-    .eliminate("Broadcast")
-    .invariant(
-        artifacts.inv_broadcast.clone() as std::sync::Arc<dyn inductive_sequentialization::kernel::ActionSemantics>
-    )
-    .replacement(
-        artifacts.main_mid.clone() as std::sync::Arc<dyn inductive_sequentialization::kernel::ActionSemantics>
-    )
-    .choice(|t| {
-        t.created
-            .distinct()
-            .filter(|pa| pa.action.as_str() == "Broadcast")
-            .min_by_key(|pa| pa.args[0].as_int())
-            .cloned()
-    })
-    .instance(init.clone());
+    let app = inductive_sequentialization::core::IsApplication::new(artifacts.p2.clone(), "Main")
+        .eliminate("Broadcast")
+        .invariant(artifacts.inv_broadcast.clone()
+            as std::sync::Arc<dyn inductive_sequentialization::kernel::ActionSemantics>)
+        .replacement(artifacts.main_mid.clone()
+            as std::sync::Arc<dyn inductive_sequentialization::kernel::ActionSemantics>)
+        .choice(|t| {
+            t.created
+                .distinct()
+                .filter(|pa| pa.action.as_str() == "Broadcast")
+                .min_by_key(|pa| pa.args[0].as_int())
+                .cloned()
+        })
+        .instance(init.clone());
     app.check().expect("first application holds");
     let p_prime = app.apply();
 

@@ -100,7 +100,9 @@ proptest! {
 
 /// A program whose Main spawns one `Add(d)` per listed delta.
 fn adder_program(deltas: &[i64]) -> (Program, Config) {
-    let mut b = Program::builder(inductive_sequentialization::kernel::GlobalSchema::new(["x"]));
+    let mut b = Program::builder(inductive_sequentialization::kernel::GlobalSchema::new([
+        "x",
+    ]));
     let deltas_owned = deltas.to_vec();
     b.action(
         "Main",

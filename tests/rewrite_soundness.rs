@@ -12,7 +12,9 @@ use inductive_sequentialization::protocols::{
 fn broadcast_witnesses() {
     let instance = broadcast::Instance::new(&[3, 1]);
     let artifacts = broadcast::build();
-    let outcome = broadcast::iterated_chain(&artifacts, &instance).run().unwrap();
+    let outcome = broadcast::iterated_chain(&artifacts, &instance)
+        .run()
+        .unwrap();
     let init = broadcast::init_config(&artifacts.p2, &artifacts, &instance);
     let ws = find_witness_executions(&artifacts.p2, &outcome.program, init, 2_000_000).unwrap();
     assert_eq!(ws.len(), 1, "consensus has a unique final store");

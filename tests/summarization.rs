@@ -6,9 +6,7 @@
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
-use inductive_sequentialization::kernel::{
-    ActionSemantics, Explorer, StateUniverse, Value,
-};
+use inductive_sequentialization::kernel::{ActionSemantics, Explorer, StateUniverse, Value};
 use inductive_sequentialization::mover::summarize_chain;
 use inductive_sequentialization::protocols::broadcast;
 use inductive_sequentialization::refine::check_action_refinement;
@@ -18,8 +16,12 @@ use inductive_sequentialization::refine::check_action_refinement;
 fn semantically_equal<'a>(
     a: &Arc<dyn ActionSemantics>,
     b: &Arc<dyn ActionSemantics>,
-    inputs: impl Iterator<Item = (&'a inductive_sequentialization::kernel::GlobalStore, &'a [Value])>
-        + Clone,
+    inputs: impl Iterator<
+            Item = (
+                &'a inductive_sequentialization::kernel::GlobalStore,
+                &'a [Value],
+            ),
+        > + Clone,
 ) {
     check_action_refinement(a, b, inputs.clone()).expect("a ≼ b");
     check_action_refinement(b, a, inputs).expect("b ≼ a");
@@ -48,11 +50,7 @@ fn summarized_broadcast_chain_equals_the_atomic_action() {
     let init2 = broadcast::init_config(&artifacts.p2, &artifacts, &instance);
     let exp = Explorer::new(&artifacts.p2).explore([init2]).unwrap();
     let universe = StateUniverse::from_exploration(&exp);
-    let atomic = artifacts
-        .p2
-        .action(&"Broadcast".into())
-        .unwrap()
-        .clone();
+    let atomic = artifacts.p2.action(&"Broadcast".into()).unwrap().clone();
 
     for (store, args) in universe.enabled_at(&"Broadcast".into()) {
         // The P2 Broadcast consumes its ghost entry; the P1 chain does not

@@ -275,10 +275,7 @@ mod tests {
         for _ in 0..400 {
             seen.insert((-2i64..2).generate(&mut rng));
         }
-        assert_eq!(
-            seen.into_iter().collect::<Vec<_>>(),
-            vec![-2, -1, 0, 1]
-        );
+        assert_eq!(seen.into_iter().collect::<Vec<_>>(), vec![-2, -1, 0, 1]);
     }
 
     #[test]
@@ -316,9 +313,8 @@ mod tests {
             }
         }
         let mut rng = TestRng::from_seed(15);
-        let s = Just(T::Leaf).prop_recursive(3, 8, 2, |inner| {
-            inner.prop_map(|c| T::Node(Box::new(c)))
-        });
+        let s =
+            Just(T::Leaf).prop_recursive(3, 8, 2, |inner| inner.prop_map(|c| T::Node(Box::new(c))));
         let mut max = 0;
         for _ in 0..300 {
             max = max.max(depth(&s.generate(&mut rng)));
