@@ -1,0 +1,45 @@
+//! Negative-path coverage for the `table1 --only` needle filter: a
+//! misspelled or empty selection must error out instead of silently
+//! shrinking the benchmark to nothing.
+
+use inseq_bench::table1_rows_only;
+
+#[test]
+fn empty_needle_list_is_rejected() {
+    let err = table1_rows_only(&[]).expect_err("--only with no needles must error");
+    assert_eq!(err.case, "--only");
+    assert!(
+        err.message.contains("no needles given"),
+        "unexpected message: {}",
+        err.message
+    );
+}
+
+#[test]
+fn unmatched_needle_is_rejected_with_the_known_protocol_list() {
+    let needles = vec!["ping".to_owned(), "paxoss".to_owned()];
+    let err = table1_rows_only(&needles).expect_err("misspelled needle must error");
+    assert_eq!(err.case, "--only");
+    assert!(
+        err.message.contains("`paxoss` matches no Table-1 protocol"),
+        "error must name the unmatched needle: {}",
+        err.message
+    );
+    assert!(
+        err.message.contains("Paxos") && err.message.contains("Ping-Pong"),
+        "error must list the known protocols: {}",
+        err.message
+    );
+}
+
+#[test]
+fn any_unmatched_needle_fails_even_when_others_match() {
+    // A matching needle must not mask the typo next to it.
+    let needles = vec!["Two-phase".to_owned(), "no-such-protocol".to_owned()];
+    let err = table1_rows_only(&needles).expect_err("one bad needle poisons the selection");
+    assert!(
+        err.message.contains("`no-such-protocol`"),
+        "unexpected message: {}",
+        err.message
+    );
+}

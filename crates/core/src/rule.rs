@@ -150,6 +150,33 @@ pub enum IsViolation {
     },
 }
 
+impl IsViolation {
+    /// A stable label naming the violated premise, independent of the
+    /// witness payload.
+    ///
+    /// Differential harnesses compare violations found by the sequential
+    /// and engine-scheduled check paths; the paths agree on *which* premise
+    /// fails but legitimately differ in witness detail (the parallel path
+    /// retains no exploration for trace reconstruction), so equality is
+    /// asserted on this label rather than on [`fmt::Display`] output.
+    #[must_use]
+    pub fn premise(&self) -> &'static str {
+        match self {
+            IsViolation::Structural { .. } => "structural",
+            IsViolation::AbstractionNotSound { .. } => "abstraction-soundness",
+            IsViolation::NotInvariantBase { .. } => "I1",
+            IsViolation::ReplacementGateTooWeak { .. }
+            | IsViolation::ReplacementMissesTransition { .. } => "I2",
+            IsViolation::ChoiceInvalid { .. }
+            | IsViolation::AbstractionGateNotDischarged { .. }
+            | IsViolation::NotInductive { .. } => "I3",
+            IsViolation::NotLeftMover { .. } => "LM",
+            IsViolation::CooperationViolated { .. } => "CO",
+            IsViolation::Exploration { .. } => "exploration",
+        }
+    }
+}
+
 impl fmt::Display for IsViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -1,0 +1,126 @@
+//! Negative-path coverage: budget exhaustion while shards are exchanging
+//! migrated configurations.
+//!
+//! The parallel explorer routes successors by store hash, so on a program
+//! whose every step changes the store, most successors cross shards. With a
+//! budget far below the reachable-set size, exhaustion lands while that
+//! migration traffic is in flight — the case where the shared atomic
+//! counter, cancellation flag, and post-join `visited` aggregation must
+//! still produce a coherent error.
+
+use inseq_engine::ParallelExplorer;
+use inseq_kernel::{
+    ActionOutcome, ExploreError, Explorer, GlobalSchema, GlobalStore, Multiset, NativeAction,
+    PendingAsync, Program, Transition, Value,
+};
+
+/// `Main` spawns `k` `IncA` and `k` `IncB` tasks; each bumps its own
+/// counter. Every firing changes the store, so successors are spread
+/// across shards, and the reachable set has `Θ(k²)` configurations.
+fn two_counter_program(k: usize) -> Program {
+    let mut b = Program::builder(GlobalSchema::new(["a", "b"]));
+    b.action(
+        "Main",
+        NativeAction::new("Main", 0, move |g: &GlobalStore, _: &[Value]| {
+            let next = g.with(0, Value::Int(0)).with(1, Value::Int(0));
+            let mut created = Multiset::new();
+            created.insert_n(PendingAsync::new("IncA", vec![]), k);
+            created.insert_n(PendingAsync::new("IncB", vec![]), k);
+            ActionOutcome::Transitions(vec![Transition::new(next, created)])
+        }),
+    );
+    for (name, slot) in [("IncA", 0), ("IncB", 1)] {
+        b.action(
+            name,
+            NativeAction::new(name, 0, move |g: &GlobalStore, _: &[Value]| {
+                let next = g.with(slot, Value::Int(g.get(slot).as_int() + 1));
+                ActionOutcome::Transitions(vec![Transition::pure(next)])
+            }),
+        );
+    }
+    b.build().expect("two-counter program is well-formed")
+}
+
+fn init(p: &Program) -> inseq_kernel::Config {
+    p.initial_config(vec![]).expect("Main has arity 0")
+}
+
+/// This program shape really does migrate: a successful 4-worker run
+/// re-interns configurations received from other shards.
+#[test]
+fn two_counter_program_exercises_cross_shard_migration() {
+    let p = two_counter_program(6);
+    let exploration = ParallelExplorer::new(&p)
+        .with_workers(4)
+        .explore([init(&p)])
+        .expect("well under any default budget");
+    let stats = exploration.stats();
+    assert!(
+        stats.migrated() > 0,
+        "no cross-shard traffic — the budget test below would not cover migration"
+    );
+    assert!(
+        stats.shards.iter().map(|s| s.received).sum::<u64>() > 0,
+        "migrations staged but never received"
+    );
+}
+
+#[test]
+fn budget_exceeded_mid_migration_reports_limit_and_no_trace() {
+    let p = two_counter_program(6);
+    let sequential_size = Explorer::new(&p)
+        .explore([init(&p)])
+        .expect("sequential exploration fits in the default budget")
+        .config_count();
+    let budget = 10;
+    assert!(
+        sequential_size > 4 * budget,
+        "state space too small to exhaust the budget during migration"
+    );
+
+    for workers in [2, 4] {
+        let err = ParallelExplorer::new(&p)
+            .with_workers(workers)
+            .with_budget(budget)
+            .explore([init(&p)])
+            .expect_err("budget far below the reachable set must be exceeded");
+        match err {
+            ExploreError::BudgetExceeded {
+                limit,
+                visited,
+                trace,
+            } => {
+                assert_eq!(limit, budget, "{workers} workers: limit not preserved");
+                assert!(
+                    visited > budget,
+                    "{workers} workers: exhaustion implies visited ({visited}) > budget"
+                );
+                assert!(
+                    visited <= sequential_size + budget * workers,
+                    "{workers} workers: post-join visited aggregate ({visited}) is absurd"
+                );
+                assert!(
+                    trace.is_none(),
+                    "{workers} workers: parallel shards keep no parent forest and must \
+                     honestly report no trace"
+                );
+            }
+            other => panic!("{workers} workers: expected BudgetExceeded, got {other}"),
+        }
+    }
+}
+
+/// The sequential explorer agrees the same budget is insufficient — the
+/// parallel error is not an artifact of sharding.
+#[test]
+fn sequential_explorer_agrees_budget_is_insufficient() {
+    let p = two_counter_program(6);
+    let err = Explorer::new(&p)
+        .with_budget(10)
+        .explore([init(&p)])
+        .expect_err("budget 10 is far below the reachable set");
+    assert!(
+        matches!(err, ExploreError::BudgetExceeded { limit: 10, .. }),
+        "expected BudgetExceeded, got {err}"
+    );
+}

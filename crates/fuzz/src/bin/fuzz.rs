@@ -1,0 +1,251 @@
+//! The `fuzz` binary: generate → check → shrink → serialize.
+//!
+//! ```text
+//! fuzz [--seed N] [--iters N] [--max-actions N] [--budget N]
+//!      [--oracle NAME]... [--corpus-dir DIR]
+//! fuzz --replay FILE [--oracle NAME]... [--budget N]
+//! fuzz --export-table1 [--corpus-dir DIR]
+//! ```
+//!
+//! Exit codes: `0` — every iteration agreed; `1` — a disagreement was
+//! found (a minimized repro is written into the corpus directory); `2` —
+//! usage error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use inseq_fuzz::corpus::table1_specs;
+use inseq_fuzz::oracles::{disagrees, run_oracle, Oracle, OracleOutcome, DEFAULT_BUDGET};
+use inseq_fuzz::serial::{parse_spec, write_spec};
+use inseq_fuzz::shrink::shrink;
+use inseq_fuzz::spec::ProgramSpec;
+use inseq_fuzz::{generate, GenConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct Options {
+    seed: u64,
+    iters: u64,
+    max_actions: usize,
+    budget: usize,
+    oracles: Vec<Oracle>,
+    replay: Option<PathBuf>,
+    corpus_dir: PathBuf,
+    export_table1: bool,
+}
+
+impl Options {
+    fn parse(args: &[String]) -> Result<Options, String> {
+        let mut opts = Options {
+            seed: 0,
+            iters: 200,
+            max_actions: GenConfig::default().max_actions,
+            budget: DEFAULT_BUDGET,
+            oracles: Vec::new(),
+            replay: None,
+            corpus_dir: PathBuf::from("fuzz/corpus"),
+            export_table1: false,
+        };
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("{name} needs a value"))
+            };
+            match flag.as_str() {
+                "--seed" => opts.seed = parse_num(&value("--seed")?)?,
+                "--iters" => opts.iters = parse_num(&value("--iters")?)?,
+                "--max-actions" => opts.max_actions = parse_num(&value("--max-actions")?)?,
+                "--budget" => opts.budget = parse_num(&value("--budget")?)?,
+                "--oracle" => {
+                    let name = value("--oracle")?;
+                    let oracle = Oracle::from_name(&name).ok_or_else(|| {
+                        format!(
+                            "unknown oracle `{name}`; known: {}",
+                            Oracle::ALL.map(|o| o.name()).join(", ")
+                        )
+                    })?;
+                    opts.oracles.push(oracle);
+                }
+                "--replay" => opts.replay = Some(PathBuf::from(value("--replay")?)),
+                "--corpus-dir" => opts.corpus_dir = PathBuf::from(value("--corpus-dir")?),
+                "--export-table1" => opts.export_table1 = true,
+                "--help" | "-h" => return Err(String::new()),
+                other => return Err(format!("unknown flag `{other}`")),
+            }
+        }
+        if opts.oracles.is_empty() {
+            opts.oracles = Oracle::ALL.to_vec();
+        }
+        Ok(opts)
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("not a number: `{s}`"))
+}
+
+fn usage() {
+    eprintln!(
+        "usage: fuzz [--seed N] [--iters N] [--max-actions N] [--budget N] \
+         [--oracle NAME]... [--corpus-dir DIR]\n\
+         \x20      fuzz --replay FILE [--oracle NAME]... [--budget N]\n\
+         \x20      fuzz --export-table1 [--corpus-dir DIR]\n\
+         oracles: {}",
+        Oracle::ALL.map(|o| o.name()).join(", ")
+    );
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match Options::parse(&args) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}");
+            }
+            usage();
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.export_table1 {
+        return export_table1(&opts);
+    }
+    if let Some(path) = &opts.replay {
+        return replay(path.clone(), &opts);
+    }
+    campaign(&opts)
+}
+
+fn export_table1(opts: &Options) -> ExitCode {
+    if let Err(e) = std::fs::create_dir_all(&opts.corpus_dir) {
+        eprintln!("error: cannot create {}: {e}", opts.corpus_dir.display());
+        return ExitCode::from(2);
+    }
+    for (name, spec) in table1_specs() {
+        let path = opts.corpus_dir.join(format!("{name}.sexp"));
+        let mut text = format!(
+            "; Table 1 protocol `{name}` (P2 atomic-action program, tiny instance),\n\
+             ; exported through the fuzz corpus format. Regenerate with\n\
+             ; `fuzz --export-table1`.\n"
+        );
+        text.push_str(&write_spec(&spec));
+        if let Err(e) = std::fs::write(&path, text) {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!("wrote {}", path.display());
+    }
+    ExitCode::SUCCESS
+}
+
+fn replay(path: PathBuf, opts: &Options) -> ExitCode {
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let spec = match parse_spec(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let mut failed = false;
+    for &oracle in &opts.oracles {
+        match run_oracle(oracle, &spec, opts.budget) {
+            Ok(OracleOutcome::Checked) => println!("{oracle}: ok"),
+            Ok(OracleOutcome::Skipped(why)) => println!("{oracle}: skipped ({why})"),
+            Err(d) => {
+                println!("{oracle}: DISAGREEMENT\n  {}", d.detail);
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn campaign(opts: &Options) -> ExitCode {
+    let config = GenConfig {
+        max_actions: opts.max_actions,
+        ..GenConfig::default()
+    };
+    let mut checked = vec![0u64; Oracle::ALL.len()];
+    let mut skipped = vec![0u64; Oracle::ALL.len()];
+    for i in 0..opts.iters {
+        let seed = opts.seed.wrapping_add(i);
+        let spec = generate(&mut StdRng::seed_from_u64(seed), &config);
+        for &oracle in &opts.oracles {
+            let slot = Oracle::ALL.iter().position(|&o| o == oracle).unwrap();
+            match run_oracle(oracle, &spec, opts.budget) {
+                Ok(OracleOutcome::Checked) => checked[slot] += 1,
+                Ok(OracleOutcome::Skipped(_)) => skipped[slot] += 1,
+                Err(d) => return report_disagreement(opts, seed, &spec, &d.detail, oracle),
+            }
+        }
+        if (i + 1) % 50 == 0 {
+            println!("… {}/{} iterations", i + 1, opts.iters);
+        }
+    }
+    println!(
+        "fuzzed {} programs (seeds {}..{}), no disagreements",
+        opts.iters,
+        opts.seed,
+        opts.seed.wrapping_add(opts.iters)
+    );
+    for &oracle in &opts.oracles {
+        let slot = Oracle::ALL.iter().position(|&o| o == oracle).unwrap();
+        println!(
+            "  {:<12} checked {:>5}  skipped {:>5}",
+            oracle.name(),
+            checked[slot],
+            skipped[slot]
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn report_disagreement(
+    opts: &Options,
+    seed: u64,
+    spec: &ProgramSpec,
+    detail: &str,
+    oracle: Oracle,
+) -> ExitCode {
+    eprintln!("seed {seed}: oracle `{oracle}` disagreement:\n  {detail}");
+    eprintln!("shrinking…");
+    let budget = opts.budget;
+    let small = shrink(spec, |candidate| disagrees(oracle, candidate, budget));
+    eprintln!(
+        "minimized to {} statement(s) across {} action(s)",
+        small.stmt_count(),
+        small.actions.len()
+    );
+    let mut text = format!(
+        "; Minimized repro: oracle `{oracle}` disagreement.\n\
+         ; Found by `fuzz --seed {seed} --iters 1 --oracle {oracle} --budget {budget}`.\n\
+         ; Replay with `fuzz --replay <this file> --oracle {oracle}`.\n"
+    );
+    text.push_str(&write_spec(&small));
+    let path = opts
+        .corpus_dir
+        .join(format!("repro-{}-seed{seed}.sexp", oracle.name()));
+    if let Err(e) =
+        std::fs::create_dir_all(&opts.corpus_dir).and_then(|()| std::fs::write(&path, &text))
+    {
+        eprintln!("error: cannot write repro to {}: {e}", path.display());
+        eprintln!("repro follows:\n{text}");
+    } else {
+        eprintln!("repro written to {}", path.display());
+    }
+    ExitCode::from(1)
+}

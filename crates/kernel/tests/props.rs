@@ -147,6 +147,91 @@ proptest! {
     }
 
     #[test]
+    fn insert_n_then_remove_one_round_trips(
+        items in proptest::collection::vec((0u8..5, 1usize..4), 0..6),
+        probe in 0u8..5,
+    ) {
+        // insert_n(x, n) is n single inserts; remove_one undoes exactly one.
+        let mut bulk: Multiset<Value> = Multiset::new();
+        let mut singles: Multiset<Value> = Multiset::new();
+        for &(item, n) in &items {
+            let v = Value::Int(i64::from(item));
+            bulk.insert_n(v.clone(), n);
+            for _ in 0..n {
+                singles.insert(v.clone());
+            }
+        }
+        prop_assert_eq!(&bulk, &singles, "insert_n must equal repeated insert");
+        prop_assert_eq!(bulk.len(), items.iter().map(|&(_, n)| n).sum::<usize>());
+
+        // insert_n(x, 0) is the identity.
+        let before = bulk.clone();
+        bulk.insert_n(Value::Int(i64::from(probe)), 0);
+        prop_assert_eq!(&bulk, &before, "insert_n(_, 0) must be a no-op");
+
+        // One insert_n then one remove_one of the same element round-trips.
+        let v = Value::Int(i64::from(probe));
+        let count_before = bulk.count(&v);
+        bulk.insert_n(v.clone(), 3);
+        prop_assert_eq!(bulk.count(&v), count_before + 3);
+        prop_assert!(bulk.remove_one(&v), "just-inserted element must be removable");
+        prop_assert_eq!(bulk.count(&v), count_before + 2);
+        prop_assert!(bulk.remove_one(&v));
+        prop_assert!(bulk.remove_one(&v));
+        prop_assert_eq!(&bulk, &before, "remove_one ×3 must undo insert_n(_, 3)");
+
+        // remove_one drains to absence, never to a zero-count entry.
+        let mut drain = before.clone();
+        let total = drain.count(&v);
+        for left in (0..total).rev() {
+            prop_assert!(drain.remove_one(&v));
+            prop_assert_eq!(drain.count(&v), left);
+        }
+        prop_assert!(!drain.contains(&v), "drained element must be gone");
+        prop_assert!(!drain.remove_one(&v), "removing an absent element reports false");
+        prop_assert!(
+            drain.iter_counts().all(|(_, c)| c > 0),
+            "no zero-count entries may linger"
+        );
+    }
+
+    #[test]
+    fn multiset_iteration_is_canonically_sorted(
+        items in proptest::collection::vec((-20i64..20, 1usize..4), 0..10),
+    ) {
+        // However elements arrive, distinct()/iter_counts()/iter() walk them
+        // in strictly ascending order — the canonical form config identity,
+        // interning, and the corpus serializer all rely on.
+        let mut forward: Multiset<Value> = Multiset::new();
+        for &(item, n) in &items {
+            forward.insert_n(Value::Int(item), n);
+        }
+        let mut backward: Multiset<Value> = Multiset::new();
+        for &(item, n) in items.iter().rev() {
+            for _ in 0..n {
+                backward.insert(Value::Int(item));
+            }
+        }
+        prop_assert_eq!(&forward, &backward, "insertion order must not matter");
+
+        let distinct: Vec<&Value> = forward.distinct().collect();
+        prop_assert!(
+            distinct.windows(2).all(|w| w[0] < w[1]),
+            "distinct() must be strictly ascending: {:?}",
+            distinct
+        );
+        let by_counts: Vec<&Value> = forward.iter_counts().map(|(v, _)| v).collect();
+        prop_assert_eq!(by_counts, distinct.clone(), "iter_counts() order must match distinct()");
+        let mut flat: Vec<&Value> = forward.iter().collect();
+        prop_assert!(
+            flat.windows(2).all(|w| w[0] <= w[1]),
+            "iter() must be ascending with repeats adjacent"
+        );
+        flat.dedup();
+        prop_assert_eq!(flat, distinct, "iter() must flatten iter_counts() exactly");
+    }
+
+    #[test]
     fn config_equality_is_structural(pas in proptest::collection::vec(0u8..4, 0..6)) {
         let mk = |items: &[u8]| {
             let pending: Multiset<PendingAsync> = items

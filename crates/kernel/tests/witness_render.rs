@@ -1,0 +1,82 @@
+//! Rendering deadlock witnesses: `render_trace` on the traces produced by
+//! `Exploration::deadlock_witnesses` must show the full Fig. 2-style firing
+//! sequence ending in the stuck cloud.
+
+use inseq_kernel::render::{render_trace, RenderOptions};
+use inseq_kernel::{
+    ActionOutcome, Explorer, GlobalSchema, GlobalStore, Multiset, NativeAction, PendingAsync,
+    Program, Transition, Value,
+};
+
+/// `Main` records that it ran and leaves one `Stuck` task whose gate never
+/// opens: the unique deadlock is `{Stuck()}`.
+fn stuck_program() -> Program {
+    let mut b = Program::builder(GlobalSchema::new(["ran"]));
+    b.action(
+        "Main",
+        NativeAction::new("Main", 0, |g: &GlobalStore, _: &[Value]| {
+            ActionOutcome::Transitions(vec![Transition::new(
+                g.with(0, Value::Int(1)),
+                Multiset::singleton(PendingAsync::new("Stuck", vec![])),
+            )])
+        }),
+    );
+    b.action(
+        "Stuck",
+        NativeAction::new("Stuck", 0, |_: &GlobalStore, _: &[Value]| {
+            ActionOutcome::blocked()
+        }),
+    );
+    b.build().expect("stuck program is well-formed")
+}
+
+#[test]
+fn deadlock_witness_renders_the_firing_sequence_to_the_stuck_cloud() {
+    let p = stuck_program();
+    let init = p.initial_config(vec![]).expect("Main has arity 0");
+    let exploration = Explorer::new(&p).explore([init]).expect("tiny state space");
+    assert!(exploration.has_deadlock(), "Stuck never fires");
+
+    let witnesses = exploration.deadlock_witnesses();
+    assert_eq!(witnesses.len(), 1, "exactly one deadlocked configuration");
+    let trace = &witnesses[0];
+    assert_eq!(
+        trace.firings().map(ToString::to_string).collect::<Vec<_>>(),
+        ["Main()"],
+        "shortest witness fires Main once"
+    );
+
+    let rendered = render_trace(trace, p.schema(), RenderOptions::default());
+    assert_eq!(rendered, "{Main()}\n  --Main()-->\n{Stuck()}\n");
+
+    let with_stores = render_trace(trace, p.schema(), RenderOptions { show_stores: true });
+    let mut lines = with_stores.lines();
+    let first = lines.next().expect("initial cloud line");
+    assert!(
+        first.starts_with("{Main()}  @ ") && first.contains("ran"),
+        "store rendering must name the schema slot: {first:?}"
+    );
+    assert_eq!(lines.next(), Some("  --Main()-->"));
+    let last = lines.next().expect("deadlocked cloud line");
+    assert!(
+        last.starts_with("{Stuck()}  @ ") && last.contains("ran = 1"),
+        "deadlocked cloud must carry the post-Main store: {last:?}"
+    );
+}
+
+#[test]
+fn an_initially_deadlocked_configuration_has_an_empty_witness() {
+    let p = stuck_program();
+    let init = inseq_kernel::Config::new(
+        GlobalStore::new(vec![Value::Int(0)]),
+        Multiset::singleton(PendingAsync::new("Stuck", vec![])),
+    );
+    let exploration = Explorer::new(&p).explore([init]).expect("one config");
+    let witnesses = exploration.deadlock_witnesses();
+    assert_eq!(witnesses.len(), 1);
+    assert!(witnesses[0].steps.is_empty(), "no firing needed");
+    assert_eq!(
+        render_trace(&witnesses[0], p.schema(), RenderOptions::default()),
+        "(empty execution)"
+    );
+}

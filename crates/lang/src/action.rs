@@ -91,6 +91,12 @@ impl GlobalDecls {
         self.names.iter().map(String::as_str).zip(self.sorts.iter())
     }
 
+    /// The declared sorts, in declaration order.
+    #[must_use]
+    pub fn sorts(&self) -> &[Sort] {
+        &self.sorts
+    }
+
     /// The kernel schema corresponding to these declarations.
     #[must_use]
     pub fn schema(&self) -> GlobalSchema {
@@ -196,6 +202,15 @@ impl DslAction {
     #[must_use]
     pub fn params(&self) -> &[(String, Sort)] {
         &self.params
+    }
+
+    /// The parameter sorts alone, in declaration order.
+    ///
+    /// Generator-facing convenience: program generators and serializers
+    /// need the call signature without the parameter names.
+    #[must_use]
+    pub fn param_sorts(&self) -> Vec<Sort> {
+        self.params.iter().map(|(_, s)| s.clone()).collect()
     }
 
     /// The declared locals, in order.

@@ -1,0 +1,31 @@
+//! Deliberate fault injection for differential-testing harnesses.
+//!
+//! Only compiled under the `fault-injection` feature. The single fault on
+//! offer is an additive offset applied to the result of every integer
+//! `Add` the register VM executes (the tree-walk interpreter is left
+//! untouched), which turns the VM/interpreter differential oracle into a
+//! testable detector: set a non-zero offset, fuzz, and the oracle must
+//! report a disagreement that shrinks to a tiny program containing an
+//! addition.
+//!
+//! The offset is applied late, in [`crate::vm`]'s `Op::Bin` dispatch, so
+//! compile-time constant folding does not mask it: only additions that
+//! survive to runtime (i.e. involve a variable operand) are perturbed.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+
+static VM_ADD_OFFSET: AtomicI64 = AtomicI64::new(0);
+
+/// Sets the offset added to every integer `Add` result computed by the VM.
+///
+/// `0` (the initial value) disables the fault. The offset is process-global;
+/// tests that set it must reset it before asserting on unrelated programs.
+pub fn set_vm_add_offset(delta: i64) {
+    VM_ADD_OFFSET.store(delta, Ordering::SeqCst);
+}
+
+/// The currently configured VM `Add` offset.
+#[must_use]
+pub fn vm_add_offset() -> i64 {
+    VM_ADD_OFFSET.load(Ordering::SeqCst)
+}

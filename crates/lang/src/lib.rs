@@ -52,6 +52,8 @@ mod action;
 mod compile;
 mod error;
 mod expr;
+#[cfg(feature = "fault-injection")]
+pub mod fault;
 mod footprint;
 mod interp;
 mod pretty;

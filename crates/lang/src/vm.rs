@@ -371,7 +371,15 @@ fn exec_ops(
             Op::Bin { op, dst } => {
                 let a = take(regs, *dst);
                 let b = take(regs, *dst + 1);
-                put(regs, *dst, rt::bin_values(*op, a, b, name)?);
+                let r = rt::bin_values(*op, a, b, name)?;
+                #[cfg(feature = "fault-injection")]
+                let r = match (op, r) {
+                    (crate::expr::BinOp::Add, Value::Int(n)) => {
+                        Value::Int(n + crate::fault::vm_add_offset())
+                    }
+                    (_, r) => r,
+                };
+                put(regs, *dst, r);
             }
             Op::Jump { target } => {
                 pc = *target as usize;

@@ -111,6 +111,15 @@ pub struct Artifacts {
     pub p1_actions: Vec<Arc<DslAction>>,
 }
 
+impl Artifacts {
+    /// The `P2` actions as DSL values, handlers before `Main` — the order
+    /// the fuzz corpus exporter requires (callees precede callers).
+    #[must_use]
+    pub fn p2_dsl_actions(&self) -> Vec<Arc<DslAction>> {
+        vec![self.pass.clone(), self.elect.clone(), self.main.clone()]
+    }
+}
+
 fn decls() -> Arc<GlobalDecls> {
     let mut g = GlobalDecls::new();
     g.declare("n", Sort::Int);

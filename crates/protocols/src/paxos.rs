@@ -109,6 +109,22 @@ pub struct Artifacts {
     pub conclude_abs: Arc<DslAction>,
 }
 
+impl Artifacts {
+    /// The `P2` actions as DSL values, handlers before `Main` — the order
+    /// the fuzz corpus exporter requires (callees precede callers).
+    #[must_use]
+    pub fn p2_dsl_actions(&self) -> Vec<Arc<DslAction>> {
+        vec![
+            self.start_round.clone(),
+            self.join.clone(),
+            self.propose.clone(),
+            self.vote.clone(),
+            self.conclude.clone(),
+            self.main.clone(),
+        ]
+    }
+}
+
 const GHOST: &str = "pendingAsyncs";
 
 fn decls() -> Arc<GlobalDecls> {

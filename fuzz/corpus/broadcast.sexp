@@ -1,0 +1,11 @@
+; Table 1 protocol `broadcast` (P2 atomic-action program, tiny instance),
+; exported through the fuzz corpus format. Regenerate with
+; `fuzz --export-table1`.
+(spec
+  (globals ("n" int (i 2)) ("value" (map int int) (vmap (i 0) ((i 1) (i 3)) ((i 2) (i 1)))) ("decision" (map int (opt int)) (vmap (none))) ("CH" (map int (bag int)) (vmap (vbag))) ("pendingAsyncs" (bag (tuple int int)) (vbag)))
+  (main "Main")
+  (pending ("Main"))
+  (action "Broadcast" (("i" int)) (("j" int)) ((assign "pendingAsyncs" (without (var "pendingAsyncs") (tuple (const (i 1)) (var "i")))) (for "j" (const (i 1)) (var "n") ((send "CH" (key (var "j")) (map-get (var "value") (var "i")))))))
+  (action "Collect" (("i" int)) (("j" int) ("v" int) ("got" (bag int))) ((assign "pendingAsyncs" (without (var "pendingAsyncs") (tuple (const (i 2)) (var "i")))) (for "j" (const (i 1)) (var "n") ((recv "v" "CH" (key (var "i"))) (assign "got" (with (var "got") (var "v"))))) (assign-at "decision" (var "i") (some-of (max (var "got"))))))
+  (action "Main" () (("i" int) ("gi" int)) ((for "gi" (const (i 1)) (var "n") ((assign "pendingAsyncs" (with (var "pendingAsyncs") (tuple (const (i 1)) (var "gi")))) (assign "pendingAsyncs" (with (var "pendingAsyncs") (tuple (const (i 2)) (var "gi")))))) (for "i" (const (i 1)) (var "n") ((async "Broadcast" (var "i")) (async "Collect" (var "i"))))))
+)

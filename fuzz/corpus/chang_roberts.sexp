@@ -1,0 +1,11 @@
+; Table 1 protocol `chang_roberts` (P2 atomic-action program, tiny instance),
+; exported through the fuzz corpus format. Regenerate with
+; `fuzz --export-table1`.
+(spec
+  (globals ("n" int (i 2)) ("id" (map int int) (vmap (i 0) ((i 1) (i 20)) ((i 2) (i 10)))) ("leader" (map int bool) (vmap (b f))))
+  (main "Main")
+  (pending ("Main"))
+  (action "Pass" (("i" int) ("m" int)) () ((if (bin gt (var "m") (map-get (var "id") (var "i"))) ((if (bin eq (var "m") (map-get (var "id") (bin add (bin mod (var "i") (var "n")) (const (i 1))))) ((async "Elect" (bin add (bin mod (var "i") (var "n")) (const (i 1))))) ((async "Pass" (bin add (bin mod (var "i") (var "n")) (const (i 1))) (var "m"))))) ())))
+  (action "Elect" (("i" int)) () ((assign-at "leader" (var "i") (const (b t)))))
+  (action "Main" () (("i" int)) ((for "i" (const (i 1)) (var "n") ((async "Pass" (bin add (bin mod (var "i") (var "n")) (const (i 1))) (map-get (var "id") (var "i")))))))
+)

@@ -1,0 +1,13 @@
+; Table 1 protocol `n_buyer` (P2 atomic-action program, tiny instance),
+; exported through the fuzz corpus format. Regenerate with
+; `fuzz --export-table1`.
+(spec
+  (globals ("n" int (i 2)) ("price" int (i 10)) ("budget" (map int int) (vmap (i 0) ((i 1) (i 6)) ((i 2) (i 6)))) ("quoted" bool (b f)) ("pledged" (map int (opt int)) (vmap (none))) ("ordered" bool (b f)) ("orderTotal" int (i 0)))
+  (main "Main")
+  (pending ("Main"))
+  (action "RequestQuote" () () ((async "Quote")))
+  (action "Quote" () () ((assign "quoted" (const (b t)))))
+  (action "Contribute" (("i" int)) (("already" int) ("mine" int) ("b" int)) ((assume (var "quoted")) (assume (bin or (bin eq (var "i") (const (i 1))) (is-some (map-get (var "pledged") (bin sub (var "i") (const (i 1))))))) (assign "already" (const (i 0))) (for "b" (const (i 1)) (bin sub (var "i") (const (i 1))) ((assign "already" (bin add (var "already") (unwrap (map-get (var "pledged") (var "b"))))))) (assign "mine" (ite (bin lt (bin sub (var "price") (var "already")) (map-get (var "budget") (var "i"))) (ite (bin gt (bin sub (var "price") (var "already")) (const (i 0))) (bin sub (var "price") (var "already")) (const (i 0))) (map-get (var "budget") (var "i")))) (assign-at "pledged" (var "i") (some-of (var "mine")))))
+  (action "Order" () (("total" int) ("b" int)) ((assume (forall "qb" (range (const (i 1)) (var "n")) (is-some (map-get (var "pledged") (var "qb"))))) (assign "total" (const (i 0))) (for "b" (const (i 1)) (var "n") ((assign "total" (bin add (var "total") (unwrap (map-get (var "pledged") (var "b"))))))) (if (bin ge (var "total") (var "price")) ((assign "ordered" (const (b t))) (assign "orderTotal" (var "total"))) ())))
+  (action "Main" () (("i" int)) ((async "RequestQuote") (for "i" (const (i 1)) (var "n") ((async "Contribute" (var "i")))) (async "Order")))
+)

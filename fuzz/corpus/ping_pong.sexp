@@ -1,0 +1,11 @@
+; Table 1 protocol `ping_pong` (P2 atomic-action program, tiny instance),
+; exported through the fuzz corpus format. Regenerate with
+; `fuzz --export-table1`.
+(spec
+  (globals ("K" int (i 2)) ("msgCh" (bag int) (vbag)) ("ackCh" (bag int) (vbag)))
+  (main "Main")
+  (pending ("Main"))
+  (action "Ping" (("i" int)) (("a" int)) ((if (bin gt (var "i") (const (i 1))) ((recv "a" "ackCh" nokey) (assert (bin eq (var "a") (bin sub (var "i") (const (i 1)))) "Ping received a wrong acknowledgement")) ()) (if (bin le (var "i") (var "K")) ((send "msgCh" nokey (var "i")) (async "Ping" (bin add (var "i") (const (i 1))))) ())))
+  (action "Pong" (("i" int)) (("v" int)) ((recv "v" "msgCh" nokey) (assert (bin eq (var "v") (var "i")) "Pong received a non-increasing number") (send "ackCh" nokey (var "i")) (if (bin lt (var "i") (var "K")) ((async "Pong" (bin add (var "i") (const (i 1))))) ())))
+  (action "Main" () () ((async "Ping" (const (i 1))) (async "Pong" (const (i 1)))))
+)

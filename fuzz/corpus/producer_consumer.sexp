@@ -1,0 +1,11 @@
+; Table 1 protocol `producer_consumer` (P2 atomic-action program, tiny instance),
+; exported through the fuzz corpus format. Regenerate with
+; `fuzz --export-table1`.
+(spec
+  (globals ("K" int (i 2)) ("queue" (seq int) (vseq)))
+  (main "Main")
+  (pending ("Main"))
+  (action "Produce" (("i" int)) () ((send "queue" nokey (var "i")) (if (bin lt (var "i") (var "K")) ((async "Produce" (bin add (var "i") (const (i 1))))) ())))
+  (action "Consume" (("j" int)) (("v" int)) ((recv "v" "queue" nokey) (assert (bin eq (var "v") (var "j")) "Consumer saw a non-increasing number") (if (bin lt (var "j") (var "K")) ((async "Consume" (bin add (var "j") (const (i 1))))) ())))
+  (action "Main" () () ((async "Produce" (const (i 1))) (async "Consume" (const (i 1)))))
+)

@@ -1,0 +1,13 @@
+; Table 1 protocol `two_phase_commit` (P2 atomic-action program, tiny instance),
+; exported through the fuzz corpus format. Regenerate with
+; `fuzz --export-table1`.
+(spec
+  (globals ("n" int (i 2)) ("vote" (map int bool) (vmap (b f) ((i 1) (b t)))) ("yesVotes" (set int) (vset)) ("noVotes" (set int) (vset)) ("coordDecision" (opt bool) (none)) ("finalized" (map int (opt bool)) (vmap (none))))
+  (main "Main")
+  (pending ("Main"))
+  (action "Request" (("i" int)) () ((async "VoteResp" (var "i") (map-get (var "vote") (var "i")))))
+  (action "VoteResp" (("i" int) ("v" bool)) () ((if (var "v") ((assign "yesVotes" (with (var "yesVotes") (var "i")))) ((assign "noVotes" (with (var "noVotes") (var "i")))))))
+  (action "Decide" () (("j" int)) ((assume (bin or (bin ge (size (var "noVotes")) (const (i 1))) (bin eq (size (var "yesVotes")) (var "n")))) (if (bin ge (size (var "noVotes")) (const (i 1))) ((assign "coordDecision" (some-of (const (b f))))) ((assign "coordDecision" (some-of (const (b t)))))) (for "j" (const (i 1)) (var "n") ((async "Decision" (var "j") (unwrap (var "coordDecision")))))))
+  (action "Decision" (("j" int) ("d" bool)) () ((assign-at "finalized" (var "j") (some-of (var "d")))))
+  (action "Main" () (("i" int)) ((for "i" (const (i 1)) (var "n") ((async "Request" (var "i")))) (async "Decide")))
+)
