@@ -27,13 +27,10 @@
 
 use std::process::ExitCode;
 
+use inseq_core::json;
 use inseq_kernel::ExecStats;
 use inseq_obs::HitMissSnapshot;
 use inseq_protocols::common::CaseReport;
-
-fn json_escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
-}
 
 /// Interner traffic, mover-cache traffic, pairwise-check count, and
 /// evaluation-backend counters of one row, summed over its IS applications.
@@ -60,30 +57,18 @@ fn rows_as_json(rows: &[CaseReport]) -> String {
         let visited: usize = r.reports.iter().map(|p| p.reachable_configs).sum();
         let edges: usize = r.reports.iter().map(|p| p.edges).sum();
         let (intern, mover, pairwise, exec) = row_stats(r);
-        let premises: Vec<String> = r
+        let premises: Vec<inseq_obs::PhaseStat> = r
             .reports
             .iter()
-            .flat_map(|p| p.stats.premises.iter())
-            .map(|p| {
-                format!(
-                    "{{\"name\": \"{}\", \"wall_seconds\": {:.6}, \"items\": {}}}",
-                    json_escape(&p.name),
-                    p.wall.as_secs_f64(),
-                    p.items
-                )
-            })
+            .flat_map(|p| p.stats.premises.iter().cloned())
             .collect();
         out.push_str(&format!(
             "  {{\"example\": \"{}\", \"instance\": \"{}\", \"is_applications\": {}, \
              \"loc_total\": {}, \"loc_is\": {}, \"loc_impl\": {}, \"time_seconds\": {:.6}, \
-             \"visited_configs\": {}, \"edges\": {}, \
-             \"intern_hits\": {}, \"intern_misses\": {}, \
-             \"mover_cache_hits\": {}, \"mover_cache_misses\": {}, \
-             \"pairwise_checks\": {}, \
-             \"compiled_actions\": {}, \"compile_nanos\": {}, \
-             \"vm_evals\": {}, \"interp_evals\": {}, \"premises\": [{}]}}",
-            json_escape(&r.name),
-            json_escape(&r.instance),
+             \"visited_configs\": {}, \"edges\": {}, {}, {}, \
+             \"pairwise_checks\": {}, {}, \"premises\": {}}}",
+            json::escape(&r.name),
+            json::escape(&r.instance),
             r.is_applications,
             r.loc_total,
             r.loc_is,
@@ -91,16 +76,11 @@ fn rows_as_json(rows: &[CaseReport]) -> String {
             r.time.as_secs_f64(),
             visited,
             edges,
-            intern.hits,
-            intern.misses,
-            mover.hits,
-            mover.misses,
+            json::hit_miss_fields("intern", &intern),
+            json::hit_miss_fields("mover_cache", &mover),
             pairwise,
-            exec.compiled_actions,
-            exec.compile_nanos,
-            exec.vm_evals,
-            exec.interp_evals,
-            premises.join(", ")
+            json::exec_fields(&exec),
+            json::phases(&premises)
         ));
     }
     out.push_str("\n]\n");

@@ -538,6 +538,31 @@ impl IsApplication {
         self.choice.as_ref()
     }
 
+    /// The configured initial instances.
+    #[must_use]
+    pub fn instances(&self) -> &[Config] {
+        &self.instances
+    }
+
+    /// The visited-configuration budget for exploration.
+    #[must_use]
+    pub fn budget_limit(&self) -> usize {
+        self.budget
+    }
+
+    /// The label of the well-founded measure used by premise (CO).
+    #[must_use]
+    pub fn measure_label(&self) -> &str {
+        self.measure.label()
+    }
+
+    /// Whether a custom abstraction (one that is not the action itself) was
+    /// supplied for `action`.
+    #[must_use]
+    pub fn has_custom_abstraction(&self, action: &ActionName) -> bool {
+        self.abstractions.contains_key(action)
+    }
+
     /// `α(action)`, defaulting to the program's own action; `Err` when the
     /// action is unknown.
     ///
@@ -858,7 +883,7 @@ impl IsApplication {
     /// Like [`prepare`](IsApplication::prepare), but on the sequential
     /// [`Explorer`], whose parent forest is retained so violated premises
     /// can name concrete firing sequences.
-    fn prepare_sequential(
+    pub(crate) fn prepare_sequential(
         &self,
         invariant: &Arc<dyn ActionSemantics>,
     ) -> Result<CheckPrep, IsViolation> {
@@ -931,7 +956,7 @@ impl IsApplication {
     }
 
     /// Premise `A ≼ α(A)` for one eliminated action.
-    fn check_abstraction_sound(
+    pub(crate) fn check_abstraction_sound(
         &self,
         prep: &CheckPrep,
         action_name: &ActionName,
@@ -957,7 +982,7 @@ impl IsApplication {
     }
 
     /// Premise (I1): `M ≼ I` at every target input.
-    fn check_i1(
+    pub(crate) fn check_i1(
         &self,
         prep: &CheckPrep,
         invariant: &Arc<dyn ActionSemantics>,
@@ -977,7 +1002,7 @@ impl IsApplication {
     }
 
     /// Premise (I2): `I` restricted to PA_E-free transitions refines `M'`.
-    fn check_i2(
+    pub(crate) fn check_i2(
         &self,
         prep: &CheckPrep,
         replacement: &Arc<dyn ActionSemantics>,
@@ -1015,7 +1040,7 @@ impl IsApplication {
     }
 
     /// Premise (I3): absorbing the chosen PA into the invariant is inductive.
-    fn check_i3(&self, prep: &CheckPrep, choice: &ChoiceFn) -> Result<(), IsViolation> {
+    pub(crate) fn check_i3(&self, prep: &CheckPrep, choice: &ChoiceFn) -> Result<(), IsViolation> {
         for (g, args, outcome) in &prep.inv_transitions {
             let InvOutcome::Transitions(i_ts) = outcome else {
                 continue; // a failed gate records no transitions to extend
@@ -1080,7 +1105,7 @@ impl IsApplication {
     }
 
     /// Premise (CO) for one eliminated action.
-    fn check_cooperation(
+    pub(crate) fn check_cooperation(
         &self,
         prep: &CheckPrep,
         action_name: &ActionName,
@@ -1109,13 +1134,17 @@ impl IsApplication {
         Ok(())
     }
 
-    fn require<'s, T>(&self, opt: Option<&'s T>, what: &str) -> Result<&'s T, IsViolation> {
+    pub(crate) fn require<'s, T>(
+        &self,
+        opt: Option<&'s T>,
+        what: &str,
+    ) -> Result<&'s T, IsViolation> {
         opt.ok_or_else(|| IsViolation::Structural {
             message: format!("no {what} supplied"),
         })
     }
 
-    fn structural_checks(&self) -> Result<(), IsViolation> {
+    pub(crate) fn structural_checks(&self) -> Result<(), IsViolation> {
         if !self.program.defines(&self.target) {
             return Err(IsViolation::Structural {
                 message: format!("target action `{}` is not in the program", self.target),
@@ -1149,7 +1178,10 @@ impl IsApplication {
     }
 
     /// `α(A)`, defaulting to `P(A)` itself.
-    fn alpha(&self, action: &ActionName) -> Result<Arc<dyn ActionSemantics>, IsViolation> {
+    pub(crate) fn alpha(
+        &self,
+        action: &ActionName,
+    ) -> Result<Arc<dyn ActionSemantics>, IsViolation> {
         if let Some(a) = self.abstractions.get(action) {
             return Ok(Arc::clone(a));
         }
@@ -1174,7 +1206,7 @@ impl IsApplication {
 /// The invariant action's outcome at one target input, as recorded by the
 /// shared preparation step. Recording the failure reason lets (I2) replay
 /// it instead of re-evaluating the invariant.
-enum InvOutcome {
+pub(crate) enum InvOutcome {
     /// `I`'s gate failed with this reason.
     Failure(String),
     /// The invariant's transitions at this input.
@@ -1185,22 +1217,22 @@ enum InvOutcome {
 /// target inputs, and the invariant's outcome at each of them. Produced
 /// once — by the root `explore` job of [`IsApplication::check_with`] or at
 /// the top of [`IsApplication::check`] — and read by every obligation.
-struct CheckPrep {
-    universe: StateUniverse,
-    target_inputs: Vec<(GlobalStore, Vec<Value>)>,
-    inv_transitions: Vec<(GlobalStore, Vec<Value>, InvOutcome)>,
-    report: IsReport,
+pub(crate) struct CheckPrep {
+    pub(crate) universe: StateUniverse,
+    pub(crate) target_inputs: Vec<(GlobalStore, Vec<Value>)>,
+    pub(crate) inv_transitions: Vec<(GlobalStore, Vec<Value>, InvOutcome)>,
+    pub(crate) report: IsReport,
     /// The sequential exploration, retained for witness-trace
     /// reconstruction; `None` under the parallel driver, whose shards keep
     /// no global parent forest.
-    exploration: Option<Exploration>,
+    pub(crate) exploration: Option<Exploration>,
 }
 
 impl CheckPrep {
     /// A firing sequence of `P` reaching `store`, when the store's
     /// provenance names a reachable configuration (rather than an invariant
     /// pseudo-configuration) and the exploration was retained.
-    fn trace_for(&self, store: &GlobalStore) -> Option<Trace> {
+    pub(crate) fn trace_for(&self, store: &GlobalStore) -> Option<Trace> {
         let exploration = self.exploration.as_ref()?;
         let config = self.universe.provenance(store)?;
         exploration.trace_to(config)

@@ -15,13 +15,46 @@
 use std::collections::VecDeque;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// A fixed-size thread pool executing job DAGs.
+///
+/// Clones share the engine's shutdown state: once any clone calls
+/// [`Engine::shutdown`], every clone rejects new DAGs. This is what a
+/// persistent server wants — one logical engine handed to many request
+/// handlers, drained exactly once on exit.
 #[derive(Debug, Clone)]
 pub struct Engine {
     threads: usize,
+    lifecycle: Arc<Lifecycle>,
+}
+
+/// Shared drain/shutdown bookkeeping (see [`Engine::shutdown`]).
+#[derive(Debug, Default)]
+struct Lifecycle {
+    state: Mutex<LifecycleState>,
+    drained: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct LifecycleState {
+    draining: bool,
+    in_flight: usize,
+}
+
+/// Decrements `in_flight` even if the DAG panics mid-run, so a shutdown
+/// waiting on the drain condvar can never hang on a lost count.
+struct InFlightGuard<'a>(&'a Lifecycle);
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        let mut s = self.0.state.lock().expect("engine lifecycle poisoned");
+        s.in_flight -= 1;
+        if s.in_flight == 0 {
+            self.0.drained.notify_all();
+        }
+    }
 }
 
 impl Default for Engine {
@@ -36,6 +69,7 @@ impl Engine {
     pub fn new() -> Self {
         Engine {
             threads: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+            lifecycle: Arc::new(Lifecycle::default()),
         }
     }
 
@@ -52,6 +86,43 @@ impl Engine {
         self.threads
     }
 
+    /// Marks the engine as shutting down and blocks until every in-flight
+    /// DAG has finished.
+    ///
+    /// After this returns, [`Engine::run`] (on this engine or any clone)
+    /// rejects new DAGs without executing any job: every job is reported as
+    /// [`JobStatus::Skipped`] with an "engine shut down" detail. Jobs already
+    /// running are *not* interrupted — they finish normally, including the
+    /// panic-isolation path (a job that panics during the drain still counts
+    /// as finished, so shutdown cannot hang on it). Idempotent: concurrent
+    /// and repeated calls all block until the same drain completes.
+    pub fn shutdown(&self) {
+        let mut s = self
+            .lifecycle
+            .state
+            .lock()
+            .expect("engine lifecycle poisoned");
+        s.draining = true;
+        while s.in_flight > 0 {
+            s = self
+                .lifecycle
+                .drained
+                .wait(s)
+                .expect("engine lifecycle poisoned");
+        }
+    }
+
+    /// `true` once [`Engine::shutdown`] has been called (on this engine or
+    /// any clone). New DAGs are rejected from that point on.
+    #[must_use]
+    pub fn is_shut_down(&self) -> bool {
+        self.lifecycle
+            .state
+            .lock()
+            .expect("engine lifecycle poisoned")
+            .draining
+    }
+
     /// Runs a job DAG to completion and reports per-job statistics.
     ///
     /// Dependencies must point at earlier indices in `jobs` (the natural
@@ -64,6 +135,10 @@ impl Engine {
     /// panic payload in its detail, its dependents are skipped like those of
     /// any other failure, and sibling jobs keep running.
     ///
+    /// After [`Engine::shutdown`], the DAG is rejected without executing
+    /// anything: every job comes back [`JobStatus::Skipped`] with an
+    /// "engine shut down" detail.
+    ///
     /// # Panics
     ///
     /// Panics if a job lists a dependency index that is not smaller than its
@@ -71,6 +146,34 @@ impl Engine {
     pub fn run(&self, jobs: Vec<Job<'_>>) -> EngineReport {
         let total = jobs.len();
         let started = Instant::now();
+        let _in_flight = {
+            let mut s = self
+                .lifecycle
+                .state
+                .lock()
+                .expect("engine lifecycle poisoned");
+            if s.draining {
+                // Reject without executing anything: report every job as
+                // skipped so `all_passed()` cannot claim success for work
+                // that never ran.
+                return EngineReport {
+                    jobs: jobs
+                        .into_iter()
+                        .map(|job| JobStats {
+                            name: job.name,
+                            status: JobStatus::Skipped,
+                            detail: "engine shut down; job rejected".to_owned(),
+                            configs_visited: 0,
+                            wall: Duration::ZERO,
+                        })
+                        .collect(),
+                    wall: started.elapsed(),
+                    threads: self.threads,
+                };
+            }
+            s.in_flight += 1;
+            InFlightGuard(&self.lifecycle)
+        };
         if total == 0 {
             return EngineReport {
                 jobs: Vec::new(),
@@ -569,5 +672,79 @@ mod tests {
     fn forward_dependency_panics() {
         let jobs = vec![Job::new("a", JobResult::pass).after(3)];
         Engine::new().run(jobs);
+    }
+
+    #[test]
+    fn shutdown_rejects_new_dags_without_running_them() {
+        let engine = Engine::new().with_threads(2);
+        assert!(!engine.is_shut_down());
+        engine.shutdown();
+        assert!(engine.is_shut_down());
+        let ran = AtomicUsize::new(0);
+        let report = engine.run(vec![
+            Job::new("late-a", || {
+                ran.fetch_add(1, Ordering::Relaxed);
+                JobResult::pass()
+            }),
+            Job::new("late-b", || {
+                ran.fetch_add(1, Ordering::Relaxed);
+                JobResult::pass()
+            })
+            .after(0),
+        ]);
+        assert_eq!(ran.load(Ordering::Relaxed), 0, "no rejected job runs");
+        assert!(
+            !report.all_passed(),
+            "a rejected DAG must not claim success"
+        );
+        for job in &report.jobs {
+            assert_eq!(job.status, JobStatus::Skipped);
+            assert!(job.detail.contains("shut down"), "{}", job.detail);
+        }
+        // Clones share the shutdown state.
+        assert!(engine.clone().is_shut_down());
+        // Idempotent.
+        engine.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_inflight_dag_through_panic_isolation() {
+        use std::sync::atomic::AtomicBool;
+        let engine = Engine::new().with_threads(2);
+        let started = AtomicBool::new(false);
+        let sibling_done = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(|| {
+                let jobs = vec![
+                    Job::new("panics-mid-drain", || {
+                        started.store(true, Ordering::SeqCst);
+                        panic!("boom during drain")
+                    }),
+                    Job::new("slow-sibling", || {
+                        std::thread::sleep(Duration::from_millis(40));
+                        sibling_done.store(true, Ordering::SeqCst);
+                        JobResult::pass()
+                    }),
+                ];
+                engine.clone().run(jobs)
+            });
+            while !started.load(Ordering::SeqCst) {
+                std::thread::yield_now();
+            }
+            // The DAG is in flight (and one job is unwinding): shutdown must
+            // wait for the whole DAG, not hang on the panicked worker.
+            engine.shutdown();
+            assert!(
+                sibling_done.load(Ordering::SeqCst),
+                "shutdown returned before the in-flight DAG drained"
+            );
+            let report = handle.join().expect("runner thread");
+            assert_eq!(report.jobs[0].status, JobStatus::Failed);
+            assert!(report.jobs[0].detail.contains("boom during drain"));
+            assert_eq!(report.jobs[1].status, JobStatus::Passed);
+        });
+        // Post-drain, new work is rejected.
+        let report = engine.run(vec![Job::new("late", JobResult::pass)]);
+        assert_eq!(report.jobs[0].status, JobStatus::Skipped);
     }
 }

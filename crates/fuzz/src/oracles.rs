@@ -18,13 +18,12 @@
 
 use std::collections::BTreeSet;
 use std::fmt;
-use std::sync::Arc;
 
-use inseq_core::{IsApplication, Measure};
+use inseq_core::IsApplication;
 use inseq_engine::Engine;
 use inseq_kernel::{
-    ActionName, ActionOutcome, ActionSemantics, Exploration, Explorer, GlobalStore, Interner,
-    Multiset, PendingAsync, Program, StateUniverse,
+    ActionName, ActionOutcome, Exploration, Explorer, GlobalStore, Interner, Multiset,
+    PendingAsync, Program, StateUniverse,
 };
 use inseq_mover::MoverChecker;
 
@@ -219,35 +218,7 @@ fn vm_interp(built: &BuiltSpec, exploration: &Exploration) -> Result<OracleOutco
 /// async. The premises frequently *fail* on random programs — that is the
 /// point: both check paths must fail identically.
 fn mechanical_application(built: &BuiltSpec, budget: usize) -> IsApplication {
-    let main_name = built.program.main().clone();
-    let main: Arc<dyn ActionSemantics> = Arc::clone(
-        built
-            .action(main_name.as_str())
-            .expect("entry action is always built"),
-    ) as Arc<dyn ActionSemantics>;
-    let eliminated: BTreeSet<ActionName> = built
-        .program
-        .action_names()
-        .filter(|n| **n != main_name)
-        .cloned()
-        .collect();
-    let mut app = IsApplication::new(built.program.clone(), main_name)
-        .invariant(Arc::clone(&main))
-        .replacement(main)
-        .measure(Measure::pending_async_count())
-        .instance(built.init.clone())
-        .budget(budget);
-    let elim_for_choice = eliminated.clone();
-    app = app.choice(move |t| {
-        t.created
-            .distinct()
-            .find(|pa| elim_for_choice.contains(&pa.action))
-            .cloned()
-    });
-    for name in eliminated {
-        app = app.eliminate(name);
-    }
-    app
+    inseq_core::mechanical_application(&built.program, built.init.clone(), budget)
 }
 
 fn check_paths(built: &BuiltSpec, budget: usize) -> Result<OracleOutcome, Disagreement> {

@@ -186,6 +186,22 @@ impl Footprint {
         Footprint { reads, writes }
     }
 
+    /// Whether the two footprints share any schema index, counting both
+    /// reads and writes on both sides.
+    ///
+    /// Disjointness (`!overlaps`) is the separability test incremental
+    /// re-verification relies on: two actions with disjoint footprints
+    /// commute and preserve each other's gates, so editing one cannot
+    /// change proof obligations that only mention the other.
+    #[must_use]
+    pub fn overlaps(&self, other: &Footprint) -> bool {
+        let mine = self.key_indices();
+        other
+            .key_indices()
+            .iter()
+            .any(|i| mine.binary_search(i).is_ok())
+    }
+
     /// The sorted union of `reads` and `writes` — the projection of the
     /// global store that determines the outcome *and* every recorded write
     /// value, which makes it the correct memoization key for transition

@@ -243,6 +243,116 @@ mod tests {
     }
 
     #[test]
+    fn quantifier_binder_shadowing_a_global_still_reads_it() {
+        // The binder `x` shadows the global `x` inside the body, so the body's
+        // `var("x")` never touches the store at runtime. The syntactic walk
+        // deliberately over-approximates and keeps the global in the read set:
+        // extra key indices only shrink cache sharing, never soundness.
+        let g = decls();
+        let a = DslAction::build("A", &g)
+            .local("ok", Sort::Bool)
+            .body(vec![assign(
+                "ok",
+                forall("x", var("bag"), gt(var("x"), int(0))),
+            )])
+            .finish()
+            .unwrap();
+        let fp = analyze(&a);
+        assert_eq!(fp.reads, vec![0, 2], "global x over-approximated, bag read");
+        assert!(fp.writes.is_empty(), "only the local `ok` is written");
+    }
+
+    #[test]
+    fn exists_and_filter_read_their_source_sets() {
+        let g = decls();
+        let a = DslAction::build("A", &g)
+            .local("ok", Sort::Bool)
+            .body(vec![assign(
+                "ok",
+                exists(
+                    "v",
+                    filter("w", var("bag"), gt(var("w"), var("y"))),
+                    eq(var("v"), var("x")),
+                ),
+            )])
+            .finish()
+            .unwrap();
+        let fp = analyze(&a);
+        // bag (source), y (filter body), x (exists body); `ok` is a local so
+        // nothing is written to the global store.
+        assert_eq!(fp.reads, vec![0, 1, 2]);
+        assert!(fp.writes.is_empty());
+    }
+
+    #[test]
+    fn choose_writes_target_and_reads_source() {
+        let g = decls();
+        let a = DslAction::build("A", &g)
+            .body(vec![choose("x", var("bag"))])
+            .finish()
+            .unwrap();
+        let fp = analyze(&a);
+        assert_eq!(fp.reads, vec![2]);
+        assert_eq!(fp.writes, vec![0]);
+    }
+
+    #[test]
+    fn keyed_recv_reads_key_expression() {
+        let mut g = GlobalDecls::new();
+        g.declare("y", Sort::Int);
+        g.declare("chans", Sort::map(Sort::Int, Sort::bag(Sort::Int)));
+        let g = Arc::new(g);
+        let a = DslAction::build("A", &g)
+            .local("m", Sort::Int)
+            .body(vec![recv_from("m", "chans", add(var("y"), int(1)))])
+            .finish()
+            .unwrap();
+        let fp = analyze(&a);
+        // Channel map is read and written; the key expression reads y; the
+        // received value lands in a local, so no extra global write.
+        assert_eq!(fp.reads, vec![0, 1]);
+        assert_eq!(fp.writes, vec![1]);
+    }
+
+    #[test]
+    fn nested_calls_accumulate_transitive_footprints() {
+        let g = decls();
+        let inner = DslAction::build("Inner", &g)
+            .body(vec![send("bag", var("y"))])
+            .finish()
+            .unwrap();
+        let middle = DslAction::build("Middle", &g)
+            .body(vec![call(&inner, vec![])])
+            .finish()
+            .unwrap();
+        let outer = DslAction::build("Outer", &g)
+            .body(vec![assign("x", int(0)), call(&middle, vec![])])
+            .finish()
+            .unwrap();
+        let fp = analyze(&outer);
+        // Two levels down, Inner's send contributes bag to both sets and y to
+        // the reads; Outer's own assign contributes the x write.
+        assert_eq!(fp.reads, vec![1, 2]);
+        assert_eq!(fp.writes, vec![0, 2]);
+    }
+
+    #[test]
+    fn repeated_calls_to_one_callee_do_not_duplicate_indices() {
+        let g = decls();
+        let callee = DslAction::build("Callee", &g)
+            .body(vec![assign("y", add(var("y"), int(1)))])
+            .finish()
+            .unwrap();
+        let caller = DslAction::build("Caller", &g)
+            .body(vec![call(&callee, vec![]), call(&callee, vec![])])
+            .finish()
+            .unwrap();
+        let fp = analyze(&caller);
+        assert_eq!(fp.reads, vec![1]);
+        assert_eq!(fp.writes, vec![1]);
+    }
+
+    #[test]
     fn async_spawn_reads_args_but_not_callee_body() {
         let g = decls();
         let callee = DslAction::build("Callee", &g)

@@ -58,7 +58,9 @@ mod footprint;
 mod interp;
 mod pretty;
 mod rt;
+pub mod serial;
 mod sort;
+pub mod spec;
 mod stmt;
 mod typeck;
 mod vm;

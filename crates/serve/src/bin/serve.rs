@@ -1,0 +1,91 @@
+//! The `inseq-serve` binary: bind, print the address, serve until a
+//! `(shutdown)` request.
+//!
+//! ```text
+//! cargo run --release -p inseq-serve -- \
+//!     [--addr HOST:PORT] [--threads N] [--capacity N] \
+//!     [--max-budget N] [--default-budget N]
+//! ```
+
+use std::process::ExitCode;
+
+use inseq_serve::{Server, ServerConfig};
+
+fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:9738".to_owned(),
+        ..ServerConfig::default()
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let (flag, value) = match args[i].split_once('=') {
+            Some((f, v)) => (f.to_owned(), Some(v.to_owned())),
+            None => (args[i].clone(), args.get(i + 1).cloned()),
+        };
+        let inline = args[i].contains('=');
+        let mut take = |what: &str| -> Result<String, String> {
+            let v = value.clone().ok_or(format!("{flag} requires {what}"))?;
+            if !inline {
+                i += 1;
+            }
+            Ok(v)
+        };
+        match flag.as_str() {
+            "--addr" => config.addr = take("an address")?,
+            "--threads" => {
+                config.threads = parse_positive(&take("a thread count")?, "--threads")?;
+            }
+            "--capacity" => {
+                config.capacity = parse_positive(&take("a request count")?, "--capacity")?;
+            }
+            "--max-budget" => {
+                config.max_budget = parse_positive(&take("a budget")?, "--max-budget")?;
+            }
+            "--default-budget" => {
+                config.default_budget = parse_positive(&take("a budget")?, "--default-budget")?;
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+        i += 1;
+    }
+    config.default_budget = config.default_budget.min(config.max_budget);
+    Ok(config)
+}
+
+fn parse_positive(v: &str, flag: &str) -> Result<usize, String> {
+    v.parse::<usize>()
+        .ok()
+        .filter(|&n| n >= 1)
+        .ok_or_else(|| format!("invalid {flag} value `{v}` (expected a positive integer)"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let config = match parse_args(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("inseq-serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let server = match Server::bind(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("inseq-serve: bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match server.local_addr() {
+        Ok(addr) => eprintln!("inseq-serve: listening on {addr}"),
+        Err(e) => {
+            eprintln!("inseq-serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Err(e) = server.run() {
+        eprintln!("inseq-serve: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("inseq-serve: drained and stopped");
+    ExitCode::SUCCESS
+}
