@@ -24,28 +24,56 @@
 //! action in the run: the register-bytecode VM (the default) or the
 //! tree-walk reference interpreter. Used to regenerate the before/after
 //! rows of `BENCH_table1.json`.
+//!
+//! `--large` switches to the exploration-throughput tier: the parametric
+//! instances of `inseq_protocols::large_exploration_cases()` (10^4–10^6+
+//! visited configurations), timed on a selectable engine with configs/sec
+//! as the headline metric. Its companions:
+//!
+//! * `--engine seq|mpsc|steal|compare` — the sequential kernel, the
+//!   channel-migration baseline, the work-stealing engine (default), or all
+//!   three interleaved per run;
+//! * `--workers a,b` — worker counts for the parallel engines (default
+//!   `2,4`);
+//! * `--runs N` — measurement repetitions (default 1).
+//!
+//! `--only`, `--json`, and `--stats` compose with `--large`; `--jobs`,
+//! `--exec`, and `--compare` do not apply to it.
 
 use std::process::ExitCode;
 
 use inseq_core::json;
 use inseq_kernel::ExecStats;
-use inseq_obs::HitMissSnapshot;
+use inseq_obs::{EngineSnapshot, HitMissSnapshot};
 use inseq_protocols::common::CaseReport;
 
-/// Interner traffic, mover-cache traffic, pairwise-check count, and
-/// evaluation-backend counters of one row, summed over its IS applications.
-fn row_stats(r: &CaseReport) -> (HitMissSnapshot, HitMissSnapshot, u64, ExecStats) {
-    let mut intern = HitMissSnapshot::default();
-    let mut mover = HitMissSnapshot::default();
-    let mut pairwise = 0u64;
-    let mut exec = ExecStats::default();
+/// Interner traffic, engine shape, mover-cache traffic, pairwise-check
+/// count, and evaluation-backend counters of one row, summed over its IS
+/// applications.
+struct RowStats {
+    intern: HitMissSnapshot,
+    engine: EngineSnapshot,
+    mover: HitMissSnapshot,
+    pairwise: u64,
+    exec: ExecStats,
+}
+
+fn row_stats(r: &CaseReport) -> RowStats {
+    let mut stats = RowStats {
+        intern: HitMissSnapshot::default(),
+        engine: EngineSnapshot::default(),
+        mover: HitMissSnapshot::default(),
+        pairwise: 0,
+        exec: ExecStats::default(),
+    };
     for p in &r.reports {
-        intern = intern.merged(p.stats.intern);
-        mover = mover.merged(p.stats.mover_cache);
-        pairwise += p.stats.pairwise_checks;
-        exec = exec.merged(p.stats.exec);
+        stats.intern = stats.intern.merged(p.stats.intern);
+        stats.engine = stats.engine.merged(&p.stats.engine);
+        stats.mover = stats.mover.merged(p.stats.mover_cache);
+        stats.pairwise += p.stats.pairwise_checks;
+        stats.exec = stats.exec.merged(p.stats.exec);
     }
-    (intern, mover, pairwise, exec)
+    stats
 }
 
 fn rows_as_json(rows: &[CaseReport]) -> String {
@@ -56,7 +84,7 @@ fn rows_as_json(rows: &[CaseReport]) -> String {
         }
         let visited: usize = r.reports.iter().map(|p| p.reachable_configs).sum();
         let edges: usize = r.reports.iter().map(|p| p.edges).sum();
-        let (intern, mover, pairwise, exec) = row_stats(r);
+        let stats = row_stats(r);
         let premises: Vec<inseq_obs::PhaseStat> = r
             .reports
             .iter()
@@ -65,7 +93,7 @@ fn rows_as_json(rows: &[CaseReport]) -> String {
         out.push_str(&format!(
             "  {{\"example\": \"{}\", \"instance\": \"{}\", \"is_applications\": {}, \
              \"loc_total\": {}, \"loc_is\": {}, \"loc_impl\": {}, \"time_seconds\": {:.6}, \
-             \"visited_configs\": {}, \"edges\": {}, {}, {}, \
+             \"visited_configs\": {}, \"edges\": {}, {}, {}, {}, \
              \"pairwise_checks\": {}, {}, \"premises\": {}}}",
             json::escape(&r.name),
             json::escape(&r.instance),
@@ -76,10 +104,11 @@ fn rows_as_json(rows: &[CaseReport]) -> String {
             r.time.as_secs_f64(),
             visited,
             edges,
-            json::hit_miss_fields("intern", &intern),
-            json::hit_miss_fields("mover_cache", &mover),
-            pairwise,
-            json::exec_fields(&exec),
+            json::hit_miss_fields("intern", &stats.intern),
+            json::engine_fields(&stats.engine),
+            json::hit_miss_fields("mover_cache", &stats.mover),
+            stats.pairwise,
+            json::exec_fields(&stats.exec),
             json::phases(&premises)
         ));
     }
@@ -92,11 +121,20 @@ fn rows_as_json(rows: &[CaseReport]) -> String {
 fn render_stats(rows: &[CaseReport]) -> String {
     let mut out = String::from("\nObservability (summed over each row's IS applications):\n");
     for r in rows {
-        let (intern, mover, pairwise, exec) = row_stats(r);
+        let RowStats {
+            intern,
+            engine,
+            mover,
+            pairwise,
+            exec,
+        } = row_stats(r);
         out.push_str(&format!(
             "  {:<22} interner {intern}; mover cache {mover} over {pairwise} pairwise checks\n",
             r.name
         ));
+        if engine.ran() {
+            out.push_str(&format!("    engine: {engine}\n"));
+        }
         out.push_str(&format!(
             "    exec: {} compiled action(s) ({} ops, {:.3}ms compile), \
              {} VM / {} interp evaluations\n",
@@ -186,6 +224,140 @@ fn parse_jobs(args: &[String]) -> Result<usize, String> {
     Ok(jobs)
 }
 
+/// A `--flag value` / `--flag=value` string option.
+fn parse_value_of(args: &[String], flag: &str) -> Result<Option<String>, String> {
+    let prefix = format!("{flag}=");
+    for (i, arg) in args.iter().enumerate() {
+        if let Some(v) = arg.strip_prefix(&prefix) {
+            return Ok(Some(v.to_owned()));
+        }
+        if arg == flag {
+            return args
+                .get(i + 1)
+                .cloned()
+                .map(Some)
+                .ok_or_else(|| format!("{flag} requires a value"));
+        }
+    }
+    Ok(None)
+}
+
+fn parse_engines(args: &[String]) -> Result<Vec<inseq_bench::LargeEngine>, String> {
+    use inseq_bench::LargeEngine;
+    match parse_value_of(args, "--engine")?.as_deref() {
+        None | Some("steal") => Ok(vec![LargeEngine::Steal]),
+        Some("seq") => Ok(vec![LargeEngine::Seq]),
+        Some("mpsc") => Ok(vec![LargeEngine::Mpsc]),
+        Some("compare") => Ok(vec![
+            LargeEngine::Seq,
+            LargeEngine::Mpsc,
+            LargeEngine::Steal,
+        ]),
+        Some(other) => Err(format!(
+            "invalid --engine value `{other}` (expected `seq`, `mpsc`, `steal`, or `compare`)"
+        )),
+    }
+}
+
+fn parse_workers(args: &[String]) -> Result<Vec<usize>, String> {
+    let Some(list) = parse_value_of(args, "--workers")? else {
+        return Ok(vec![2, 4]);
+    };
+    let counts: Result<Vec<usize>, _> = list
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            s.parse::<usize>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                format!("invalid --workers entry `{s}` (expected positive integers)")
+            })
+        })
+        .collect();
+    let counts = counts?;
+    if counts.is_empty() {
+        return Err("--workers requires at least one worker count".to_owned());
+    }
+    Ok(counts)
+}
+
+fn parse_runs(args: &[String]) -> Result<usize, String> {
+    match parse_value_of(args, "--runs")? {
+        None => Ok(1),
+        Some(v) => v
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or_else(|| format!("invalid --runs value `{v}` (expected a positive integer)")),
+    }
+}
+
+/// The `--large` path: run the throughput tier and render or emit JSON.
+fn run_large(args: &[String], json: JsonMode, stats: bool, only: Option<Vec<String>>) -> ExitCode {
+    let opts = {
+        let engines = match parse_engines(args) {
+            Ok(e) => e,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let workers = match parse_workers(args) {
+            Ok(w) => w,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let runs = match parse_runs(args) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        inseq_bench::LargeOptions {
+            engines,
+            workers,
+            runs,
+            only,
+        }
+    };
+    let rows = match inseq_bench::large_rows(&opts) {
+        Ok(rows) => rows,
+        Err(e) => {
+            eprintln!("large tier failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match json {
+        JsonMode::File(path) => {
+            let payload = inseq_bench::large_rows_as_json(&rows);
+            if let Err(e) = std::fs::write(&path, &payload) {
+                eprintln!("failed to write `{path}`: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {} rows to {path}", rows.len());
+        }
+        JsonMode::Stdout => print!("{}", inseq_bench::large_rows_as_json(&rows)),
+        JsonMode::Off => {
+            println!(
+                "Large exploration tier ({} machine core(s); engines: {})\n",
+                inseq_bench::machine_cores(),
+                opts.engines
+                    .iter()
+                    .map(|e| e.name())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            print!("{}", inseq_bench::render_large(&rows));
+            if stats {
+                print!("{}", inseq_bench::render_large_stats(&rows));
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn parse_exec(args: &[String]) -> Result<Option<inseq_lang::ExecMode>, String> {
     for (i, arg) in args.iter().enumerate() {
         let value = if let Some(v) = arg.strip_prefix("--exec=") {
@@ -238,6 +410,9 @@ fn main() -> ExitCode {
         }
     };
     let only = parse_only(&args);
+    if args.iter().any(|a| a == "--large") {
+        return run_large(&args, json, stats, only);
+    }
     let rows = || {
         if let Some(needles) = &only {
             inseq_bench::table1_rows_only(needles)

@@ -1,0 +1,377 @@
+//! The `table1 --large` tier: exploration throughput on parametric
+//! instances, with configs/sec as the headline metric.
+//!
+//! Unlike the Table 1 rows — which time the *whole* verification pipeline —
+//! the large tier times exploration alone, on instances sized to visit
+//! 10^4–10^6+ configurations ([`inseq_protocols::large_exploration_cases`]).
+//! Each case runs on a selectable engine: the sequential kernel explorer
+//! (`seq`), the channel-migration baseline (`mpsc`), or the work-stealing
+//! engine (`steal`); `compare` interleaves all three per run so
+//! before/after rows come from adjacent measurements, not separate
+//! sessions.
+//!
+//! Every row cross-checks its visited/edge counts against the other engines
+//! of the same case and run — a configuration dropped or duplicated by a
+//! parallel engine fails the benchmark instead of silently skewing it.
+
+use std::time::{Duration, Instant};
+
+use inseq_engine::{MpscExplorer, ParallelExplorer};
+use inseq_kernel::Explorer;
+use inseq_obs::EngineSnapshot;
+use inseq_protocols::common::{CaseError, ExplorationCase};
+use inseq_protocols::large_exploration_cases;
+
+/// Which exploration engine a [`LargeRow`] measured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LargeEngine {
+    /// The sequential kernel explorer (`inseq_kernel::Explorer`).
+    Seq,
+    /// The channel-migration baseline (`inseq_engine::MpscExplorer`).
+    Mpsc,
+    /// The work-stealing engine (`inseq_engine::ParallelExplorer`).
+    Steal,
+}
+
+impl LargeEngine {
+    /// The CLI name of the engine (`--engine seq|mpsc|steal`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            LargeEngine::Seq => "seq",
+            LargeEngine::Mpsc => "mpsc",
+            LargeEngine::Steal => "steal",
+        }
+    }
+}
+
+/// Options of one `table1 --large` invocation.
+#[derive(Debug, Clone)]
+pub struct LargeOptions {
+    /// Engines to run, in per-case interleaving order.
+    pub engines: Vec<LargeEngine>,
+    /// Worker counts for the parallel engines (`seq` ignores this).
+    pub workers: Vec<usize>,
+    /// Measurement repetitions; rows carry their run index.
+    pub runs: usize,
+    /// Case-name needles (`--only`), case-insensitive; `None` = all cases.
+    pub only: Option<Vec<String>>,
+}
+
+impl Default for LargeOptions {
+    fn default() -> Self {
+        LargeOptions {
+            engines: vec![LargeEngine::Steal],
+            workers: vec![2, 4],
+            runs: 1,
+            only: None,
+        }
+    }
+}
+
+/// One measurement: a case explored once by one engine at one worker count.
+#[derive(Debug, Clone)]
+pub struct LargeRow {
+    /// Protocol name as in Table 1.
+    pub name: String,
+    /// Instance label (e.g. `R = 4, N = 2`).
+    pub instance: String,
+    /// Engine that ran.
+    pub engine: LargeEngine,
+    /// Worker threads (always 1 for `seq`).
+    pub workers: usize,
+    /// Zero-based measurement repetition.
+    pub run: usize,
+    /// Exploration wall clock.
+    pub time: Duration,
+    /// Visited configurations (identical across engines by construction).
+    pub visited: usize,
+    /// Transition edges (identical across engines by construction).
+    pub edges: usize,
+    /// Engine shape: per-shard occupancy and steal/migration traffic
+    /// (default for `seq`).
+    pub stats: EngineSnapshot,
+}
+
+impl LargeRow {
+    /// The headline metric: visited configurations per second.
+    #[must_use]
+    pub fn configs_per_sec(&self) -> f64 {
+        let secs = self.time.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)] // display statistic only
+            {
+                self.visited as f64 / secs
+            }
+        }
+    }
+}
+
+/// The machine's core count as reported by the OS, recorded in bench
+/// entries so a speedup figure can be read against the hardware it ran on.
+#[must_use]
+pub fn machine_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+fn selected_cases(only: Option<&[String]>) -> Result<Vec<ExplorationCase>, CaseError> {
+    let cases = large_exploration_cases();
+    let Some(needles) = only else {
+        return Ok(cases);
+    };
+    if needles.is_empty() {
+        return Err(CaseError::new(
+            "--only",
+            "no needles given; pass one or more protocol-name fragments".to_owned(),
+        ));
+    }
+    let matched_by = |needle: &String| {
+        let needle = needle.to_lowercase();
+        move |name: &str| name.to_lowercase().contains(&needle)
+    };
+    if let Some(unmatched) = needles
+        .iter()
+        .find(|needle| !cases.iter().any(|c| matched_by(needle)(&c.name)))
+    {
+        let known: Vec<&str> = cases.iter().map(|c| c.name.as_str()).collect();
+        return Err(CaseError::new(
+            "--only",
+            format!("needle `{unmatched}` matches no --large case; known cases: {known:?}"),
+        ));
+    }
+    Ok(cases
+        .into_iter()
+        .filter(|c| needles.iter().any(|needle| matched_by(needle)(&c.name)))
+        .collect())
+}
+
+fn explore_once(
+    case: &ExplorationCase,
+    engine: LargeEngine,
+    workers: usize,
+    run: usize,
+) -> Result<LargeRow, CaseError> {
+    let start = Instant::now();
+    let (visited, edges, stats) = match engine {
+        LargeEngine::Seq => {
+            let exp = Explorer::new(&case.program)
+                .explore([case.init.clone()])
+                .map_err(|e| CaseError::new(&case.name, e))?;
+            (
+                exp.config_count(),
+                exp.edge_count(),
+                EngineSnapshot::default(),
+            )
+        }
+        LargeEngine::Mpsc => {
+            let exp = MpscExplorer::new(&case.program)
+                .with_workers(workers)
+                .explore([case.init.clone()])
+                .map_err(|e| CaseError::new(&case.name, e))?;
+            (
+                exp.config_count(),
+                exp.edge_count(),
+                exp.stats().engine_snapshot(),
+            )
+        }
+        LargeEngine::Steal => {
+            let exp = ParallelExplorer::new(&case.program)
+                .with_workers(workers)
+                .explore([case.init.clone()])
+                .map_err(|e| CaseError::new(&case.name, e))?;
+            (
+                exp.config_count(),
+                exp.edge_count(),
+                exp.stats().engine_snapshot(),
+            )
+        }
+    };
+    Ok(LargeRow {
+        name: case.name.clone(),
+        instance: case.instance.clone(),
+        engine,
+        workers: if engine == LargeEngine::Seq {
+            1
+        } else {
+            workers
+        },
+        run,
+        time: start.elapsed(),
+        visited,
+        edges,
+        stats,
+    })
+}
+
+/// Runs the large tier and returns one row per (case, run, engine, worker
+/// count) in execution order. Engines of the same case and run are
+/// interleaved (each engine/worker combination runs back-to-back on the
+/// same case), so a before/after comparison reads adjacent measurements.
+///
+/// # Errors
+///
+/// Returns the first failing exploration, an unmatched `--only` needle, or
+/// a cross-engine disagreement on visited/edge counts (a dropped or
+/// duplicated configuration in a parallel engine).
+pub fn large_rows(opts: &LargeOptions) -> Result<Vec<LargeRow>, CaseError> {
+    let cases = selected_cases(opts.only.as_deref())?;
+    let worker_counts = if opts.workers.is_empty() {
+        vec![2]
+    } else {
+        opts.workers.clone()
+    };
+    let mut rows = Vec::new();
+    for run in 0..opts.runs.max(1) {
+        for case in &cases {
+            let mut reference: Option<(usize, usize, &'static str, usize)> = None;
+            for &workers in &worker_counts {
+                for &engine in &opts.engines {
+                    if engine == LargeEngine::Seq && workers != worker_counts[0] {
+                        continue; // seq has no worker axis; run it once per case+run
+                    }
+                    let row = explore_once(case, engine, workers, run)?;
+                    if let Some((v, e, ref_engine, ref_workers)) = reference {
+                        if row.visited != v || row.edges != e {
+                            return Err(CaseError::new(
+                                &case.name,
+                                format!(
+                                    "engine disagreement: {} at {} worker(s) visited {} configs \
+                                     ({} edges) but {ref_engine} at {ref_workers} worker(s) \
+                                     visited {v} ({e} edges)",
+                                    row.engine.name(),
+                                    row.workers,
+                                    row.visited,
+                                    row.edges
+                                ),
+                            ));
+                        }
+                    } else {
+                        reference = Some((row.visited, row.edges, row.engine.name(), row.workers));
+                    }
+                    rows.push(row);
+                }
+            }
+        }
+    }
+    Ok(rows)
+}
+
+/// Renders large-tier rows as a text table, configs/sec last.
+#[must_use]
+pub fn render_large(rows: &[LargeRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<22} {:<14} {:>5} {:>3} {:>3} {:>9} {:>10} {:>10} {:>12}\n",
+        "Example", "Instance", "eng", "w", "run", "visited", "edges", "time", "configs/sec"
+    ));
+    out.push_str(&format!("{}\n", "-".repeat(96)));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<22} {:<14} {:>5} {:>3} {:>3} {:>9} {:>10} {:>9.2}s {:>12.0}\n",
+            r.name,
+            r.instance,
+            r.engine.name(),
+            r.workers,
+            r.run,
+            r.visited,
+            r.edges,
+            r.time.as_secs_f64(),
+            r.configs_per_sec()
+        ));
+    }
+    out
+}
+
+/// The `--stats` section for large rows: engine shape per parallel row.
+#[must_use]
+pub fn render_large_stats(rows: &[LargeRow]) -> String {
+    let mut out = String::from("\nEngine shape (per parallel row):\n");
+    for r in rows {
+        if r.stats.ran() {
+            out.push_str(&format!(
+                "  {:<22} {:<14} {:>5} w={}: {}\n",
+                r.name,
+                r.instance,
+                r.engine.name(),
+                r.workers,
+                r.stats
+            ));
+        }
+    }
+    out
+}
+
+/// Large-tier rows as a JSON array. Every row records the machine's core
+/// count and its worker count so throughput figures stay interpretable.
+#[must_use]
+pub fn large_rows_as_json(rows: &[LargeRow]) -> String {
+    use inseq_core::json;
+    let cores = machine_cores();
+    let mut out = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&format!(
+            "  {{\"example\": \"{}\", \"instance\": \"{}\", \"engine\": \"{}\", \
+             \"workers\": {}, \"machine_cores\": {cores}, \"run\": {}, \
+             \"time_seconds\": {:.6}, \"visited_configs\": {}, \"edges\": {}, \
+             \"configs_per_sec\": {:.1}, {}}}",
+            json::escape(&r.name),
+            json::escape(&r.instance),
+            r.engine.name(),
+            r.workers,
+            r.run,
+            r.time.as_secs_f64(),
+            r.visited,
+            r.edges,
+            r.configs_per_sec(),
+            json::engine_fields(&r.stats),
+        ));
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unmatched_needle_is_an_error_not_a_silent_shrink() {
+        let err = selected_cases(Some(&["no-such-protocol".to_owned()]))
+            .expect_err("bogus needle must not silently select nothing");
+        assert!(err.to_string().contains("no-such-protocol"));
+        assert!(err.to_string().contains("known cases"));
+    }
+
+    #[test]
+    fn needles_select_case_insensitively() {
+        let cases = selected_cases(Some(&["broadcast".to_owned()])).unwrap();
+        assert_eq!(cases.len(), 1);
+        assert_eq!(cases[0].name, "Broadcast consensus");
+    }
+
+    #[test]
+    fn empty_needle_list_is_rejected() {
+        assert!(selected_cases(Some(&[])).is_err());
+    }
+
+    #[test]
+    fn configs_per_sec_is_visited_over_wall() {
+        let row = LargeRow {
+            name: "x".into(),
+            instance: "y".into(),
+            engine: LargeEngine::Seq,
+            workers: 1,
+            run: 0,
+            time: Duration::from_secs(2),
+            visited: 10_000,
+            edges: 0,
+            stats: EngineSnapshot::default(),
+        };
+        assert!((row.configs_per_sec() - 5_000.0).abs() < 1e-9);
+    }
+}

@@ -10,6 +10,13 @@
 #![allow(clippy::result_large_err)] // pipeline errors embed case reports
 #![warn(missing_docs)]
 
+pub mod large;
+
+pub use large::{
+    large_rows, large_rows_as_json, machine_cores, render_large, render_large_stats, LargeEngine,
+    LargeOptions, LargeRow,
+};
+
 use std::time::Duration;
 
 use inseq_baseline::{broadcast_flat, check_flat_invariant, paxos_flat, FlatOptions};

@@ -8,7 +8,7 @@
 //! `BENCH_table1.json` consumers and daemon clients parse them.
 
 use inseq_kernel::ExecStats;
-use inseq_obs::{HitMissSnapshot, PhaseStat};
+use inseq_obs::{EngineSnapshot, HitMissSnapshot, PhaseStat};
 
 use crate::rule::IsReport;
 
@@ -75,6 +75,23 @@ pub fn exec_fields(e: &ExecStats) -> String {
     )
 }
 
+/// Parallel-engine shape counters as flat fields: worker count, the
+/// per-shard occupancy profile, and steal/migration traffic.
+#[must_use]
+pub fn engine_fields(e: &EngineSnapshot) -> String {
+    let expanded: Vec<String> = e.expanded.iter().map(u64::to_string).collect();
+    format!(
+        "\"engine_workers\": {}, \"engine_expanded\": [{}], \"engine_steals\": {}, \
+         \"engine_stolen\": {}, \"engine_migrated\": {}, \"engine_migration_dups\": {}",
+        e.workers,
+        expanded.join(", "),
+        e.steals,
+        e.stolen,
+        e.migrated,
+        e.migration_dups
+    )
+}
+
 /// A whole [`IsReport`] — deterministic counts plus observability — as one
 /// JSON object. The daemon attaches this to its `verdict` responses.
 #[must_use]
@@ -82,7 +99,7 @@ pub fn is_report(r: &IsReport) -> String {
     format!(
         "{{\"reachable_configs\": {}, \"edges\": {}, \"target_inputs\": {}, \
          \"invariant_transitions\": {}, \"induction_steps\": {}, \
-         \"eliminated_actions\": {}, \"universe_stores\": {}, {}, {}, \
+         \"eliminated_actions\": {}, \"universe_stores\": {}, {}, {}, {}, \
          \"pairwise_checks\": {}, {}, \"premises\": {}}}",
         r.reachable_configs,
         r.edges,
@@ -92,6 +109,7 @@ pub fn is_report(r: &IsReport) -> String {
         r.eliminated_actions,
         r.universe_stores,
         hit_miss_fields("intern", &r.stats.intern),
+        engine_fields(&r.stats.engine),
         hit_miss_fields("mover_cache", &r.stats.mover_cache),
         r.stats.pairwise_checks,
         exec_fields(&r.stats.exec),
@@ -132,6 +150,14 @@ mod tests {
             ..IsReport::default()
         };
         r.stats.intern = HitMissSnapshot::new(5, 6);
+        r.stats.engine = EngineSnapshot {
+            workers: 2,
+            expanded: vec![4, 6],
+            steals: 1,
+            stolen: 2,
+            migrated: 2,
+            migration_dups: 0,
+        };
         r.stats.mover_cache = HitMissSnapshot::new(7, 8);
         r.stats.pairwise_checks = 9;
         r.stats.premises = vec![PhaseStat::new("explore", Duration::from_secs(1), 10)];
@@ -141,6 +167,8 @@ mod tests {
              \"invariant_transitions\": 4, \"induction_steps\": 2, \
              \"eliminated_actions\": 1, \"universe_stores\": 12, \
              \"intern_hits\": 5, \"intern_misses\": 6, \
+             \"engine_workers\": 2, \"engine_expanded\": [4, 6], \"engine_steals\": 1, \
+             \"engine_stolen\": 2, \"engine_migrated\": 2, \"engine_migration_dups\": 0, \
              \"mover_cache_hits\": 7, \"mover_cache_misses\": 8, \
              \"pairwise_checks\": 9, \
              \"compiled_actions\": 0, \"compile_nanos\": 0, \"vm_evals\": 0, \"interp_evals\": 0, \

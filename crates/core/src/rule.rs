@@ -13,7 +13,7 @@ use inseq_kernel::{
     GlobalStore, Multiset, PendingAsync, Program, StateUniverse, Trace, Transition, Value,
 };
 use inseq_mover::{MoverChecker, MoverStats, MoverViolation};
-use inseq_obs::{HitMissSnapshot, PhaseStat};
+use inseq_obs::{EngineSnapshot, HitMissSnapshot, PhaseStat};
 use inseq_refine::{check_action_refinement, RefinementViolation};
 
 use crate::measure::Measure;
@@ -298,6 +298,9 @@ pub struct IsStats {
     /// Configuration-interner traffic during instance exploration (merged
     /// across shards under [`IsApplication::check_with`]).
     pub intern: HitMissSnapshot,
+    /// Parallel-exploration shape: worker count, per-shard occupancy, and
+    /// steal traffic. Default (zero workers) on sequential checks.
+    pub engine: EngineSnapshot,
     /// The mover checker's evaluation-cache traffic during (LM).
     pub mover_cache: HitMissSnapshot,
     /// `(mover, partner, store)` triples examined during (LM).
@@ -363,6 +366,9 @@ impl fmt::Display for IsReport {
         )?;
         if self.stats.intern.lookups() > 0 {
             write!(f, "; interner {}", self.stats.intern)?;
+        }
+        if self.stats.engine.ran() {
+            write!(f, "; engine {}", self.stats.engine)?;
         }
         if self.stats.pairwise_checks > 0 {
             write!(
@@ -874,8 +880,9 @@ impl IsApplication {
         report.reachable_configs = exploration.config_count();
         report.edges = exploration.edge_count();
         report.stats.intern = exploration.stats().intern();
+        report.stats.engine = exploration.stats().engine_snapshot();
         for config in exploration.configs() {
-            universe.absorb_config(config);
+            universe.absorb_config(&config);
         }
         Ok(self.finish_prep(universe, report, invariant, None))
     }

@@ -5,13 +5,16 @@
 //! configurations or discharges independent proof obligations can do so on
 //! multiple threads through the two layers here.
 //!
-//! * **Layer 1 — [`ParallelExplorer`]**: a sharded breadth-first explorer
-//!   that is a drop-in alternative to [`inseq_kernel::Explorer`]. The
-//!   visited set is partitioned by configuration hash across worker threads;
-//!   each shard is owned by exactly one worker, so interning needs no locks,
-//!   and work migrates between shards over `std::sync::mpsc` channels. The
-//!   reachable set, verdict, terminal stores, and edge count are identical
-//!   to the sequential explorer's.
+//! * **Layer 1 — [`ParallelExplorer`]**: a work-stealing explorer that is a
+//!   drop-in alternative to [`inseq_kernel::Explorer`]. All workers share
+//!   one hash-consing arena, so a successor is deduplicated *before* any
+//!   cross-worker handoff and moving work between shards copies three ids —
+//!   never a materialized configuration. Each worker owns a deque (push/pop
+//!   at the back); idle workers steal batches from the front. The reachable
+//!   set, verdict, terminal stores, and edge count are identical to the
+//!   sequential explorer's. The previous channel-migration engine survives
+//!   as [`MpscExplorer`], the before-baseline of `table1 --large --engine
+//!   compare`.
 //! * **Layer 2 — [`Engine`]**: a job-DAG scheduler running independent
 //!   obligations — the Fig. 3 conditions of an IS application, per-pair
 //!   mover queries, whole Table 1 rows — concurrently on a fixed thread
@@ -41,7 +44,12 @@
 
 mod explore;
 pub mod hash;
+mod memo;
+mod mpsc;
 mod schedule;
+mod stats;
 
-pub use explore::{ExploreStats, ParallelExploration, ParallelExplorer, ShardStats};
+pub use explore::{ParallelExploration, ParallelExplorer};
+pub use mpsc::{MpscExploration, MpscExplorer};
 pub use schedule::{Engine, EngineReport, Job, JobResult, JobStats, JobStatus};
+pub use stats::{ExploreStats, ShardStats};

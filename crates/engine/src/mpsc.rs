@@ -1,0 +1,930 @@
+//! The channel-migration parallel explorer (the pre-work-stealing engine,
+//! kept as a benchmarking baseline).
+//!
+//! [`MpscExplorer`] partitions the visited set across `N` worker threads by
+//! a **route hash** of the global store. Each worker *owns* one shard — the
+//! configurations whose route maps to it — so deduplication never needs a
+//! lock: a configuration is only ever interned by its owner, into a
+//! *private* hash-consing [`Interner`]. The price is **id translation at
+//! migration**: a successor owned by another shard must be materialized
+//! into a plain [`Config`], shipped over a [`std::sync::mpsc`] channel, and
+//! structurally re-interned by the receiver — per-config work that the
+//! work-stealing [`crate::ParallelExplorer`] replaces with an O(1) buffer
+//! handoff of already-interned ids. On duplicate-heavy frontiers most of
+//! that shipped work is then rejected by the receiver's dedup (see
+//! `received_dups` in [`ShardStats`]), which is why this engine is kept
+//! only as the before-baseline for `table1 --large --engine compare`.
+//!
+//! # Routing
+//!
+//! The route hash ([`route_of`], Zobrist style: commutative XOR over
+//! `(slot, value)` hashes of the global store) is decomposable, so a
+//! successor's owner is computed from its parent's route in `O(|delta|)` —
+//! un-XOR the old value of each written slot, XOR the new one — before the
+//! successor is built. Routing on globals alone is a locality choice: pure
+//! spawns stay on the discovering shard and are interned locally.
+//!
+//! # Termination
+//!
+//! Distributed termination uses a shared in-flight counter: a batch of `k`
+//! configurations increments the counter by `k` *before* the send, and the
+//! receiving worker decrements by `k` only after it has fully processed the
+//! batch — including the local cascade of same-shard successors and the
+//! flush of any cross-shard successors (whose own increments therefore
+//! happen before the decrement). The counter reaching zero consequently
+//! proves that no counted work remains anywhere, and the worker observing
+//! the zero broadcasts `Done` to every shard.
+
+use std::collections::{BTreeSet, HashMap};
+use std::hash::Hasher;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Mutex;
+
+use crate::hash::FxHasher;
+use crate::memo::{build_plans, MemoPlan, Resolved, SharedMemo, View};
+use crate::stats::{ExploreStats, ShardStats};
+
+use inseq_obs::HitMissSnapshot;
+
+use inseq_kernel::{
+    ActionName, BagId, Config, ExploreError, GlobalStore, Interner, Multiset, PaId, PendingAsync,
+    Program, StoreId, Summary, Value, DEFAULT_CONFIG_BUDGET,
+};
+
+/// Cross-shard successor batches are flushed once they reach this size (and
+/// unconditionally at the end of each counted batch), trading message count
+/// against frontier latency.
+const FLUSH_THRESHOLD: usize = 512;
+
+/// The channel-migration parallel explorer (benchmarking baseline).
+///
+/// Mirrors the sequential [`inseq_kernel::Explorer`] API and produces
+/// results bit-identical to it and to [`crate::ParallelExplorer`].
+#[derive(Debug)]
+pub struct MpscExplorer<'p> {
+    program: &'p Program,
+    workers: usize,
+    budget: usize,
+    stop_on_failure: bool,
+}
+
+impl<'p> MpscExplorer<'p> {
+    /// Creates an explorer with one worker per available hardware thread
+    /// and the default configuration budget.
+    #[must_use]
+    pub fn new(program: &'p Program) -> Self {
+        MpscExplorer {
+            program,
+            workers: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+            budget: DEFAULT_CONFIG_BUDGET,
+            stop_on_failure: false,
+        }
+    }
+
+    /// Sets the number of worker threads (and therefore visited-set shards).
+    /// Clamped to at least one.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Sets the maximum number of distinct configurations to visit across
+    /// all shards before giving up with [`ExploreError::BudgetExceeded`].
+    #[must_use]
+    pub fn with_budget(mut self, budget: usize) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// When enabled, the first gate violation cancels all workers instead of
+    /// letting the exploration run to completion.
+    #[must_use]
+    pub fn stop_on_first_failure(mut self, stop: bool) -> Self {
+        self.stop_on_failure = stop;
+        self
+    }
+
+    /// The configured number of workers.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Explores all configurations reachable from the given initial
+    /// configurations, in parallel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExploreError::BudgetExceeded`] when the combined shards
+    /// exceed the budget and [`ExploreError::Kernel`] when a pending async
+    /// refers to an unknown action or has the wrong arity.
+    pub fn explore(
+        &self,
+        initial: impl IntoIterator<Item = Config>,
+    ) -> Result<MpscExploration, ExploreError> {
+        // Force one-time action setup (e.g. compiling to bytecode) before
+        // spawning workers, so shards never race on first-eval compilation.
+        self.program.prepare_actions();
+        let n = self.workers;
+        let mut seed_batches: Vec<Vec<(u64, Config)>> = vec![Vec::new(); n];
+        for config in initial {
+            let route = route_of(&config.globals);
+            seed_batches[owner_of(route, n)].push((route, config));
+        }
+        let seed_count: usize = seed_batches.iter().map(Vec::len).sum();
+        if seed_count == 0 {
+            return Ok(MpscExploration::empty(n));
+        }
+
+        let shared = Shared {
+            pending: AtomicUsize::new(seed_count),
+            cancelled: AtomicBool::new(false),
+            interned: AtomicUsize::new(0),
+            error: Mutex::new(None),
+        };
+        let plans = build_plans(self.program);
+        let memo = SharedMemo::for_plans(plans.is_empty());
+        let mut senders: Vec<Sender<Msg>> = Vec::with_capacity(n);
+        let mut receivers: Vec<Receiver<Msg>> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = channel();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+
+        let outputs: Vec<ShardOutput> = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(n);
+            for (me, rx) in receivers.into_iter().enumerate() {
+                let worker = Worker {
+                    me,
+                    program: self.program,
+                    budget: self.budget,
+                    stop_on_failure: self.stop_on_failure,
+                    shared: &shared,
+                    plans: &plans,
+                    senders: senders.clone(),
+                    interner: Interner::new(),
+                    parts: Vec::new(),
+                    routes: Vec::new(),
+                    stack: Vec::new(),
+                    pa_buf: Vec::new(),
+                    buffers: vec![Vec::new(); n],
+                    memo: memo.as_ref(),
+                    out: ShardOutput::default(),
+                };
+                handles.push(scope.spawn(move || worker.run(rx)));
+            }
+            for (owner, batch) in seed_batches.into_iter().enumerate() {
+                if !batch.is_empty() {
+                    let _ = senders[owner].send(Msg::Seed(batch));
+                }
+            }
+            drop(senders);
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("exploration worker panicked"))
+                .collect()
+        });
+
+        if let Some(mut err) = shared.error.lock().expect("error slot poisoned").take() {
+            if let ExploreError::BudgetExceeded { visited, .. } = &mut err {
+                // The recording shard saw the shared counter at its own
+                // observation instant; racing shards may have interned more
+                // before the cancellation landed. Report the post-join
+                // total, which no longer depends on that race.
+                *visited = shared.interned.load(Ordering::Relaxed);
+            }
+            return Err(err);
+        }
+        let memo_stats = memo
+            .as_ref()
+            .map_or_else(HitMissSnapshot::default, SharedMemo::snapshot);
+        Ok(MpscExploration::merge(outputs, memo_stats))
+    }
+
+    /// Computes the program summary (the data of Def. 3.2) for a single
+    /// initialized configuration, like [`inseq_kernel::Explorer::summarize`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates exploration errors.
+    pub fn summarize(&self, initial: Config) -> Result<Summary, ExploreError> {
+        Ok(self.explore([initial])?.summary())
+    }
+}
+
+/// The globals-only route hash of a configuration, built from per-slot
+/// hashes combined *commutatively* (Zobrist style: XOR of `(slot, value)`
+/// hashes). Commutativity is the point — a successor's route is computable
+/// from its parent's in `O(|delta|)` (un-XOR the old value of each written
+/// slot, XOR the new one) without materializing the successor at all.
+fn route_of(globals: &GlobalStore) -> u64 {
+    let mut route = 0u64;
+    for (i, v) in globals.iter().enumerate() {
+        route ^= slot_hash(i, v);
+    }
+    route
+}
+
+/// The hash contribution of one `(slot index, value)` pair.
+fn slot_hash(i: usize, v: &Value) -> u64 {
+    use std::hash::Hash;
+    let mut hasher = FxHasher::default();
+    hasher.write_usize(i);
+    v.hash(&mut hasher);
+    hasher.finish()
+}
+
+/// The shard owning a configuration whose route hash is `route`. Fx pushes
+/// its entropy toward the high bits, so fold them down before the modulo.
+fn owner_of(route: u64, shards: usize) -> usize {
+    (((route >> 32) ^ route) as usize) % shards
+}
+
+enum Msg {
+    /// Initial configurations: interned and counted, but exempt from the
+    /// budget check at their own intern (matching the sequential explorer,
+    /// which only checks the budget when interning fresh successors).
+    Seed(Vec<(u64, Config)>),
+    /// Discovered configurations routed to their owner shard, carrying their
+    /// precomputed route hash.
+    Work(Vec<(u64, Config)>),
+    /// Shut down: exploration finished or was cancelled.
+    Done,
+}
+
+struct Shared {
+    /// Counted configurations sent but not yet fully processed.
+    pending: AtomicUsize,
+    cancelled: AtomicBool,
+    /// Distinct configurations interned across all shards (budget counter).
+    interned: AtomicUsize,
+    /// First error observed by any worker.
+    error: Mutex<Option<ExploreError>>,
+}
+
+/// Per-shard results, moved out of the worker when it exits.
+#[derive(Debug, Default)]
+struct ShardOutput {
+    visited: Vec<Config>,
+    failures: Vec<(Config, PendingAsync, String)>,
+    deadlocks: Vec<Config>,
+    terminal: BTreeSet<GlobalStore>,
+    edges: usize,
+    stats: ShardStats,
+}
+
+struct Worker<'p, 'sh> {
+    me: usize,
+    program: &'p Program,
+    budget: usize,
+    stop_on_failure: bool,
+    shared: &'sh Shared,
+    /// Per-action memoization plans (absent for opaque actions).
+    plans: &'sh HashMap<ActionName, MemoPlan>,
+    senders: Vec<Sender<Msg>>,
+    /// This shard's hash-consed visited set: the config arena *is* the
+    /// dedup structure, and successor stores/bags share sub-parts with
+    /// their parents.
+    interner: Interner,
+    /// `(store, bag)` parts per interned config, parallel to the interner's
+    /// config ids.
+    parts: Vec<(StoreId, BagId)>,
+    /// Route hash per interned config, parallel to `parts`; workers read
+    /// the parent's entry to derive successor routes in `O(|delta|)`.
+    routes: Vec<u64>,
+    /// Config ids awaiting processing — the local cascade.
+    stack: Vec<usize>,
+    /// Reusable buffer of the distinct pending-async ids of the
+    /// configuration under expansion.
+    pa_buf: Vec<PaId>,
+    /// Outgoing cross-shard successors, buffered per destination.
+    buffers: Vec<Vec<(u64, Config)>>,
+    /// The shared evaluation memo; `None` when no action has a footprint.
+    memo: Option<&'sh SharedMemo>,
+    out: ShardOutput,
+}
+
+/// A non-failure reason to abandon the current configuration mid-step.
+enum StepFault {
+    Kernel(ExploreError),
+    StopOnFailure,
+}
+
+impl Worker<'_, '_> {
+    fn run(mut self, rx: Receiver<Msg>) -> ShardOutput {
+        'recv: while let Ok(mut msg) = rx.recv() {
+            // Drain everything already queued before processing: on few cores
+            // each blocking `recv` wake-up is a context switch, so absorbing
+            // all available batches per wake-up matters more than latency.
+            let mut count = 0usize;
+            let mut done = false;
+            loop {
+                match msg {
+                    Msg::Done => {
+                        // Termination `Done` cannot overtake counted work we
+                        // hold (the in-flight counter is still positive), so
+                        // this is a cancellation or arrives with `count == 0`.
+                        done = true;
+                        break;
+                    }
+                    Msg::Seed(batch) => {
+                        count += batch.len();
+                        if !self.shared.cancelled.load(Ordering::Acquire) {
+                            for (route, config) in batch {
+                                self.enqueue(route, &config, true);
+                            }
+                        }
+                    }
+                    Msg::Work(batch) => {
+                        count += batch.len();
+                        if !self.shared.cancelled.load(Ordering::Acquire) {
+                            for (route, config) in batch {
+                                self.enqueue(route, &config, false);
+                            }
+                        }
+                    }
+                }
+                match rx.try_recv() {
+                    Ok(next) => msg = next,
+                    Err(_) => break,
+                }
+            }
+            self.cascade();
+            self.flush_all();
+            // Decrement only now: every successor the drained batches
+            // produced has already been counted, so a zero is conclusive.
+            if count > 0 && self.shared.pending.fetch_sub(count, Ordering::AcqRel) == count {
+                self.broadcast_done();
+            }
+            if done {
+                break 'recv;
+            }
+        }
+        self.out.visited = self
+            .parts
+            .iter()
+            .map(|&(sid, bagid)| self.resolve(sid, bagid))
+            .collect();
+        self.out.stats.intern = self.interner.intern_stats();
+        self.out
+    }
+
+    fn resolve(&self, sid: StoreId, bagid: BagId) -> Config {
+        Config::new(
+            self.interner.store(sid).clone(),
+            self.interner.resolve_bag(bagid),
+        )
+    }
+
+    /// Interns an incoming configuration this shard owns — the id
+    /// translation at migration: the sender's ids mean nothing here, so the
+    /// materialized configuration is re-interned against the local arenas.
+    /// Fresh ones are counted against the budget (unless seeds) and queued
+    /// for processing.
+    fn enqueue(&mut self, route: u64, config: &Config, seed: bool) {
+        let (id, fresh) = self.interner.intern_config(config);
+        if !seed {
+            self.out.stats.received += 1;
+            if !fresh {
+                self.out.stats.received_dups += 1;
+            }
+        }
+        if fresh {
+            self.parts.push(self.interner.config_parts(id));
+            self.routes.push(route);
+            let interned = self.shared.interned.fetch_add(1, Ordering::Relaxed) + 1;
+            if !seed && interned > self.budget {
+                self.fail(ExploreError::BudgetExceeded {
+                    limit: self.budget,
+                    visited: interned,
+                    trace: None,
+                });
+                return;
+            }
+            self.stack.push(id.index());
+        }
+    }
+
+    /// Interns a same-shard successor from already-interned parts; fresh
+    /// ones are counted against the budget and queued.
+    fn intern_local(&mut self, route: u64, sid: StoreId, bagid: BagId) -> Result<(), StepFault> {
+        let (id, fresh) = self.interner.intern_config_parts(sid, bagid);
+        if fresh {
+            self.parts.push((sid, bagid));
+            self.routes.push(route);
+            let interned = self.shared.interned.fetch_add(1, Ordering::Relaxed) + 1;
+            if interned > self.budget {
+                return Err(StepFault::Kernel(ExploreError::BudgetExceeded {
+                    limit: self.budget,
+                    visited: interned,
+                    trace: None,
+                }));
+            }
+            self.stack.push(id.index());
+        }
+        Ok(())
+    }
+
+    /// Materializes a cross-shard successor: resolve the parent's bag once,
+    /// apply the pending delta, and pair it with the given post-store.
+    fn materialize(
+        &self,
+        bagid: BagId,
+        consumed: PaId,
+        globals: GlobalStore,
+        created: &Multiset<PendingAsync>,
+    ) -> Config {
+        let mut pending = self.interner.resolve_bag(bagid);
+        pending.remove_one(self.interner.pa(consumed));
+        for item in created.iter() {
+            pending.insert(item.clone());
+        }
+        Config::new(globals, pending)
+    }
+
+    fn stage_remote(&mut self, owner: usize, route: u64, next: Config) {
+        self.out.stats.migrated_out += 1;
+        self.buffers[owner].push((route, next));
+        if self.buffers[owner].len() >= FLUSH_THRESHOLD {
+            self.flush(owner);
+        }
+    }
+
+    /// Processes queued configurations until the local cascade is drained.
+    fn cascade(&mut self) {
+        while let Some(id) = self.stack.pop() {
+            if self.shared.cancelled.load(Ordering::Relaxed) {
+                self.stack.clear();
+                return;
+            }
+            self.step(id);
+        }
+    }
+
+    /// Evaluates every distinct pending async of the configuration `id`,
+    /// interning same-shard successors immediately and buffering cross-shard
+    /// ones. All state is referenced by interned id, so nothing borrows
+    /// across the interner mutations.
+    fn step(&mut self, id: usize) {
+        let memo = self.memo;
+        let plans = self.plans;
+        let program = self.program;
+        let shards = self.buffers.len();
+        let (sid, bagid) = self.parts[id];
+        let route0 = self.routes[id];
+        self.out.stats.expanded += 1;
+
+        {
+            let (pa_buf, interner) = (&mut self.pa_buf, &self.interner);
+            pa_buf.clear();
+            pa_buf.extend(interner.bag_entries(bagid).iter().map(|&(p, _)| p));
+        }
+        let mut fault = None;
+        let mut progressed = self.pa_buf.is_empty();
+        'eval: for k in 0..self.pa_buf.len() {
+            let paid = self.pa_buf[k];
+            let plan = plans.get(&self.interner.pa(paid).action);
+            let active = match (memo, plan) {
+                (Some(memo), Some(plan)) if memo.enabled.load(Ordering::Relaxed) => {
+                    Some((memo, plan))
+                }
+                _ => None,
+            };
+            let outcome = if let Some((memo, plan)) = active {
+                let probe = {
+                    let globals = self.interner.store(sid);
+                    let pa = self.interner.pa(paid);
+                    memo.probe(pa, plan, globals)
+                };
+                if let Some(cached) = probe {
+                    Resolved::Cached(cached)
+                } else {
+                    // Evaluate *outside* the memo lock, then publish.
+                    let evaluated = {
+                        let globals = self.interner.store(sid);
+                        let pa = self.interner.pa(paid);
+                        program.eval_pa(globals, pa)
+                    };
+                    match evaluated {
+                        Ok(out) => {
+                            let globals = self.interner.store(sid);
+                            let pa = self.interner.pa(paid);
+                            memo.publish(pa, plan, globals, &out);
+                            Resolved::Owned(out)
+                        }
+                        Err(e) => {
+                            fault = Some(StepFault::Kernel(e.into()));
+                            break 'eval;
+                        }
+                    }
+                }
+            } else {
+                let evaluated = {
+                    let globals = self.interner.store(sid);
+                    let pa = self.interner.pa(paid);
+                    program.eval_pa(globals, pa)
+                };
+                match evaluated {
+                    Ok(out) => Resolved::Owned(out),
+                    Err(e) => {
+                        fault = Some(StepFault::Kernel(e.into()));
+                        break 'eval;
+                    }
+                }
+            };
+            // The footprint's write set bounds which slots a successor store
+            // can differ in, letting the interner skip re-hashing the rest.
+            let fp_writes: Option<&[usize]> = plan.map(|p| p.writes.as_slice());
+            match outcome.view() {
+                View::Failure(reason) => {
+                    progressed = true;
+                    let witness = self.resolve(sid, bagid);
+                    self.out.failures.push((
+                        witness,
+                        self.interner.pa(paid).clone(),
+                        reason.to_owned(),
+                    ));
+                    if self.stop_on_failure {
+                        fault = Some(StepFault::StopOnFailure);
+                        break 'eval;
+                    }
+                }
+                View::Full(transitions) => {
+                    if !transitions.is_empty() {
+                        progressed = true;
+                    }
+                    for t in transitions {
+                        self.out.edges += 1;
+                        // Derive the successor's route from the parent's:
+                        // un-XOR changed slots.
+                        let mut route = route0;
+                        {
+                            let parent = self.interner.store(sid);
+                            for (i, (old, new)) in parent.iter().zip(t.globals.iter()).enumerate() {
+                                if old != new {
+                                    route ^= slot_hash(i, old) ^ slot_hash(i, new);
+                                }
+                            }
+                        }
+                        let owner = owner_of(route, shards);
+                        if owner == self.me {
+                            let next_sid =
+                                self.interner.intern_store_diff(sid, &t.globals, fp_writes);
+                            let next_bag = self.interner.bag_after(bagid, paid, &t.created);
+                            if let Err(f) = self.intern_local(route, next_sid, next_bag) {
+                                fault = Some(f);
+                                break 'eval;
+                            }
+                        } else {
+                            let next = self.materialize(bagid, paid, t.globals.clone(), &t.created);
+                            self.stage_remote(owner, route, next);
+                        }
+                    }
+                }
+                View::Delta(transitions) => {
+                    if !transitions.is_empty() {
+                        progressed = true;
+                    }
+                    for t in transitions {
+                        self.out.edges += 1;
+                        let mut route = route0;
+                        {
+                            let parent = self.interner.store(sid);
+                            for (i, v) in &t.writes {
+                                let old = parent.get(*i);
+                                if old != v {
+                                    route ^= slot_hash(*i, old) ^ slot_hash(*i, v);
+                                }
+                            }
+                        }
+                        let owner = owner_of(route, shards);
+                        if owner == self.me {
+                            // Replay the memoized write-delta; by the
+                            // footprint contract the result is exactly what
+                            // `eval` would have produced here.
+                            let next_sid = self.interner.intern_store_writes(sid, &t.writes);
+                            let next_bag = self.interner.bag_after(bagid, paid, &t.created);
+                            if let Err(f) = self.intern_local(route, next_sid, next_bag) {
+                                fault = Some(f);
+                                break 'eval;
+                            }
+                        } else {
+                            let globals = {
+                                let mut g = self.interner.store(sid).clone();
+                                for (i, v) in &t.writes {
+                                    g.set(*i, v.clone());
+                                }
+                                g
+                            };
+                            let next = self.materialize(bagid, paid, globals, &t.created);
+                            self.stage_remote(owner, route, next);
+                        }
+                    }
+                }
+            }
+        }
+        if fault.is_none() {
+            if !progressed {
+                let witness = self.resolve(sid, bagid);
+                self.out.deadlocks.push(witness);
+            }
+            if self.interner.bag_entries(bagid).is_empty() {
+                self.out.terminal.insert(self.interner.store(sid).clone());
+            }
+        }
+
+        match fault {
+            Some(StepFault::Kernel(err)) => self.fail(err),
+            Some(StepFault::StopOnFailure) => self.cancel(),
+            None => {}
+        }
+    }
+
+    fn flush(&mut self, owner: usize) {
+        flush_buffer(self.shared, &self.senders[owner], &mut self.buffers[owner]);
+    }
+
+    fn flush_all(&mut self) {
+        for owner in 0..self.buffers.len() {
+            self.flush(owner);
+        }
+    }
+
+    fn fail(&mut self, err: ExploreError) {
+        let mut slot = self.shared.error.lock().expect("error slot poisoned");
+        if slot.is_none() {
+            *slot = Some(err);
+        }
+        drop(slot);
+        self.cancel();
+    }
+
+    fn cancel(&mut self) {
+        self.shared.cancelled.store(true, Ordering::Release);
+        self.stack.clear();
+        self.broadcast_done();
+    }
+
+    fn broadcast_done(&self) {
+        for tx in &self.senders {
+            let _ = tx.send(Msg::Done);
+        }
+    }
+}
+
+/// Sends a buffered batch to its owner shard, counting it in-flight first so
+/// `pending` can never transiently read zero while the work exists.
+fn flush_buffer(shared: &Shared, sender: &Sender<Msg>, buffer: &mut Vec<(u64, Config)>) {
+    if buffer.is_empty() {
+        return;
+    }
+    let batch = std::mem::take(buffer);
+    shared.pending.fetch_add(batch.len(), Ordering::AcqRel);
+    let _ = sender.send(Msg::Work(batch));
+}
+
+/// The result of an mpsc-engine exploration: the reachable configuration
+/// set (still sharded, to avoid a merge copy) plus all gate violations and
+/// deadlocks encountered.
+#[derive(Debug)]
+pub struct MpscExploration {
+    shards: Vec<Vec<Config>>,
+    failures: Vec<(Config, PendingAsync, String)>,
+    deadlocks: Vec<Config>,
+    terminal: BTreeSet<GlobalStore>,
+    edges: usize,
+    stats: ExploreStats,
+}
+
+impl MpscExploration {
+    fn empty(shards: usize) -> Self {
+        MpscExploration {
+            shards: vec![Vec::new(); shards],
+            failures: Vec::new(),
+            deadlocks: Vec::new(),
+            terminal: BTreeSet::new(),
+            edges: 0,
+            stats: ExploreStats {
+                shards: vec![ShardStats::default(); shards],
+                memo: HitMissSnapshot::default(),
+            },
+        }
+    }
+
+    fn merge(outputs: Vec<ShardOutput>, memo: HitMissSnapshot) -> Self {
+        let mut merged = MpscExploration::empty(0);
+        merged.stats.memo = memo;
+        for out in outputs {
+            merged.shards.push(out.visited);
+            merged.failures.extend(out.failures);
+            merged.deadlocks.extend(out.deadlocks);
+            merged.terminal.extend(out.terminal);
+            merged.edges += out.edges;
+            merged.stats.shards.push(out.stats);
+        }
+        merged
+    }
+
+    /// Observability counters of this exploration.
+    #[must_use]
+    pub fn stats(&self) -> &ExploreStats {
+        &self.stats
+    }
+
+    /// Number of distinct reachable configurations.
+    #[must_use]
+    pub fn config_count(&self) -> usize {
+        self.shards.iter().map(Vec::len).sum()
+    }
+
+    /// Number of transitions in the explored graph (counted, not stored).
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edges
+    }
+
+    /// Iterates over all reachable configurations, shard by shard. The
+    /// order is not meaningful; compare as a set.
+    pub fn configs(&self) -> impl Iterator<Item = &Config> {
+        self.shards.iter().flatten()
+    }
+
+    /// Whether any reachable configuration can fail.
+    #[must_use]
+    pub fn has_failure(&self) -> bool {
+        !self.failures.is_empty()
+    }
+
+    /// Human-readable descriptions of all gate violations found, in the same
+    /// format as [`inseq_kernel::Exploration::failure_reports`].
+    #[must_use]
+    pub fn failure_reports(&self) -> Vec<String> {
+        self.failures
+            .iter()
+            .map(|(config, fired, reason)| {
+                format!("executing {fired} from {config} fails: {reason}")
+            })
+            .collect()
+    }
+
+    /// Whether any reachable configuration is a deadlock.
+    #[must_use]
+    pub fn has_deadlock(&self) -> bool {
+        !self.deadlocks.is_empty()
+    }
+
+    /// Configurations with pending asyncs but no enabled transition and no
+    /// failure.
+    pub fn deadlocked_configs(&self) -> impl Iterator<Item = &Config> {
+        self.deadlocks.iter()
+    }
+
+    /// Global stores of terminating configurations (empty `Ω`).
+    pub fn terminal_stores(&self) -> impl Iterator<Item = &GlobalStore> {
+        self.terminal.iter()
+    }
+
+    /// The program summary over the explored set: `good` iff no gate
+    /// violation was found, plus the set of terminating stores.
+    #[must_use]
+    pub fn summary(&self) -> Summary {
+        Summary {
+            good: !self.has_failure(),
+            terminal: self.terminal.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inseq_kernel::demo::{counter_program, failing_program};
+    use inseq_kernel::Explorer;
+
+    fn reachable_set(program: &Program) -> BTreeSet<Config> {
+        let init = program.initial_config(vec![]).unwrap();
+        Explorer::new(program)
+            .explore([init])
+            .unwrap()
+            .configs()
+            .cloned()
+            .collect()
+    }
+
+    #[test]
+    fn matches_sequential_on_counter() {
+        let p = counter_program();
+        let init = p.initial_config(vec![]).unwrap();
+        for workers in [1, 2, 4] {
+            let exp = MpscExplorer::new(&p)
+                .with_workers(workers)
+                .explore([init.clone()])
+                .unwrap();
+            let parallel: BTreeSet<Config> = exp.configs().cloned().collect();
+            assert_eq!(parallel, reachable_set(&p), "workers = {workers}");
+            assert!(!exp.has_failure());
+            assert!(!exp.has_deadlock());
+        }
+    }
+
+    #[test]
+    fn summary_matches_sequential() {
+        let p = counter_program();
+        let init = p.initial_config(vec![]).unwrap();
+        let seq = Explorer::new(&p).summarize(init.clone()).unwrap();
+        for workers in [1, 3] {
+            let par = MpscExplorer::new(&p)
+                .with_workers(workers)
+                .summarize(init.clone())
+                .unwrap();
+            assert_eq!(par, seq, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn failures_are_found() {
+        let p = failing_program();
+        let init = p.initial_config(vec![]).unwrap();
+        let exp = MpscExplorer::new(&p)
+            .with_workers(2)
+            .explore([init])
+            .unwrap();
+        assert!(exp.has_failure());
+        assert!(exp
+            .failure_reports()
+            .iter()
+            .any(|r| r.contains("assert false")));
+        assert!(!exp.summary().good);
+    }
+
+    #[test]
+    fn budget_is_enforced_and_reports_exhaustion_point() {
+        let p = counter_program();
+        let init = p.initial_config(vec![]).unwrap();
+        let err = MpscExplorer::new(&p)
+            .with_workers(2)
+            .with_budget(1)
+            .explore([init])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ExploreError::BudgetExceeded { limit: 1, visited, .. } if visited > 1
+        ));
+    }
+
+    #[test]
+    fn stats_account_for_all_interned_configs() {
+        let p = counter_program();
+        let init = p.initial_config(vec![]).unwrap();
+        let exp = MpscExplorer::new(&p)
+            .with_workers(2)
+            .explore([init])
+            .unwrap();
+        let stats = exp.stats();
+        assert_eq!(stats.shards.len(), 2);
+        // Every distinct config is exactly one interner miss on its owner
+        // shard; received duplicates are a subset of received migrations.
+        assert_eq!(stats.intern().misses as usize, exp.config_count());
+        for shard in &stats.shards {
+            assert!(shard.received_dups <= shard.received);
+        }
+        assert!(stats.migration_dups() <= stats.migrated());
+        assert_eq!(stats.expanded() as usize, exp.config_count());
+    }
+
+    #[test]
+    fn empty_initial_set_is_trivially_good() {
+        let p = counter_program();
+        let exp = MpscExplorer::new(&p).with_workers(2).explore([]).unwrap();
+        assert_eq!(exp.config_count(), 0);
+        assert!(exp.summary().good);
+    }
+
+    #[test]
+    fn incremental_routes_match_full_rehash() {
+        // The worker derives a successor's route from its parent's by
+        // un-XOR-ing changed slots; check the derivation against a full
+        // rehash on every edge of a real exploration.
+        let p = counter_program();
+        let init = p.initial_config(vec![]).unwrap();
+        let exp = Explorer::new(&p).explore([init]).unwrap();
+        for step in exp.steps() {
+            let mut route = route_of(&step.before.globals);
+            for (i, (old, new)) in step
+                .before
+                .globals
+                .iter()
+                .zip(step.after.globals.iter())
+                .enumerate()
+            {
+                if old != new {
+                    route ^= slot_hash(i, old) ^ slot_hash(i, new);
+                }
+            }
+            assert_eq!(route, route_of(&step.after.globals));
+        }
+    }
+}

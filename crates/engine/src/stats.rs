@@ -1,0 +1,113 @@
+//! Observability counters shared by the parallel exploration engines.
+//!
+//! Both [`crate::ParallelExplorer`] (work-stealing deques over shared
+//! arenas) and [`crate::MpscExplorer`] (route-sharded private arenas with
+//! channel migration) report the same [`ExploreStats`] shape, so callers —
+//! `IsReport.stats`, `table1 --stats`, the bench harness — can compare the
+//! engines field by field. Counters that do not apply to an engine stay
+//! zero: the deque engine never re-interns a migrated configuration
+//! (`received`/`received_dups`), the channel engine never steals
+//! (`steals`/`stolen_in`).
+
+use inseq_obs::{EngineSnapshot, HitMissSnapshot};
+
+/// Observability counters for one shard (one worker) of a parallel
+/// exploration. Plain per-worker integers bumped off the hot path's
+/// lock-free sections; they never influence exploration results.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Config-dedup hits/misses attributed to this worker (misses = the
+    /// distinct configurations this worker interned first; hits = duplicate
+    /// successors it rejected in O(1)). Summed over shards, misses equal
+    /// the visited-set size for either engine.
+    pub intern: HitMissSnapshot,
+    /// Configurations this worker expanded (evaluated all pending asyncs
+    /// of) — the occupancy measure: a balanced run has near-equal
+    /// `expanded` across shards.
+    pub expanded: u64,
+    /// Successful steal operations this worker performed when its own
+    /// deque ran dry (deque engine only).
+    pub steals: u64,
+    /// Configurations this worker acquired by stealing (deque engine only).
+    pub stolen_in: u64,
+    /// Work this shard handed to other workers: configurations stolen
+    /// *from* this shard's deque (deque engine), or cross-shard successors
+    /// staged over channels (mpsc engine).
+    pub migrated_out: u64,
+    /// Migrated configurations received from other shards and re-interned
+    /// here — the id translation at migration (mpsc engine only; the deque
+    /// engine's shared arenas make re-interning structurally impossible).
+    pub received: u64,
+    /// Received migrations that were already known to this shard — the
+    /// dedup work that sharding could not avoid (mpsc engine only).
+    pub received_dups: u64,
+}
+
+/// Aggregated observability counters of one parallel exploration.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExploreStats {
+    /// Per-shard counters, indexed by worker.
+    pub shards: Vec<ShardStats>,
+    /// Hit/miss totals of the shared footprint memo (all zero when no
+    /// action has a footprint or the memo disabled itself in probation).
+    pub memo: HitMissSnapshot,
+}
+
+impl ExploreStats {
+    /// Interner hits/misses summed over all shards.
+    #[must_use]
+    pub fn intern(&self) -> HitMissSnapshot {
+        self.shards
+            .iter()
+            .fold(HitMissSnapshot::default(), |acc, s| acc.merged(s.intern))
+    }
+
+    /// Total configurations expanded across all shards. On a run that
+    /// completes without cancellation this equals the visited-set size:
+    /// every configuration is expanded exactly once.
+    #[must_use]
+    pub fn expanded(&self) -> u64 {
+        self.shards.iter().map(|s| s.expanded).sum()
+    }
+
+    /// Total successful steal operations.
+    #[must_use]
+    pub fn steals(&self) -> u64 {
+        self.shards.iter().map(|s| s.steals).sum()
+    }
+
+    /// Total configurations that moved between workers by stealing.
+    #[must_use]
+    pub fn stolen(&self) -> u64 {
+        self.shards.iter().map(|s| s.stolen_in).sum()
+    }
+
+    /// Total work that left its discovering shard (stolen configurations
+    /// on the deque engine, staged channel migrations on the mpsc engine).
+    #[must_use]
+    pub fn migrated(&self) -> u64 {
+        self.shards.iter().map(|s| s.migrated_out).sum()
+    }
+
+    /// Total received migrations that were already known to their owner.
+    #[must_use]
+    pub fn migration_dups(&self) -> u64 {
+        self.shards.iter().map(|s| s.received_dups).sum()
+    }
+
+    /// The engine-level shape of this run as a plain-value
+    /// [`EngineSnapshot`], for embedding in reports (`IsReport.stats`) and
+    /// bench rows. Worker count is the shard count; per-shard `expanded`
+    /// entries carry the occupancy profile.
+    #[must_use]
+    pub fn engine_snapshot(&self) -> EngineSnapshot {
+        EngineSnapshot {
+            workers: u32::try_from(self.shards.len()).unwrap_or(u32::MAX),
+            expanded: self.shards.iter().map(|s| s.expanded).collect(),
+            steals: self.steals(),
+            stolen: self.stolen(),
+            migrated: self.migrated(),
+            migration_dups: self.migration_dups(),
+        }
+    }
+}

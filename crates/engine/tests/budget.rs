@@ -1,14 +1,17 @@
-//! Negative-path coverage: budget exhaustion while shards are exchanging
-//! migrated configurations.
+//! Negative-path coverage: budget exhaustion while work is moving between
+//! shards — over mpsc channels on the baseline engine, and between
+//! work-stealing deques on the current one.
 //!
-//! The parallel explorer routes successors by store hash, so on a program
-//! whose every step changes the store, most successors cross shards. With a
+//! The mpsc explorer routes successors by store hash, so on a program whose
+//! every step changes the store, most successors cross shards. With a
 //! budget far below the reachable-set size, exhaustion lands while that
 //! migration traffic is in flight — the case where the shared atomic
 //! counter, cancellation flag, and post-join `visited` aggregation must
-//! still produce a coherent error.
+//! still produce a coherent error. The work-stealing engine has the
+//! mirror-image hazard: exhaustion mid-steal, where per-shard counters must
+//! still be aggregated after the join ([`ParallelExplorer::explore_with_stats`]).
 
-use inseq_engine::ParallelExplorer;
+use inseq_engine::{MpscExplorer, ParallelExplorer};
 use inseq_kernel::{
     ActionOutcome, ExploreError, Explorer, GlobalSchema, GlobalStore, Multiset, NativeAction,
     PendingAsync, Program, Transition, Value,
@@ -45,12 +48,12 @@ fn init(p: &Program) -> inseq_kernel::Config {
     p.initial_config(vec![]).expect("Main has arity 0")
 }
 
-/// This program shape really does migrate: a successful 4-worker run
-/// re-interns configurations received from other shards.
+/// This program shape really does migrate on the mpsc engine: a successful
+/// 4-worker run re-interns configurations received from other shards.
 #[test]
 fn two_counter_program_exercises_cross_shard_migration() {
     let p = two_counter_program(6);
-    let exploration = ParallelExplorer::new(&p)
+    let exploration = MpscExplorer::new(&p)
         .with_workers(4)
         .explore([init(&p)])
         .expect("well under any default budget");
@@ -79,34 +82,98 @@ fn budget_exceeded_mid_migration_reports_limit_and_no_trace() {
     );
 
     for workers in [2, 4] {
-        let err = ParallelExplorer::new(&p)
+        for engine in ["steal", "mpsc"] {
+            let err = match engine {
+                "steal" => ParallelExplorer::new(&p)
+                    .with_workers(workers)
+                    .with_budget(budget)
+                    .explore([init(&p)])
+                    .expect_err("budget far below the reachable set must be exceeded"),
+                _ => MpscExplorer::new(&p)
+                    .with_workers(workers)
+                    .with_budget(budget)
+                    .explore([init(&p)])
+                    .expect_err("budget far below the reachable set must be exceeded"),
+            };
+            match err {
+                ExploreError::BudgetExceeded {
+                    limit,
+                    visited,
+                    trace,
+                } => {
+                    assert_eq!(
+                        limit, budget,
+                        "{engine}, {workers} workers: limit not preserved"
+                    );
+                    assert!(
+                        visited > budget,
+                        "{engine}, {workers} workers: exhaustion implies visited \
+                         ({visited}) > budget"
+                    );
+                    assert!(
+                        visited <= sequential_size + budget * workers,
+                        "{engine}, {workers} workers: post-join visited aggregate \
+                         ({visited}) is absurd"
+                    );
+                    assert!(
+                        trace.is_none(),
+                        "{engine}, {workers} workers: parallel workers keep no parent \
+                         forest and must honestly report no trace"
+                    );
+                }
+                other => {
+                    panic!("{engine}, {workers} workers: expected BudgetExceeded, got {other}")
+                }
+            }
+        }
+    }
+}
+
+/// Exhaustion mid-steal must not lose per-shard counters: the error path of
+/// the work-stealing engine still joins every worker and aggregates its
+/// stats, and the steal bookkeeping stays conserved — everything stolen in
+/// was stolen from some deque, and duplicates never exceed migrations
+/// (trivially, since the deque engine cannot re-intern migrated work).
+#[test]
+fn budget_exceeded_mid_steal_still_aggregates_shard_stats() {
+    let p = two_counter_program(6);
+    let budget = 10;
+    for workers in [2, 4, 8] {
+        let (result, stats) = ParallelExplorer::new(&p)
             .with_workers(workers)
             .with_budget(budget)
-            .explore([init(&p)])
-            .expect_err("budget far below the reachable set must be exceeded");
-        match err {
-            ExploreError::BudgetExceeded {
-                limit,
-                visited,
-                trace,
-            } => {
-                assert_eq!(limit, budget, "{workers} workers: limit not preserved");
-                assert!(
-                    visited > budget,
-                    "{workers} workers: exhaustion implies visited ({visited}) > budget"
-                );
-                assert!(
-                    visited <= sequential_size + budget * workers,
-                    "{workers} workers: post-join visited aggregate ({visited}) is absurd"
-                );
-                assert!(
-                    trace.is_none(),
-                    "{workers} workers: parallel shards keep no parent forest and must \
-                     honestly report no trace"
-                );
-            }
-            other => panic!("{workers} workers: expected BudgetExceeded, got {other}"),
-        }
+            .explore_with_stats([init(&p)]);
+        let err = result.expect_err("budget far below the reachable set must be exceeded");
+        assert!(
+            matches!(err, ExploreError::BudgetExceeded { limit, .. } if limit == budget),
+            "{workers} workers: expected BudgetExceeded, got {err}"
+        );
+        assert_eq!(
+            stats.shards.len(),
+            workers,
+            "{workers} workers: every shard reports, even mid-steal"
+        );
+        // The exploration made progress before exhausting, and counters are
+        // internally consistent on the error path.
+        assert!(stats.expanded() >= 1, "{workers} workers: nothing expanded");
+        assert!(
+            stats.intern().misses as usize > budget,
+            "{workers} workers: exhaustion implies more misses than budget"
+        );
+        assert_eq!(
+            stats.stolen(),
+            stats.migrated(),
+            "{workers} workers: steal conservation broken"
+        );
+        assert!(
+            stats.migration_dups() <= stats.migrated(),
+            "{workers} workers: dups exceed migrations"
+        );
+        assert_eq!(
+            stats.migration_dups(),
+            0,
+            "{workers} workers: the deque engine cannot re-intern migrated work"
+        );
     }
 }
 

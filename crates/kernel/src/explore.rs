@@ -28,7 +28,7 @@ use crate::program::Program;
 use crate::store::GlobalStore;
 
 /// Default bound on the number of distinct configurations explored.
-pub const DEFAULT_CONFIG_BUDGET: usize = 2_000_000;
+pub const DEFAULT_CONFIG_BUDGET: usize = 4_000_000;
 
 /// An exhaustive breadth-first explorer for a [`Program`].
 #[derive(Debug)]

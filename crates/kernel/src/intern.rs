@@ -194,18 +194,35 @@ enum StoreMiss<'a> {
 
 /// The append-only, hash-consed arenas (see the module docs for the id
 /// scheme and the sharing argument).
+///
+/// # Struct-of-arrays id storage
+///
+/// The hot-loop data — store slot-id vectors and bag entry vectors — is kept
+/// in *flat* arrays rather than one heap allocation per store/bag: store
+/// slot ids live in a single dense `Vec<ValueId>` and bag entries in one
+/// `Vec<(PaId, u32)>`, each addressed through per-object `(offset, len)`
+/// spans. Walking a store's slot ids or a bag's entries is then a bounds
+/// check into a dense array the prefetcher already has, instead of a pointer
+/// chase to a separate allocation per object — which is what the explorer's
+/// successor loop does for every transition.
 #[derive(Debug, Clone)]
 pub struct Interner {
     values: Vec<Value>,
     value_table: IdTable,
     stores: Vec<GlobalStore>,
-    store_keys: Vec<Vec<ValueId>>,
+    /// All interned stores' slot ids, flattened; spans index it.
+    store_keys: Vec<ValueId>,
+    /// Per-store `(offset, len)` into `store_keys`.
+    store_spans: Vec<(u32, u32)>,
     store_table: IdTable,
     pas: Vec<PendingAsync>,
     pa_table: IdTable,
     args_lists: Vec<Vec<Value>>,
     args_table: IdTable,
-    bags: Vec<Vec<(PaId, u32)>>,
+    /// All interned bags' canonical entries, flattened; spans index it.
+    bag_data: Vec<(PaId, u32)>,
+    /// Per-bag `(offset, len)` into `bag_data`.
+    bag_spans: Vec<(u32, u32)>,
     bag_table: IdTable,
     configs: Vec<(StoreId, BagId)>,
     config_table: IdTable,
@@ -235,12 +252,14 @@ impl Interner {
             value_table: IdTable::new(),
             stores: Vec::new(),
             store_keys: Vec::new(),
+            store_spans: Vec::new(),
             store_table: IdTable::new(),
             pas: Vec::new(),
             pa_table: IdTable::new(),
             args_lists: Vec::new(),
             args_table: IdTable::new(),
-            bags: Vec::new(),
+            bag_data: Vec::new(),
+            bag_spans: Vec::new(),
             bag_table: IdTable::new(),
             configs: Vec::new(),
             config_table: IdTable::new(),
@@ -311,9 +330,10 @@ impl Interner {
         writes: Option<&[usize]>,
     ) -> StoreId {
         {
+            let (off, len) = self.store_spans[parent.index()];
             let (scratch, keys) = (&mut self.scratch_slots, &self.store_keys);
             scratch.clear();
-            scratch.extend_from_slice(&keys[parent.index()]);
+            scratch.extend_from_slice(&keys[off as usize..(off + len) as usize]);
         }
         match writes {
             Some(ws) => {
@@ -335,9 +355,10 @@ impl Interner {
     /// path); the post-store is materialized only if it turns out fresh.
     pub fn intern_store_writes(&mut self, parent: StoreId, writes: &[(usize, Value)]) -> StoreId {
         {
+            let (off, len) = self.store_spans[parent.index()];
             let (scratch, keys) = (&mut self.scratch_slots, &self.store_keys);
             scratch.clear();
-            scratch.extend_from_slice(&keys[parent.index()]);
+            scratch.extend_from_slice(&keys[off as usize..(off + len) as usize]);
         }
         for (i, v) in writes {
             self.update_slot(*i, v);
@@ -357,11 +378,11 @@ impl Interner {
     fn finish_store(&mut self, miss: StoreMiss<'_>) -> StoreId {
         let hash = hash_value_ids(&self.scratch_slots);
         {
-            let (keys, scratch) = (&self.store_keys, &self.scratch_slots);
-            if let Some(id) = self
-                .store_table
-                .find(hash, |id| keys[id as usize] == *scratch)
-            {
+            let (spans, keys, scratch) = (&self.store_spans, &self.store_keys, &self.scratch_slots);
+            if let Some(id) = self.store_table.find(hash, |id| {
+                let (off, len) = spans[id as usize];
+                keys[off as usize..(off + len) as usize] == **scratch
+            }) {
                 return StoreId(id);
             }
         }
@@ -376,8 +397,11 @@ impl Interner {
             }
         };
         let id = next_id(self.stores.len(), "store");
+        let off = u32::try_from(self.store_keys.len()).expect("store arena exceeds u32 capacity");
+        let len = u32::try_from(self.scratch_slots.len()).expect("store exceeds u32 slots");
         self.stores.push(store);
-        self.store_keys.push(self.scratch_slots.clone());
+        self.store_keys.extend_from_slice(&self.scratch_slots);
+        self.store_spans.push((off, len));
         self.store_table.insert(hash, id);
         StoreId(id)
     }
@@ -389,9 +413,12 @@ impl Interner {
         for v in store.iter() {
             key.push(self.find_value(v)?);
         }
-        let keys = &self.store_keys;
+        let (spans, keys) = (&self.store_spans, &self.store_keys);
         self.store_table
-            .find(hash_value_ids(&key), |id| keys[id as usize] == key)
+            .find(hash_value_ids(&key), |id| {
+                let (off, len) = spans[id as usize];
+                keys[off as usize..(off + len) as usize] == key[..]
+            })
             .map(StoreId)
     }
 
@@ -401,10 +428,12 @@ impl Interner {
         &self.stores[id.index()]
     }
 
-    /// The slot-value ids of an interned store, in schema order.
+    /// The slot-value ids of an interned store, in schema order — a slice of
+    /// the flat struct-of-arrays key storage.
     #[must_use]
     pub fn store_slots(&self, id: StoreId) -> &[ValueId] {
-        &self.store_keys[id.index()]
+        let (off, len) = self.store_spans[id.index()];
+        &self.store_keys[off as usize..(off + len) as usize]
     }
 
     /// Number of distinct interned stores.
@@ -497,9 +526,10 @@ impl Interner {
         created: &Multiset<PendingAsync>,
     ) -> BagId {
         {
-            let (scratch, bags) = (&mut self.scratch_bag, &self.bags);
+            let (off, len) = self.bag_spans[parent.index()];
+            let (scratch, bags) = (&mut self.scratch_bag, &self.bag_data);
             scratch.clear();
-            scratch.extend_from_slice(&bags[parent.index()]);
+            scratch.extend_from_slice(&bags[off as usize..(off + len) as usize]);
             let pos = scratch
                 .iter()
                 .position(|&(p, _)| p == consumed)
@@ -528,16 +558,19 @@ impl Interner {
     fn finish_bag(&mut self) -> BagId {
         let hash = hash_bag_entries(&self.scratch_bag);
         {
-            let (bags, scratch) = (&self.bags, &self.scratch_bag);
-            if let Some(id) = self
-                .bag_table
-                .find(hash, |id| bags[id as usize] == *scratch)
-            {
+            let (spans, bags, scratch) = (&self.bag_spans, &self.bag_data, &self.scratch_bag);
+            if let Some(id) = self.bag_table.find(hash, |id| {
+                let (off, len) = spans[id as usize];
+                bags[off as usize..(off + len) as usize] == **scratch
+            }) {
                 return BagId(id);
             }
         }
-        let id = next_id(self.bags.len(), "bag");
-        self.bags.push(self.scratch_bag.clone());
+        let id = next_id(self.bag_spans.len(), "bag");
+        let off = u32::try_from(self.bag_data.len()).expect("bag arena exceeds u32 capacity");
+        let len = u32::try_from(self.scratch_bag.len()).expect("bag exceeds u32 entries");
+        self.bag_data.extend_from_slice(&self.scratch_bag);
+        self.bag_spans.push((off, len));
         self.bag_table.insert(hash, id);
         BagId(id)
     }
@@ -549,19 +582,22 @@ impl Interner {
         for (pa, count) in bag.iter_counts() {
             entries.push((self.find_pa(pa)?, u32::try_from(count).ok()?));
         }
-        let bags = &self.bags;
+        let (spans, bags) = (&self.bag_spans, &self.bag_data);
         self.bag_table
             .find(hash_bag_entries(&entries), |id| {
-                bags[id as usize] == entries
+                let (off, len) = spans[id as usize];
+                bags[off as usize..(off + len) as usize] == entries[..]
             })
             .map(BagId)
     }
 
     /// The canonical `(PaId, count)` entries of an interned bag, sorted by
-    /// the resolved pending-async order.
+    /// the resolved pending-async order — a slice of the flat
+    /// struct-of-arrays entry storage.
     #[must_use]
     pub fn bag_entries(&self, id: BagId) -> &[(PaId, u32)] {
-        &self.bags[id.index()]
+        let (off, len) = self.bag_spans[id.index()];
+        &self.bag_data[off as usize..(off + len) as usize]
     }
 
     /// Rebuilds the [`Multiset`] an interned bag denotes.
@@ -577,7 +613,7 @@ impl Interner {
     /// Number of distinct interned bags.
     #[must_use]
     pub fn bag_count(&self) -> usize {
-        self.bags.len()
+        self.bag_spans.len()
     }
 
     // ----- configurations ---------------------------------------------

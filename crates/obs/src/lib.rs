@@ -12,7 +12,10 @@
 //!   the kernel interner, the engine's footprint memo, and the mover
 //!   checker's evaluation cache;
 //! * [`PhaseStat`] — one timed phase (a Fig. 3 premise, an exploration, a
-//!   scheduler job) with a wall clock and an item count.
+//!   scheduler job) with a wall clock and an item count;
+//! * [`EngineSnapshot`] — the parallel-exploration shape of one run
+//!   (worker count, per-shard occupancy, steal/migration traffic), filled
+//!   in by `inseq-engine` and surfaced through `IsReport.stats`.
 //!
 //! Counters are *observability data*: they must never influence a verdict,
 //! a report's identity, or the explored state space. Consumers therefore
@@ -149,6 +152,107 @@ impl fmt::Display for HitMissSnapshot {
     }
 }
 
+/// A plain-value snapshot of one parallel exploration's engine-level shape:
+/// how many workers ran, how evenly the expansion work spread across their
+/// shards, and how much work moved between them.
+///
+/// Like every snapshot in this crate it is observability data only —
+/// consumers exclude it from report equality. A default value (zero
+/// workers) means "no parallel engine ran", e.g. a sequential check.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EngineSnapshot {
+    /// Worker threads the exploration ran with; zero when no parallel
+    /// engine was involved.
+    pub workers: u32,
+    /// Configurations expanded per shard, indexed by worker — the occupancy
+    /// measure: a balanced run has near-equal entries.
+    pub expanded: Vec<u64>,
+    /// Successful steal operations across all workers (work-stealing
+    /// engine only).
+    pub steals: u64,
+    /// Configurations that changed hands by stealing (work-stealing engine
+    /// only).
+    pub stolen: u64,
+    /// Work that left its discovering shard: stolen configurations on the
+    /// deque engine, staged channel migrations on the mpsc baseline.
+    pub migrated: u64,
+    /// Migrated configurations the receiving shard already knew — dedup
+    /// work sharding could not avoid (mpsc baseline only; structurally zero
+    /// on the shared-arena deque engine).
+    pub migration_dups: u64,
+}
+
+impl EngineSnapshot {
+    /// Total configurations expanded across all shards.
+    #[must_use]
+    pub fn expanded_total(&self) -> u64 {
+        self.expanded.iter().sum()
+    }
+
+    /// The busiest shard's share of all expansions, in `[0, 1]`; `1/workers`
+    /// is perfect balance, `1.0` means one shard did everything. Zero when
+    /// nothing was expanded.
+    #[must_use]
+    pub fn max_shard_share(&self) -> f64 {
+        let total = self.expanded_total();
+        if total == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)] // display statistic only
+            {
+                self.expanded.iter().copied().max().unwrap_or(0) as f64 / total as f64
+            }
+        }
+    }
+
+    /// Whether a parallel engine contributed to this snapshot.
+    #[must_use]
+    pub fn ran(&self) -> bool {
+        self.workers > 0
+    }
+
+    /// Merges two snapshots of the same benchmark row: traffic counters
+    /// add, per-shard occupancy adds component-wise (shorter profiles are
+    /// zero-padded), and the worker count is the larger of the two.
+    #[must_use]
+    pub fn merged(mut self, other: &EngineSnapshot) -> EngineSnapshot {
+        self.workers = self.workers.max(other.workers);
+        if self.expanded.len() < other.expanded.len() {
+            self.expanded.resize(other.expanded.len(), 0);
+        }
+        for (slot, more) in self.expanded.iter_mut().zip(&other.expanded) {
+            *slot += more;
+        }
+        self.steals += other.steals;
+        self.stolen += other.stolen;
+        self.migrated += other.migrated;
+        self.migration_dups += other.migration_dups;
+        self
+    }
+}
+
+impl fmt::Display for EngineSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} worker(s), {} expanded (max shard {:.0}%), {} steals moving {} configs",
+            self.workers,
+            self.expanded_total(),
+            self.max_shard_share() * 100.0,
+            self.steals,
+            self.stolen,
+        )?;
+        if self.migration_dups > 0 || self.migrated != self.stolen {
+            write!(
+                f,
+                ", {} migrated ({} dups)",
+                self.migrated, self.migration_dups
+            )?;
+        }
+        Ok(())
+    }
+}
+
 /// One timed phase of a larger check: a name, its wall clock, and how many
 /// items (configurations, premise instances, pairwise checks, …) it covered.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -218,6 +322,38 @@ mod tests {
     #[test]
     fn zero_lookups_have_zero_rate() {
         assert_eq!(HitMissSnapshot::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn engine_snapshot_occupancy_math() {
+        let snap = EngineSnapshot::default();
+        assert!(!snap.ran());
+        assert_eq!(snap.max_shard_share(), 0.0);
+
+        let snap = EngineSnapshot {
+            workers: 4,
+            expanded: vec![30, 30, 20, 20],
+            steals: 5,
+            stolen: 12,
+            migrated: 12,
+            migration_dups: 0,
+        };
+        assert!(snap.ran());
+        assert_eq!(snap.expanded_total(), 100);
+        assert!((snap.max_shard_share() - 0.3).abs() < 1e-9);
+        let text = snap.to_string();
+        assert!(text.contains("4 worker(s)"), "{text}");
+        assert!(text.contains("5 steals moving 12"), "{text}");
+        assert!(!text.contains("dups"), "no mpsc traffic to show: {text}");
+
+        let mpsc = EngineSnapshot {
+            workers: 2,
+            expanded: vec![50, 50],
+            migrated: 40,
+            migration_dups: 31,
+            ..EngineSnapshot::default()
+        };
+        assert!(mpsc.to_string().contains("40 migrated (31 dups)"));
     }
 
     #[test]

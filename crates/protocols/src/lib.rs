@@ -56,3 +56,42 @@ pub fn exploration_cases() -> Vec<ExplorationCase> {
         paxos::exploration_case(paxos::Instance::new(2, 2)),
     ]
 }
+
+/// The `table1 --large` tier: parametric instances sized so exploration
+/// visits 10^4–10^6+ configurations — big enough that configs/sec and
+/// multi-worker speedup are meaningful, small enough to fit the kernel's
+/// default configuration budget.
+///
+/// Ordered by ascending sequential exploration cost. The first case is the
+/// one CI's `large-smoke` job and the cross-engine equivalence gate run;
+/// the last (multi-round multi-decree Paxos) is the headline instance with
+/// over two million reachable configurations.
+///
+/// Measured sequential visited-set sizes:
+///
+/// | Case | Instance | Visited | Edges |
+/// |---|---|---:|---:|
+/// | Broadcast | `n = 6` | 128 | 385 |
+/// | Producer-Consumer | `K = 256` | 33,154 | 65,793 |
+/// | Paxos | `R = 3, N = 2` | 54,873 | 245,509 |
+/// | Chang-Roberts | `n = 8`, scrambled ring | 362,881 | 2,239,345 |
+/// | Two-phase commit | `n = 8`, one abort | 566,434 | 4,889,404 |
+/// | Paxos | `R = 4, N = 2` | 2,085,137 | 11,851,273 |
+#[must_use]
+pub fn large_exploration_cases() -> Vec<ExplorationCase> {
+    // A ring whose ids are a scrambled permutation: sorted ids collapse the
+    // election races and shrink the reachable set by orders of magnitude.
+    let ring_ids: Vec<i64> = (1..=8).map(|i| ((i * 7) % 8) * 10 + i).collect();
+    let broadcast_vals: Vec<i64> = (1..=6).collect();
+    // One dissenting participant keeps both the commit and abort phases
+    // reachable (an all-yes instance never exercises the abort paths).
+    let votes: Vec<bool> = (0..8).map(|i| i != 1).collect();
+    vec![
+        broadcast::exploration_case(&broadcast::Instance::new(&broadcast_vals)),
+        producer_consumer::exploration_case(producer_consumer::Instance::new(256)),
+        paxos::exploration_case(paxos::Instance::new(3, 2)),
+        chang_roberts::exploration_case(&chang_roberts::Instance::new(&ring_ids)),
+        two_phase_commit::exploration_case(&two_phase_commit::Instance::new(&votes)),
+        paxos::exploration_case(paxos::Instance::new(4, 2)),
+    ]
+}

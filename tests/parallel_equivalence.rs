@@ -26,7 +26,7 @@ fn assert_equivalent(label: &str, program: &Program, init: Config) {
             .with_workers(workers)
             .explore([init.clone()])
             .unwrap_or_else(|e| panic!("{label}: parallel exploration failed: {e}"));
-        let par_set: BTreeSet<Config> = parallel.configs().cloned().collect();
+        let par_set: BTreeSet<Config> = parallel.configs().collect();
         assert_eq!(
             par_set, seq_set,
             "{label}: reachable sets differ with {workers} workers"
@@ -180,7 +180,7 @@ mod props {
                     .with_workers(workers)
                     .explore([init.clone()])
                     .unwrap();
-                let par_set: BTreeSet<Config> = parallel.configs().cloned().collect();
+                let par_set: BTreeSet<Config> = parallel.configs().collect();
                 prop_assert_eq!(&par_set, &seq_set, "workers = {}", workers);
                 prop_assert_eq!(parallel.edge_count(), sequential.edge_count());
                 prop_assert_eq!(parallel.has_failure(), sequential.has_failure());
