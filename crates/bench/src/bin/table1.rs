@@ -35,7 +35,14 @@
 //!   three interleaved per run;
 //! * `--workers a,b` — worker counts for the parallel engines (default
 //!   `2,4`);
-//! * `--runs N` — measurement repetitions (default 1).
+//! * `--runs N` — measurement repetitions (default 1);
+//! * `--reduce off|por|sym|both` — state-space reduction for the `seq` and
+//!   `steal` engines (default `off`): ample-set partial-order reduction,
+//!   process-id symmetry quotienting (cases with a symmetry spec, currently
+//!   Paxos), or both. Rows record pruned-successor and orbit-collapse
+//!   counters; cross-engine checks compare verdicts instead of exact
+//!   visited counts when reduction is on. The `mpsc` baseline always runs
+//!   unreduced.
 //!
 //! `--only`, `--json`, and `--stats` compose with `--large`; `--jobs`,
 //! `--exec`, and `--compare` do not apply to it.
@@ -280,6 +287,15 @@ fn parse_workers(args: &[String]) -> Result<Vec<usize>, String> {
     Ok(counts)
 }
 
+fn parse_reduce(args: &[String]) -> Result<inseq_kernel::ReduceMode, String> {
+    match parse_value_of(args, "--reduce")? {
+        None => Ok(inseq_kernel::ReduceMode::Off),
+        Some(v) => inseq_kernel::ReduceMode::from_name(&v).ok_or_else(|| {
+            format!("invalid --reduce value `{v}` (expected `off`, `por`, `sym`, or `both`)")
+        }),
+    }
+}
+
 fn parse_runs(args: &[String]) -> Result<usize, String> {
     match parse_value_of(args, "--runs")? {
         None => Ok(1),
@@ -315,11 +331,19 @@ fn run_large(args: &[String], json: JsonMode, stats: bool, only: Option<Vec<Stri
                 return ExitCode::FAILURE;
             }
         };
+        let reduce = match parse_reduce(args) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
         inseq_bench::LargeOptions {
             engines,
             workers,
             runs,
             only,
+            reduce,
         }
     };
     let rows = match inseq_bench::large_rows(&opts) {

@@ -16,8 +16,8 @@
 
 use std::time::{Duration, Instant};
 
-use inseq_engine::{MpscExplorer, ParallelExplorer};
-use inseq_kernel::Explorer;
+use inseq_engine::{MpscExplorer, ParallelExplorer, Reducer};
+use inseq_kernel::{Explorer, ReduceMode};
 use inseq_obs::EngineSnapshot;
 use inseq_protocols::common::{CaseError, ExplorationCase};
 use inseq_protocols::large_exploration_cases;
@@ -56,6 +56,9 @@ pub struct LargeOptions {
     pub runs: usize,
     /// Case-name needles (`--only`), case-insensitive; `None` = all cases.
     pub only: Option<Vec<String>>,
+    /// State-space reduction (`--reduce off|por|sym|both`). `seq` and
+    /// `steal` honor it; the `mpsc` baseline always explores unreduced.
+    pub reduce: ReduceMode,
 }
 
 impl Default for LargeOptions {
@@ -65,6 +68,7 @@ impl Default for LargeOptions {
             workers: vec![2, 4],
             runs: 1,
             only: None,
+            reduce: ReduceMode::Off,
         }
     }
 }
@@ -82,12 +86,20 @@ pub struct LargeRow {
     pub workers: usize,
     /// Zero-based measurement repetition.
     pub run: usize,
+    /// Reduction the row ran under (`off` for the `mpsc` baseline).
+    pub reduce: ReduceMode,
     /// Exploration wall clock.
     pub time: Duration,
-    /// Visited configurations (identical across engines by construction).
+    /// Visited configurations. Identical across engines when unreduced;
+    /// under reduction the count depends on visit order (ample choices and
+    /// orbit encounters differ per schedule), so only verdicts are
+    /// cross-checked.
     pub visited: usize,
-    /// Transition edges (identical across engines by construction).
+    /// Transition edges (see `visited` for the cross-engine contract).
     pub edges: usize,
+    /// Whether any reachable configuration fails a gate (cross-checked
+    /// across engines in every mode).
+    pub failed: bool,
     /// Engine shape: per-shard occupancy and steal/migration traffic
     /// (default for `seq`).
     pub stats: EngineSnapshot,
@@ -147,22 +159,43 @@ fn selected_cases(only: Option<&[String]>) -> Result<Vec<ExplorationCase>, CaseE
         .collect())
 }
 
+/// The reducer for a case: the requested mode, with the case's symmetry
+/// group attached when it has one.
+fn reducer_for(case: &ExplorationCase, reduce: ReduceMode) -> Reducer {
+    match &case.symmetry {
+        Some(spec) => Reducer::new(reduce).with_symmetry(spec.clone()),
+        None => Reducer::new(reduce),
+    }
+}
+
 fn explore_once(
     case: &ExplorationCase,
     engine: LargeEngine,
     workers: usize,
     run: usize,
+    reduce: ReduceMode,
 ) -> Result<LargeRow, CaseError> {
+    let reducer = reducer_for(case, reduce);
     let start = Instant::now();
-    let (visited, edges, stats) = match engine {
+    let (visited, edges, failed, stats) = match engine {
         LargeEngine::Seq => {
-            let exp = Explorer::new(&case.program)
+            let mut explorer = Explorer::new(&case.program);
+            if reduce != ReduceMode::Off {
+                explorer = explorer.with_reduction(&reducer);
+            }
+            let exp = explorer
                 .explore([case.init.clone()])
                 .map_err(|e| CaseError::new(&case.name, e))?;
+            let snapshot = EngineSnapshot {
+                pruned: exp.pruned(),
+                orbit_collapses: exp.orbit_collapses(),
+                ..EngineSnapshot::default()
+            };
             (
                 exp.config_count(),
                 exp.edge_count(),
-                EngineSnapshot::default(),
+                exp.has_failure(),
+                snapshot,
             )
         }
         LargeEngine::Mpsc => {
@@ -173,17 +206,22 @@ fn explore_once(
             (
                 exp.config_count(),
                 exp.edge_count(),
+                exp.has_failure(),
                 exp.stats().engine_snapshot(),
             )
         }
         LargeEngine::Steal => {
-            let exp = ParallelExplorer::new(&case.program)
-                .with_workers(workers)
+            let mut explorer = ParallelExplorer::new(&case.program).with_workers(workers);
+            if reduce != ReduceMode::Off {
+                explorer = explorer.with_reduction(&reducer);
+            }
+            let exp = explorer
                 .explore([case.init.clone()])
                 .map_err(|e| CaseError::new(&case.name, e))?;
             (
                 exp.config_count(),
                 exp.edge_count(),
+                exp.has_failure(),
                 exp.stats().engine_snapshot(),
             )
         }
@@ -198,9 +236,15 @@ fn explore_once(
             workers
         },
         run,
+        reduce: if engine == LargeEngine::Mpsc {
+            ReduceMode::Off
+        } else {
+            reduce
+        },
         time: start.elapsed(),
         visited,
         edges,
+        failed,
         stats,
     })
 }
@@ -213,8 +257,10 @@ fn explore_once(
 /// # Errors
 ///
 /// Returns the first failing exploration, an unmatched `--only` needle, or
-/// a cross-engine disagreement on visited/edge counts (a dropped or
-/// duplicated configuration in a parallel engine).
+/// a cross-engine disagreement. Unreduced, the engines must agree on
+/// visited/edge counts bit-for-bit (a dropped or duplicated configuration
+/// in a parallel engine); under `--reduce` the reduced frontier is
+/// schedule-dependent, so only the verdict is cross-checked.
 pub fn large_rows(opts: &LargeOptions) -> Result<Vec<LargeRow>, CaseError> {
     let cases = selected_cases(opts.only.as_deref())?;
     let worker_counts = if opts.workers.is_empty() {
@@ -225,15 +271,15 @@ pub fn large_rows(opts: &LargeOptions) -> Result<Vec<LargeRow>, CaseError> {
     let mut rows = Vec::new();
     for run in 0..opts.runs.max(1) {
         for case in &cases {
-            let mut reference: Option<(usize, usize, &'static str, usize)> = None;
+            let mut reference: Option<(usize, usize, bool, &'static str, usize)> = None;
             for &workers in &worker_counts {
                 for &engine in &opts.engines {
                     if engine == LargeEngine::Seq && workers != worker_counts[0] {
                         continue; // seq has no worker axis; run it once per case+run
                     }
-                    let row = explore_once(case, engine, workers, run)?;
-                    if let Some((v, e, ref_engine, ref_workers)) = reference {
-                        if row.visited != v || row.edges != e {
+                    let row = explore_once(case, engine, workers, run, opts.reduce)?;
+                    if let Some((v, e, f, ref_engine, ref_workers)) = reference {
+                        if opts.reduce == ReduceMode::Off && (row.visited != v || row.edges != e) {
                             return Err(CaseError::new(
                                 &case.name,
                                 format!(
@@ -247,8 +293,28 @@ pub fn large_rows(opts: &LargeOptions) -> Result<Vec<LargeRow>, CaseError> {
                                 ),
                             ));
                         }
+                        if row.failed != f {
+                            return Err(CaseError::new(
+                                &case.name,
+                                format!(
+                                    "verdict disagreement under --reduce {}: {} at {} worker(s) \
+                                     reports failed = {} but {ref_engine} at {ref_workers} \
+                                     worker(s) reports failed = {f}",
+                                    opts.reduce,
+                                    row.engine.name(),
+                                    row.workers,
+                                    row.failed
+                                ),
+                            ));
+                        }
                     } else {
-                        reference = Some((row.visited, row.edges, row.engine.name(), row.workers));
+                        reference = Some((
+                            row.visited,
+                            row.edges,
+                            row.failed,
+                            row.engine.name(),
+                            row.workers,
+                        ));
                     }
                     rows.push(row);
                 }
@@ -263,18 +329,19 @@ pub fn large_rows(opts: &LargeOptions) -> Result<Vec<LargeRow>, CaseError> {
 pub fn render_large(rows: &[LargeRow]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<22} {:<14} {:>5} {:>3} {:>3} {:>9} {:>10} {:>10} {:>12}\n",
-        "Example", "Instance", "eng", "w", "run", "visited", "edges", "time", "configs/sec"
+        "{:<22} {:<14} {:>5} {:>3} {:>3} {:>4} {:>9} {:>10} {:>10} {:>12}\n",
+        "Example", "Instance", "eng", "w", "run", "red", "visited", "edges", "time", "configs/sec"
     ));
-    out.push_str(&format!("{}\n", "-".repeat(96)));
+    out.push_str(&format!("{}\n", "-".repeat(101)));
     for r in rows {
         out.push_str(&format!(
-            "{:<22} {:<14} {:>5} {:>3} {:>3} {:>9} {:>10} {:>9.2}s {:>12.0}\n",
+            "{:<22} {:<14} {:>5} {:>3} {:>3} {:>4} {:>9} {:>10} {:>9.2}s {:>12.0}\n",
             r.name,
             r.instance,
             r.engine.name(),
             r.workers,
             r.run,
+            r.reduce.name(),
             r.visited,
             r.edges,
             r.time.as_secs_f64(),
@@ -317,13 +384,14 @@ pub fn large_rows_as_json(rows: &[LargeRow]) -> String {
         out.push_str(&format!(
             "  {{\"example\": \"{}\", \"instance\": \"{}\", \"engine\": \"{}\", \
              \"workers\": {}, \"machine_cores\": {cores}, \"run\": {}, \
-             \"time_seconds\": {:.6}, \"visited_configs\": {}, \"edges\": {}, \
-             \"configs_per_sec\": {:.1}, {}}}",
+             \"reduce\": \"{}\", \"time_seconds\": {:.6}, \"visited_configs\": {}, \
+             \"edges\": {}, \"configs_per_sec\": {:.1}, {}}}",
             json::escape(&r.name),
             json::escape(&r.instance),
             r.engine.name(),
             r.workers,
             r.run,
+            r.reduce.name(),
             r.time.as_secs_f64(),
             r.visited,
             r.edges,
@@ -367,9 +435,11 @@ mod tests {
             engine: LargeEngine::Seq,
             workers: 1,
             run: 0,
+            reduce: ReduceMode::Off,
             time: Duration::from_secs(2),
             visited: 10_000,
             edges: 0,
+            failed: false,
             stats: EngineSnapshot::default(),
         };
         assert!((row.configs_per_sec() - 5_000.0).abs() < 1e-9);

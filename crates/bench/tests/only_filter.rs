@@ -77,6 +77,7 @@ fn large_selection_runs_only_the_matched_case_and_emits_json() {
         workers: vec![2],
         runs: 1,
         only: Some(vec!["broadcast".to_owned()]),
+        reduce: inseq_kernel::ReduceMode::Off,
     };
     let rows = large_rows(&opts).expect("broadcast large case explores cleanly");
     assert_eq!(rows.len(), 1, "one case, one engine, one worker count");
@@ -111,16 +112,17 @@ fn large_json_rows_carry_worker_and_core_counts() {
         engine: LargeEngine::Mpsc,
         workers: 4,
         run: 2,
+        reduce: inseq_kernel::ReduceMode::Off,
         time: std::time::Duration::from_millis(500),
         visited: 1000,
         edges: 2000,
+        failed: false,
         stats: inseq_obs::EngineSnapshot {
             workers: 4,
             expanded: vec![250, 250, 250, 250],
-            steals: 0,
-            stolen: 0,
             migrated: 900,
             migration_dups: 300,
+            ..inseq_obs::EngineSnapshot::default()
         },
     };
     let json = large_rows_as_json(&[row]);

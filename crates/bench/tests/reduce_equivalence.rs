@@ -1,0 +1,196 @@
+//! The reduction acceptance gate: on all seven Table-1 protocols and the
+//! smallest `--large` instance, every reduction mode must preserve verdicts
+//! exactly — same failure verdict, same deadlock verdict, same terminal
+//! behavior — on both the sequential kernel explorer and the work-stealing
+//! engine, while never visiting *more* configurations than the unreduced
+//! exploration.
+//!
+//! The terminal-store contract differs by mode. Pure `sym` is a true
+//! quotient: expanding the reduced terminals through the group
+//! ([`inseq_kernel::SymmetrySpec::expand_terminals`]) recovers the full
+//! set exactly. `por` (and hence `both`) is one-sided: every reduced
+//! terminal is a real terminal of the program (pruning cannot *invent*
+//! behavior — any failure or final store it reports is genuine), but
+//! pairwise joint-outcome commutation does not compose across three or
+//! more pendings when actions branch nondeterministically, so some
+//! interleaving-specific finals may be pruned. Verdicts are what the
+//! reduction contract promises to preserve, and what this gate pins.
+
+use std::collections::BTreeSet;
+
+use inseq_engine::{ParallelExplorer, Reducer};
+use inseq_kernel::{Explorer, GlobalStore, ReduceMode};
+use inseq_protocols::common::ExplorationCase;
+use inseq_protocols::{exploration_cases, large_exploration_cases};
+
+struct Verdicts {
+    visited: usize,
+    edges: usize,
+    failed: bool,
+    deadlocked: bool,
+    terminals: BTreeSet<GlobalStore>,
+}
+
+fn reducer_for(case: &ExplorationCase, mode: ReduceMode) -> Reducer {
+    match &case.symmetry {
+        Some(spec) => Reducer::new(mode).with_symmetry(spec.clone()),
+        None => Reducer::new(mode),
+    }
+}
+
+fn sequential(case: &ExplorationCase, mode: Option<ReduceMode>) -> Verdicts {
+    let reducer = reducer_for(case, mode.unwrap_or(ReduceMode::Off));
+    let mut explorer = Explorer::new(&case.program);
+    if mode.is_some() {
+        explorer = explorer.with_reduction(&reducer);
+    }
+    let exp = explorer
+        .explore([case.init.clone()])
+        .unwrap_or_else(|e| panic!("{case}: sequential exploration failed: {e}"));
+    Verdicts {
+        visited: exp.config_count(),
+        edges: exp.edge_count(),
+        failed: exp.has_failure(),
+        deadlocked: exp.has_deadlock(),
+        terminals: exp.terminal_stores().cloned().collect(),
+    }
+}
+
+fn parallel(case: &ExplorationCase, mode: Option<ReduceMode>, workers: usize) -> Verdicts {
+    let reducer = reducer_for(case, mode.unwrap_or(ReduceMode::Off));
+    let mut explorer = ParallelExplorer::new(&case.program).with_workers(workers);
+    if mode.is_some() {
+        explorer = explorer.with_reduction(&reducer);
+    }
+    let exp = explorer
+        .explore([case.init.clone()])
+        .unwrap_or_else(|e| panic!("{case}: parallel exploration failed: {e}"));
+    Verdicts {
+        visited: exp.config_count(),
+        edges: exp.edge_count(),
+        failed: exp.has_failure(),
+        deadlocked: exp.has_deadlock(),
+        terminals: exp.terminal_stores().cloned().collect(),
+    }
+}
+
+/// Compares a reduced run against the unreduced reference.
+fn assert_verdicts_preserved(
+    case: &ExplorationCase,
+    mode: ReduceMode,
+    label: &str,
+    reference: &Verdicts,
+    reduced: &Verdicts,
+) {
+    assert_eq!(
+        reduced.failed, reference.failed,
+        "{case} [{label}, --reduce {mode}]: failure verdict changed"
+    );
+    assert_eq!(
+        reduced.deadlocked, reference.deadlocked,
+        "{case} [{label}, --reduce {mode}]: deadlock verdict changed"
+    );
+    assert!(
+        reduced.visited <= reference.visited,
+        "{case} [{label}, --reduce {mode}]: reduction visited {} > unreduced {}",
+        reduced.visited,
+        reference.visited
+    );
+    assert!(
+        reduced.edges <= reference.edges,
+        "{case} [{label}, --reduce {mode}]: reduction explored {} edges > unreduced {}",
+        reduced.edges,
+        reference.edges
+    );
+    // Terminal stores: the group expansion of the reduced terminals must
+    // never leave the true terminal set (reduction cannot invent finals),
+    // and pure `sym` — a verified automorphism, no pruning — must recover
+    // it exactly.
+    let expanded = match (&case.symmetry, mode) {
+        (Some(spec), ReduceMode::Sym | ReduceMode::Both) => {
+            spec.expand_terminals(reduced.terminals.iter())
+        }
+        _ => reduced.terminals.clone(),
+    };
+    assert!(
+        expanded.is_subset(&reference.terminals),
+        "{case} [{label}, --reduce {mode}]: reduction invented terminal stores: {:?}",
+        expanded.difference(&reference.terminals).next()
+    );
+    if mode == ReduceMode::Sym {
+        assert_eq!(
+            expanded, reference.terminals,
+            "{case} [{label}, --reduce {mode}]: symmetry quotient lost terminal stores"
+        );
+    }
+}
+
+fn gate(case: &ExplorationCase) {
+    let seq_reference = sequential(case, None);
+    for mode in [ReduceMode::Por, ReduceMode::Sym, ReduceMode::Both] {
+        let seq_reduced = sequential(case, Some(mode));
+        assert_verdicts_preserved(case, mode, "seq", &seq_reference, &seq_reduced);
+        for workers in [1, 4] {
+            let par_reduced = parallel(case, Some(mode), workers);
+            assert_verdicts_preserved(
+                case,
+                mode,
+                &format!("steal w={workers}"),
+                &seq_reference,
+                &par_reduced,
+            );
+        }
+    }
+}
+
+#[test]
+fn reduction_preserves_verdicts_on_all_seven_protocols() {
+    for case in exploration_cases() {
+        gate(&case);
+    }
+}
+
+/// The smallest `--large` instance (Broadcast `n = 6`) through the same
+/// gate — the configuration CI's `reduce-equivalence` job runs.
+#[test]
+fn reduction_preserves_verdicts_on_smallest_large_instance() {
+    let case = &large_exploration_cases()[0];
+    assert_eq!(case.name, "Broadcast consensus");
+    gate(case);
+}
+
+/// The whole `--large` tier through the gate, headline Paxos `R = 4, N = 2`
+/// (2.09M unreduced configurations) included. The unreduced sequential
+/// reference alone takes minutes, so CI runs only the smallest instance
+/// (above); run this one explicitly when touching the reduction layer:
+///
+/// ```text
+/// cargo test --release -p inseq-bench --test reduce_equivalence -- --ignored
+/// ```
+#[test]
+#[ignore = "minutes-long: explores the headline instance unreduced"]
+fn reduction_preserves_verdicts_on_full_large_tier() {
+    for case in large_exploration_cases() {
+        gate(&case);
+    }
+}
+
+/// Symmetry quotienting must actually collapse something where a symmetry
+/// exists: the Paxos case visits strictly fewer configurations under
+/// `--reduce sym` than unreduced.
+#[test]
+fn symmetry_strictly_shrinks_paxos() {
+    let case = exploration_cases()
+        .into_iter()
+        .find(|c| c.name == "Paxos")
+        .expect("Paxos is among the seven");
+    assert!(case.symmetry.is_some(), "Paxos carries a symmetry spec");
+    let reference = sequential(&case, None);
+    let reduced = sequential(&case, Some(ReduceMode::Sym));
+    assert!(
+        reduced.visited < reference.visited,
+        "symmetry quotient did not shrink Paxos: {} vs {}",
+        reduced.visited,
+        reference.visited
+    );
+}

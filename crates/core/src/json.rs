@@ -76,19 +76,23 @@ pub fn exec_fields(e: &ExecStats) -> String {
 }
 
 /// Parallel-engine shape counters as flat fields: worker count, the
-/// per-shard occupancy profile, and steal/migration traffic.
+/// per-shard occupancy profile, steal/migration traffic, and reduction
+/// pruning.
 #[must_use]
 pub fn engine_fields(e: &EngineSnapshot) -> String {
     let expanded: Vec<String> = e.expanded.iter().map(u64::to_string).collect();
     format!(
         "\"engine_workers\": {}, \"engine_expanded\": [{}], \"engine_steals\": {}, \
-         \"engine_stolen\": {}, \"engine_migrated\": {}, \"engine_migration_dups\": {}",
+         \"engine_stolen\": {}, \"engine_migrated\": {}, \"engine_migration_dups\": {}, \
+         \"engine_pruned\": {}, \"engine_orbit_collapses\": {}",
         e.workers,
         expanded.join(", "),
         e.steals,
         e.stolen,
         e.migrated,
-        e.migration_dups
+        e.migration_dups,
+        e.pruned,
+        e.orbit_collapses
     )
 }
 
@@ -156,7 +160,7 @@ mod tests {
             steals: 1,
             stolen: 2,
             migrated: 2,
-            migration_dups: 0,
+            ..EngineSnapshot::default()
         };
         r.stats.mover_cache = HitMissSnapshot::new(7, 8);
         r.stats.pairwise_checks = 9;
@@ -169,6 +173,7 @@ mod tests {
              \"intern_hits\": 5, \"intern_misses\": 6, \
              \"engine_workers\": 2, \"engine_expanded\": [4, 6], \"engine_steals\": 1, \
              \"engine_stolen\": 2, \"engine_migrated\": 2, \"engine_migration_dups\": 0, \
+             \"engine_pruned\": 0, \"engine_orbit_collapses\": 0, \
              \"mover_cache_hits\": 7, \"mover_cache_misses\": 8, \
              \"pairwise_checks\": 9, \
              \"compiled_actions\": 0, \"compile_nanos\": 0, \"vm_evals\": 0, \"interp_evals\": 0, \

@@ -7,10 +7,13 @@ use std::fmt;
 use std::sync::Arc;
 use std::time::Instant;
 
-use inseq_engine::{Engine, EngineReport, Job, JobResult, ParallelExplorer};
+use inseq_engine::{
+    Engine, EngineReport, Job, JobResult, ParallelExploration, ParallelExplorer, Reducer,
+};
 use inseq_kernel::{
     ActionName, ActionOutcome, ActionSemantics, Config, ExecStats, Exploration, Explorer,
-    GlobalStore, Multiset, PendingAsync, Program, StateUniverse, Trace, Transition, Value,
+    GlobalStore, Multiset, PendingAsync, Program, ReduceMode, StateUniverse, Trace, Transition,
+    Value,
 };
 use inseq_mover::{MoverChecker, MoverStats, MoverViolation};
 use inseq_obs::{EngineSnapshot, HitMissSnapshot, PhaseStat};
@@ -156,9 +159,11 @@ impl IsViolation {
     ///
     /// Differential harnesses compare violations found by the sequential
     /// and engine-scheduled check paths; the paths agree on *which* premise
-    /// fails but legitimately differ in witness detail (the parallel path
-    /// retains no exploration for trace reconstruction), so equality is
-    /// asserted on this label rather than on [`fmt::Display`] output.
+    /// fails but legitimately differ in witness detail (both retain parent
+    /// forests, but the parallel explorer's visit order — and hence the
+    /// reconstructed firing sequence — is scheduling-dependent), so
+    /// equality is asserted on this label rather than on [`fmt::Display`]
+    /// output.
     #[must_use]
     pub fn premise(&self) -> &'static str {
         match self {
@@ -409,6 +414,7 @@ pub struct IsApplication {
     measure: Measure,
     instances: Vec<Config>,
     budget: usize,
+    reduce: ReduceMode,
 }
 
 impl fmt::Debug for IsApplication {
@@ -436,6 +442,7 @@ impl IsApplication {
             measure: Measure::pending_async_count(),
             instances: Vec::new(),
             budget: inseq_kernel::DEFAULT_CONFIG_BUDGET,
+            reduce: ReduceMode::Off,
         }
     }
 
@@ -504,6 +511,29 @@ impl IsApplication {
         self
     }
 
+    /// Selects the state-space reduction for the instance explorations
+    /// (default: [`ReduceMode::Off`]).
+    ///
+    /// Only the partial-order component applies here: `IsApplication` has
+    /// no process-id symmetry spec, so `Sym`/`Both` degrade to `Por`/`Off`
+    /// respectively on the exploration itself. **Reduction changes the
+    /// quantification universe of every premise.** The Fig. 3 obligations
+    /// — (I1)–(I3), the mover conditions, cooperation — are discharged at
+    /// the stores of the explored set, and a reduced exploration visits a
+    /// (representative) subset of the reachable configurations. The
+    /// reduction is designed to preserve verdicts (commuting interleavings
+    /// lead to the same stores) and that preservation is continuously
+    /// cross-checked by the reduce fuzz oracle and the equivalence gates,
+    /// but a premise counterexample that only manifests at a pruned
+    /// interleaving's intermediate store would be missed. Leave reduction
+    /// off for certification runs; use it to iterate quickly on large
+    /// instances.
+    #[must_use]
+    pub fn with_reduce(mut self, mode: ReduceMode) -> Self {
+        self.reduce = mode;
+        self
+    }
+
     /// The program `P` this application operates on.
     #[must_use]
     pub fn program(&self) -> &Program {
@@ -554,6 +584,12 @@ impl IsApplication {
     #[must_use]
     pub fn budget_limit(&self) -> usize {
         self.budget
+    }
+
+    /// The configured state-space reduction mode.
+    #[must_use]
+    pub fn reduce_mode(&self) -> ReduceMode {
+        self.reduce
     }
 
     /// The label of the well-founded measure used by premise (CO).
@@ -858,8 +894,9 @@ impl IsApplication {
     /// Explores the instances on a [`ParallelExplorer`] and evaluates the
     /// invariant at every target input: the shared prefix of all Fig. 3
     /// obligations under [`check_with`](IsApplication::check_with). The
-    /// sharded explorer keeps no global parent forest, so the resulting
-    /// prep carries no exploration for witness traces.
+    /// shared arena records a parent edge per configuration, so the
+    /// retained exploration reconstructs witness traces exactly like the
+    /// sequential one.
     fn prepare(
         &self,
         workers: usize,
@@ -870,9 +907,14 @@ impl IsApplication {
             ..IsReport::default()
         };
         let mut universe = StateUniverse::new();
-        let exploration = ParallelExplorer::new(&self.program)
+        let reducer = Reducer::new(self.reduce);
+        let mut explorer = ParallelExplorer::new(&self.program)
             .with_workers(workers)
-            .with_budget(self.budget)
+            .with_budget(self.budget);
+        if self.reduce != ReduceMode::Off {
+            explorer = explorer.with_reduction(&reducer);
+        }
+        let exploration = explorer
             .explore(self.instances.iter().cloned())
             .map_err(|e| IsViolation::Exploration {
                 message: e.to_string(),
@@ -884,7 +926,12 @@ impl IsApplication {
         for config in exploration.configs() {
             universe.absorb_config(&config);
         }
-        Ok(self.finish_prep(universe, report, invariant, None))
+        Ok(self.finish_prep(
+            universe,
+            report,
+            invariant,
+            Some(PrepExploration::Parallel(exploration)),
+        ))
     }
 
     /// Like [`prepare`](IsApplication::prepare), but on the sequential
@@ -899,8 +946,12 @@ impl IsApplication {
             ..IsReport::default()
         };
         let mut universe = StateUniverse::new();
-        let exploration = Explorer::new(&self.program)
-            .with_budget(self.budget)
+        let reducer = Reducer::new(self.reduce);
+        let mut explorer = Explorer::new(&self.program).with_budget(self.budget);
+        if self.reduce != ReduceMode::Off {
+            explorer = explorer.with_reduction(&reducer);
+        }
+        let exploration = explorer
             .explore(self.instances.iter().cloned())
             .map_err(|e| IsViolation::Exploration {
                 message: e.to_string(),
@@ -909,7 +960,12 @@ impl IsApplication {
         report.edges = exploration.edge_count();
         report.stats.intern = exploration.intern_stats();
         universe.absorb(&exploration);
-        Ok(self.finish_prep(universe, report, invariant, Some(exploration)))
+        Ok(self.finish_prep(
+            universe,
+            report,
+            invariant,
+            Some(PrepExploration::Sequential(exploration)),
+        ))
     }
 
     /// Evaluates the invariant action at each target input; its transitions
@@ -924,7 +980,7 @@ impl IsApplication {
         mut universe: StateUniverse,
         mut report: IsReport,
         invariant: &Arc<dyn ActionSemantics>,
-        exploration: Option<Exploration>,
+        exploration: Option<PrepExploration>,
     ) -> CheckPrep {
         let target_inputs: Vec<(GlobalStore, Vec<Value>)> =
             universe.enabled_at(&self.target).cloned().collect();
@@ -1229,10 +1285,30 @@ pub(crate) struct CheckPrep {
     pub(crate) target_inputs: Vec<(GlobalStore, Vec<Value>)>,
     pub(crate) inv_transitions: Vec<(GlobalStore, Vec<Value>, InvOutcome)>,
     pub(crate) report: IsReport,
-    /// The sequential exploration, retained for witness-trace
-    /// reconstruction; `None` under the parallel driver, whose shards keep
-    /// no global parent forest.
-    pub(crate) exploration: Option<Exploration>,
+    /// The instance exploration, retained for witness-trace
+    /// reconstruction. Both drivers keep a parent forest — the sequential
+    /// explorer in its interner, the sharded one in the shared arena — so
+    /// `check` and `check_with` counterexamples alike carry firing
+    /// sequences.
+    pub(crate) exploration: Option<PrepExploration>,
+}
+
+/// The exploration backing a [`CheckPrep`], from either driver.
+pub(crate) enum PrepExploration {
+    /// From the sequential kernel [`Explorer`].
+    Sequential(Exploration),
+    /// From the sharded [`ParallelExplorer`].
+    Parallel(ParallelExploration),
+}
+
+impl PrepExploration {
+    /// A firing sequence reaching `target`, when it was visited.
+    fn trace_to(&self, target: &Config) -> Option<Trace> {
+        match self {
+            PrepExploration::Sequential(e) => e.trace_to(target),
+            PrepExploration::Parallel(e) => e.trace_to(target),
+        }
+    }
 }
 
 impl CheckPrep {

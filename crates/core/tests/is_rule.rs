@@ -4,7 +4,9 @@
 use std::sync::Arc;
 
 use inseq_core::{IsApplication, IsViolation, Measure};
+use inseq_engine::Engine;
 use inseq_kernel::demo::cooperation_counterexample;
+use inseq_kernel::ReduceMode;
 use inseq_kernel::{ActionOutcome, ActionSemantics, NativeAction, PendingAsync, Value};
 use inseq_lang::build::*;
 use inseq_lang::{program_of, DslAction, GlobalDecls, Sort};
@@ -224,6 +226,72 @@ fn cooperation_counterexample_is_rejected_exactly_by_co() {
         matches!(err, IsViolation::CooperationViolated { .. }),
         "the paper's counterexample must be rejected by (CO), got: {err}"
     );
+}
+
+/// Engine-scheduled checking reconstructs witness traces from the shared
+/// arena's parent forest: a (CO) counterexample found under `check_with`
+/// names a concrete firing sequence, exactly like the sequential path.
+/// (Regression: the sharded explorer used to keep no parent information,
+/// so every parallel-path witness was `None`.)
+#[test]
+fn engine_scheduled_violations_carry_witness_traces() {
+    let p = cooperation_counterexample();
+    let init = p.initial_config(vec![]).unwrap();
+    let main_as_invariant = p.action(&"Main".into()).unwrap().clone();
+    let m_prime: Arc<dyn ActionSemantics> = Arc::new(NativeAction::new(
+        "MainSeq",
+        0,
+        |_: &inseq_kernel::GlobalStore, _: &[Value]| ActionOutcome::Transitions(vec![]),
+    ));
+    let app = IsApplication::new(p, "Main")
+        .eliminate("Rec")
+        .invariant(main_as_invariant)
+        .replacement(m_prime)
+        .choice(|t| {
+            t.created
+                .distinct()
+                .find(|pa| pa.action.as_str() == "Rec")
+                .cloned()
+        })
+        .measure(Measure::pending_async_count())
+        .instance(init)
+        .budget(10_000);
+
+    let sequential = app.check().unwrap_err();
+    for threads in [1, 2, 4, 8] {
+        let parallel = app
+            .check_with(&Engine::new().with_threads(threads))
+            .unwrap_err();
+        assert_eq!(sequential.premise(), parallel.premise());
+        let (
+            IsViolation::CooperationViolated { witness: seq_w, .. },
+            IsViolation::CooperationViolated { witness: par_w, .. },
+        ) = (&sequential, &parallel)
+        else {
+            panic!("expected (CO) from both paths, got: {sequential} / {parallel}");
+        };
+        assert_eq!(
+            seq_w.is_some(),
+            par_w.is_some(),
+            "both check paths reconstruct a witness whenever the store is \
+             reachable ({threads} threads)"
+        );
+    }
+}
+
+/// Reduction must not change the verdict of an IS application: the adders
+/// proof passes under every mode, on both check paths, and the cooperation
+/// counterexample is still rejected by (CO).
+#[test]
+fn reduced_checks_agree_with_unreduced() {
+    let a = adders();
+    for mode in ReduceMode::ALL {
+        let app = adders_application(&a).with_reduce(mode);
+        let report = app.check().unwrap_or_else(|e| panic!("{mode}: {e}"));
+        assert_eq!(report.eliminated_actions, 1);
+        app.check_with(&Engine::new().with_threads(2))
+            .unwrap_or_else(|e| panic!("{mode} (engine): {e}"));
+    }
 }
 
 #[test]

@@ -28,18 +28,49 @@
 //!    no ownership routing: whichever worker interns a fresh configuration
 //!    queues it locally, and load balance emerges from stealing.
 //!
+//! # Witness traces
+//!
+//! Alongside each interned configuration the shared arena records a
+//! **parent pointer**: the predecessor's [`ConfigId`], the fired pending
+//! async, and the recorded firing distance from a seed. A fresh intern
+//! appends its discovering edge; a duplicate intern *relaxes* the stored
+//! parent when it arrived via a shorter recorded path. Recorded distances
+//! strictly decrease along parent chains (relaxation only ever lowers a
+//! target's distance), so every chain is acyclic and terminates at a seed —
+//! walking it yields a concrete, replayable firing sequence for any
+//! configuration of interest: gate failures
+//! ([`ParallelExploration::failure_witnesses`]), deadlocks
+//! ([`ParallelExploration::deadlock_witnesses`]), budget exhaustion (the
+//! `trace` inside [`ExploreError::BudgetExceeded`]), or any reachable
+//! configuration ([`ParallelExploration::trace_to`]). Traces are valid
+//! paths but not guaranteed globally shortest: a relaxation does not
+//! propagate to already-recorded descendants.
+//!
+//! # Reduction
+//!
+//! [`ParallelExplorer::with_reduction`] applies the same
+//! [`ReductionPolicy`] contract as the sequential explorer: when the policy
+//! proves an ample singleton sound at a configuration, only that pending
+//! async is expanded, with the cycle proviso that an ample round which
+//! interns nothing fresh falls back to expanding the remaining pendings.
+//! The ample decision runs *outside* the arena lock, on the phase-1
+//! snapshot. Successors are canonicalized under the policy's symmetry
+//! quotient (if any) before interning, under the phase-3 lock, with a
+//! per-worker canonicalization cache. Reduced traces under a symmetry
+//! quotient are valid modulo node renaming only.
+//!
 //! # Expansion pipeline
 //!
 //! A worker expands one configuration in three phases: (1) under one short
-//! interner lock, snapshot the pending-async ids, the (cheap, sub-part
-//! shared) global store, and any uncached [`PendingAsync`] values — each
-//! worker memoizes resolved pending asyncs by id, which is sound because
-//! arenas are append-only; (2) with **no locks held**, evaluate every
-//! distinct pending async, consulting the shared footprint memo
-//! ([`crate::memo`]) exactly like the sequential path; (3) under a second
-//! interner lock, intern all successor stores/bags/configs as small diffs
-//! against the parent's ids. Fresh successors are pushed onto the worker's
-//! own deque in one batch.
+//! arena lock, snapshot the pending-async ids and multiplicities, the
+//! (cheap, sub-part shared) global store, and any uncached [`PendingAsync`]
+//! values — each worker memoizes resolved pending asyncs by id, which is
+//! sound because arenas are append-only; (2) with **no locks held**,
+//! evaluate every selected pending async, consulting the shared footprint
+//! memo ([`crate::memo`]) exactly like the sequential path; (3) under a
+//! second arena lock, intern all successor stores/bags/configs as small
+//! diffs against the parent's ids and record their parent edges. Fresh
+//! successors are pushed onto the worker's own deque in one batch.
 //!
 //! # Termination
 //!
@@ -58,11 +89,14 @@
 //! violation. The budget is checked against the shared interner's exact
 //! config count at each fresh intern (seeds exempt), mirroring the
 //! sequential explorer; exhaustion reports the post-join visited total via
-//! [`ExploreError::BudgetExceeded`]. Per-shard counters survive every error
-//! path: [`ParallelExplorer::explore_with_stats`] aggregates them after the
-//! join even when the run is cut short mid-steal.
+//! [`ExploreError::BudgetExceeded`], with a concrete witness trace to the
+//! exhaustion point built from the parent forest under the held lock.
+//! Per-shard counters survive every error path:
+//! [`ParallelExplorer::explore_with_stats`] aggregates them after the join
+//! even when the run is cut short mid-steal.
 
 use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -72,8 +106,9 @@ use crate::stats::{ExploreStats, ShardStats};
 use inseq_obs::HitMissSnapshot;
 
 use inseq_kernel::{
-    ActionName, BagId, Config, ExploreError, GlobalStore, Interner, PaId, PendingAsync, Program,
-    StoreId, Summary, DEFAULT_CONFIG_BUDGET,
+    canonical_parts, ActionName, BagId, Config, ConfigId, ExploreError, FailureWitness,
+    GlobalStore, Interner, Multiset, PaId, PendingAsync, Program, ReductionPolicy, Step, StoreId,
+    Summary, Trace, DEFAULT_CONFIG_BUDGET,
 };
 
 /// Upper bound on the configurations moved by one steal. Half the victim's
@@ -85,7 +120,12 @@ const STEAL_BATCH: usize = 64;
 /// A unit of work: an interned configuration and its parts. Ids are global
 /// (one shared interner), so handing this to another worker is a copy of
 /// three `u32`s — no materialization, no re-interning.
-type WorkItem = (StoreId, BagId);
+type WorkItem = (ConfigId, StoreId, BagId);
+
+/// One recorded parent edge: the predecessor configuration, the pending
+/// async fired to get here, and the recorded firing distance from a seed.
+/// `None` marks a seed (distance zero).
+type ParentEdge = Option<(ConfigId, PaId, u32)>;
 
 /// A parallel exhaustive explorer for a [`Program`].
 ///
@@ -93,12 +133,23 @@ type WorkItem = (StoreId, BagId);
 /// [`ParallelExplorer::new`], optionally configure, then call
 /// [`explore`](ParallelExplorer::explore) or
 /// [`summarize`](ParallelExplorer::summarize).
-#[derive(Debug)]
 pub struct ParallelExplorer<'p> {
     program: &'p Program,
     workers: usize,
     budget: usize,
     stop_on_failure: bool,
+    reduction: Option<&'p dyn ReductionPolicy>,
+}
+
+impl fmt::Debug for ParallelExplorer<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ParallelExplorer")
+            .field("workers", &self.workers)
+            .field("budget", &self.budget)
+            .field("stop_on_failure", &self.stop_on_failure)
+            .field("reduced", &self.reduction.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 impl<'p> ParallelExplorer<'p> {
@@ -111,6 +162,7 @@ impl<'p> ParallelExplorer<'p> {
             workers: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
             budget: DEFAULT_CONFIG_BUDGET,
             stop_on_failure: false,
+            reduction: None,
         }
     }
 
@@ -127,6 +179,17 @@ impl<'p> ParallelExplorer<'p> {
     #[must_use]
     pub fn with_budget(mut self, budget: usize) -> Self {
         self.budget = budget;
+        self
+    }
+
+    /// Explores under a reduction policy, with the same semantics as
+    /// [`inseq_kernel::Explorer::with_reduction`]: ample singletons where
+    /// the policy proves them sound, successor canonicalization under the
+    /// policy's symmetry quotient. Verdicts are preserved; visited/edge
+    /// counts refer to the *reduced* graph.
+    #[must_use]
+    pub fn with_reduction(mut self, policy: &'p dyn ReductionPolicy) -> Self {
+        self.reduction = Some(policy);
         self
     }
 
@@ -182,14 +245,19 @@ impl<'p> ParallelExplorer<'p> {
 
         // Seeds are interned up front by the calling thread — exempt from
         // the budget check, like the sequential explorer's — and dealt
-        // round-robin across the deques.
-        let mut interner = Interner::new();
+        // round-robin across the deques. Seeds carry no parent edge.
+        let mut arena = Arena {
+            interner: Interner::new(),
+            parents: Vec::new(),
+        };
         let mut seed_items: Vec<WorkItem> = Vec::new();
         let mut seed_hits = 0u64;
         for config in initial {
-            let (id, fresh) = interner.intern_config(&config);
+            let (id, fresh) = arena.interner.intern_config(&config);
             if fresh {
-                seed_items.push(interner.config_parts(id));
+                arena.parents.push(None);
+                let (sid, bagid) = arena.interner.config_parts(id);
+                seed_items.push((id, sid, bagid));
             } else {
                 seed_hits += 1;
             }
@@ -199,10 +267,7 @@ impl<'p> ParallelExplorer<'p> {
                 shards: vec![ShardStats::default(); n],
                 memo: HitMissSnapshot::default(),
             };
-            return (
-                Ok(ParallelExploration::empty(interner, stats.clone())),
-                stats,
-            );
+            return (Ok(ParallelExploration::empty(arena, stats.clone())), stats);
         }
         let seed_count = seed_items.len();
 
@@ -215,7 +280,7 @@ impl<'p> ParallelExplorer<'p> {
                 .push_back(item);
         }
         let shared = Shared {
-            interner: Mutex::new(interner),
+            arena: Mutex::new(arena),
             deques,
             in_flight: AtomicUsize::new(seed_count),
             cancelled: AtomicBool::new(false),
@@ -232,13 +297,16 @@ impl<'p> ParallelExplorer<'p> {
                         program: self.program,
                         budget: self.budget,
                         stop_on_failure: self.stop_on_failure,
+                        reduction: self.reduction,
                         shared: &shared,
                         plans: &plans,
                         memo: memo.as_ref(),
                         pa_cache: Vec::new(),
                         pa_buf: Vec::new(),
+                        counts: Vec::new(),
                         outcomes: Vec::new(),
                         fresh: Vec::new(),
+                        canon_cache: HashMap::new(),
                         out: WorkerOutput::default(),
                     };
                     scope.spawn(move || worker.run())
@@ -280,21 +348,19 @@ impl<'p> ParallelExplorer<'p> {
             edges += out.edges;
         }
 
-        let interner = shared
-            .interner
-            .into_inner()
-            .expect("interner lock poisoned");
+        let arena = shared.arena.into_inner().expect("arena lock poisoned");
         if let Some(mut err) = shared.error.into_inner().expect("error slot poisoned") {
             if let ExploreError::BudgetExceeded { visited, .. } = &mut err {
                 // Racing workers may have interned past the recording
                 // worker's observation; report the post-join exact total.
-                *visited = interner.config_count();
+                *visited = arena.interner.config_count();
             }
             return (Err(err), stats);
         }
         (
             Ok(ParallelExploration {
-                interner,
+                interner: arena.interner,
+                parents: arena.parents,
                 failures,
                 deadlocks,
                 terminal,
@@ -327,11 +393,43 @@ struct Deque {
     stolen_from: AtomicU64,
 }
 
+/// The shared hash-consing arenas plus the parent forest, guarded by one
+/// mutex: the visited set *is* the config arena, ids are global, and the
+/// parent vector is kept aligned with the dense config ids.
+#[derive(Debug)]
+struct Arena {
+    interner: Interner,
+    /// Parent edge per interned configuration, indexed by `ConfigId`.
+    parents: Vec<ParentEdge>,
+}
+
+impl Arena {
+    /// The recorded firing distance of a configuration from a seed.
+    fn depth(&self, id: ConfigId) -> u32 {
+        self.parents[id.index()].map_or(0, |(_, _, d)| d)
+    }
+
+    /// Walks the parent chain from `target` back to a seed and resolves it
+    /// into concrete steps. Chains are acyclic — recorded distances
+    /// strictly decrease along them — so this terminates.
+    fn trace_from(&self, target: ConfigId) -> Trace {
+        let mut steps = Vec::new();
+        let mut cursor = target;
+        while let Some((parent, fired, _)) = self.parents[cursor.index()] {
+            steps.push(Step {
+                before: self.interner.resolve_config(parent),
+                fired: self.interner.pa(fired).clone(),
+                after: self.interner.resolve_config(cursor),
+            });
+            cursor = parent;
+        }
+        steps.reverse();
+        Trace { steps }
+    }
+}
+
 struct Shared {
-    /// The shared hash-consing arenas: the visited set *is* the config
-    /// arena, and ids are global, so cross-worker handoff never
-    /// materializes a configuration.
-    interner: Mutex<Interner>,
+    arena: Mutex<Arena>,
     deques: Vec<Deque>,
     /// Configurations queued or currently being expanded. Zero is
     /// conclusive: fresh successors are counted before their parent's
@@ -342,11 +440,13 @@ struct Shared {
     error: Mutex<Option<ExploreError>>,
 }
 
-/// Per-worker results, moved out of the worker when it exits.
+/// Per-worker results, moved out of the worker when it exits. Failures and
+/// deadlocks carry the [`ConfigId`] at which they occurred, so witness
+/// traces resolve against the parent forest after the join.
 #[derive(Debug, Default)]
 struct WorkerOutput {
-    failures: Vec<(Config, PendingAsync, String)>,
-    deadlocks: Vec<Config>,
+    failures: Vec<(ConfigId, Config, PendingAsync, String)>,
+    deadlocks: Vec<(ConfigId, Config)>,
     terminal: BTreeSet<GlobalStore>,
     edges: usize,
     stats: ShardStats,
@@ -357,6 +457,8 @@ struct Worker<'p, 'sh> {
     program: &'p Program,
     budget: usize,
     stop_on_failure: bool,
+    /// The reduction policy, if any — consulted outside the arena lock.
+    reduction: Option<&'p dyn ReductionPolicy>,
     shared: &'sh Shared,
     /// Per-action memoization plans (absent for opaque actions).
     plans: &'sh HashMap<ActionName, MemoPlan>,
@@ -369,11 +471,17 @@ struct Worker<'p, 'sh> {
     /// Reusable buffer of the distinct pending-async ids of the
     /// configuration under expansion.
     pa_buf: Vec<PaId>,
+    /// Multiplicities aligned with `pa_buf`, snapshot in phase 1 so the
+    /// ample decision sees the full bag without re-locking.
+    counts: Vec<u32>,
     /// Reusable buffer of evaluated outcomes, applied under the intern
     /// lock in phase 3.
     outcomes: Vec<(PaId, Resolved)>,
     /// Fresh successors of the current expansion, queued in one batch.
     fresh: Vec<WorkItem>,
+    /// Raw successor parts → canonical orbit parts, per worker. Sound to
+    /// cache because interner ids are append-only.
+    canon_cache: HashMap<(StoreId, BagId), (StoreId, BagId)>,
     out: WorkerOutput,
 }
 
@@ -449,147 +557,233 @@ impl Worker<'_, '_> {
         None
     }
 
-    /// Expands one configuration: snapshot (locked) → evaluate (unlocked) →
-    /// intern successors (locked) → queue fresh work.
-    fn expand(&mut self, (sid, bagid): WorkItem) {
+    /// The pending bag of the configuration under expansion, rebuilt from
+    /// the phase-1 snapshot — no lock needed.
+    fn snapshot_bag(&self) -> Multiset<PendingAsync> {
+        let mut bag = Multiset::new();
+        for (&paid, &count) in self.pa_buf.iter().zip(&self.counts) {
+            bag.insert_n(
+                self.pa_cache[paid.index()].clone().expect("pa cached"),
+                count as usize,
+            );
+        }
+        bag
+    }
+
+    /// Expands one configuration: snapshot (locked) → choose an ample set
+    /// (unlocked) → evaluate (unlocked) → intern successors and record
+    /// parent edges (locked) → queue fresh work. With a reduction policy
+    /// the evaluate/intern rounds may run twice: the cycle proviso falls
+    /// back to the pruned pendings when the ample round interns nothing
+    /// fresh.
+    fn expand(&mut self, (cid, sid, bagid): WorkItem) {
         self.out.stats.expanded += 1;
 
         // Phase 1: snapshot everything evaluation needs under one short
         // lock. The store clone is cheap (slots are shared sub-parts); the
         // pending asyncs come from the per-worker id cache.
         let store: GlobalStore = {
-            let g = self.shared.interner.lock().expect("interner poisoned");
+            let g = self.shared.arena.lock().expect("arena poisoned");
             self.pa_buf.clear();
-            self.pa_buf
-                .extend(g.bag_entries(bagid).iter().map(|&(p, _)| p));
+            self.counts.clear();
+            for &(p, count) in g.interner.bag_entries(bagid) {
+                self.pa_buf.push(p);
+                self.counts.push(count);
+            }
             for &paid in &self.pa_buf {
                 let at = paid.index();
                 if self.pa_cache.len() <= at {
                     self.pa_cache.resize(at + 1, None);
                 }
                 if self.pa_cache[at].is_none() {
-                    self.pa_cache[at] = Some(g.pa(paid).clone());
+                    self.pa_cache[at] = Some(g.interner.pa(paid).clone());
                 }
             }
             if self.pa_buf.is_empty() {
-                self.out.terminal.insert(g.store(sid).clone());
+                self.out.terminal.insert(g.interner.store(sid).clone());
             }
-            g.store(sid).clone()
+            g.interner.store(sid).clone()
         };
 
-        // Phase 2: evaluate every distinct pending async with no locks held
-        // (the footprint memo takes its own short lock per probe/insert).
+        // Ample decision, with no locks held: the policy sees the full bag
+        // (values + multiplicities) from the snapshot.
+        let ample: Option<PaId> = match self.reduction {
+            Some(policy) if self.pa_buf.len() >= 2 => {
+                let pending: Vec<(PendingAsync, usize)> = self
+                    .pa_buf
+                    .iter()
+                    .zip(&self.counts)
+                    .map(|(&p, &count)| {
+                        (
+                            self.pa_cache[p.index()].clone().expect("pa cached"),
+                            count as usize,
+                        )
+                    })
+                    .collect();
+                policy
+                    .ample(self.program, &store, &pending)
+                    .map(|i| self.pa_buf[i])
+            }
+            _ => None,
+        };
+        let mut selected: Vec<PaId> = match ample {
+            Some(p) => vec![p],
+            None => self.pa_buf.clone(),
+        };
+        let mut ample_round = ample.is_some();
+
         let mut fault = None;
-        self.outcomes.clear();
-        for k in 0..self.pa_buf.len() {
-            let paid = self.pa_buf[k];
-            let pa = self.pa_cache[paid.index()]
-                .as_ref()
-                .expect("pa cached in phase 1");
-            let plan = self.plans.get(&pa.action);
-            let active = match (self.memo, plan) {
-                (Some(memo), Some(plan)) if memo.enabled.load(Ordering::Relaxed) => {
-                    Some((memo, plan))
-                }
-                _ => None,
-            };
-            let outcome = if let Some((memo, plan)) = active {
-                if let Some(cached) = memo.probe(pa, plan, &store) {
-                    Resolved::Cached(cached)
+        let mut progressed = self.pa_buf.is_empty();
+        loop {
+            // Phase 2: evaluate the selected pending asyncs with no locks
+            // held (the footprint memo takes its own short lock per
+            // probe/insert).
+            self.outcomes.clear();
+            for &paid in &selected {
+                let pa = self.pa_cache[paid.index()]
+                    .as_ref()
+                    .expect("pa cached in phase 1");
+                let plan = self.plans.get(&pa.action);
+                let active = match (self.memo, plan) {
+                    (Some(memo), Some(plan)) if memo.enabled.load(Ordering::Relaxed) => {
+                        Some((memo, plan))
+                    }
+                    _ => None,
+                };
+                let outcome = if let Some((memo, plan)) = active {
+                    if let Some(cached) = memo.probe(pa, plan, &store) {
+                        Resolved::Cached(cached)
+                    } else {
+                        match self.program.eval_pa(&store, pa) {
+                            Ok(out) => {
+                                memo.publish(pa, plan, &store, &out);
+                                Resolved::Owned(out)
+                            }
+                            Err(e) => {
+                                fault = Some(StepFault::Kernel(e.into()));
+                                break;
+                            }
+                        }
+                    }
                 } else {
                     match self.program.eval_pa(&store, pa) {
-                        Ok(out) => {
-                            memo.publish(pa, plan, &store, &out);
-                            Resolved::Owned(out)
-                        }
+                        Ok(out) => Resolved::Owned(out),
                         Err(e) => {
                             fault = Some(StepFault::Kernel(e.into()));
                             break;
                         }
                     }
-                }
-            } else {
-                match self.program.eval_pa(&store, pa) {
-                    Ok(out) => Resolved::Owned(out),
-                    Err(e) => {
-                        fault = Some(StepFault::Kernel(e.into()));
-                        break;
+                };
+                self.outcomes.push((paid, outcome));
+            }
+
+            // Phase 3: intern all successors under a second lock, as small
+            // diffs against the parent's interned parts.
+            let fresh_before = self.fresh.len();
+            if fault.is_none() {
+                let outcomes = std::mem::take(&mut self.outcomes);
+                {
+                    let mut guard = self.shared.arena.lock().expect("arena poisoned");
+                    let arena = &mut *guard;
+                    'apply: for (paid, outcome) in &outcomes {
+                        let paid = *paid;
+                        let plan = self
+                            .plans
+                            .get(&self.pa_cache[paid.index()].as_ref().unwrap().action);
+                        // The footprint's write set bounds which slots a
+                        // successor store can differ in, letting the interner
+                        // skip re-hashing the rest.
+                        let fp_writes: Option<&[usize]> = plan.map(|p| p.writes.as_slice());
+                        match outcome.view() {
+                            View::Failure(reason) => {
+                                progressed = true;
+                                let witness = Config::new(store.clone(), self.snapshot_bag());
+                                self.out.failures.push((
+                                    cid,
+                                    witness,
+                                    self.pa_cache[paid.index()].clone().expect("pa cached"),
+                                    reason.to_owned(),
+                                ));
+                                if self.stop_on_failure {
+                                    fault = Some(StepFault::StopOnFailure);
+                                    break 'apply;
+                                }
+                            }
+                            View::Full(transitions) => {
+                                if !transitions.is_empty() {
+                                    progressed = true;
+                                }
+                                for t in transitions {
+                                    self.out.edges += 1;
+                                    let next_sid = arena
+                                        .interner
+                                        .intern_store_diff(sid, &t.globals, fp_writes);
+                                    let next_bag =
+                                        arena.interner.bag_after(bagid, paid, &t.created);
+                                    if let Err(f) =
+                                        self.intern_next(arena, cid, paid, next_sid, next_bag)
+                                    {
+                                        fault = Some(f);
+                                        break 'apply;
+                                    }
+                                }
+                            }
+                            View::Delta(transitions) => {
+                                if !transitions.is_empty() {
+                                    progressed = true;
+                                }
+                                for t in transitions {
+                                    self.out.edges += 1;
+                                    // Replay the memoized write-delta; by the
+                                    // footprint contract the result is exactly
+                                    // what `eval` would have produced here.
+                                    let next_sid =
+                                        arena.interner.intern_store_writes(sid, &t.writes);
+                                    let next_bag =
+                                        arena.interner.bag_after(bagid, paid, &t.created);
+                                    if let Err(f) =
+                                        self.intern_next(arena, cid, paid, next_sid, next_bag)
+                                    {
+                                        fault = Some(f);
+                                        break 'apply;
+                                    }
+                                }
+                            }
+                        }
                     }
                 }
-            };
-            self.outcomes.push((paid, outcome));
+                self.outcomes = outcomes;
+                self.outcomes.clear();
+            }
+
+            if fault.is_some() || !ample_round {
+                break;
+            }
+            if self.fresh.len() > fresh_before {
+                // The ample expansion discovered a new configuration; the
+                // pruned pendings fire from there eventually.
+                self.out.stats.pruned += (self.pa_buf.len() - 1) as u64;
+                break;
+            }
+            // Cycle proviso: every ample successor was already visited, so
+            // postponing the others could starve them around a cycle. Fall
+            // back to full expansion of the remaining pendings. (Racing
+            // workers make this an over-approximation — a successor another
+            // worker interned first also triggers the fallback — which only
+            // ever expands more, never less.)
+            let chosen = selected[0];
+            selected = self
+                .pa_buf
+                .iter()
+                .copied()
+                .filter(|&p| p != chosen)
+                .collect();
+            ample_round = false;
         }
 
-        // Phase 3: intern all successors under a second lock, as small
-        // diffs against the parent's interned parts.
-        let mut progressed = self.pa_buf.is_empty();
-        if fault.is_none() {
-            let outcomes = std::mem::take(&mut self.outcomes);
-            {
-                let mut g = self.shared.interner.lock().expect("interner poisoned");
-                'apply: for (paid, outcome) in &outcomes {
-                    let paid = *paid;
-                    let plan = self
-                        .plans
-                        .get(&self.pa_cache[paid.index()].as_ref().unwrap().action);
-                    // The footprint's write set bounds which slots a
-                    // successor store can differ in, letting the interner
-                    // skip re-hashing the rest.
-                    let fp_writes: Option<&[usize]> = plan.map(|p| p.writes.as_slice());
-                    match outcome.view() {
-                        View::Failure(reason) => {
-                            progressed = true;
-                            let witness = Config::new(g.store(sid).clone(), g.resolve_bag(bagid));
-                            self.out.failures.push((
-                                witness,
-                                self.pa_cache[paid.index()].clone().expect("pa cached"),
-                                reason.to_owned(),
-                            ));
-                            if self.stop_on_failure {
-                                fault = Some(StepFault::StopOnFailure);
-                                break 'apply;
-                            }
-                        }
-                        View::Full(transitions) => {
-                            if !transitions.is_empty() {
-                                progressed = true;
-                            }
-                            for t in transitions {
-                                self.out.edges += 1;
-                                let next_sid = g.intern_store_diff(sid, &t.globals, fp_writes);
-                                let next_bag = g.bag_after(bagid, paid, &t.created);
-                                if let Err(f) = self.intern_next(&mut g, next_sid, next_bag) {
-                                    fault = Some(f);
-                                    break 'apply;
-                                }
-                            }
-                        }
-                        View::Delta(transitions) => {
-                            if !transitions.is_empty() {
-                                progressed = true;
-                            }
-                            for t in transitions {
-                                self.out.edges += 1;
-                                // Replay the memoized write-delta; by the
-                                // footprint contract the result is exactly
-                                // what `eval` would have produced here.
-                                let next_sid = g.intern_store_writes(sid, &t.writes);
-                                let next_bag = g.bag_after(bagid, paid, &t.created);
-                                if let Err(f) = self.intern_next(&mut g, next_sid, next_bag) {
-                                    fault = Some(f);
-                                    break 'apply;
-                                }
-                            }
-                        }
-                    }
-                }
-                if fault.is_none() && !progressed {
-                    let witness = Config::new(g.store(sid).clone(), g.resolve_bag(bagid));
-                    self.out.deadlocks.push(witness);
-                }
-            }
-            self.outcomes = outcomes;
-            self.outcomes.clear();
+        if fault.is_none() && !progressed {
+            let witness = Config::new(store.clone(), self.snapshot_bag());
+            self.out.deadlocks.push((cid, witness));
         }
 
         match fault {
@@ -619,29 +813,63 @@ impl Worker<'_, '_> {
         }
     }
 
-    /// Interns one successor config from already-interned parts; fresh ones
-    /// are budget-checked against the exact shared count and staged for the
-    /// own deque. Dedup happens *here*, before any handoff — a duplicate
-    /// costs one id-pair hash, never a materialization.
+    /// Interns one successor config from already-interned parts —
+    /// canonicalized under the symmetry quotient first, when one is active —
+    /// and records its parent edge; fresh ones are budget-checked against
+    /// the exact shared count and staged for the own deque. Dedup happens
+    /// *here*, before any handoff — a duplicate costs one id-pair hash plus
+    /// a possible parent relaxation, never a materialization.
     fn intern_next(
         &mut self,
-        g: &mut Interner,
+        arena: &mut Arena,
+        parent: ConfigId,
+        fired: PaId,
         sid: StoreId,
         bagid: BagId,
     ) -> Result<(), StepFault> {
-        let (_, fresh) = g.intern_config_parts(sid, bagid);
+        let (sid, bagid) = match self.reduction.and_then(ReductionPolicy::symmetry) {
+            Some(spec) => {
+                let canon = canonical_parts(
+                    &mut arena.interner,
+                    &mut self.canon_cache,
+                    spec,
+                    (sid, bagid),
+                );
+                if canon != (sid, bagid) {
+                    self.out.stats.orbit_collapses += 1;
+                }
+                canon
+            }
+            None => (sid, bagid),
+        };
+        let (id, fresh) = arena.interner.intern_config_parts(sid, bagid);
+        let depth = arena.depth(parent).saturating_add(1);
         if fresh {
             self.out.stats.intern.misses += 1;
-            if g.config_count() > self.budget {
+            arena.parents.push(Some((parent, fired, depth)));
+            if arena.interner.config_count() > self.budget {
+                // The parent edge to `id` is already recorded, so the
+                // exhaustion point has a concrete witness run.
+                let trace = arena.trace_from(id);
                 return Err(StepFault::Kernel(ExploreError::BudgetExceeded {
                     limit: self.budget,
-                    visited: g.config_count(),
-                    trace: None,
+                    visited: arena.interner.config_count(),
+                    trace: Some(trace),
                 }));
             }
-            self.fresh.push((sid, bagid));
+            self.fresh.push((id, sid, bagid));
         } else {
             self.out.stats.intern.hits += 1;
+            // Relax the stored parent when this edge arrives via a shorter
+            // recorded path, keeping witness traces short. Seeds (`None`)
+            // are never replaced, and a relaxation only ever lowers the
+            // target's recorded distance, so parent chains stay acyclic.
+            let slot = &mut arena.parents[id.index()];
+            if let Some((_, _, d)) = slot {
+                if depth < *d {
+                    *slot = Some((parent, fired, depth));
+                }
+            }
         }
         Ok(())
     }
@@ -661,29 +889,34 @@ impl Worker<'_, '_> {
 }
 
 /// The result of a parallel exploration: the shared arenas (from which the
-/// reachable set is resolved on demand) plus all gate violations and
-/// deadlocks encountered.
+/// reachable set is resolved on demand), the parent forest (from which
+/// witness traces are rebuilt), plus all gate violations and deadlocks
+/// encountered.
 ///
-/// Unlike [`inseq_kernel::Exploration`] this does not record the transition
-/// graph — witness reconstruction stays with the sequential explorer — and
-/// it does not materialize the visited set at all:
-/// [`configs`](ParallelExploration::configs) resolves configurations lazily
-/// from the arenas, so a multi-million-config run pays for materialization
-/// only if someone iterates it.
+/// Unlike [`inseq_kernel::Exploration`] this does not record the full
+/// transition graph — one parent edge per configuration suffices for
+/// witness reconstruction — and it does not materialize the visited set at
+/// all: [`configs`](ParallelExploration::configs) resolves configurations
+/// lazily from the arenas, so a multi-million-config run pays for
+/// materialization only if someone iterates it. Traces are valid firing
+/// sequences but, unlike the sequential explorer's BFS reconstruction, not
+/// guaranteed globally shortest.
 #[derive(Debug)]
 pub struct ParallelExploration {
     interner: Interner,
-    failures: Vec<(Config, PendingAsync, String)>,
-    deadlocks: Vec<Config>,
+    parents: Vec<ParentEdge>,
+    failures: Vec<(ConfigId, Config, PendingAsync, String)>,
+    deadlocks: Vec<(ConfigId, Config)>,
     terminal: BTreeSet<GlobalStore>,
     edges: usize,
     stats: ExploreStats,
 }
 
 impl ParallelExploration {
-    fn empty(interner: Interner, stats: ExploreStats) -> Self {
+    fn empty(arena: Arena, stats: ExploreStats) -> Self {
         ParallelExploration {
-            interner,
+            interner: arena.interner,
+            parents: arena.parents,
             failures: Vec::new(),
             deadlocks: Vec::new(),
             terminal: BTreeSet::new(),
@@ -693,8 +926,8 @@ impl ParallelExploration {
     }
 
     /// Observability counters of this exploration: per-shard interner
-    /// hits/misses, expansion occupancy, steal traffic, and footprint-memo
-    /// effectiveness.
+    /// hits/misses, expansion occupancy, steal traffic, reduction pruning,
+    /// and footprint-memo effectiveness.
     #[must_use]
     pub fn stats(&self) -> &ExploreStats {
         &self.stats
@@ -733,9 +966,58 @@ impl ParallelExploration {
     pub fn failure_reports(&self) -> Vec<String> {
         self.failures
             .iter()
-            .map(|(config, fired, reason)| {
+            .map(|(_, config, fired, reason)| {
                 format!("executing {fired} from {config} fails: {reason}")
             })
+            .collect()
+    }
+
+    /// Rebuilds the recorded firing sequence from a parent-forest walk.
+    fn trace_from(&self, target: ConfigId) -> Trace {
+        let mut steps = Vec::new();
+        let mut cursor = target;
+        while let Some((parent, fired, _)) = self.parents[cursor.index()] {
+            steps.push(Step {
+                before: self.interner.resolve_config(parent),
+                fired: self.interner.pa(fired).clone(),
+                after: self.interner.resolve_config(cursor),
+            });
+            cursor = parent;
+        }
+        steps.reverse();
+        Trace { steps }
+    }
+
+    /// A concrete firing sequence from a seed to `target`, or `None` when
+    /// `target` was not visited. The trace replays step by step but is not
+    /// guaranteed shortest.
+    #[must_use]
+    pub fn trace_to(&self, target: &Config) -> Option<Trace> {
+        let id = self.interner.find_config(target)?;
+        Some(self.trace_from(id))
+    }
+
+    /// All gate violations, each with a concrete firing sequence reaching
+    /// the configuration at which the gate fails — the parallel analogue of
+    /// [`inseq_kernel::Exploration::failure_witnesses`].
+    #[must_use]
+    pub fn failure_witnesses(&self) -> Vec<FailureWitness> {
+        self.failures
+            .iter()
+            .map(|(cid, _, fired, reason)| FailureWitness {
+                trace: self.trace_from(*cid),
+                fired: fired.clone(),
+                reason: reason.clone(),
+            })
+            .collect()
+    }
+
+    /// A concrete firing sequence reaching each deadlocked configuration.
+    #[must_use]
+    pub fn deadlock_witnesses(&self) -> Vec<Trace> {
+        self.deadlocks
+            .iter()
+            .map(|(cid, _)| self.trace_from(*cid))
             .collect()
     }
 
@@ -748,7 +1030,7 @@ impl ParallelExploration {
     /// Configurations with pending asyncs but no enabled transition and no
     /// failure.
     pub fn deadlocked_configs(&self) -> impl Iterator<Item = &Config> {
-        self.deadlocks.iter()
+        self.deadlocks.iter().map(|(_, c)| c)
     }
 
     /// Global stores of terminating configurations (empty `Ω`).
@@ -781,6 +1063,43 @@ mod tests {
             .configs()
             .cloned()
             .collect()
+    }
+
+    /// Replays a trace step by step: steps chain, each `before` has the
+    /// fired pending async, and firing it can produce each `after`.
+    fn assert_replays(program: &Program, trace: &Trace) {
+        for pair in trace.steps.windows(2) {
+            assert_eq!(pair[0].after, pair[1].before, "steps must chain");
+        }
+        for step in &trace.steps {
+            assert!(
+                step.before.pending.contains(&step.fired),
+                "fired {} not pending in {}",
+                step.fired,
+                step.before
+            );
+            let outcome = program
+                .eval_pa(&step.before.globals, &step.fired)
+                .expect("trace step must evaluate");
+            let successors: Vec<Config> = match outcome {
+                inseq_kernel::ActionOutcome::Transitions(ts) => ts
+                    .into_iter()
+                    .map(|t| {
+                        let mut bag = step.before.pending.clone();
+                        bag.remove_one(&step.fired);
+                        Config::new(t.globals, bag.union(&t.created))
+                    })
+                    .collect(),
+                inseq_kernel::ActionOutcome::Failure { .. } => Vec::new(),
+            };
+            assert!(
+                successors.contains(&step.after),
+                "step does not replay: {} --{}-> {}",
+                step.before,
+                step.fired,
+                step.after
+            );
+        }
     }
 
     #[test]
@@ -843,6 +1162,50 @@ mod tests {
     }
 
     #[test]
+    fn failure_witnesses_carry_replayable_traces() {
+        let p = failing_program();
+        let init = p.initial_config(vec![]).unwrap();
+        for workers in [1, 2, 4, 8] {
+            let exp = ParallelExplorer::new(&p)
+                .with_workers(workers)
+                .explore([init.clone()])
+                .unwrap();
+            let witnesses = exp.failure_witnesses();
+            assert!(!witnesses.is_empty(), "workers = {workers}");
+            for w in &witnesses {
+                assert_replays(&p, &w.trace);
+                // The trace ends at the failing configuration: the fired
+                // pending async must be enabled there and actually fail.
+                let at = w.trace.last().cloned().unwrap_or_else(|| init.clone());
+                assert!(at.pending.contains(&w.fired));
+                assert!(matches!(
+                    p.eval_pa(&at.globals, &w.fired).unwrap(),
+                    inseq_kernel::ActionOutcome::Failure { .. }
+                ));
+            }
+        }
+    }
+
+    #[test]
+    fn trace_to_reaches_every_visited_config() {
+        let p = counter_program();
+        let init = p.initial_config(vec![]).unwrap();
+        let exp = ParallelExplorer::new(&p)
+            .with_workers(4)
+            .explore([init.clone()])
+            .unwrap();
+        for config in exp.configs() {
+            let trace = exp.trace_to(&config).expect("visited config has a trace");
+            assert_replays(&p, &trace);
+            let end = trace.last().cloned().unwrap_or_else(|| init.clone());
+            assert_eq!(end, config);
+        }
+        assert!(exp
+            .trace_to(&Config::new(GlobalStore::new(vec![]), Multiset::new()))
+            .is_none());
+    }
+
+    #[test]
     fn stop_on_first_failure_cancels_early() {
         let p = failing_program();
         let init = p.initial_config(vec![]).unwrap();
@@ -861,12 +1224,22 @@ mod tests {
         let err = ParallelExplorer::new(&p)
             .with_workers(2)
             .with_budget(1)
-            .explore([init])
+            .explore([init.clone()])
             .unwrap_err();
-        assert!(matches!(
-            err,
-            ExploreError::BudgetExceeded { limit: 1, visited, .. } if visited > 1
-        ));
+        match err {
+            ExploreError::BudgetExceeded {
+                limit: 1,
+                visited,
+                trace,
+            } => {
+                assert!(visited > 1);
+                let trace = trace.expect("budget exhaustion carries a witness trace");
+                assert!(!trace.is_empty());
+                assert_replays(&p, &trace);
+                assert_eq!(trace.steps[0].before, init);
+            }
+            other => panic!("expected BudgetExceeded, got {other:?}"),
+        }
     }
 
     #[test]
@@ -890,6 +1263,9 @@ mod tests {
         assert_eq!(stats.stolen(), stats.migrated());
         assert_eq!(stats.migration_dups(), 0);
         assert!(stats.migration_dups() <= stats.migrated());
+        // No reduction policy: nothing pruned, nothing collapsed.
+        assert_eq!(stats.pruned(), 0);
+        assert_eq!(stats.orbit_collapses(), 0);
         for shard in &stats.shards {
             assert_eq!(shard.received, 0);
             assert_eq!(shard.received_dups, 0);
@@ -956,5 +1332,14 @@ mod tests {
             .unwrap();
         assert!(exp.has_deadlock());
         assert_eq!(exp.deadlocked_configs().count(), 1);
+        // The deadlock carries a replayable witness ending at the stuck
+        // configuration.
+        let witnesses = exp.deadlock_witnesses();
+        assert_eq!(witnesses.len(), 1);
+        assert_replays(&p, &witnesses[0]);
+        assert_eq!(
+            witnesses[0].last().unwrap(),
+            exp.deadlocked_configs().next().unwrap()
+        );
     }
 }

@@ -1,0 +1,35 @@
+//! Deliberate fault injection for differential-testing harnesses.
+//!
+//! Only compiled under the `fault-injection` feature, mirroring
+//! `inseq_lang::fault`. The single fault on offer makes every [`Reducer`]
+//! in the process **unsound**: [`Reducer::ample`] prunes on the first
+//! enabled candidate without any commutation or failure check, exactly as
+//! if the ample contract had been implemented wrong. The reduced-vs-
+//! unreduced fuzz oracle must then catch the divergence on a program whose
+//! verdict depends on a pruned interleaving — which is the end-to-end
+//! proof that the oracle has teeth.
+//!
+//! The switch is process-global so the oracle's own `Reducer` (built deep
+//! inside `run_oracle`, out of the test's reach) picks the fault up; tests
+//! that set it must reset it before asserting on unrelated programs.
+//!
+//! [`Reducer`]: crate::Reducer
+//! [`Reducer::ample`]: inseq_kernel::ReductionPolicy::ample
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static UNSOUND_PRUNE: AtomicBool = AtomicBool::new(false);
+
+/// Enables or disables the unsound-pruning fault for every [`Reducer`]
+/// in the process (`false`, the initial value, restores soundness).
+///
+/// [`Reducer`]: crate::Reducer
+pub fn set_unsound_prune(enabled: bool) {
+    UNSOUND_PRUNE.store(enabled, Ordering::SeqCst);
+}
+
+/// Whether the unsound-pruning fault is currently enabled.
+#[must_use]
+pub fn unsound_prune_enabled() -> bool {
+    UNSOUND_PRUNE.load(Ordering::SeqCst)
+}

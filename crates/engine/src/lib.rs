@@ -43,13 +43,17 @@
 #![warn(missing_docs)]
 
 mod explore;
+#[cfg(feature = "fault-injection")]
+pub mod fault;
 pub mod hash;
 mod memo;
 mod mpsc;
+mod reduce;
 mod schedule;
 mod stats;
 
 pub use explore::{ParallelExploration, ParallelExplorer};
 pub use mpsc::{MpscExploration, MpscExplorer};
+pub use reduce::Reducer;
 pub use schedule::{Engine, EngineReport, Job, JobResult, JobStats, JobStatus};
 pub use stats::{ExploreStats, ShardStats};

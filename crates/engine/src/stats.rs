@@ -41,6 +41,14 @@ pub struct ShardStats {
     /// Received migrations that were already known to this shard — the
     /// dedup work that sharding could not avoid (mpsc engine only).
     pub received_dups: u64,
+    /// Pending asyncs this worker left unexpanded because an ample
+    /// singleton stood in for them (partial-order reduction only; zero on
+    /// unreduced runs).
+    pub pruned: u64,
+    /// Successors whose orbit representative differed from the raw
+    /// successor under the symmetry quotient (symmetry reduction only;
+    /// zero on unreduced runs).
+    pub orbit_collapses: u64,
 }
 
 /// Aggregated observability counters of one parallel exploration.
@@ -95,6 +103,19 @@ impl ExploreStats {
         self.shards.iter().map(|s| s.received_dups).sum()
     }
 
+    /// Total pending asyncs left unexpanded by partial-order reduction.
+    #[must_use]
+    pub fn pruned(&self) -> u64 {
+        self.shards.iter().map(|s| s.pruned).sum()
+    }
+
+    /// Total successors collapsed onto a different orbit representative by
+    /// the symmetry quotient.
+    #[must_use]
+    pub fn orbit_collapses(&self) -> u64 {
+        self.shards.iter().map(|s| s.orbit_collapses).sum()
+    }
+
     /// The engine-level shape of this run as a plain-value
     /// [`EngineSnapshot`], for embedding in reports (`IsReport.stats`) and
     /// bench rows. Worker count is the shard count; per-shard `expanded`
@@ -108,6 +129,8 @@ impl ExploreStats {
             stolen: self.stolen(),
             migrated: self.migrated(),
             migration_dups: self.migration_dups(),
+            pruned: self.pruned(),
+            orbit_collapses: self.orbit_collapses(),
         }
     }
 }

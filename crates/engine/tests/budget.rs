@@ -69,7 +69,7 @@ fn two_counter_program_exercises_cross_shard_migration() {
 }
 
 #[test]
-fn budget_exceeded_mid_migration_reports_limit_and_no_trace() {
+fn budget_exceeded_mid_migration_reports_limit_and_witness() {
     let p = two_counter_program(6);
     let sequential_size = Explorer::new(&p)
         .explore([init(&p)])
@@ -115,11 +115,29 @@ fn budget_exceeded_mid_migration_reports_limit_and_no_trace() {
                         "{engine}, {workers} workers: post-join visited aggregate \
                          ({visited}) is absurd"
                     );
-                    assert!(
-                        trace.is_none(),
-                        "{engine}, {workers} workers: parallel workers keep no parent \
-                         forest and must honestly report no trace"
-                    );
+                    match engine {
+                        "steal" => {
+                            // The deque engine keeps a parent forest in the
+                            // shared arena and reports a concrete witness to
+                            // the exhaustion point.
+                            let trace = trace.unwrap_or_else(|| {
+                                panic!(
+                                    "{engine}, {workers} workers: budget exhaustion \
+                                     must carry a witness trace"
+                                )
+                            });
+                            assert!(!trace.is_empty());
+                            assert_eq!(trace.steps[0].before, init(&p));
+                            for pair in trace.steps.windows(2) {
+                                assert_eq!(pair[0].after, pair[1].before, "steps must chain");
+                            }
+                        }
+                        _ => assert!(
+                            trace.is_none(),
+                            "{engine}, {workers} workers: the mpsc baseline keeps no \
+                             parent forest and must honestly report no trace"
+                        ),
+                    }
                 }
                 other => {
                     panic!("{engine}, {workers} workers: expected BudgetExceeded, got {other}")

@@ -10,6 +10,7 @@
 //! | `intern` | structural config equality | hash-consed [`Interner`] identity |
 //! | `mover` | brute-force mover conditions on plain eval | memoized, interned [`MoverChecker`] |
 //! | `bags` | element-order-oblivious multiset axioms | [`Multiset`]'s canonical representation |
+//! | `reduce` | unreduced exhaustive exploration | ample-set reduced exploration (seq + steal) |
 //!
 //! An oracle never judges a program "wrong" — programs have no spec. It
 //! judges two paths *inconsistent*, which is a bug in one of them by
@@ -20,7 +21,8 @@ use std::collections::BTreeSet;
 use std::fmt;
 
 use inseq_core::IsApplication;
-use inseq_engine::Engine;
+use inseq_engine::{Engine, ParallelExplorer, Reducer};
+use inseq_kernel::ReduceMode;
 use inseq_kernel::{
     ActionName, ActionOutcome, Exploration, Explorer, GlobalStore, Interner, Multiset,
     PendingAsync, Program, StateUniverse,
@@ -45,16 +47,20 @@ pub enum Oracle {
     Mover,
     /// Multiset axioms: insertion-order and permutation invariance.
     Bags,
+    /// Reduced (`--reduce por`) vs unreduced exploration: verdicts must
+    /// match and the reduced run must never invent behavior.
+    Reduce,
 }
 
 impl Oracle {
     /// Every oracle, in battery order.
-    pub const ALL: [Oracle; 5] = [
+    pub const ALL: [Oracle; 6] = [
         Oracle::VmInterp,
         Oracle::CheckPaths,
         Oracle::Intern,
         Oracle::Mover,
         Oracle::Bags,
+        Oracle::Reduce,
     ];
 
     /// The CLI name of the oracle.
@@ -66,6 +72,7 @@ impl Oracle {
             Oracle::Intern => "intern",
             Oracle::Mover => "mover",
             Oracle::Bags => "bags",
+            Oracle::Reduce => "reduce",
         }
     }
 
@@ -148,6 +155,7 @@ pub fn run_oracle(
         Oracle::Intern => intern(&exploration),
         Oracle::Mover => mover(&built, &exploration),
         Oracle::Bags => bags(&built, &exploration),
+        Oracle::Reduce => reduce(&built, &exploration, budget),
     }
 }
 
@@ -642,6 +650,97 @@ fn bags(built: &BuiltSpec, exploration: &Exploration) -> Result<OracleOutcome, D
     }
     // Also exercise bags produced as action outcomes, not just explored ones.
     let _ = built;
+    Ok(OracleOutcome::Checked)
+}
+
+// ---------------------------------------------------------------------------
+// Oracle 6: reduced vs unreduced exploration
+// ---------------------------------------------------------------------------
+
+fn reduce(
+    built: &BuiltSpec,
+    exploration: &Exploration,
+    budget: usize,
+) -> Result<OracleOutcome, Disagreement> {
+    let fail = |detail: String| {
+        Err(Disagreement {
+            oracle: Oracle::Reduce,
+            detail,
+        })
+    };
+    // Only ample-set pruning is on trial: generated specs carry no symmetry,
+    // so `por` is the whole reduction surface a fuzz program can exercise.
+    let reducer = Reducer::new(ReduceMode::Por);
+    let terminals: BTreeSet<&GlobalStore> = exploration.terminal_stores().collect();
+    let runs = [
+        ("seq", {
+            Explorer::new(&built.program)
+                .with_budget(budget)
+                .with_reduction(&reducer)
+                .explore([built.init.clone()])
+                .map(|x| {
+                    (
+                        x.config_count(),
+                        x.has_failure(),
+                        x.has_deadlock(),
+                        x.terminal_stores().cloned().collect::<BTreeSet<_>>(),
+                    )
+                })
+                .map_err(|e| e.to_string())
+        }),
+        ("steal w=2", {
+            ParallelExplorer::new(&built.program)
+                .with_workers(2)
+                .with_budget(budget)
+                .with_reduction(&reducer)
+                .explore([built.init.clone()])
+                .map(|x| {
+                    (
+                        x.config_count(),
+                        x.has_failure(),
+                        x.has_deadlock(),
+                        x.terminal_stores().cloned().collect::<BTreeSet<_>>(),
+                    )
+                })
+                .map_err(|e| e.to_string())
+        }),
+    ];
+    for (label, run) in runs {
+        let (visited, failed, deadlocked, reduced_terminals) = match run {
+            Ok(v) => v,
+            // A reduced run that exhausts the budget the unreduced run fit in
+            // would itself be a reduction bug, but the error carries reduced
+            // frontier counts, not a verdict — treat it as a skip and let the
+            // visited-count check below catch real blowups on specs where
+            // both runs finish.
+            Err(e) => return Ok(OracleOutcome::Skipped(format!("[{label}] {e}"))),
+        };
+        if failed != exploration.has_failure() {
+            return fail(format!(
+                "[{label}] reduced failure verdict {failed} vs unreduced {}",
+                exploration.has_failure()
+            ));
+        }
+        if deadlocked != exploration.has_deadlock() {
+            return fail(format!(
+                "[{label}] reduced deadlock verdict {deadlocked} vs unreduced {}",
+                exploration.has_deadlock()
+            ));
+        }
+        if visited > exploration.config_count() {
+            return fail(format!(
+                "[{label}] reduction visited {visited} configs, more than the unreduced {}",
+                exploration.config_count()
+            ));
+        }
+        // One-sided terminal contract: pruning may drop interleaving-specific
+        // finals but can never invent one.
+        if let Some(invented) = reduced_terminals.iter().find(|t| !terminals.contains(t)) {
+            return fail(format!(
+                "[{label}] reduction invented a terminal store: {invented}"
+            ));
+        }
+    }
     Ok(OracleOutcome::Checked)
 }
 

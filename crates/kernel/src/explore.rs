@@ -23,18 +23,28 @@ use std::fmt;
 use crate::action::{ActionName, ActionOutcome, PendingAsync};
 use crate::config::{Config, Step};
 use crate::error::ExploreError;
-use crate::intern::{Interner, PaId};
+use crate::intern::{BagId, Interner, PaId, StoreId};
 use crate::program::Program;
+use crate::reduce::{canonical_parts, ReductionPolicy};
 use crate::store::GlobalStore;
 
 /// Default bound on the number of distinct configurations explored.
 pub const DEFAULT_CONFIG_BUDGET: usize = 4_000_000;
 
 /// An exhaustive breadth-first explorer for a [`Program`].
-#[derive(Debug)]
 pub struct Explorer<'p> {
     program: &'p Program,
     budget: usize,
+    reduction: Option<&'p dyn ReductionPolicy>,
+}
+
+impl fmt::Debug for Explorer<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Explorer")
+            .field("budget", &self.budget)
+            .field("reduced", &self.reduction.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 impl<'p> Explorer<'p> {
@@ -44,6 +54,7 @@ impl<'p> Explorer<'p> {
         Explorer {
             program,
             budget: DEFAULT_CONFIG_BUDGET,
+            reduction: None,
         }
     }
 
@@ -52,6 +63,18 @@ impl<'p> Explorer<'p> {
     #[must_use]
     pub fn with_budget(mut self, budget: usize) -> Self {
         self.budget = budget;
+        self
+    }
+
+    /// Explores under a reduction policy: configurations whose pending
+    /// asyncs the policy proves commuting expand only an ample singleton,
+    /// and successors are canonicalized under the policy's symmetry
+    /// quotient (if any) before interning. Verdicts (failure-freedom,
+    /// deadlock-freedom, orbit-expanded terminal stores) are preserved;
+    /// visited/edge counts refer to the *reduced* graph.
+    #[must_use]
+    pub fn with_reduction(mut self, policy: &'p dyn ReductionPolicy) -> Self {
+        self.reduction = Some(policy);
         self
     }
 
@@ -99,6 +122,12 @@ impl<'p> Explorer<'p> {
         // in `Multiset` iteration order, so firing order (and hence edge and
         // discovery order) matches the previous tree-walking explorer.
         let mut pa_buf: Vec<PaId> = Vec::new();
+        let sym = self.reduction.and_then(ReductionPolicy::symmetry);
+        // Raw successor parts → canonical parts, so each orbit is
+        // canonicalized once (ids are append-only, keys never go stale).
+        let mut canon_cache: HashMap<(StoreId, BagId), (StoreId, BagId)> = HashMap::new();
+        let mut pruned: u64 = 0;
+        let mut orbit_collapses: u64 = 0;
         let mut cursor = 0;
         while cursor < frontier.len() {
             let id = frontier[cursor];
@@ -106,59 +135,115 @@ impl<'p> Explorer<'p> {
             let (sid, bagid) = parts[id];
             pa_buf.clear();
             pa_buf.extend(interner.bag_entries(bagid).iter().map(|&(p, _)| p));
+            // An ample singleton, when the policy proves one sound here.
+            let ample: Option<PaId> = match self.reduction {
+                Some(policy) if pa_buf.len() >= 2 => {
+                    let pending: Vec<(PendingAsync, usize)> = interner
+                        .bag_entries(bagid)
+                        .iter()
+                        .map(|&(p, n)| (interner.pa(p).clone(), n as usize))
+                        .collect();
+                    policy
+                        .ample(self.program, interner.store(sid), &pending)
+                        .map(|i| pa_buf[i])
+                }
+                _ => None,
+            };
             let mut progressed = pa_buf.is_empty();
-            for &paid in &pa_buf {
-                let outcome = {
-                    let globals = interner.store(sid);
-                    let pa = interner.pa(paid);
-                    self.program.eval_pa(globals, pa)?
-                };
-                match outcome {
-                    ActionOutcome::Failure { reason } => {
-                        progressed = true;
-                        failures.push(Failure {
-                            config: id,
-                            fired: paid,
-                            reason,
-                        });
-                    }
-                    ActionOutcome::Transitions(transitions) => {
-                        if !transitions.is_empty() {
+            let mut to_expand: Vec<PaId> = match ample {
+                Some(p) => vec![p],
+                None => pa_buf.clone(),
+            };
+            let mut ample_round = ample.is_some();
+            loop {
+                let mut any_fresh = false;
+                for &paid in &to_expand {
+                    let outcome = {
+                        let globals = interner.store(sid);
+                        let pa = interner.pa(paid);
+                        self.program.eval_pa(globals, pa)?
+                    };
+                    match outcome {
+                        ActionOutcome::Failure { reason } => {
                             progressed = true;
-                        }
-                        let writes = footprints.get(&interner.pa(paid).action).map(Vec::as_slice);
-                        for t in transitions {
-                            let next_sid = interner.intern_store_diff(sid, &t.globals, writes);
-                            let next_bag = interner.bag_after(bagid, paid, &t.created);
-                            let (next_id, fresh) = interner.intern_config_parts(next_sid, next_bag);
-                            edges.push(Edge {
-                                from: id,
+                            failures.push(Failure {
+                                config: id,
                                 fired: paid,
-                                to: next_id.index(),
+                                reason,
                             });
-                            if fresh {
-                                parts.push((next_sid, next_bag));
-                                if interner.config_count() > self.budget {
-                                    // The edge to `next_id` is already
-                                    // recorded, so the exhaustion point has a
-                                    // concrete witness run.
-                                    let trace = shortest_steps(
-                                        &interner,
-                                        &edges,
-                                        &initial_ids,
-                                        next_id.index(),
-                                    )
-                                    .map(|steps| Trace { steps });
-                                    return Err(ExploreError::BudgetExceeded {
-                                        limit: self.budget,
-                                        visited: interner.config_count(),
-                                        trace,
-                                    });
+                        }
+                        ActionOutcome::Transitions(transitions) => {
+                            if !transitions.is_empty() {
+                                progressed = true;
+                            }
+                            let writes =
+                                footprints.get(&interner.pa(paid).action).map(Vec::as_slice);
+                            for t in transitions {
+                                let next_sid = interner.intern_store_diff(sid, &t.globals, writes);
+                                let next_bag = interner.bag_after(bagid, paid, &t.created);
+                                let (next_sid, next_bag) = match sym {
+                                    Some(spec) => {
+                                        let canon = canonical_parts(
+                                            &mut interner,
+                                            &mut canon_cache,
+                                            spec,
+                                            (next_sid, next_bag),
+                                        );
+                                        if canon != (next_sid, next_bag) {
+                                            orbit_collapses += 1;
+                                        }
+                                        canon
+                                    }
+                                    None => (next_sid, next_bag),
+                                };
+                                let (next_id, fresh) =
+                                    interner.intern_config_parts(next_sid, next_bag);
+                                edges.push(Edge {
+                                    from: id,
+                                    fired: paid,
+                                    to: next_id.index(),
+                                });
+                                if fresh {
+                                    any_fresh = true;
+                                    parts.push((next_sid, next_bag));
+                                    if interner.config_count() > self.budget {
+                                        // The edge to `next_id` is already
+                                        // recorded, so the exhaustion point
+                                        // has a concrete witness run.
+                                        let trace = shortest_steps(
+                                            &interner,
+                                            &edges,
+                                            &initial_ids,
+                                            next_id.index(),
+                                        )
+                                        .map(|steps| Trace { steps });
+                                        return Err(ExploreError::BudgetExceeded {
+                                            limit: self.budget,
+                                            visited: interner.config_count(),
+                                            trace,
+                                        });
+                                    }
+                                    frontier.push(next_id.index());
                                 }
-                                frontier.push(next_id.index());
                             }
                         }
                     }
+                }
+                if ample_round {
+                    if any_fresh {
+                        // The ample expansion discovered a new configuration;
+                        // the pruned pendings fire from there eventually.
+                        pruned += (pa_buf.len() - 1) as u64;
+                        break;
+                    }
+                    // Cycle proviso: every ample successor was already
+                    // visited, so postponing the others could starve them
+                    // around a cycle. Fall back to full expansion.
+                    let chosen = to_expand[0];
+                    to_expand = pa_buf.iter().copied().filter(|&p| p != chosen).collect();
+                    ample_round = false;
+                } else {
+                    break;
                 }
             }
             if !progressed {
@@ -176,6 +261,8 @@ impl<'p> Explorer<'p> {
             edges,
             failures,
             deadlocks,
+            pruned,
+            orbit_collapses,
         })
     }
 
@@ -369,6 +456,8 @@ pub struct Exploration {
     edges: Vec<Edge>,
     failures: Vec<Failure>,
     deadlocks: Vec<usize>,
+    pruned: u64,
+    orbit_collapses: u64,
 }
 
 impl Exploration {
@@ -497,6 +586,20 @@ impl Exploration {
     #[must_use]
     pub fn intern_stats(&self) -> inseq_obs::HitMissSnapshot {
         self.interner.intern_stats()
+    }
+
+    /// Pending asyncs left unexpanded by partial-order reduction (0 for
+    /// unreduced explorations).
+    #[must_use]
+    pub fn pruned(&self) -> u64 {
+        self.pruned
+    }
+
+    /// Successors whose orbit representative differed from the raw
+    /// successor under the symmetry quotient (0 without symmetry).
+    #[must_use]
+    pub fn orbit_collapses(&self) -> u64 {
+        self.orbit_collapses
     }
 
     /// Enumerates terminating executions as step sequences, up to `limit`

@@ -49,6 +49,7 @@ pub mod hash;
 pub mod intern;
 mod multiset;
 mod program;
+pub mod reduce;
 pub mod render;
 mod store;
 mod universe;
@@ -66,6 +67,10 @@ pub use explore::{
 pub use intern::{ArgsId, BagId, ConfigId, Interner, PaId, StoreId, ValueId};
 pub use multiset::Multiset;
 pub use program::{GlobalSchema, Program, ProgramBuilder};
+pub use reduce::{
+    canonical_parts, node_permutations, pair_commutes_at, pair_commutes_within, ReduceMode,
+    ReductionPolicy, SymmetrySpec, PAIR_CLOSURE_DEPTH,
+};
 pub use store::GlobalStore;
 pub use universe::StateUniverse;
 pub use value::{Map, Value};

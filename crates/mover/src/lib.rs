@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 mod check;
+pub mod local;
 mod parallel;
 mod reduction;
 mod types;

@@ -180,6 +180,12 @@ pub struct EngineSnapshot {
     /// work sharding could not avoid (mpsc baseline only; structurally zero
     /// on the shared-arena deque engine).
     pub migration_dups: u64,
+    /// Pending asyncs left unexpanded because an ample singleton stood in
+    /// for them (partial-order reduction; zero on unreduced runs).
+    pub pruned: u64,
+    /// Successors whose orbit representative differed from the raw
+    /// successor under the symmetry quotient (zero on unreduced runs).
+    pub orbit_collapses: u64,
 }
 
 impl EngineSnapshot {
@@ -227,6 +233,8 @@ impl EngineSnapshot {
         self.stolen += other.stolen;
         self.migrated += other.migrated;
         self.migration_dups += other.migration_dups;
+        self.pruned += other.pruned;
+        self.orbit_collapses += other.orbit_collapses;
         self
     }
 }
@@ -247,6 +255,13 @@ impl fmt::Display for EngineSnapshot {
                 f,
                 ", {} migrated ({} dups)",
                 self.migrated, self.migration_dups
+            )?;
+        }
+        if self.pruned > 0 || self.orbit_collapses > 0 {
+            write!(
+                f,
+                ", {} pruned, {} orbit collapses",
+                self.pruned, self.orbit_collapses
             )?;
         }
         Ok(())
@@ -336,7 +351,7 @@ mod tests {
             steals: 5,
             stolen: 12,
             migrated: 12,
-            migration_dups: 0,
+            ..EngineSnapshot::default()
         };
         assert!(snap.ran());
         assert_eq!(snap.expanded_total(), 100);
@@ -354,6 +369,15 @@ mod tests {
             ..EngineSnapshot::default()
         };
         assert!(mpsc.to_string().contains("40 migrated (31 dups)"));
+
+        let reduced = EngineSnapshot {
+            workers: 2,
+            expanded: vec![10, 10],
+            pruned: 7,
+            orbit_collapses: 3,
+            ..EngineSnapshot::default()
+        };
+        assert!(reduced.to_string().contains("7 pruned, 3 orbit collapses"));
     }
 
     #[test]

@@ -6,7 +6,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use inseq_core::{IsReport, IsViolation};
-use inseq_kernel::{Config, Explorer, GlobalStore, Program};
+use inseq_kernel::{Config, Explorer, GlobalStore, Program, SymmetrySpec};
 use inseq_lang::build::*;
 use inseq_lang::{action_loc, DslAction, Expr};
 
@@ -147,6 +147,14 @@ pub struct ExplorationCase {
     pub program: Program,
     /// The initialized configuration of `program` for the instance.
     pub init: Config,
+    /// Process-id symmetry of the instance, when the protocol has one.
+    ///
+    /// `--reduce sym` quotients the reachable set by this group; cases
+    /// without a spec (`None`) explore unreduced under that flag. The spec
+    /// must be a *true* symmetry of `program` and `init` — permuting every
+    /// node id through any group element maps reachable configurations to
+    /// reachable configurations and preserves verdicts.
+    pub symmetry: Option<SymmetrySpec>,
 }
 
 impl ExplorationCase {
@@ -163,7 +171,15 @@ impl ExplorationCase {
             instance: instance.into(),
             program,
             init,
+            symmetry: None,
         }
+    }
+
+    /// Attaches a process-id symmetry group to the case.
+    #[must_use]
+    pub fn with_symmetry(mut self, spec: SymmetrySpec) -> Self {
+        self.symmetry = Some(spec);
+        self
     }
 }
 

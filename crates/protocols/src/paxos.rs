@@ -25,7 +25,10 @@
 use std::sync::Arc;
 
 use inseq_core::{IsApplication, Measure};
-use inseq_kernel::{ActionSemantics, Config, GlobalStore, Multiset, PendingAsync, Program, Value};
+use inseq_kernel::{
+    node_permutations, ActionSemantics, Config, GlobalStore, Map, Multiset, PendingAsync, Program,
+    SymmetrySpec, Value,
+};
 use inseq_lang::build::*;
 use inseq_lang::{program_of, DslAction, Expr, GlobalDecls, Sort, Stmt};
 use inseq_refine::check_program_refinement;
@@ -736,13 +739,118 @@ pub fn init_config(program: &Program, artifacts: &Artifacts, instance: Instance)
 }
 
 /// Packages this case's atomic program `P2` and initialized configuration
-/// for exploration engines.
+/// for exploration engines, with the acceptor-id symmetry group attached.
 #[must_use]
 pub fn exploration_case(instance: Instance) -> ExplorationCase {
     let artifacts = build();
     let label = format!("R = {}, N = {}", instance.rounds, instance.nodes);
     let init = init_config(&artifacts.p2, &artifacts, instance);
-    ExplorationCase::new("Paxos", label, artifacts.p2, init)
+    let spec = symmetry_spec(&artifacts, instance);
+    ExplorationCase::new("Paxos", label, artifacts.p2, init).with_symmetry(spec)
+}
+
+/// The image of a node id under `perm` (ids outside `1..=N` are fixed).
+fn node_image(node: i64, perm: &[i64]) -> i64 {
+    usize::try_from(node)
+        .ok()
+        .and_then(|i| i.checked_sub(1))
+        .and_then(|i| perm.get(i))
+        .copied()
+        .unwrap_or(node)
+}
+
+/// Permutes every element of a `Set<Int>` of node ids.
+fn permute_node_set(v: &Value, perm: &[i64]) -> Value {
+    match v {
+        Value::Set(s) => Value::Set(
+            s.iter()
+                .map(|e| Value::Int(node_image(e.as_int(), perm)))
+                .collect(),
+        ),
+        other => other.clone(),
+    }
+}
+
+/// Rebuilds a `Map` by transforming every explicit entry's value.
+fn permute_map_values(m: &Map, f: impl Fn(&Value) -> Value) -> Map {
+    let mut next = Map::new(m.default_value().clone());
+    for (k, v) in m.iter() {
+        next.set_in_place(k.clone(), f(v));
+    }
+    next
+}
+
+/// The acceptor-id symmetry group of an instance: all permutations of the
+/// node ids `1..=N`.
+///
+/// A permutation acts on exactly the store and pending-async positions that
+/// hold node ids — the per-round quorum sets of `joinedNodes`, the quorum
+/// set inside each `voteInfo` entry, the third slot of ghost
+/// `pendingAsyncs` entries tagged `TAG_JOIN`/`TAG_VOTE` (the other tags
+/// carry a literal `0` there), and the `n` argument of pending `Join`/
+/// `Vote` asyncs. Rounds and proposed values are left fixed: proposed
+/// values are round numbers by construction (fresh proposals use the round
+/// number, and value selection only copies earlier proposals), so no value
+/// position ever holds a node id. Swapping two acceptors therefore maps
+/// reachable configurations to reachable configurations and preserves the
+/// `Paxos'` verdict, which is what `--reduce sym` relies on.
+#[must_use]
+pub fn symmetry_spec(artifacts: &Artifacts, instance: Instance) -> SymmetrySpec {
+    let g = &artifacts.decls;
+    let joined_idx = g.index_of("joinedNodes").unwrap();
+    let vote_idx = g.index_of("voteInfo").unwrap();
+    let ghost_idx = g.index_of(GHOST).unwrap();
+    let permute_store = Arc::new(move |store: &GlobalStore, perm: &[i64]| {
+        let mut next = store.clone();
+        let joined = store.get(joined_idx).as_map();
+        next.set(
+            joined_idx,
+            Value::Map(permute_map_values(joined, |v| permute_node_set(v, perm))),
+        );
+        let votes = store.get(vote_idx).as_map();
+        next.set(
+            vote_idx,
+            Value::Map(permute_map_values(votes, |v| match v {
+                Value::Opt(Some(t)) => match t.as_ref() {
+                    Value::Tuple(parts) if parts.len() == 2 => Value::some(Value::Tuple(vec![
+                        parts[0].clone(),
+                        permute_node_set(&parts[1], perm),
+                    ])),
+                    other => Value::some(other.clone()),
+                },
+                other => other.clone(),
+            })),
+        );
+        if let Value::Bag(entries) = store.get(ghost_idx) {
+            let mut bag = Multiset::new();
+            for (e, count) in entries.iter_counts() {
+                let permuted = match e {
+                    Value::Tuple(parts)
+                        if parts.len() == 3 && matches!(parts[0].as_int(), TAG_JOIN | TAG_VOTE) =>
+                    {
+                        Value::Tuple(vec![
+                            parts[0].clone(),
+                            parts[1].clone(),
+                            Value::Int(node_image(parts[2].as_int(), perm)),
+                        ])
+                    }
+                    other => other.clone(),
+                };
+                bag.insert_n(permuted, count);
+            }
+            next.set(ghost_idx, Value::Bag(bag));
+        }
+        next
+    });
+    let permute_pa = Arc::new(|pa: &PendingAsync, perm: &[i64]| match pa.action.as_str() {
+        "Join" | "Vote" => {
+            let mut args = pa.args.clone();
+            args[1] = Value::Int(node_image(args[1].as_int(), perm));
+            PendingAsync::new(pa.action.clone(), args)
+        }
+        _ => pa.clone(),
+    });
+    SymmetrySpec::new(node_permutations(instance.nodes), permute_store, permute_pa)
 }
 
 /// The `Paxos'` property: no two rounds decide different values.
