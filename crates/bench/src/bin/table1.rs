@@ -35,6 +35,10 @@
 //!   three interleaved per run;
 //! * `--workers a,b` — worker counts for the parallel engines (default
 //!   `2,4`);
+//! * `--sweep-workers a,b,c` — the scaling-sweep spelling of `--workers`
+//!   (mutually exclusive with it): one row per worker count per case, e.g.
+//!   `--sweep-workers 1,2,4,8` for the shard-scaling curve that
+//!   `BENCH_table1.json` and the CI scaling artifact record;
 //! * `--runs N` — measurement repetitions (default 1);
 //! * `--reduce off|por|sym|both` — state-space reduction for the `seq` and
 //!   `steal` engines (default `off`): ample-set partial-order reduction,
@@ -267,7 +271,15 @@ fn parse_engines(args: &[String]) -> Result<Vec<inseq_bench::LargeEngine>, Strin
 }
 
 fn parse_workers(args: &[String]) -> Result<Vec<usize>, String> {
-    let Some(list) = parse_value_of(args, "--workers")? else {
+    let sweep = parse_value_of(args, "--sweep-workers")?;
+    let plain = parse_value_of(args, "--workers")?;
+    if sweep.is_some() && plain.is_some() {
+        return Err(
+            "--sweep-workers and --workers are mutually exclusive (both set worker counts)"
+                .to_owned(),
+        );
+    }
+    let Some(list) = sweep.or(plain) else {
         return Ok(vec![2, 4]);
     };
     let counts: Result<Vec<usize>, _> = list

@@ -81,10 +81,15 @@ pub fn exec_fields(e: &ExecStats) -> String {
 #[must_use]
 pub fn engine_fields(e: &EngineSnapshot) -> String {
     let expanded: Vec<String> = e.expanded.iter().map(u64::to_string).collect();
+    let batch_hist: Vec<String> = e.intern_batch_hist.iter().map(u64::to_string).collect();
+    let shard_inserts: Vec<String> = e.shard_inserts.iter().map(u64::to_string).collect();
     format!(
         "\"engine_workers\": {}, \"engine_expanded\": [{}], \"engine_steals\": {}, \
          \"engine_stolen\": {}, \"engine_migrated\": {}, \"engine_migration_dups\": {}, \
-         \"engine_pruned\": {}, \"engine_orbit_collapses\": {}",
+         \"engine_pruned\": {}, \"engine_orbit_collapses\": {}, \
+         \"engine_lock_waits\": {}, \"engine_lock_wait_nanos\": {}, \
+         \"engine_intern_batches\": {}, \"engine_intern_batch_hist\": [{}], \
+         \"engine_shard_inserts\": [{}]",
         e.workers,
         expanded.join(", "),
         e.steals,
@@ -92,7 +97,12 @@ pub fn engine_fields(e: &EngineSnapshot) -> String {
         e.migrated,
         e.migration_dups,
         e.pruned,
-        e.orbit_collapses
+        e.orbit_collapses,
+        e.lock_waits,
+        e.lock_wait_nanos,
+        e.intern_batches,
+        batch_hist.join(", "),
+        shard_inserts.join(", ")
     )
 }
 
@@ -160,6 +170,11 @@ mod tests {
             steals: 1,
             stolen: 2,
             migrated: 2,
+            lock_waits: 3,
+            lock_wait_nanos: 1500,
+            intern_batches: 5,
+            intern_batch_hist: vec![1, 2, 2, 0, 0, 0, 0],
+            shard_inserts: vec![7, 3],
             ..EngineSnapshot::default()
         };
         r.stats.mover_cache = HitMissSnapshot::new(7, 8);
@@ -174,6 +189,9 @@ mod tests {
              \"engine_workers\": 2, \"engine_expanded\": [4, 6], \"engine_steals\": 1, \
              \"engine_stolen\": 2, \"engine_migrated\": 2, \"engine_migration_dups\": 0, \
              \"engine_pruned\": 0, \"engine_orbit_collapses\": 0, \
+             \"engine_lock_waits\": 3, \"engine_lock_wait_nanos\": 1500, \
+             \"engine_intern_batches\": 5, \"engine_intern_batch_hist\": [1, 2, 2, 0, 0, 0, 0], \
+             \"engine_shard_inserts\": [7, 3], \
              \"mover_cache_hits\": 7, \"mover_cache_misses\": 8, \
              \"pairwise_checks\": 9, \
              \"compiled_actions\": 0, \"compile_nanos\": 0, \"vm_evals\": 0, \"interp_evals\": 0, \

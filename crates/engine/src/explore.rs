@@ -1,26 +1,35 @@
-//! Layer 1: parallel exploration over shared arenas with per-shard
-//! work-stealing deques.
+//! Layer 1: parallel exploration over a lock-free concurrent interner with
+//! per-shard work-stealing deques.
 //!
 //! [`ParallelExplorer`] is a drop-in alternative to
 //! [`inseq_kernel::Explorer`]: it enumerates exactly the same reachable
 //! configuration set and produces the same `Good`/`Trans` summary, but
-//! expands configurations on `N` worker threads. Two structural decisions
+//! expands configurations on `N` worker threads. Three structural decisions
 //! distinguish it from the channel-migration baseline it replaced (kept as
 //! [`crate::MpscExplorer`] for benchmarking):
 //!
-//! 1. **One shared hash-consing [`Interner`]** behind a mutex, instead of a
-//!    private interner per shard. Ids are meaningful to every worker, so a
-//!    successor is deduplicated *before* any cross-worker handoff — by
-//!    hashing two `u32` ids under the lock — and handing work to another
-//!    worker moves three ids, not a materialized [`Config`]. The mpsc
-//!    engine's dominant waste disappears wholesale: it materialized,
-//!    shipped, and structurally re-interned every cross-shard successor,
-//!    ~80% of which the receiver then rejected as duplicates on
-//!    duplicate-heavy frontiers (measured on 2PC and Paxos; see
-//!    `received_dups`). The lock is short — evaluation, the expensive part,
-//!    runs outside it — so contention stays far below the per-config
-//!    savings.
-//! 2. **Per-shard work-stealing deques** instead of channels. Each worker
+//! 1. **One shared [`ConcurrentInterner`]** instead of a private interner
+//!    per shard — and instead of the global `Mutex<Arena>` this engine
+//!    itself used before. Ids are meaningful to every worker, so a
+//!    successor is deduplicated *before* any cross-worker handoff, and
+//!    handing work to another worker moves three ids, not a materialized
+//!    [`Config`]. Resolution is entirely lock-free: arenas are segmented
+//!    and pointer-stable, so a worker borrows the parent's `GlobalStore`,
+//!    slot ids, and bag entries straight from the interner for the whole
+//!    expansion — the old phase-1 snapshot lock (and the per-worker
+//!    pending-async cache that grew to the global `PaId` universe per
+//!    worker) is gone wholesale. Dedup locks only the hashed value's index
+//!    shard, so inserts of distinct values proceed in parallel.
+//! 2. **Batched phase-3 interning.** A worker stages a whole expansion's
+//!    successors thread-locally — strictly-changed store slots, bag entry
+//!    diffs, created pending asyncs — then interns them through the
+//!    interner's batch API, which groups each kind by dedup shard and locks
+//!    every affected shard at most once per pass. An expansion with a dozen
+//!    successors pays O(affected shards) lock acquisitions, not
+//!    O(successors), and nothing is interned at all on an evaluation
+//!    fault. Batch sizes and shard-lock contention surface as engine
+//!    counters (`--stats`).
+//! 3. **Per-shard work-stealing deques** instead of channels. Each worker
 //!    owns a deque of `(config, store, bag)` id triples: it pushes and pops
 //!    work at the *back* (LIFO, cache-warm), and an idle worker steals
 //!    `⌈len/2⌉` (capped at [`STEAL_BATCH`]) from the *front* of a victim's
@@ -30,15 +39,17 @@
 //!
 //! # Witness traces
 //!
-//! Alongside each interned configuration the shared arena records a
-//! **parent pointer**: the predecessor's [`ConfigId`], the fired pending
-//! async, and the recorded firing distance from a seed. A fresh intern
-//! appends its discovering edge; a duplicate intern *relaxes* the stored
-//! parent when it arrived via a shorter recorded path. Recorded distances
-//! strictly decrease along parent chains (relaxation only ever lowers a
-//! target's distance), so every chain is acyclic and terminates at a seed —
-//! walking it yields a concrete, replayable firing sequence for any
-//! configuration of interest: gate failures
+//! Alongside each interned configuration the interner records a **parent
+//! edge** embedded in the config arena entry: the predecessor's
+//! [`ConfigId`], the fired pending async, and the recorded firing distance
+//! from a seed, packed into atomics written only under the config's dedup
+//! shard lock. A fresh intern records its discovering edge; a duplicate
+//! intern *relaxes* the stored parent when it arrived via a shorter
+//! recorded path. Recorded distances strictly decrease along parent chains
+//! (relaxation only ever lowers a target's distance), so every chain is
+//! acyclic and terminates at a seed even while other workers relax edges
+//! mid-walk — walking it lock-free yields a concrete, replayable firing
+//! sequence for any configuration of interest: gate failures
 //! ([`ParallelExploration::failure_witnesses`]), deadlocks
 //! ([`ParallelExploration::deadlock_witnesses`]), budget exhaustion (the
 //! `trace` inside [`ExploreError::BudgetExceeded`]), or any reachable
@@ -53,24 +64,26 @@
 //! proves an ample singleton sound at a configuration, only that pending
 //! async is expanded, with the cycle proviso that an ample round which
 //! interns nothing fresh falls back to expanding the remaining pendings.
-//! The ample decision runs *outside* the arena lock, on the phase-1
-//! snapshot. Successors are canonicalized under the policy's symmetry
-//! quotient (if any) before interning, under the phase-3 lock, with a
-//! per-worker canonicalization cache. Reduced traces under a symmetry
-//! quotient are valid modulo node renaming only.
+//! The ample decision sees owned pending-async values through a *bounded*
+//! per-worker cache (capacity [`PA_CACHE_CAP`], epoch-evicted, peak size
+//! reported in stats). Successors are canonicalized under the policy's
+//! symmetry quotient (if any) before interning, with a per-worker
+//! canonicalization cache. Reduced traces under a symmetry quotient are
+//! valid modulo node renaming only.
 //!
 //! # Expansion pipeline
 //!
-//! A worker expands one configuration in three phases: (1) under one short
-//! arena lock, snapshot the pending-async ids and multiplicities, the
-//! (cheap, sub-part shared) global store, and any uncached [`PendingAsync`]
-//! values — each worker memoizes resolved pending asyncs by id, which is
-//! sound because arenas are append-only; (2) with **no locks held**,
-//! evaluate every selected pending async, consulting the shared footprint
-//! memo ([`crate::memo`]) exactly like the sequential path; (3) under a
-//! second arena lock, intern all successor stores/bags/configs as small
-//! diffs against the parent's ids and record their parent edges. Fresh
-//! successors are pushed onto the worker's own deque in one batch.
+//! A worker expands one configuration in three phases: (1) borrow the
+//! parent's store, slot ids, and bag entries from the interner — lock-free,
+//! the references stay valid for the interner's lifetime; (2) evaluate
+//! every selected pending async, consulting the shared footprint memo
+//! ([`crate::memo`]) exactly like the sequential path; (3) stage every
+//! successor as a small diff against the parent's ids (changed slots
+//! compared value-by-value against the footprint's write set, bag entries
+//! rebuilt by a sorted merge) and intern the whole batch — values, stores,
+//! created pendings, bags, then configs with their parent edges — through
+//! one shard-grouped pass per kind. Fresh successors are pushed onto the
+//! worker's own deque in one batch.
 //!
 //! # Termination
 //!
@@ -90,8 +103,8 @@
 //! config count at each fresh intern (seeds exempt), mirroring the
 //! sequential explorer; exhaustion reports the post-join visited total via
 //! [`ExploreError::BudgetExceeded`], with a concrete witness trace to the
-//! exhaustion point built from the parent forest under the held lock.
-//! Per-shard counters survive every error path:
+//! exhaustion point walked lock-free from the parent-edge log. Per-shard
+//! counters survive every error path:
 //! [`ParallelExplorer::explore_with_stats`] aggregates them after the join
 //! even when the run is cut short mid-steal.
 
@@ -100,15 +113,17 @@ use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use crate::hash::FxHashMap;
 use crate::memo::{build_plans, MemoPlan, Resolved, SharedMemo, View};
 use crate::stats::{ExploreStats, ShardStats};
 
 use inseq_obs::HitMissSnapshot;
 
 use inseq_kernel::{
-    canonical_parts, ActionName, BagId, Config, ConfigId, ExploreError, FailureWitness,
-    GlobalStore, Interner, Multiset, PaId, PendingAsync, Program, ReductionPolicy, Step, StoreId,
-    Summary, Trace, DEFAULT_CONFIG_BUDGET,
+    canonical_parts_concurrent, ActionName, BagId, ConcurrentInterner, Config, ConfigId, ConfigReq,
+    ExploreError, FailureWitness, GlobalStore, Multiset, PaId, PendingAsync, Program,
+    ReductionPolicy, Step, StoreId, StoreReq, Summary, Trace, Value, ValueId,
+    DEFAULT_CONFIG_BUDGET,
 };
 
 /// Upper bound on the configurations moved by one steal. Half the victim's
@@ -117,15 +132,39 @@ use inseq_kernel::{
 /// victim that is about to pop its own back end.
 const STEAL_BATCH: usize = 64;
 
+/// Capacity bound of the per-worker pending-async value cache used on the
+/// reduction path (the ample decision needs owned values). The cache is
+/// epoch-evicted — cleared wholesale when full — so a worker's footprint is
+/// bounded by the cap instead of growing to the global `PaId` universe;
+/// re-warming reads the lock-free arena. The high-water mark is reported
+/// per worker via `ShardStats::pa_cache_peak`.
+const PA_CACHE_CAP: usize = 8192;
+
+/// Capacity of the per-worker successor cache (`(store, pending async)` →
+/// interned firing outcome). Epoch-evicted like the pending-async cache:
+/// cleared wholesale before an expansion that could overflow it, never
+/// mid-expansion, so every selected pending async of the round in progress
+/// stays resident.
+const SUCC_CACHE_CAP: usize = 1 << 18;
+
+/// Probes a worker observes before judging whether its successor cache
+/// earns its keep on this program.
+const SUCC_WARMUP_PROBES: u64 = 8192;
+
+/// Minimum hit percentage after warmup. Below it the worker flips the
+/// cache to *bypass*: probing stops and the map is cleared after every
+/// expansion, so entries only ever span the expansion that needs them and
+/// the map stays small and cache-hot. Protocols whose stores never repeat
+/// across configurations (each `(store, pending)` pair is seen once —
+/// Paxos is the extreme) would otherwise grow a hundreds-of-thousands-
+/// entry map per worker whose cold inserts cost more than the evaluations
+/// they can never save.
+const SUCC_MIN_HIT_PCT: u64 = 10;
+
 /// A unit of work: an interned configuration and its parts. Ids are global
 /// (one shared interner), so handing this to another worker is a copy of
 /// three `u32`s — no materialization, no re-interning.
 type WorkItem = (ConfigId, StoreId, BagId);
-
-/// One recorded parent edge: the predecessor configuration, the pending
-/// async fired to get here, and the recorded firing distance from a seed.
-/// `None` marks a seed (distance zero).
-type ParentEdge = Option<(ConfigId, PaId, u32)>;
 
 /// A parallel exhaustive explorer for a [`Program`].
 ///
@@ -246,17 +285,13 @@ impl<'p> ParallelExplorer<'p> {
         // Seeds are interned up front by the calling thread — exempt from
         // the budget check, like the sequential explorer's — and dealt
         // round-robin across the deques. Seeds carry no parent edge.
-        let mut arena = Arena {
-            interner: Interner::new(),
-            parents: Vec::new(),
-        };
+        let interner = ConcurrentInterner::new();
         let mut seed_items: Vec<WorkItem> = Vec::new();
         let mut seed_hits = 0u64;
         for config in initial {
-            let (id, fresh) = arena.interner.intern_config(&config);
+            let (id, fresh) = interner.intern_config(&config, None);
             if fresh {
-                arena.parents.push(None);
-                let (sid, bagid) = arena.interner.config_parts(id);
+                let (sid, bagid) = interner.config_parts(id);
                 seed_items.push((id, sid, bagid));
             } else {
                 seed_hits += 1;
@@ -266,8 +301,12 @@ impl<'p> ParallelExplorer<'p> {
             let stats = ExploreStats {
                 shards: vec![ShardStats::default(); n],
                 memo: HitMissSnapshot::default(),
+                contention: interner.contention(),
             };
-            return (Ok(ParallelExploration::empty(arena, stats.clone())), stats);
+            return (
+                Ok(ParallelExploration::empty(interner, stats.clone())),
+                stats,
+            );
         }
         let seed_count = seed_items.len();
 
@@ -280,7 +319,7 @@ impl<'p> ParallelExplorer<'p> {
                 .push_back(item);
         }
         let shared = Shared {
-            arena: Mutex::new(arena),
+            interner,
             deques,
             in_flight: AtomicUsize::new(seed_count),
             cancelled: AtomicBool::new(false),
@@ -301,12 +340,16 @@ impl<'p> ParallelExplorer<'p> {
                         shared: &shared,
                         plans: &plans,
                         memo: memo.as_ref(),
-                        pa_cache: Vec::new(),
+                        pa_cache: FxHashMap::default(),
                         pa_buf: Vec::new(),
                         counts: Vec::new(),
                         outcomes: Vec::new(),
+                        succ_cache: FxHashMap::default(),
+                        succ_probes: 0,
+                        succ_hits: 0,
+                        succ_bypass: false,
                         fresh: Vec::new(),
-                        canon_cache: HashMap::new(),
+                        canon_cache: FxHashMap::default(),
                         out: WorkerOutput::default(),
                     };
                     scope.spawn(move || worker.run())
@@ -326,10 +369,11 @@ impl<'p> ParallelExplorer<'p> {
             memo: memo
                 .as_ref()
                 .map_or_else(HitMissSnapshot::default, SharedMemo::snapshot),
+            contention: shared.interner.contention(),
         };
         let mut failures = Vec::new();
         let mut deadlocks = Vec::new();
-        let mut terminal = BTreeSet::new();
+        let mut terminal_ids: BTreeSet<StoreId> = BTreeSet::new();
         let mut edges = 0usize;
         for (i, out) in outputs.into_iter().enumerate() {
             let mut shard = out.stats;
@@ -344,23 +388,30 @@ impl<'p> ParallelExplorer<'p> {
             stats.shards.push(shard);
             failures.extend(out.failures);
             deadlocks.extend(out.deadlocks);
-            terminal.extend(out.terminal);
+            terminal_ids.extend(out.terminal);
             edges += out.edges;
         }
 
-        let arena = shared.arena.into_inner().expect("arena lock poisoned");
-        if let Some(mut err) = shared.error.into_inner().expect("error slot poisoned") {
+        let Shared {
+            interner, error, ..
+        } = shared;
+        if let Some(mut err) = error.into_inner().expect("error slot poisoned") {
             if let ExploreError::BudgetExceeded { visited, .. } = &mut err {
                 // Racing workers may have interned past the recording
                 // worker's observation; report the post-join exact total.
-                *visited = arena.interner.config_count();
+                *visited = interner.config_count();
             }
             return (Err(err), stats);
         }
+        // Terminal stores were recorded as ids only — no store was ever
+        // cloned inside the hot loop; materialize them once, after the join.
+        let terminal: BTreeSet<GlobalStore> = terminal_ids
+            .iter()
+            .map(|&sid| interner.store(sid).clone())
+            .collect();
         (
             Ok(ParallelExploration {
-                interner: arena.interner,
-                parents: arena.parents,
+                interner,
                 failures,
                 deadlocks,
                 terminal,
@@ -393,43 +444,11 @@ struct Deque {
     stolen_from: AtomicU64,
 }
 
-/// The shared hash-consing arenas plus the parent forest, guarded by one
-/// mutex: the visited set *is* the config arena, ids are global, and the
-/// parent vector is kept aligned with the dense config ids.
-#[derive(Debug)]
-struct Arena {
-    interner: Interner,
-    /// Parent edge per interned configuration, indexed by `ConfigId`.
-    parents: Vec<ParentEdge>,
-}
-
-impl Arena {
-    /// The recorded firing distance of a configuration from a seed.
-    fn depth(&self, id: ConfigId) -> u32 {
-        self.parents[id.index()].map_or(0, |(_, _, d)| d)
-    }
-
-    /// Walks the parent chain from `target` back to a seed and resolves it
-    /// into concrete steps. Chains are acyclic — recorded distances
-    /// strictly decrease along them — so this terminates.
-    fn trace_from(&self, target: ConfigId) -> Trace {
-        let mut steps = Vec::new();
-        let mut cursor = target;
-        while let Some((parent, fired, _)) = self.parents[cursor.index()] {
-            steps.push(Step {
-                before: self.interner.resolve_config(parent),
-                fired: self.interner.pa(fired).clone(),
-                after: self.interner.resolve_config(cursor),
-            });
-            cursor = parent;
-        }
-        steps.reverse();
-        Trace { steps }
-    }
-}
-
 struct Shared {
-    arena: Mutex<Arena>,
+    /// The shared arenas, dedup shards, and parent-edge log. No wrapping
+    /// mutex: reads are lock-free and writes lock only the hashed value's
+    /// dedup shard.
+    interner: ConcurrentInterner,
     deques: Vec<Deque>,
     /// Configurations queued or currently being expanded. Zero is
     /// conclusive: fresh successors are counted before their parent's
@@ -442,14 +461,44 @@ struct Shared {
 
 /// Per-worker results, moved out of the worker when it exits. Failures and
 /// deadlocks carry the [`ConfigId`] at which they occurred, so witness
-/// traces resolve against the parent forest after the join.
+/// traces resolve against the parent-edge log after the join; terminals
+/// carry the [`StoreId`] only and are materialized after the join.
 #[derive(Debug, Default)]
 struct WorkerOutput {
     failures: Vec<(ConfigId, Config, PendingAsync, String)>,
     deadlocks: Vec<(ConfigId, Config)>,
-    terminal: BTreeSet<GlobalStore>,
+    terminal: BTreeSet<StoreId>,
     edges: usize,
     stats: ShardStats,
+}
+
+/// One staged transition of the cache-fill in progress: the strictly-
+/// changed store slots (post-values) and the created pending multiset,
+/// borrowed from the evaluation outcome. Which pending fired is tracked
+/// alongside, per outcome, by the fill's span list. Nothing is interned
+/// until the whole round's stage is complete.
+struct Staged<'a> {
+    writes: Vec<(usize, Value)>,
+    created: &'a Multiset<PendingAsync>,
+}
+
+/// The interned outcome of firing one pending async on one store — the
+/// payload of the per-worker successor cache. Firing is a pure function of
+/// the `(store, pending async)` pair, both already canonical ids, and ids
+/// are append-only, so an entry stays sound for the whole run and across
+/// every configuration that shares the store.
+enum CachedSucc {
+    /// The firing violates its gate. Cached so repeat encounters skip
+    /// re-evaluation; the failure is *reported* (with a witness) at every
+    /// configuration that can fire it, exactly like the uncached path.
+    Failure(String),
+    /// Per nondeterministic transition: the interned successor store and
+    /// the interned created pendings in the bag's canonical (resolved)
+    /// order, ready for the per-configuration bag merge.
+    Steps {
+        stores: Vec<StoreId>,
+        created: Vec<Box<[(PaId, u32)]>>,
+    },
 }
 
 struct Worker<'p, 'sh> {
@@ -457,31 +506,46 @@ struct Worker<'p, 'sh> {
     program: &'p Program,
     budget: usize,
     stop_on_failure: bool,
-    /// The reduction policy, if any — consulted outside the arena lock.
+    /// The reduction policy, if any — consulted on lock-free borrows.
     reduction: Option<&'p dyn ReductionPolicy>,
     shared: &'sh Shared,
     /// Per-action memoization plans (absent for opaque actions).
     plans: &'sh HashMap<ActionName, MemoPlan>,
     /// The shared evaluation memo; `None` when no action has a footprint.
     memo: Option<&'sh SharedMemo>,
-    /// Pending asyncs resolved from the shared arenas, cached by id —
-    /// sound because the arenas are append-only, and it keeps repeat
-    /// expansions of the same async off the interner lock.
-    pa_cache: Vec<Option<PendingAsync>>,
+    /// Bounded pending-async value cache for the reduction path (the ample
+    /// decision needs owned values). Capacity [`PA_CACHE_CAP`],
+    /// epoch-evicted; unused on unreduced runs, where workers borrow
+    /// pending asyncs lock-free from the interner instead.
+    pa_cache: FxHashMap<PaId, PendingAsync>,
     /// Reusable buffer of the distinct pending-async ids of the
     /// configuration under expansion.
     pa_buf: Vec<PaId>,
-    /// Multiplicities aligned with `pa_buf`, snapshot in phase 1 so the
-    /// ample decision sees the full bag without re-locking.
+    /// Multiplicities aligned with `pa_buf`, so the ample decision sees the
+    /// full bag.
     counts: Vec<u32>,
-    /// Reusable buffer of evaluated outcomes, applied under the intern
-    /// lock in phase 3.
+    /// Reusable buffer of evaluated outcomes, staged and batch-interned in
+    /// phase 3.
     outcomes: Vec<(PaId, Resolved)>,
+    /// Successor cache: `(store, pending async)` → the interned result of
+    /// firing that pending async on that store. Many configurations share
+    /// a store, so hits skip evaluation, write-diffing, and value/store
+    /// interning entirely — only the per-configuration stages (bag merge,
+    /// config interning, parent edge) remain. Capacity
+    /// [`SUCC_CACHE_CAP`], epoch-evicted between expansions.
+    succ_cache: FxHashMap<(StoreId, PaId), CachedSucc>,
+    /// Lifetime probe/hit counts of the successor cache, driving the
+    /// post-warmup bypass decision.
+    succ_probes: u64,
+    succ_hits: u64,
+    /// Set once the warmup showed the cache cannot pay for itself on this
+    /// program; see [`SUCC_MIN_HIT_PCT`].
+    succ_bypass: bool,
     /// Fresh successors of the current expansion, queued in one batch.
     fresh: Vec<WorkItem>,
     /// Raw successor parts → canonical orbit parts, per worker. Sound to
     /// cache because interner ids are append-only.
-    canon_cache: HashMap<(StoreId, BagId), (StoreId, BagId)>,
+    canon_cache: FxHashMap<(StoreId, BagId), (StoreId, BagId)>,
     out: WorkerOutput,
 }
 
@@ -489,6 +553,25 @@ struct Worker<'p, 'sh> {
 enum StepFault {
     Kernel(ExploreError),
     StopOnFailure,
+}
+
+/// Walks the parent-edge log from `target` back to a seed and resolves it
+/// into concrete steps — entirely lock-free. Chains are acyclic (recorded
+/// distances strictly decrease along them, even under concurrent
+/// relaxation), so this terminates.
+fn trace_from(interner: &ConcurrentInterner, target: ConfigId) -> Trace {
+    let mut steps = Vec::new();
+    let mut cursor = target;
+    while let Some((parent, fired)) = interner.parent_edge(cursor) {
+        steps.push(Step {
+            before: interner.resolve_config(parent),
+            fired: interner.pa(fired).clone(),
+            after: interner.resolve_config(cursor),
+        });
+        cursor = parent;
+    }
+    steps.reverse();
+    Trace { steps }
 }
 
 impl Worker<'_, '_> {
@@ -557,71 +640,88 @@ impl Worker<'_, '_> {
         None
     }
 
+    /// An owned copy of a pending async through the bounded per-worker
+    /// cache (reduction path only — the hot path borrows lock-free).
+    fn cached_pa(&mut self, paid: PaId) -> PendingAsync {
+        if let Some(pa) = self.pa_cache.get(&paid) {
+            return pa.clone();
+        }
+        let pa = self.shared.interner.pa(paid).clone();
+        if self.pa_cache.len() >= PA_CACHE_CAP {
+            // Epoch eviction: drop the whole map instead of tracking
+            // recency per entry; the cap bounds worst-case memory and
+            // re-warming reads the lock-free arena.
+            self.pa_cache.clear();
+        }
+        self.pa_cache.insert(paid, pa.clone());
+        self.out.stats.pa_cache_peak = self.out.stats.pa_cache_peak.max(self.pa_cache.len() as u64);
+        pa
+    }
+
     /// The pending bag of the configuration under expansion, rebuilt from
-    /// the phase-1 snapshot — no lock needed.
+    /// the lock-free arena.
     fn snapshot_bag(&self) -> Multiset<PendingAsync> {
+        let interner = &self.shared.interner;
         let mut bag = Multiset::new();
         for (&paid, &count) in self.pa_buf.iter().zip(&self.counts) {
-            bag.insert_n(
-                self.pa_cache[paid.index()].clone().expect("pa cached"),
-                count as usize,
-            );
+            bag.insert_n(interner.pa(paid).clone(), count as usize);
         }
         bag
     }
 
-    /// Expands one configuration: snapshot (locked) → choose an ample set
-    /// (unlocked) → evaluate (unlocked) → intern successors and record
-    /// parent edges (locked) → queue fresh work. With a reduction policy
+    /// Expands one configuration: borrow the parent's parts (lock-free) →
+    /// choose an ample set → evaluate → stage and batch-intern successors
+    /// with their parent edges → queue fresh work. With a reduction policy
     /// the evaluate/intern rounds may run twice: the cycle proviso falls
     /// back to the pruned pendings when the ample round interns nothing
     /// fresh.
     fn expand(&mut self, (cid, sid, bagid): WorkItem) {
         self.out.stats.expanded += 1;
+        let interner = &self.shared.interner;
 
-        // Phase 1: snapshot everything evaluation needs under one short
-        // lock. The store clone is cheap (slots are shared sub-parts); the
-        // pending asyncs come from the per-worker id cache.
-        let store: GlobalStore = {
-            let g = self.shared.arena.lock().expect("arena poisoned");
-            self.pa_buf.clear();
-            self.counts.clear();
-            for &(p, count) in g.interner.bag_entries(bagid) {
-                self.pa_buf.push(p);
-                self.counts.push(count);
-            }
-            for &paid in &self.pa_buf {
-                let at = paid.index();
-                if self.pa_cache.len() <= at {
-                    self.pa_cache.resize(at + 1, None);
-                }
-                if self.pa_cache[at].is_none() {
-                    self.pa_cache[at] = Some(g.interner.pa(paid).clone());
-                }
-            }
-            if self.pa_buf.is_empty() {
-                self.out.terminal.insert(g.interner.store(sid).clone());
-            }
-            g.interner.store(sid).clone()
-        };
+        // Phase 1: borrow the parent's parts straight from the pointer-
+        // stable arenas. No lock, no snapshot clone — the references stay
+        // valid for the whole expansion.
+        let store: &GlobalStore = interner.store(sid);
+        self.pa_buf.clear();
+        self.counts.clear();
+        for &(p, count) in interner.bag_entries(bagid) {
+            self.pa_buf.push(p);
+            self.counts.push(count);
+        }
+        if self.pa_buf.is_empty() {
+            // Terminal: record the id only; stores materialize post-join.
+            self.out.terminal.insert(sid);
+        }
 
-        // Ample decision, with no locks held: the policy sees the full bag
-        // (values + multiplicities) from the snapshot.
+        // Post-warmup verdict on the successor cache, then epoch eviction —
+        // both decided before anything of this expansion is cached, and at
+        // most one entry per distinct pending is inserted below, so a clear
+        // here (and only here) keeps the whole round resident.
+        if !self.succ_bypass
+            && self.succ_probes >= SUCC_WARMUP_PROBES
+            && self.succ_hits * 100 < self.succ_probes * SUCC_MIN_HIT_PCT
+        {
+            self.succ_bypass = true;
+            self.succ_cache.clear();
+        }
+        if self.succ_cache.len() + self.pa_buf.len() > SUCC_CACHE_CAP {
+            self.succ_cache.clear();
+        }
+
+        // Ample decision: the policy sees the full bag (owned values via
+        // the bounded cache + multiplicities).
         let ample: Option<PaId> = match self.reduction {
             Some(policy) if self.pa_buf.len() >= 2 => {
-                let pending: Vec<(PendingAsync, usize)> = self
-                    .pa_buf
-                    .iter()
-                    .zip(&self.counts)
-                    .map(|(&p, &count)| {
-                        (
-                            self.pa_cache[p.index()].clone().expect("pa cached"),
-                            count as usize,
-                        )
-                    })
-                    .collect();
+                let mut pending: Vec<(PendingAsync, usize)> = Vec::with_capacity(self.pa_buf.len());
+                for k in 0..self.pa_buf.len() {
+                    let paid = self.pa_buf[k];
+                    let count = self.counts[k] as usize;
+                    let pa = self.cached_pa(paid);
+                    pending.push((pa, count));
+                }
                 policy
-                    .ample(self.program, &store, &pending)
+                    .ample(self.program, store, &pending)
                     .map(|i| self.pa_buf[i])
             }
             _ => None,
@@ -635,14 +735,21 @@ impl Worker<'_, '_> {
         let mut fault = None;
         let mut progressed = self.pa_buf.is_empty();
         loop {
-            // Phase 2: evaluate the selected pending asyncs with no locks
-            // held (the footprint memo takes its own short lock per
-            // probe/insert).
+            // Phase 2: evaluate the selected pending asyncs whose firing
+            // outcome the successor cache does not already hold (the
+            // footprint memo takes its own short lock per probe/insert).
+            // Firing is a pure function of `(store, pending async)`, so a
+            // cached pair skips evaluation altogether.
             self.outcomes.clear();
             for &paid in &selected {
-                let pa = self.pa_cache[paid.index()]
-                    .as_ref()
-                    .expect("pa cached in phase 1");
+                if !self.succ_bypass {
+                    self.succ_probes += 1;
+                    if self.succ_cache.contains_key(&(sid, paid)) {
+                        self.succ_hits += 1;
+                        continue;
+                    }
+                }
+                let pa = interner.pa(paid);
                 let plan = self.plans.get(&pa.action);
                 let active = match (self.memo, plan) {
                     (Some(memo), Some(plan)) if memo.enabled.load(Ordering::Relaxed) => {
@@ -651,12 +758,12 @@ impl Worker<'_, '_> {
                     _ => None,
                 };
                 let outcome = if let Some((memo, plan)) = active {
-                    if let Some(cached) = memo.probe(pa, plan, &store) {
+                    if let Some(cached) = memo.probe(pa, plan, store) {
                         Resolved::Cached(cached)
                     } else {
-                        match self.program.eval_pa(&store, pa) {
+                        match self.program.eval_pa(store, pa) {
                             Ok(out) => {
-                                memo.publish(pa, plan, &store, &out);
+                                memo.publish(pa, plan, store, &out);
                                 Resolved::Owned(out)
                             }
                             Err(e) => {
@@ -666,7 +773,7 @@ impl Worker<'_, '_> {
                         }
                     }
                 } else {
-                    match self.program.eval_pa(&store, pa) {
+                    match self.program.eval_pa(store, pa) {
                         Ok(out) => Resolved::Owned(out),
                         Err(e) => {
                             fault = Some(StepFault::Kernel(e.into()));
@@ -677,83 +784,22 @@ impl Worker<'_, '_> {
                 self.outcomes.push((paid, outcome));
             }
 
-            // Phase 3: intern all successors under a second lock, as small
-            // diffs against the parent's interned parts.
+            // Phase 3: fill the successor cache from the freshly evaluated
+            // outcomes (staging store diffs and batch-interning values,
+            // stores, and created pendings once per `(store, pending)`
+            // pair), then apply the cached successors of *every* selected
+            // pending to this configuration. On a phase-2 fault nothing is
+            // staged and nothing is interned — the expansion leaves no
+            // partial successors behind.
             let fresh_before = self.fresh.len();
             if fault.is_none() {
                 let outcomes = std::mem::take(&mut self.outcomes);
-                {
-                    let mut guard = self.shared.arena.lock().expect("arena poisoned");
-                    let arena = &mut *guard;
-                    'apply: for (paid, outcome) in &outcomes {
-                        let paid = *paid;
-                        let plan = self
-                            .plans
-                            .get(&self.pa_cache[paid.index()].as_ref().unwrap().action);
-                        // The footprint's write set bounds which slots a
-                        // successor store can differ in, letting the interner
-                        // skip re-hashing the rest.
-                        let fp_writes: Option<&[usize]> = plan.map(|p| p.writes.as_slice());
-                        match outcome.view() {
-                            View::Failure(reason) => {
-                                progressed = true;
-                                let witness = Config::new(store.clone(), self.snapshot_bag());
-                                self.out.failures.push((
-                                    cid,
-                                    witness,
-                                    self.pa_cache[paid.index()].clone().expect("pa cached"),
-                                    reason.to_owned(),
-                                ));
-                                if self.stop_on_failure {
-                                    fault = Some(StepFault::StopOnFailure);
-                                    break 'apply;
-                                }
-                            }
-                            View::Full(transitions) => {
-                                if !transitions.is_empty() {
-                                    progressed = true;
-                                }
-                                for t in transitions {
-                                    self.out.edges += 1;
-                                    let next_sid = arena
-                                        .interner
-                                        .intern_store_diff(sid, &t.globals, fp_writes);
-                                    let next_bag =
-                                        arena.interner.bag_after(bagid, paid, &t.created);
-                                    if let Err(f) =
-                                        self.intern_next(arena, cid, paid, next_sid, next_bag)
-                                    {
-                                        fault = Some(f);
-                                        break 'apply;
-                                    }
-                                }
-                            }
-                            View::Delta(transitions) => {
-                                if !transitions.is_empty() {
-                                    progressed = true;
-                                }
-                                for t in transitions {
-                                    self.out.edges += 1;
-                                    // Replay the memoized write-delta; by the
-                                    // footprint contract the result is exactly
-                                    // what `eval` would have produced here.
-                                    let next_sid =
-                                        arena.interner.intern_store_writes(sid, &t.writes);
-                                    let next_bag =
-                                        arena.interner.bag_after(bagid, paid, &t.created);
-                                    if let Err(f) =
-                                        self.intern_next(arena, cid, paid, next_sid, next_bag)
-                                    {
-                                        fault = Some(f);
-                                        break 'apply;
-                                    }
-                                }
-                            }
-                        }
-                    }
-                }
+                self.fill_succ_cache(sid, &outcomes);
                 self.outcomes = outcomes;
                 self.outcomes.clear();
+                if let Err(f) = self.apply_round(cid, sid, bagid, &selected, &mut progressed) {
+                    fault = Some(f);
+                }
             }
 
             if fault.is_some() || !ample_round {
@@ -811,64 +857,311 @@ impl Worker<'_, '_> {
                 self.cancel();
             }
         }
+
+        // In bypass the successor cache is a per-expansion scratch map:
+        // entries outlive only the rounds that needed them, and the map
+        // stays small enough to live in cache.
+        if self.succ_bypass {
+            self.succ_cache.clear();
+        }
     }
 
-    /// Interns one successor config from already-interned parts —
-    /// canonicalized under the symmetry quotient first, when one is active —
-    /// and records its parent edge; fresh ones are budget-checked against
-    /// the exact shared count and staged for the own deque. Dedup happens
-    /// *here*, before any handoff — a duplicate costs one id-pair hash plus
-    /// a possible parent relaxation, never a materialization.
-    fn intern_next(
+    /// Evaluation → cache: stages each freshly evaluated outcome's
+    /// transitions as strict diffs against the parent store (bounded by
+    /// the action's footprint write set when one exists), batch-interns
+    /// the changed values, the successor stores, and the created pending
+    /// asyncs — one pass over each kind's dedup shards — and records the
+    /// resulting ids in the per-worker successor cache. Failure outcomes
+    /// are cached immediately (they intern nothing); they are *reported*,
+    /// with a per-configuration witness, by [`Worker::apply_round`].
+    fn fill_succ_cache(&mut self, sid: StoreId, outcomes: &[(PaId, Resolved)]) {
+        if outcomes.is_empty() {
+            return;
+        }
+        let interner = &self.shared.interner;
+        let parent_slots: &[ValueId] = interner.store_slots(sid);
+
+        // Stage A: reduce every transition to (fired, changed slots,
+        // created), comparing candidate values against the parent's
+        // resolved slots. The footprint's write set bounds which slots can
+        // differ, letting the stage skip the rest.
+        let mut staged: Vec<Staged<'_>> = Vec::new();
+        let mut spans: Vec<(PaId, usize)> = Vec::with_capacity(outcomes.len());
+        for (paid, outcome) in outcomes {
+            let paid = *paid;
+            let plan = self.plans.get(&interner.pa(paid).action);
+            let fp_writes: Option<&[usize]> = plan.map(|p| p.writes.as_slice());
+            match outcome.view() {
+                View::Failure(reason) => {
+                    self.succ_cache
+                        .insert((sid, paid), CachedSucc::Failure(reason.to_owned()));
+                }
+                View::Full(transitions) => {
+                    spans.push((paid, transitions.len()));
+                    for t in transitions {
+                        let mut writes = Vec::new();
+                        match fp_writes {
+                            Some(ws) => {
+                                for &i in ws {
+                                    let v = t.globals.get(i);
+                                    if interner.value(parent_slots[i]) != v {
+                                        writes.push((i, v.clone()));
+                                    }
+                                }
+                            }
+                            None => {
+                                for (i, v) in t.globals.iter().enumerate() {
+                                    if interner.value(parent_slots[i]) != v {
+                                        writes.push((i, v.clone()));
+                                    }
+                                }
+                            }
+                        }
+                        staged.push(Staged {
+                            writes,
+                            created: &t.created,
+                        });
+                    }
+                }
+                View::Delta(transitions) => {
+                    spans.push((paid, transitions.len()));
+                    for t in transitions {
+                        // Replay the memoized write-delta; by the footprint
+                        // contract the result is exactly what `eval` would
+                        // have produced here.
+                        let mut writes = Vec::new();
+                        for (i, v) in &t.writes {
+                            if interner.value(parent_slots[*i]) != v {
+                                writes.push((*i, v.clone()));
+                            }
+                        }
+                        staged.push(Staged {
+                            writes,
+                            created: &t.created,
+                        });
+                    }
+                }
+            }
+        }
+        if spans.is_empty() {
+            return;
+        }
+
+        // Stage B: intern all changed-slot values, one pass over their
+        // shards.
+        let value_refs: Vec<&Value> = staged
+            .iter()
+            .flat_map(|s| s.writes.iter().map(|(_, v)| v))
+            .collect();
+        let mut value_ids: Vec<ValueId> = Vec::new();
+        interner.intern_values(&value_refs, &mut value_ids);
+
+        // Stage C: intern the *changed* successors' stores from diff
+        // requests — parent id plus slot patches — one pass over their
+        // shards. The interner derives each request's hash incrementally
+        // from the parent's (O(writes), not O(slots)) and compares through
+        // the parent on probe, so no full slot key is built here at all; a
+        // miss materializes inside the interner by cloning the parent and
+        // applying the staged writes. A write-free transition reuses the
+        // parent's id outright — canonicality makes that exact.
+        let mut store_ids: Vec<StoreId> = vec![sid; staged.len()];
+        let mut patches: Vec<(usize, ValueId)> = Vec::with_capacity(value_ids.len());
+        let mut dirty: Vec<(usize, usize, usize)> = Vec::new();
+        {
+            let mut vi = 0;
+            for (k, s) in staged.iter().enumerate() {
+                if s.writes.is_empty() {
+                    continue;
+                }
+                let start = patches.len();
+                for (i, _) in &s.writes {
+                    patches.push((*i, value_ids[vi]));
+                    vi += 1;
+                }
+                dirty.push((k, start, patches.len()));
+            }
+        }
+        let store_reqs: Vec<StoreReq<'_>> = dirty
+            .iter()
+            .map(|&(k, start, end)| StoreReq {
+                parent: sid,
+                patches: &patches[start..end],
+                writes: &staged[k].writes,
+            })
+            .collect();
+        let mut dirty_ids: Vec<StoreId> = Vec::new();
+        interner.intern_stores(&store_reqs, &mut dirty_ids);
+        for (&(k, _, _), &id) in dirty.iter().zip(&dirty_ids) {
+            store_ids[k] = id;
+        }
+
+        // Stage D: intern all created pending asyncs, one pass over their
+        // shards.
+        let pa_refs: Vec<&PendingAsync> = staged
+            .iter()
+            .flat_map(|s| s.created.iter_counts().map(|(pa, _)| pa))
+            .collect();
+        let mut pa_ids: Vec<PaId> = Vec::new();
+        interner.intern_pas(&pa_refs, &mut pa_ids);
+
+        // Stage E: assemble one cache entry per evaluated pending — its
+        // transitions' successor stores plus created entries in the bag's
+        // canonical (resolved) order, which `iter_counts` yields and the
+        // per-configuration bag merge consumes.
+        let mut ti = 0;
+        let mut pi = 0;
+        for &(paid, ntrans) in &spans {
+            let mut stores = Vec::with_capacity(ntrans);
+            let mut created: Vec<Box<[(PaId, u32)]>> = Vec::with_capacity(ntrans);
+            for _ in 0..ntrans {
+                stores.push(store_ids[ti]);
+                let mut entries: Vec<(PaId, u32)> = Vec::new();
+                for (_, count) in staged[ti].created.iter_counts() {
+                    let count = u32::try_from(count).expect("count exceeds u32");
+                    entries.push((pa_ids[pi], count));
+                    pi += 1;
+                }
+                created.push(entries.into_boxed_slice());
+                ti += 1;
+            }
+            self.succ_cache
+                .insert((sid, paid), CachedSucc::Steps { stores, created });
+        }
+    }
+
+    /// Cache → configuration: applies the cached firing outcome of every
+    /// selected pending async to the configuration under expansion. Only
+    /// the configuration-dependent stages run here — failure reports with
+    /// their witnesses, the bag merge (remove one occurrence of the fired
+    /// pending, splice the created ones into the canonical order),
+    /// symmetry canonicalization, and one batched config intern carrying
+    /// the discovering parent edges. Fresh configs are budget-checked
+    /// against the exact shared count and staged for the own deque;
+    /// duplicates cost one id-pair probe plus a possible parent-edge
+    /// relaxation inside the interner.
+    fn apply_round(
         &mut self,
-        arena: &mut Arena,
-        parent: ConfigId,
-        fired: PaId,
+        cid: ConfigId,
         sid: StoreId,
         bagid: BagId,
+        selected: &[PaId],
+        progressed: &mut bool,
     ) -> Result<(), StepFault> {
-        let (sid, bagid) = match self.reduction.and_then(ReductionPolicy::symmetry) {
-            Some(spec) => {
-                let canon = canonical_parts(
-                    &mut arena.interner,
-                    &mut self.canon_cache,
-                    spec,
-                    (sid, bagid),
-                );
-                if canon != (sid, bagid) {
+        let interner = &self.shared.interner;
+        let parent_entries: &[(PaId, u32)] = interner.bag_entries(bagid);
+
+        let mut fired: Vec<PaId> = Vec::new();
+        let mut store_ids: Vec<StoreId> = Vec::new();
+        let mut bag_vecs: Vec<Vec<(PaId, u32)>> = Vec::new();
+        for &paid in selected {
+            let entry = self
+                .succ_cache
+                .get(&(sid, paid))
+                .expect("selected pending async must have a cached outcome");
+            match entry {
+                CachedSucc::Failure(reason) => {
+                    *progressed = true;
+                    let witness = Config::new(interner.store(sid).clone(), self.snapshot_bag());
+                    self.out.failures.push((
+                        cid,
+                        witness,
+                        interner.pa(paid).clone(),
+                        reason.clone(),
+                    ));
+                    if self.stop_on_failure {
+                        // No configuration of this round has been interned
+                        // yet; the round is dropped wholesale.
+                        return Err(StepFault::StopOnFailure);
+                    }
+                }
+                CachedSucc::Steps { stores, created } => {
+                    if !stores.is_empty() {
+                        *progressed = true;
+                    }
+                    for (k, &succ) in stores.iter().enumerate() {
+                        self.out.edges += 1;
+                        let mut entries = parent_entries.to_vec();
+                        let pos = entries
+                            .iter()
+                            .position(|&(p, _)| p == paid)
+                            .expect("fired pending async must occur in the parent bag");
+                        if entries[pos].1 > 1 {
+                            entries[pos].1 -= 1;
+                        } else {
+                            entries.remove(pos);
+                        }
+                        for &(pid, count) in created[k].iter() {
+                            let pa = interner.pa(pid);
+                            match entries.binary_search_by(|&(p, _)| interner.pa(p).cmp(pa)) {
+                                Ok(at) => entries[at].1 += count,
+                                Err(at) => entries.insert(at, (pid, count)),
+                            }
+                        }
+                        fired.push(paid);
+                        store_ids.push(succ);
+                        bag_vecs.push(entries);
+                    }
+                }
+            }
+        }
+        if fired.is_empty() {
+            return Ok(());
+        }
+
+        // Intern the merged bags, one pass over their shards.
+        let bag_refs: Vec<&[(PaId, u32)]> = bag_vecs.iter().map(Vec::as_slice).collect();
+        let mut bag_ids: Vec<BagId> = Vec::new();
+        interner.intern_bags(&bag_refs, &mut bag_ids);
+
+        // Canonicalize under the symmetry quotient, when active.
+        let mut parts: Vec<(StoreId, BagId)> = store_ids
+            .iter()
+            .zip(&bag_ids)
+            .map(|(&s, &b)| (s, b))
+            .collect();
+        if let Some(spec) = self.reduction.and_then(ReductionPolicy::symmetry) {
+            for part in &mut parts {
+                let canon =
+                    canonical_parts_concurrent(interner, &mut self.canon_cache, spec, *part);
+                if canon != *part {
                     self.out.stats.orbit_collapses += 1;
+                    *part = canon;
                 }
-                canon
             }
-            None => (sid, bagid),
-        };
-        let (id, fresh) = arena.interner.intern_config_parts(sid, bagid);
-        let depth = arena.depth(parent).saturating_add(1);
-        if fresh {
-            self.out.stats.intern.misses += 1;
-            arena.parents.push(Some((parent, fired, depth)));
-            if arena.interner.config_count() > self.budget {
-                // The parent edge to `id` is already recorded, so the
-                // exhaustion point has a concrete witness run.
-                let trace = arena.trace_from(id);
-                return Err(StepFault::Kernel(ExploreError::BudgetExceeded {
-                    limit: self.budget,
-                    visited: arena.interner.config_count(),
-                    trace: Some(trace),
-                }));
-            }
-            self.fresh.push((id, sid, bagid));
-        } else {
-            self.out.stats.intern.hits += 1;
-            // Relax the stored parent when this edge arrives via a shorter
-            // recorded path, keeping witness traces short. Seeds (`None`)
-            // are never replaced, and a relaxation only ever lowers the
-            // target's recorded distance, so parent chains stay acyclic.
-            let slot = &mut arena.parents[id.index()];
-            if let Some((_, _, d)) = slot {
-                if depth < *d {
-                    *slot = Some((parent, fired, depth));
+        }
+
+        // Intern the configs with their discovering edges, one pass over
+        // their shards. Within-batch duplicates resolve like sequential
+        // repeats: first fresh, rest hits (with relaxation).
+        let config_reqs: Vec<ConfigReq> = parts
+            .iter()
+            .zip(&fired)
+            .map(|(&(store, bag), &f)| ConfigReq {
+                store,
+                bag,
+                edge: Some((cid, f)),
+            })
+            .collect();
+        let mut results: Vec<(ConfigId, bool)> = Vec::new();
+        interner.intern_configs(&config_reqs, &mut results);
+        self.out.stats.note_intern_batch(config_reqs.len());
+        for (k, &(id, fresh)) in results.iter().enumerate() {
+            if fresh {
+                self.out.stats.intern.misses += 1;
+                if interner.config_count() > self.budget {
+                    // The parent edge to `id` is already recorded, so the
+                    // exhaustion point has a concrete witness run.
+                    let trace = trace_from(interner, id);
+                    return Err(StepFault::Kernel(ExploreError::BudgetExceeded {
+                        limit: self.budget,
+                        visited: interner.config_count(),
+                        trace: Some(trace),
+                    }));
                 }
+                let (s, b) = parts[k];
+                self.fresh.push((id, s, b));
+            } else {
+                self.out.stats.intern.hits += 1;
             }
         }
         Ok(())
@@ -888,10 +1181,10 @@ impl Worker<'_, '_> {
     }
 }
 
-/// The result of a parallel exploration: the shared arenas (from which the
-/// reachable set is resolved on demand), the parent forest (from which
-/// witness traces are rebuilt), plus all gate violations and deadlocks
-/// encountered.
+/// The result of a parallel exploration: the concurrent interner (from
+/// which the reachable set is resolved on demand and witness traces are
+/// rebuilt out of the embedded parent-edge log), plus all gate violations
+/// and deadlocks encountered.
 ///
 /// Unlike [`inseq_kernel::Exploration`] this does not record the full
 /// transition graph — one parent edge per configuration suffices for
@@ -903,8 +1196,7 @@ impl Worker<'_, '_> {
 /// guaranteed globally shortest.
 #[derive(Debug)]
 pub struct ParallelExploration {
-    interner: Interner,
-    parents: Vec<ParentEdge>,
+    interner: ConcurrentInterner,
     failures: Vec<(ConfigId, Config, PendingAsync, String)>,
     deadlocks: Vec<(ConfigId, Config)>,
     terminal: BTreeSet<GlobalStore>,
@@ -913,10 +1205,9 @@ pub struct ParallelExploration {
 }
 
 impl ParallelExploration {
-    fn empty(arena: Arena, stats: ExploreStats) -> Self {
+    fn empty(interner: ConcurrentInterner, stats: ExploreStats) -> Self {
         ParallelExploration {
-            interner: arena.interner,
-            parents: arena.parents,
+            interner,
             failures: Vec::new(),
             deadlocks: Vec::new(),
             terminal: BTreeSet::new(),
@@ -927,7 +1218,8 @@ impl ParallelExploration {
 
     /// Observability counters of this exploration: per-shard interner
     /// hits/misses, expansion occupancy, steal traffic, reduction pruning,
-    /// and footprint-memo effectiveness.
+    /// intern batching, shard-lock contention, and footprint-memo
+    /// effectiveness.
     #[must_use]
     pub fn stats(&self) -> &ExploreStats {
         &self.stats
@@ -972,29 +1264,13 @@ impl ParallelExploration {
             .collect()
     }
 
-    /// Rebuilds the recorded firing sequence from a parent-forest walk.
-    fn trace_from(&self, target: ConfigId) -> Trace {
-        let mut steps = Vec::new();
-        let mut cursor = target;
-        while let Some((parent, fired, _)) = self.parents[cursor.index()] {
-            steps.push(Step {
-                before: self.interner.resolve_config(parent),
-                fired: self.interner.pa(fired).clone(),
-                after: self.interner.resolve_config(cursor),
-            });
-            cursor = parent;
-        }
-        steps.reverse();
-        Trace { steps }
-    }
-
     /// A concrete firing sequence from a seed to `target`, or `None` when
     /// `target` was not visited. The trace replays step by step but is not
     /// guaranteed shortest.
     #[must_use]
     pub fn trace_to(&self, target: &Config) -> Option<Trace> {
         let id = self.interner.find_config(target)?;
-        Some(self.trace_from(id))
+        Some(trace_from(&self.interner, id))
     }
 
     /// All gate violations, each with a concrete firing sequence reaching
@@ -1005,7 +1281,7 @@ impl ParallelExploration {
         self.failures
             .iter()
             .map(|(cid, _, fired, reason)| FailureWitness {
-                trace: self.trace_from(*cid),
+                trace: trace_from(&self.interner, *cid),
                 fired: fired.clone(),
                 reason: reason.clone(),
             })
@@ -1017,7 +1293,7 @@ impl ParallelExploration {
     pub fn deadlock_witnesses(&self) -> Vec<Trace> {
         self.deadlocks
             .iter()
-            .map(|(cid, _)| self.trace_from(*cid))
+            .map(|(cid, _)| trace_from(&self.interner, *cid))
             .collect()
     }
 
@@ -1263,13 +1539,24 @@ mod tests {
         assert_eq!(stats.stolen(), stats.migrated());
         assert_eq!(stats.migration_dups(), 0);
         assert!(stats.migration_dups() <= stats.migrated());
-        // No reduction policy: nothing pruned, nothing collapsed.
+        // No reduction policy: nothing pruned, nothing collapsed, and the
+        // bounded pa cache (reduction path only) stays untouched.
         assert_eq!(stats.pruned(), 0);
         assert_eq!(stats.orbit_collapses(), 0);
+        assert_eq!(stats.pa_cache_peak(), 0);
         for shard in &stats.shards {
             assert_eq!(shard.received, 0);
             assert_eq!(shard.received_dups, 0);
         }
+        // Batch accounting: every non-terminal expansion staged at least
+        // one batch, and the histogram covers exactly the batches.
+        assert!(stats.intern_batches() > 0);
+        let hist_total: u64 = stats.intern_batch_hist().iter().sum();
+        assert_eq!(hist_total, stats.intern_batches());
+        // Contention counters flow from the shared interner: every
+        // distinct id allocation is a shard insert (configs + stores +
+        // bags + values + pending asyncs ≥ configs).
+        assert!(stats.contention.inserts_total() >= exp.config_count() as u64);
     }
 
     #[test]

@@ -7,3 +7,7 @@
 //! This module re-exports it under the engine's historical path.
 
 pub use inseq_kernel::hash::{fx_hash, mix, FxHasher};
+
+/// A `HashMap` keyed through [`FxHasher`] — the right table for hot paths
+/// keyed by interner ids, which SipHash would dominate.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, std::hash::BuildHasherDefault<FxHasher>>;

@@ -45,7 +45,7 @@ use crate::hash::FxHasher;
 use crate::memo::{build_plans, MemoPlan, Resolved, SharedMemo, View};
 use crate::stats::{ExploreStats, ShardStats};
 
-use inseq_obs::HitMissSnapshot;
+use inseq_obs::{ContentionSnapshot, HitMissSnapshot};
 
 use inseq_kernel::{
     ActionName, BagId, Config, ExploreError, GlobalStore, Interner, Multiset, PaId, PendingAsync,
@@ -710,6 +710,7 @@ impl MpscExploration {
             stats: ExploreStats {
                 shards: vec![ShardStats::default(); shards],
                 memo: HitMissSnapshot::default(),
+                contention: ContentionSnapshot::default(),
             },
         }
     }

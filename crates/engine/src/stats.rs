@@ -9,7 +9,9 @@
 //! (`received`/`received_dups`), the channel engine never steals
 //! (`steals`/`stolen_in`).
 
-use inseq_obs::{EngineSnapshot, HitMissSnapshot};
+use inseq_obs::{
+    batch_hist_bucket, ContentionSnapshot, EngineSnapshot, HitMissSnapshot, BATCH_HIST_BUCKETS,
+};
 
 /// Observability counters for one shard (one worker) of a parallel
 /// exploration. Plain per-worker integers bumped off the hot path's
@@ -49,6 +51,29 @@ pub struct ShardStats {
     /// successor under the symmetry quotient (symmetry reduction only;
     /// zero on unreduced runs).
     pub orbit_collapses: u64,
+    /// Phase-3 intern batches this worker staged: expansion rounds that
+    /// interned at least one successor through the concurrent interner
+    /// (deque engine only).
+    pub intern_batches: u64,
+    /// Histogram of those batches by successor count, with bucket bounds
+    /// [`inseq_obs::BATCH_HIST_BOUNDS`] (deque engine only).
+    pub intern_batch_hist: [u64; BATCH_HIST_BUCKETS],
+    /// High-water mark of this worker's bounded pending-async cache (the
+    /// reduction path's value cache; zero on unreduced runs).
+    pub pa_cache_peak: u64,
+}
+
+impl ShardStats {
+    /// Records one phase-3 intern batch of `successors` staged configs into
+    /// the batch counters. Batches of zero (a blocked or fully-failing
+    /// expansion) are not counted.
+    pub fn note_intern_batch(&mut self, successors: usize) {
+        if successors == 0 {
+            return;
+        }
+        self.intern_batches += 1;
+        self.intern_batch_hist[batch_hist_bucket(successors as u64)] += 1;
+    }
 }
 
 /// Aggregated observability counters of one parallel exploration.
@@ -59,6 +84,10 @@ pub struct ExploreStats {
     /// Hit/miss totals of the shared footprint memo (all zero when no
     /// action has a footprint or the memo disabled itself in probation).
     pub memo: HitMissSnapshot,
+    /// The concurrent interner's contention shape: lock waits, total wait
+    /// nanoseconds, per-shard insert spread. All zero on engines without a
+    /// concurrent interner (mpsc, sequential).
+    pub contention: ContentionSnapshot,
 }
 
 impl ExploreStats {
@@ -116,6 +145,34 @@ impl ExploreStats {
         self.shards.iter().map(|s| s.orbit_collapses).sum()
     }
 
+    /// Total phase-3 intern batches staged across all workers.
+    #[must_use]
+    pub fn intern_batches(&self) -> u64 {
+        self.shards.iter().map(|s| s.intern_batches).sum()
+    }
+
+    /// Batch-size histogram summed over all workers.
+    #[must_use]
+    pub fn intern_batch_hist(&self) -> [u64; BATCH_HIST_BUCKETS] {
+        let mut hist = [0u64; BATCH_HIST_BUCKETS];
+        for s in &self.shards {
+            for (slot, n) in hist.iter_mut().zip(s.intern_batch_hist) {
+                *slot += n;
+            }
+        }
+        hist
+    }
+
+    /// Largest pending-async cache any worker held (reduction path only).
+    #[must_use]
+    pub fn pa_cache_peak(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.pa_cache_peak)
+            .max()
+            .unwrap_or(0)
+    }
+
     /// The engine-level shape of this run as a plain-value
     /// [`EngineSnapshot`], for embedding in reports (`IsReport.stats`) and
     /// bench rows. Worker count is the shard count; per-shard `expanded`
@@ -131,6 +188,15 @@ impl ExploreStats {
             migration_dups: self.migration_dups(),
             pruned: self.pruned(),
             orbit_collapses: self.orbit_collapses(),
+            lock_waits: self.contention.lock_waits,
+            lock_wait_nanos: self.contention.lock_wait_nanos,
+            intern_batches: self.intern_batches(),
+            intern_batch_hist: if self.intern_batches() == 0 {
+                Vec::new()
+            } else {
+                self.intern_batch_hist().to_vec()
+            },
+            shard_inserts: self.contention.shard_inserts.clone(),
         }
     }
 }

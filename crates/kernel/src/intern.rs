@@ -62,6 +62,20 @@ macro_rules! id_type {
             pub fn index(self) -> usize {
                 self.0 as usize
             }
+
+            /// The raw dense id (crate-internal: the concurrent interner
+            /// allocates and decodes ids across modules).
+            #[allow(dead_code)] // not every id kind crosses modules
+            pub(crate) fn raw(self) -> u32 {
+                self.0
+            }
+
+            /// Wraps a raw dense id (crate-internal counterpart of
+            /// [`raw`](Self::raw)).
+            #[allow(dead_code)]
+            pub(crate) fn from_raw(raw: u32) -> Self {
+                Self(raw)
+            }
         }
     };
 }
@@ -95,8 +109,10 @@ id_type!(
 /// id + 1)` per slot, 0 marking empty. The arena owns the objects; the
 /// table only resolves hash → candidate ids, with the caller supplying the
 /// equality check (so a collision costs a comparison, never a wrong id).
+/// Crate-visible: the concurrent interner reuses it as the per-shard dedup
+/// index (one table per shard, each behind its own short lock).
 #[derive(Debug, Clone)]
-struct IdTable {
+pub(crate) struct IdTable {
     slots: Vec<(u64, u32)>,
     mask: usize,
     len: usize,
@@ -105,7 +121,7 @@ struct IdTable {
 impl IdTable {
     const INITIAL_SLOTS: usize = 64;
 
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         IdTable {
             slots: vec![(0, 0); Self::INITIAL_SLOTS],
             mask: Self::INITIAL_SLOTS - 1,
@@ -113,7 +129,7 @@ impl IdTable {
         }
     }
 
-    fn find(&self, hash: u64, mut eq: impl FnMut(u32) -> bool) -> Option<u32> {
+    pub(crate) fn find(&self, hash: u64, mut eq: impl FnMut(u32) -> bool) -> Option<u32> {
         let mut slot = (hash as usize) & self.mask;
         loop {
             let (h, idx1) = self.slots[slot];
@@ -128,7 +144,7 @@ impl IdTable {
     }
 
     /// Inserts a fresh id (the caller has verified absence via [`find`]).
-    fn insert(&mut self, hash: u64, id: u32) {
+    pub(crate) fn insert(&mut self, hash: u64, id: u32) {
         let mut slot = (hash as usize) & self.mask;
         while self.slots[slot].1 != 0 {
             slot = (slot + 1) & self.mask;
@@ -156,7 +172,7 @@ impl IdTable {
     }
 }
 
-fn hash_value_ids(ids: &[ValueId]) -> u64 {
+pub(crate) fn hash_value_ids(ids: &[ValueId]) -> u64 {
     let mut h = FxHasher::default();
     for id in ids {
         h.write_u32(id.0);
@@ -164,7 +180,7 @@ fn hash_value_ids(ids: &[ValueId]) -> u64 {
     h.finish()
 }
 
-fn hash_bag_entries(entries: &[(PaId, u32)]) -> u64 {
+pub(crate) fn hash_bag_entries(entries: &[(PaId, u32)]) -> u64 {
     let mut h = FxHasher::default();
     for (p, c) in entries {
         h.write_u32(p.0);
@@ -173,7 +189,7 @@ fn hash_bag_entries(entries: &[(PaId, u32)]) -> u64 {
     h.finish()
 }
 
-fn hash_config_parts(store: StoreId, bag: BagId) -> u64 {
+pub(crate) fn hash_config_parts(store: StoreId, bag: BagId) -> u64 {
     let mut h = FxHasher::default();
     h.write_u32(store.0);
     h.write_u32(bag.0);

@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 
 mod action;
+pub mod cintern;
 mod config;
 pub mod demo;
 mod error;
@@ -55,6 +56,8 @@ mod store;
 mod universe;
 mod value;
 
+pub use cintern::{ConcurrentInterner, ConfigReq, StoreReq, NUM_SHARDS};
+
 pub use action::{
     ActionName, ActionOutcome, ActionSemantics, ExecStats, Footprint, NativeAction, PendingAsync,
     Transition,
@@ -68,8 +71,8 @@ pub use intern::{ArgsId, BagId, ConfigId, Interner, PaId, StoreId, ValueId};
 pub use multiset::Multiset;
 pub use program::{GlobalSchema, Program, ProgramBuilder};
 pub use reduce::{
-    canonical_parts, node_permutations, pair_commutes_at, pair_commutes_within, ReduceMode,
-    ReductionPolicy, SymmetrySpec, PAIR_CLOSURE_DEPTH,
+    canonical_parts, canonical_parts_concurrent, node_permutations, pair_commutes_at,
+    pair_commutes_within, ReduceMode, ReductionPolicy, SymmetrySpec, PAIR_CLOSURE_DEPTH,
 };
 pub use store::GlobalStore;
 pub use universe::StateUniverse;

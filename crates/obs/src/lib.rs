@@ -152,6 +152,61 @@ impl fmt::Display for HitMissSnapshot {
     }
 }
 
+/// Bucket upper bounds of the intern batch-size histogram recorded by the
+/// work-stealing engine: batches of 1, 2, ≤4, ≤8, ≤16, ≤32, and >32 staged
+/// successors. The last bucket is open-ended.
+pub const BATCH_HIST_BOUNDS: [u64; 6] = [1, 2, 4, 8, 16, 32];
+
+/// Number of buckets in the intern batch-size histogram
+/// ([`BATCH_HIST_BOUNDS`] plus the open-ended tail).
+pub const BATCH_HIST_BUCKETS: usize = BATCH_HIST_BOUNDS.len() + 1;
+
+/// The histogram bucket a batch of `n` staged successors falls into.
+#[must_use]
+pub fn batch_hist_bucket(n: u64) -> usize {
+    BATCH_HIST_BOUNDS
+        .iter()
+        .position(|&bound| n <= bound)
+        .unwrap_or(BATCH_HIST_BOUNDS.len())
+}
+
+/// A plain-value snapshot of the concurrent interner's contention shape:
+/// how often a shard lock was found held (and for how long in total), and
+/// how the fresh-id inserts spread across the dedup shards. All zero when
+/// the run never contended or no concurrent interner was involved.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ContentionSnapshot {
+    /// Shard-lock acquisitions that found the lock held and had to wait.
+    pub lock_waits: u64,
+    /// Total nanoseconds spent waiting on held shard locks.
+    pub lock_wait_nanos: u64,
+    /// Fresh-id inserts per dedup shard (all arenas summed) — the spread
+    /// measure: a healthy hash splits inserts near-evenly.
+    pub shard_inserts: Vec<u64>,
+}
+
+impl ContentionSnapshot {
+    /// Total fresh-id inserts across all shards.
+    #[must_use]
+    pub fn inserts_total(&self) -> u64 {
+        self.shard_inserts.iter().sum()
+    }
+
+    /// Component-wise sum, for merging snapshots of the same row.
+    #[must_use]
+    pub fn merged(mut self, other: &ContentionSnapshot) -> ContentionSnapshot {
+        self.lock_waits += other.lock_waits;
+        self.lock_wait_nanos += other.lock_wait_nanos;
+        if self.shard_inserts.len() < other.shard_inserts.len() {
+            self.shard_inserts.resize(other.shard_inserts.len(), 0);
+        }
+        for (slot, more) in self.shard_inserts.iter_mut().zip(&other.shard_inserts) {
+            *slot += more;
+        }
+        self
+    }
+}
+
 /// A plain-value snapshot of one parallel exploration's engine-level shape:
 /// how many workers ran, how evenly the expansion work spread across their
 /// shards, and how much work moved between them.
@@ -186,6 +241,21 @@ pub struct EngineSnapshot {
     /// Successors whose orbit representative differed from the raw
     /// successor under the symmetry quotient (zero on unreduced runs).
     pub orbit_collapses: u64,
+    /// Shard-lock acquisitions on the concurrent interner that found the
+    /// lock held (work-stealing engine only; zero elsewhere).
+    pub lock_waits: u64,
+    /// Total nanoseconds spent waiting on held interner shard locks.
+    pub lock_wait_nanos: u64,
+    /// Phase-3 intern batches the workers staged (one per expansion round
+    /// that interned at least one successor).
+    pub intern_batches: u64,
+    /// Batch-size histogram over those batches, [`BATCH_HIST_BUCKETS`]
+    /// buckets with bounds [`BATCH_HIST_BOUNDS`]; empty when no concurrent
+    /// interner ran.
+    pub intern_batch_hist: Vec<u64>,
+    /// Fresh-id inserts per interner dedup shard (all arenas summed); empty
+    /// when no concurrent interner ran.
+    pub shard_inserts: Vec<u64>,
 }
 
 impl EngineSnapshot {
@@ -235,6 +305,26 @@ impl EngineSnapshot {
         self.migration_dups += other.migration_dups;
         self.pruned += other.pruned;
         self.orbit_collapses += other.orbit_collapses;
+        self.lock_waits += other.lock_waits;
+        self.lock_wait_nanos += other.lock_wait_nanos;
+        self.intern_batches += other.intern_batches;
+        if self.intern_batch_hist.len() < other.intern_batch_hist.len() {
+            self.intern_batch_hist
+                .resize(other.intern_batch_hist.len(), 0);
+        }
+        for (slot, more) in self
+            .intern_batch_hist
+            .iter_mut()
+            .zip(&other.intern_batch_hist)
+        {
+            *slot += more;
+        }
+        if self.shard_inserts.len() < other.shard_inserts.len() {
+            self.shard_inserts.resize(other.shard_inserts.len(), 0);
+        }
+        for (slot, more) in self.shard_inserts.iter_mut().zip(&other.shard_inserts) {
+            *slot += more;
+        }
         self
     }
 }
@@ -262,6 +352,17 @@ impl fmt::Display for EngineSnapshot {
                 f,
                 ", {} pruned, {} orbit collapses",
                 self.pruned, self.orbit_collapses
+            )?;
+        }
+        if self.intern_batches > 0 {
+            write!(f, ", {} intern batches", self.intern_batches)?;
+        }
+        if self.lock_waits > 0 {
+            write!(
+                f,
+                ", {} lock waits ({:.2} ms)",
+                self.lock_waits,
+                self.lock_wait_nanos as f64 / 1e6
             )?;
         }
         Ok(())
@@ -378,6 +479,54 @@ mod tests {
             ..EngineSnapshot::default()
         };
         assert!(reduced.to_string().contains("7 pruned, 3 orbit collapses"));
+    }
+
+    #[test]
+    fn batch_hist_buckets_cover_bounds_and_tail() {
+        assert_eq!(batch_hist_bucket(1), 0);
+        assert_eq!(batch_hist_bucket(2), 1);
+        assert_eq!(batch_hist_bucket(3), 2);
+        assert_eq!(batch_hist_bucket(4), 2);
+        assert_eq!(batch_hist_bucket(8), 3);
+        assert_eq!(batch_hist_bucket(32), 5);
+        assert_eq!(batch_hist_bucket(33), BATCH_HIST_BUCKETS - 1);
+        assert_eq!(batch_hist_bucket(1_000_000), BATCH_HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn contention_snapshot_merges_component_wise() {
+        let a = ContentionSnapshot {
+            lock_waits: 2,
+            lock_wait_nanos: 100,
+            shard_inserts: vec![1, 2],
+        };
+        let b = ContentionSnapshot {
+            lock_waits: 1,
+            lock_wait_nanos: 50,
+            shard_inserts: vec![10, 20, 30],
+        };
+        let m = a.merged(&b);
+        assert_eq!(m.lock_waits, 3);
+        assert_eq!(m.lock_wait_nanos, 150);
+        assert_eq!(m.shard_inserts, vec![11, 22, 30]);
+        assert_eq!(m.inserts_total(), 63);
+    }
+
+    #[test]
+    fn engine_snapshot_shows_contention_when_present() {
+        let snap = EngineSnapshot {
+            workers: 2,
+            expanded: vec![5, 5],
+            intern_batches: 9,
+            lock_waits: 3,
+            lock_wait_nanos: 4_000_000,
+            ..EngineSnapshot::default()
+        };
+        let text = snap.to_string();
+        assert!(text.contains("9 intern batches"), "{text}");
+        assert!(text.contains("3 lock waits (4.00 ms)"), "{text}");
+        // Contention-free snapshots stay terse.
+        assert!(!EngineSnapshot::default().to_string().contains("lock waits"));
     }
 
     #[test]
