@@ -1,0 +1,86 @@
+//! Fuzzing throughput: programs per second through the full oracle battery,
+//! plus where inside the battery the time goes.
+//!
+//! Three groups:
+//!
+//! * `fuzz_throughput/battery` — one coverage-measured battery pass
+//!   ([`inseq_fuzz::measure_battery`]) over a fixed generated program and
+//!   over each scenario-zoo protocol, so regressions in any single oracle
+//!   show up against a stable input.
+//! * `fuzz_throughput/campaign` — short guided and blind campaigns end to
+//!   end (generation/mutation + measurement + corpus bookkeeping), the
+//!   number the `fuzz` binary's `programs/sec` summary reports.
+//! * Before timing anything, a one-shot guided campaign prints the
+//!   per-oracle wall-clock breakdown (`inseq_obs::PhaseStat` lines) and its
+//!   programs/sec to stderr — the phase split is the diagnostic the timing
+//!   numbers lack.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use inseq_fuzz::campaign::{run_campaign, CampaignConfig};
+use inseq_fuzz::corpus::zoo_specs;
+use inseq_fuzz::coverage::MeasureOptions;
+use inseq_fuzz::meta::phase_breakdown;
+use inseq_fuzz::{generate, measure_battery, GenConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Budget small enough to keep one battery pass in the low milliseconds;
+/// the generator's programs rarely exceed a few hundred configurations.
+const BUDGET: usize = 800;
+
+fn measure_options() -> MeasureOptions {
+    MeasureOptions {
+        budget: BUDGET,
+        ..MeasureOptions::default()
+    }
+}
+
+fn quick_campaign(guided: bool, iters: u64) -> CampaignConfig {
+    CampaignConfig {
+        iters,
+        guided,
+        budget: BUDGET,
+        ..CampaignConfig::default()
+    }
+}
+
+fn bench_battery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fuzz_throughput/battery");
+    group.sample_size(20);
+    let opts = measure_options();
+
+    let generated = generate(&mut StdRng::seed_from_u64(0), &GenConfig::default());
+    group.bench_function("generated-seed0", |b| {
+        b.iter(|| measure_battery(&generated, &opts));
+    });
+    for (name, spec) in zoo_specs() {
+        group.bench_function(&*name, |b| {
+            b.iter(|| measure_battery(&spec, &opts));
+        });
+    }
+    group.finish();
+}
+
+fn bench_campaign(c: &mut Criterion) {
+    // One-shot phase breakdown: where a guided campaign's battery time goes.
+    let probe = run_campaign(&quick_campaign(true, 20), None);
+    eprintln!(
+        "guided probe: {:.1} programs/sec over {} iterations; per-oracle wall clock:\n{}",
+        probe.programs_per_sec(),
+        probe.iterations,
+        phase_breakdown(&probe.oracle_wall)
+    );
+
+    let mut group = c.benchmark_group("fuzz_throughput/campaign");
+    group.sample_size(10);
+    group.bench_function("guided-10iters", |b| {
+        b.iter(|| run_campaign(&quick_campaign(true, 10), None));
+    });
+    group.bench_function("blind-10iters", |b| {
+        b.iter(|| run_campaign(&quick_campaign(false, 10), None));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_battery, bench_campaign);
+criterion_main!(benches);

@@ -48,8 +48,16 @@
 //!   visited counts when reduction is on. The `mpsc` baseline always runs
 //!   unreduced.
 //!
-//! `--only`, `--json`, and `--stats` compose with `--large`; `--jobs`,
-//! `--exec`, and `--compare` do not apply to it.
+//! `--zoo` runs the same exploration tier over the scenario-zoo protocols
+//! (`inseq_protocols::zoo` — programs promoted from the coverage-guided
+//! fuzz campaign) instead of the parametric large instances. The zoo's
+//! state spaces are tiny; the tier's value is the cross-engine verdict
+//! agreement checks over the zoo's deadlock/failure/pass archetypes. All
+//! `--large` companions (`--engine`, `--workers`, `--runs`, `--reduce`)
+//! apply.
+//!
+//! `--only`, `--json`, and `--stats` compose with `--large` and `--zoo`;
+//! `--jobs`, `--exec`, and `--compare` do not apply to them.
 
 use std::process::ExitCode;
 
@@ -319,8 +327,15 @@ fn parse_runs(args: &[String]) -> Result<usize, String> {
     }
 }
 
-/// The `--large` path: run the throughput tier and render or emit JSON.
-fn run_large(args: &[String], json: JsonMode, stats: bool, only: Option<Vec<String>>) -> ExitCode {
+/// The `--large` / `--zoo` path: run the exploration tier and render or
+/// emit JSON.
+fn run_large(
+    args: &[String],
+    json: JsonMode,
+    stats: bool,
+    only: Option<Vec<String>>,
+    zoo: bool,
+) -> ExitCode {
     let opts = {
         let engines = match parse_engines(args) {
             Ok(e) => e,
@@ -356,12 +371,14 @@ fn run_large(args: &[String], json: JsonMode, stats: bool, only: Option<Vec<Stri
             runs,
             only,
             reduce,
+            zoo,
         }
     };
+    let tier = if zoo { "zoo" } else { "large" };
     let rows = match inseq_bench::large_rows(&opts) {
         Ok(rows) => rows,
         Err(e) => {
-            eprintln!("large tier failed: {e}");
+            eprintln!("{tier} tier failed: {e}");
             return ExitCode::FAILURE;
         }
     };
@@ -377,7 +394,8 @@ fn run_large(args: &[String], json: JsonMode, stats: bool, only: Option<Vec<Stri
         JsonMode::Stdout => print!("{}", inseq_bench::large_rows_as_json(&rows)),
         JsonMode::Off => {
             println!(
-                "Large exploration tier ({} machine core(s); engines: {})\n",
+                "{} exploration tier ({} machine core(s); engines: {})\n",
+                if zoo { "Scenario-zoo" } else { "Large" },
                 inseq_bench::machine_cores(),
                 opts.engines
                     .iter()
@@ -446,8 +464,9 @@ fn main() -> ExitCode {
         }
     };
     let only = parse_only(&args);
-    if args.iter().any(|a| a == "--large") {
-        return run_large(&args, json, stats, only);
+    let zoo = args.iter().any(|a| a == "--zoo");
+    if zoo || args.iter().any(|a| a == "--large") {
+        return run_large(&args, json, stats, only, zoo);
     }
     let rows = || {
         if let Some(needles) = &only {

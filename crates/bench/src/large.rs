@@ -59,6 +59,13 @@ pub struct LargeOptions {
     /// State-space reduction (`--reduce off|por|sym|both`). `seq` and
     /// `steal` honor it; the `mpsc` baseline always explores unreduced.
     pub reduce: ReduceMode,
+    /// Run over the scenario-zoo cases (`table1 --zoo`) — the protocols
+    /// promoted from the coverage-guided fuzz campaign
+    /// ([`inseq_protocols::zoo`]) — instead of the parametric large
+    /// instances. Zoo state spaces are tiny; the tier exists so the zoo's
+    /// verdicts get the same cross-engine agreement checks as everything
+    /// else, not for throughput numbers.
+    pub zoo: bool,
 }
 
 impl Default for LargeOptions {
@@ -69,6 +76,7 @@ impl Default for LargeOptions {
             runs: 1,
             only: None,
             reduce: ReduceMode::Off,
+            zoo: false,
         }
     }
 }
@@ -128,8 +136,12 @@ pub fn machine_cores() -> usize {
     std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
-fn selected_cases(only: Option<&[String]>) -> Result<Vec<ExplorationCase>, CaseError> {
-    let cases = large_exploration_cases();
+fn selected_cases(only: Option<&[String]>, zoo: bool) -> Result<Vec<ExplorationCase>, CaseError> {
+    let (cases, tier) = if zoo {
+        (inseq_protocols::zoo::zoo_exploration_cases(), "--zoo")
+    } else {
+        (large_exploration_cases(), "--large")
+    };
     let Some(needles) = only else {
         return Ok(cases);
     };
@@ -150,7 +162,7 @@ fn selected_cases(only: Option<&[String]>) -> Result<Vec<ExplorationCase>, CaseE
         let known: Vec<&str> = cases.iter().map(|c| c.name.as_str()).collect();
         return Err(CaseError::new(
             "--only",
-            format!("needle `{unmatched}` matches no --large case; known cases: {known:?}"),
+            format!("needle `{unmatched}` matches no {tier} case; known cases: {known:?}"),
         ));
     }
     Ok(cases
@@ -262,7 +274,7 @@ fn explore_once(
 /// in a parallel engine); under `--reduce` the reduced frontier is
 /// schedule-dependent, so only the verdict is cross-checked.
 pub fn large_rows(opts: &LargeOptions) -> Result<Vec<LargeRow>, CaseError> {
-    let cases = selected_cases(opts.only.as_deref())?;
+    let cases = selected_cases(opts.only.as_deref(), opts.zoo)?;
     let worker_counts = if opts.workers.is_empty() {
         vec![2]
     } else {
@@ -409,7 +421,7 @@ mod tests {
 
     #[test]
     fn unmatched_needle_is_an_error_not_a_silent_shrink() {
-        let err = selected_cases(Some(&["no-such-protocol".to_owned()]))
+        let err = selected_cases(Some(&["no-such-protocol".to_owned()]), false)
             .expect_err("bogus needle must not silently select nothing");
         assert!(err.to_string().contains("no-such-protocol"));
         assert!(err.to_string().contains("known cases"));
@@ -417,14 +429,44 @@ mod tests {
 
     #[test]
     fn needles_select_case_insensitively() {
-        let cases = selected_cases(Some(&["broadcast".to_owned()])).unwrap();
+        let cases = selected_cases(Some(&["broadcast".to_owned()]), false).unwrap();
         assert_eq!(cases.len(), 1);
         assert_eq!(cases[0].name, "Broadcast consensus");
     }
 
     #[test]
     fn empty_needle_list_is_rejected() {
-        assert!(selected_cases(Some(&[])).is_err());
+        assert!(selected_cases(Some(&[]), false).is_err());
+    }
+
+    #[test]
+    fn zoo_tier_selects_the_zoo_roster() {
+        let cases = selected_cases(None, true).unwrap();
+        let names: Vec<&str> = cases.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, ["starved-relay", "inc-double-race", "sum-guard"]);
+        let err = selected_cases(Some(&["broadcast".to_owned()]), true)
+            .expect_err("table 1 protocols are not zoo cases");
+        assert!(err.to_string().contains("--zoo"));
+    }
+
+    #[test]
+    fn zoo_rows_agree_across_engines_including_verdicts() {
+        let rows = large_rows(&LargeOptions {
+            engines: vec![LargeEngine::Seq, LargeEngine::Mpsc, LargeEngine::Steal],
+            workers: vec![2],
+            zoo: true,
+            ..LargeOptions::default()
+        })
+        .expect("zoo tier must agree across engines");
+        assert_eq!(rows.len(), 9, "3 cases × 3 engines");
+        assert!(
+            rows.iter().any(|r| r.name == "inc-double-race" && r.failed),
+            "the race's failure verdict must survive every engine"
+        );
+        assert!(
+            rows.iter().all(|r| r.name != "starved-relay" || !r.failed),
+            "starved-relay deadlocks but never fails"
+        );
     }
 
     #[test]

@@ -78,6 +78,7 @@ fn large_selection_runs_only_the_matched_case_and_emits_json() {
         runs: 1,
         only: Some(vec!["broadcast".to_owned()]),
         reduce: inseq_kernel::ReduceMode::Off,
+        zoo: false,
     };
     let rows = large_rows(&opts).expect("broadcast large case explores cleanly");
     assert_eq!(rows.len(), 1, "one case, one engine, one worker count");

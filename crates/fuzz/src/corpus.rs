@@ -13,7 +13,7 @@ use std::sync::Arc;
 use inseq_kernel::Config;
 use inseq_lang::{DslAction, GlobalDecls};
 use inseq_protocols::{
-    broadcast, chang_roberts, n_buyer, paxos, ping_pong, producer_consumer, two_phase_commit,
+    broadcast, chang_roberts, n_buyer, paxos, ping_pong, producer_consumer, two_phase_commit, zoo,
 };
 
 use crate::spec::{spec_stmts, ActionSpec, ProgramSpec};
@@ -128,6 +128,22 @@ pub fn table1_specs() -> Vec<(&'static str, ProgramSpec)> {
     out
 }
 
+/// The scenario-zoo protocols as specs, on their default instances:
+/// `(file stem, spec)`. Stems carry a `zoo-` prefix so the corpus
+/// directory sorts the campaign's promotions apart from the Table 1 seeds.
+#[must_use]
+pub fn zoo_specs() -> Vec<(String, ProgramSpec)> {
+    zoo::zoo_cases()
+        .iter()
+        .map(|case| {
+            (
+                format!("zoo-{}", case.name),
+                export_program(&case.decls, &case.actions, "Main", &case.init),
+            )
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -156,6 +172,38 @@ mod tests {
                 "{name}: exported P2 program reaches an assertion failure"
             );
             // Text round trip is the identity on the canonical form.
+            let text = write_spec(spec);
+            let reparsed = parse_spec(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(
+                write_spec(&reparsed),
+                text,
+                "{name}: unstable serialization"
+            );
+        }
+    }
+
+    #[test]
+    fn zoo_exports_round_trip_and_keep_their_verdicts() {
+        let cases = zoo::zoo_cases();
+        let specs = zoo_specs();
+        assert_eq!(specs.len(), cases.len());
+        for (case, (name, spec)) in cases.iter().zip(&specs) {
+            let built = spec
+                .build()
+                .unwrap_or_else(|e| panic!("{name}: exported spec does not build: {e}"));
+            let exported = Explorer::new(&built.program)
+                .with_budget(50_000)
+                .explore([built.init])
+                .unwrap_or_else(|e| panic!("{name}: exploration failed: {e}"));
+            let native = Explorer::new(&case.program)
+                .with_budget(50_000)
+                .explore([case.init.clone()])
+                .unwrap_or_else(|e| panic!("{name}: native exploration failed: {e}"));
+            // The export must preserve the verdict class *and* the size of
+            // the reachable space — the zoo's whole value is pinning these.
+            assert_eq!(exported.has_failure(), native.has_failure(), "{name}");
+            assert_eq!(exported.has_deadlock(), native.has_deadlock(), "{name}");
+            assert_eq!(exported.config_count(), native.config_count(), "{name}");
             let text = write_spec(spec);
             let reparsed = parse_spec(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
             assert_eq!(

@@ -55,7 +55,7 @@ impl Default for GenConfig {
 /// The sorts global variables are drawn from. Collections are over `Int` so
 /// that every collection global can serve as a channel, a choose domain, or
 /// a quantification range without sort plumbing.
-fn global_sort(rng: &mut StdRng) -> Sort {
+pub(crate) fn global_sort(rng: &mut StdRng) -> Sort {
     match rng.gen_range(0..8) {
         0 | 1 => Sort::Int, // ints twice as likely: arithmetic is the hot path
         2 => Sort::Bool,
@@ -71,7 +71,7 @@ fn small_int(rng: &mut StdRng) -> i64 {
     rng.gen_range(0..6) as i64 - 2
 }
 
-fn random_value(rng: &mut StdRng, sort: &Sort) -> Value {
+pub(crate) fn random_value(rng: &mut StdRng, sort: &Sort) -> Value {
     match sort {
         Sort::Unit => Value::Unit,
         Sort::Bool => Value::Bool(rng.gen_bool(0.5)),
@@ -487,7 +487,7 @@ fn gen_stmt(rng: &mut StdRng, scope: &Scope, ctx: &ActionCtx<'_>, depth: usize) 
     }
 }
 
-fn block_is_leaf(block: &[SpecStmt]) -> bool {
+pub(crate) fn block_is_leaf(block: &[SpecStmt]) -> bool {
     block.iter().all(|s| match s {
         SpecStmt::Async { .. } | SpecStmt::Call { .. } => false,
         SpecStmt::If(_, t, e) => block_is_leaf(t) && block_is_leaf(e),

@@ -17,14 +17,21 @@
 //! use. [`corpus`] seeds the corpus with the paper's Table 1 protocols
 //! exported through the same format.
 
+pub mod campaign;
 pub mod corpus;
+pub mod coverage;
 pub mod gen;
+pub mod meta;
+pub mod mutate;
 pub mod oracles;
 pub mod serial;
 pub mod shrink;
 pub mod spec;
 
+pub use campaign::{run_campaign, CampaignConfig, CampaignResult};
+pub use coverage::{measure_battery, CoverageMap, MeasureOptions, MeasuredRun};
 pub use gen::{generate, GenConfig};
+pub use mutate::{mutate, MutOp, MutateConfig};
 pub use oracles::{run_battery, run_oracle, Disagreement, Oracle, OracleOutcome, DEFAULT_BUDGET};
 pub use serial::{parse_spec, write_spec, ParseError};
 pub use shrink::shrink;

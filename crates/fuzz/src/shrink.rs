@@ -172,7 +172,7 @@ impl ShrinkTo {
 /// expression constants in action bodies, then global initial values, then
 /// pending-async arguments. `edit` receives each integer's running index
 /// and may replace it.
-fn for_each_spec_int(spec: &mut ProgramSpec, edit: &mut impl FnMut(&mut i64)) {
+pub(crate) fn for_each_spec_int(spec: &mut ProgramSpec, edit: &mut impl FnMut(&mut i64)) {
     for action in &mut spec.actions {
         for_each_block_int(&mut action.body, edit);
     }
@@ -186,7 +186,7 @@ fn for_each_spec_int(spec: &mut ProgramSpec, edit: &mut impl FnMut(&mut i64)) {
     }
 }
 
-fn count_spec_ints(spec: &ProgramSpec) -> usize {
+pub(crate) fn count_spec_ints(spec: &ProgramSpec) -> usize {
     let mut n = 0;
     for_each_spec_int(&mut spec.clone(), &mut |_| n += 1);
     n

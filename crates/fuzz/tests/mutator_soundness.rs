@@ -1,0 +1,65 @@
+//! Property test for the mutators' soundness contract: whatever escapes
+//! [`inseq_fuzz::mutate`] typechecks, is finite by construction, and stays
+//! inside the configured size bounds — unsound candidates are rejected *by
+//! the mutator's* validate gate, never later by an oracle.
+//!
+//! 50 proptest cases × 10 sequential mutation steps each = 500 mutated
+//! programs, every one re-validated from scratch and spot-checked against
+//! the cheapest oracle (`vm-interp`), which must come back with a clean
+//! outcome: a build error surfacing there would mean an ill-typed program
+//! slipped through.
+
+use proptest::prelude::*;
+
+use inseq_fuzz::mutate::{mutate, structurally_finite, validate, MutateConfig};
+use inseq_fuzz::oracles::{run_oracle, Oracle};
+use inseq_fuzz::{generate, GenConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(50))]
+
+    #[test]
+    fn five_hundred_mutants_all_pass_the_soundness_gate(seed in 0u64..10_000) {
+        let gen_config = GenConfig::default();
+        let mut_config = MutateConfig::default();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut current = generate(&mut rng, &gen_config);
+
+        for step in 0..10 {
+            current = mutate(&mut rng, &current, &mut_config);
+
+            // The full gate, re-checked from outside the mutator.
+            prop_assert!(
+                validate(&current, &mut_config),
+                "seed {seed} step {step}: mutant fails validate()"
+            );
+            prop_assert!(
+                current.build().is_ok(),
+                "seed {seed} step {step}: mutant does not typecheck"
+            );
+            prop_assert!(
+                structurally_finite(&current),
+                "seed {seed} step {step}: spawn DAG no longer points backwards"
+            );
+            prop_assert!(
+                current.actions.len() <= mut_config.max_actions
+                    && current.stmt_count() <= mut_config.max_stmts,
+                "seed {seed} step {step}: mutant exceeds size bounds \
+                 ({} actions, {} stmts)",
+                current.actions.len(),
+                current.stmt_count()
+            );
+        }
+
+        // The oracle sees a well-formed program, never a build reject. A
+        // small budget keeps this cheap; over-budget explorations come back
+        // as Skipped, which is still a clean (non-erroring) outcome.
+        let outcome = run_oracle(Oracle::VmInterp, &current, 400);
+        prop_assert!(
+            outcome.is_ok(),
+            "seed {seed}: vm-interp rejected a mutator-approved program: {outcome:?}"
+        );
+    }
+}

@@ -50,6 +50,8 @@
 
 mod action;
 mod compile;
+#[cfg(feature = "coverage")]
+pub mod coverage;
 mod error;
 mod expr;
 #[cfg(feature = "fault-injection")]

@@ -349,7 +349,17 @@ fn exec_ops(
 ) -> Result<(), Fail> {
     let name = ca.name.as_str();
     let mut pc = 0usize;
+    #[cfg(feature = "coverage")]
+    let recording = crate::coverage::enabled();
+    #[cfg(feature = "coverage")]
+    let mut cov_prev = crate::coverage::ENTRY;
     while let Some(op) = ops.get(pc) {
+        #[cfg(feature = "coverage")]
+        if recording {
+            let cur = crate::coverage::op_index(op);
+            crate::coverage::record_edge(cov_prev, cur);
+            cov_prev = cur;
+        }
         match op {
             Op::Const { dst, idx } => put(regs, *dst, ca.consts[*idx as usize].clone()),
             Op::Local { dst, slot } => put(regs, *dst, state.locals[*slot as usize].clone()),

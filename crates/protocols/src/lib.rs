@@ -37,6 +37,7 @@ pub mod paxos_impl;
 pub mod ping_pong;
 pub mod producer_consumer;
 pub mod two_phase_commit;
+pub mod zoo;
 
 pub use common::ExplorationCase;
 

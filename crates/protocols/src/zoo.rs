@@ -1,0 +1,349 @@
+//! The scenario zoo: protocols promoted from the fuzzing campaign.
+//!
+//! The paper's seven protocols all come from its Table 1. The zoo holds
+//! programs that earned a name a different way: the coverage-guided fuzz
+//! campaign (`inseq-fuzz --guided`) kept promoting minimized corpus entries
+//! whose behavior class none of the seven exhibit, and the three stable
+//! archetypes below were rewritten as named DSL protocols so the behavior
+//! is pinned by ordinary tests instead of living only in corpus files.
+//!
+//! * [`starved_relay`] — a **deadlock** archetype: more consumers than
+//!   tokens on a bag channel, so some interleavings strand a receiver.
+//!   None of the Table 1 programs can deadlock.
+//! * [`inc_double_race`] — an **interleaving-dependent assertion failure**:
+//!   a probe action observes a racing intermediate state on some schedules
+//!   only, giving the shortest failure witnesses in the tree.
+//! * [`sum_guard`] — a **pass** archetype exercising the quantifier,
+//!   comprehension, and aggregate opcodes (`forall`/`filter`/`image`/
+//!   `sum`) that the Table 1 protocols' VM dispatch never touches.
+//!
+//! Each protocol ships an [`ExplorationCase`] (rendered by
+//! `table1 --zoo`), and its corpus export (`fuzz/corpus/zoo-*.sexp`,
+//! written by `fuzz --export-zoo`) records promotion-time verdict, visited
+//! count, witness length, and coverage signature as `;@` metadata that
+//! `tests/zoo_replay.rs` re-verifies on every run.
+
+use std::sync::Arc;
+
+use inseq_kernel::{Config, GlobalStore, Program, Value};
+use inseq_lang::build::*;
+use inseq_lang::{program_of, DslAction, GlobalDecls, Sort};
+
+use crate::common::ExplorationCase;
+
+/// A zoo protocol, packaged uniformly: declarations, the atomic program,
+/// its actions in callee-before-caller order (the fuzz exporter's
+/// contract), and the initialized configuration.
+#[derive(Debug, Clone)]
+pub struct ZooCase {
+    /// Stable kebab-case name (doubles as the corpus file stem suffix).
+    pub name: &'static str,
+    /// Human-readable instance description.
+    pub instance: String,
+    /// Shared global declarations.
+    pub decls: Arc<GlobalDecls>,
+    /// The actions, callees before callers, entry action last.
+    pub actions: Vec<Arc<DslAction>>,
+    /// The atomic-action program over those actions.
+    pub program: Program,
+    /// The initialized configuration.
+    pub init: Config,
+}
+
+impl ZooCase {
+    /// The case as an [`ExplorationCase`] for the exploration engines.
+    #[must_use]
+    pub fn exploration_case(&self) -> ExplorationCase {
+        ExplorationCase::new(
+            self.name,
+            self.instance.clone(),
+            self.program.clone(),
+            self.init.clone(),
+        )
+    }
+}
+
+fn assemble(
+    name: &'static str,
+    instance: String,
+    decls: &Arc<GlobalDecls>,
+    actions: Vec<Arc<DslAction>>,
+    store: GlobalStore,
+) -> ZooCase {
+    let program =
+        program_of(decls, actions.iter().cloned(), "Main").expect("zoo program is well-formed");
+    let init = program
+        .initial_config_with(store, vec![])
+        .expect("zoo instance store matches schema");
+    ZooCase {
+        name,
+        instance,
+        decls: Arc::clone(decls),
+        actions,
+        program,
+        init,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// starved-relay
+// ---------------------------------------------------------------------------
+
+/// Deadlock archetype: one token, two consumer chains.
+///
+/// `Main` puts a single token `0` on the bag channel `ring` and spawns
+/// *two* `Station`s. A station receives a token `t` and, while `t < hops`,
+/// relays `t+1` and spawns its successor. Whichever chain wins the first
+/// receive monopolizes the token; the losing station stays pending on an
+/// empty channel forever — a reachable deadlock on every instance, with no
+/// assertion failure anywhere.
+#[must_use]
+pub fn starved_relay(hops: i64) -> ZooCase {
+    assert!(hops >= 1, "at least one hop");
+    let mut g = GlobalDecls::new();
+    g.declare("hops", Sort::Int);
+    g.declare("ring", Sort::bag(Sort::Int));
+    let g = Arc::new(g);
+
+    let station = DslAction::build("Station", &g)
+        .local("t", Sort::Int)
+        .body(vec![
+            recv("t", "ring"),
+            assert_msg(
+                and(ge(var("t"), int(0)), le(var("t"), var("hops"))),
+                "relayed token out of range",
+            ),
+            if_(
+                lt(var("t"), var("hops")),
+                vec![
+                    send("ring", add(var("t"), int(1))),
+                    async_named("Station", vec![], vec![]),
+                ],
+            ),
+        ])
+        .finish()
+        .expect("Station type-checks");
+    let main = DslAction::build("Main", &g)
+        .body(vec![
+            send("ring", int(0)),
+            async_call(&station, vec![]),
+            async_call(&station, vec![]),
+        ])
+        .finish()
+        .expect("Main type-checks");
+
+    let mut store = g.initial_store();
+    store.set(g.index_of("hops").unwrap(), Value::Int(hops));
+    assemble(
+        "starved-relay",
+        format!("hops = {hops}, consumers = 2"),
+        &g,
+        vec![station, main],
+        store,
+    )
+}
+
+// ---------------------------------------------------------------------------
+// inc-double-race
+// ---------------------------------------------------------------------------
+
+/// Interleaving-dependent assertion failure.
+///
+/// Three concurrent tasks over one integer: `Inc` sets `x := x + 1`, `Dbl`
+/// sets `x := 2·x`, and `Probe` asserts `x ≠ 1`. From `x = 0` the probe
+/// fails exactly on schedules where it observes `Inc` but not a later
+/// `Dbl` (`Inc;Probe`, trace length 2 — the shortest failure witness the
+/// suite has) or the full `Dbl;Inc;Probe` order. Other interleavings pass,
+/// so verdicts are genuinely schedule-dependent while the reduced and
+/// unreduced explorations must still agree there *is* a failure.
+#[must_use]
+pub fn inc_double_race() -> ZooCase {
+    let mut g = GlobalDecls::new();
+    g.declare("x", Sort::Int);
+    let g = Arc::new(g);
+
+    let inc = DslAction::build("Inc", &g)
+        .body(vec![assign("x", add(var("x"), int(1)))])
+        .finish()
+        .expect("Inc type-checks");
+    let dbl = DslAction::build("Dbl", &g)
+        .body(vec![assign("x", mul(int(2), var("x")))])
+        .finish()
+        .expect("Dbl type-checks");
+    let probe = DslAction::build("Probe", &g)
+        .body(vec![assert_msg(
+            ne(var("x"), int(1)),
+            "probe observed the racing intermediate x = 1",
+        )])
+        .finish()
+        .expect("Probe type-checks");
+    let main = DslAction::build("Main", &g)
+        .body(vec![
+            async_call(&inc, vec![]),
+            async_call(&dbl, vec![]),
+            async_call(&probe, vec![]),
+        ])
+        .finish()
+        .expect("Main type-checks");
+
+    let store = g.initial_store();
+    assemble(
+        "inc-double-race",
+        "x0 = 0".to_owned(),
+        &g,
+        vec![inc, dbl, probe, main],
+        store,
+    )
+}
+
+// ---------------------------------------------------------------------------
+// sum-guard
+// ---------------------------------------------------------------------------
+
+/// Pass archetype built to light up the aggregate opcodes.
+///
+/// `Put(i)` grows a shared set `pool` with `0..=n` one element at a time;
+/// a concurrent `Audit` checks three invariants that hold at *every*
+/// prefix: the pool stays inside `{0..n}` (a `forall` over a range set),
+/// the sum of its positive members stays under `n²` (a `filter` feeding a
+/// `sum`), and shifting the pool by one (`image`) never exceeds `n + 1`
+/// elements. Every interleaving passes; the point is the VM dispatch-edge
+/// coverage — `Forall`, `Filter`, `MapImage`, and `SumOf` edges the seven
+/// Table 1 protocols never execute.
+#[must_use]
+pub fn sum_guard(n: i64) -> ZooCase {
+    assert!(n >= 1, "pool needs at least {{0, 1}}");
+    let mut g = GlobalDecls::new();
+    g.declare("n", Sort::Int);
+    g.declare("pool", Sort::set(Sort::Int));
+    let g = Arc::new(g);
+
+    let put = DslAction::build("Put", &g)
+        .param("i", Sort::Int)
+        .body(vec![
+            assign("pool", with_elem(var("pool"), var("i"))),
+            if_(
+                lt(var("i"), var("n")),
+                vec![async_named(
+                    "Put",
+                    vec![Sort::Int],
+                    vec![add(var("i"), int(1))],
+                )],
+            ),
+        ])
+        .finish()
+        .expect("Put type-checks");
+    let audit = DslAction::build("Audit", &g)
+        .local("s", Sort::Int)
+        .body(vec![
+            assert_msg(
+                forall(
+                    "q",
+                    var("pool"),
+                    contains(range(int(0), var("n")), var("q")),
+                ),
+                "pool escaped {0..n}",
+            ),
+            assign("s", sum_of(filter("q", var("pool"), gt(var("q"), int(0))))),
+            assert_msg(
+                le(var("s"), mul(var("n"), var("n"))),
+                "positive sum too large",
+            ),
+            assert_msg(
+                le(
+                    size(image("q", var("pool"), add(var("q"), int(1)))),
+                    add(var("n"), int(1)),
+                ),
+                "shifted pool too large",
+            ),
+        ])
+        .finish()
+        .expect("Audit type-checks");
+    let main = DslAction::build("Main", &g)
+        .body(vec![
+            async_call(&put, vec![int(0)]),
+            async_call(&audit, vec![]),
+        ])
+        .finish()
+        .expect("Main type-checks");
+
+    let mut store = g.initial_store();
+    store.set(g.index_of("n").unwrap(), Value::Int(n));
+    assemble(
+        "sum-guard",
+        format!("n = {n}"),
+        &g,
+        vec![put, audit, main],
+        store,
+    )
+}
+
+/// Every zoo protocol on its default (tiny, replay-cheap) instance.
+#[must_use]
+pub fn zoo_cases() -> Vec<ZooCase> {
+    vec![starved_relay(3), inc_double_race(), sum_guard(3)]
+}
+
+/// The zoo as [`ExplorationCase`]s, for `table1 --zoo` and the engines.
+#[must_use]
+pub fn zoo_exploration_cases() -> Vec<ExplorationCase> {
+    zoo_cases().iter().map(ZooCase::exploration_case).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inseq_kernel::Explorer;
+
+    fn explore(case: &ZooCase) -> inseq_kernel::Exploration {
+        Explorer::new(&case.program)
+            .with_budget(100_000)
+            .explore([case.init.clone()])
+            .expect("zoo case fits the budget")
+    }
+
+    #[test]
+    fn starved_relay_deadlocks_and_never_fails() {
+        let exp = explore(&starved_relay(3));
+        assert!(exp.has_deadlock(), "the losing chain must starve");
+        assert!(!exp.has_failure(), "no assertion can fail");
+        assert!(
+            exp.deadlock_witnesses().iter().all(|t| !t.is_empty()),
+            "deadlocks need at least Main to have fired"
+        );
+    }
+
+    #[test]
+    fn inc_double_race_fails_with_a_two_step_witness() {
+        let exp = explore(&inc_double_race());
+        assert!(exp.has_failure(), "the probe must catch x = 1 somewhere");
+        assert!(!exp.has_deadlock());
+        let shortest = exp
+            .failure_witnesses()
+            .iter()
+            .map(|w| w.trace.len())
+            .min()
+            .expect("a witness exists");
+        assert_eq!(shortest, 2, "Inc;Probe is the minimal schedule");
+    }
+
+    #[test]
+    fn sum_guard_passes_on_every_interleaving() {
+        let exp = explore(&sum_guard(3));
+        assert!(!exp.has_failure(), "all three audit invariants hold");
+        assert!(!exp.has_deadlock());
+        assert!(exp.config_count() > 4, "Put chain and Audit interleave");
+    }
+
+    #[test]
+    fn zoo_ships_at_least_three_named_cases() {
+        let cases = zoo_exploration_cases();
+        assert!(cases.len() >= 3);
+        let names: Vec<&str> = cases.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(
+            names,
+            ["starved-relay", "inc-double-race", "sum-guard"],
+            "stable zoo roster"
+        );
+    }
+}

@@ -1,0 +1,18 @@
+; Scenario-zoo protocol `zoo-inc-double-race` (see `inseq_protocols::zoo`),
+; promoted from the coverage-guided campaign and pinned with
+; verified-replay metadata. Regenerate with `fuzz --export-zoo`.
+;@ seed 0
+;@ kind promoted
+;@ verdict failure
+;@ visited 11
+;@ trace-len 2
+;@ coverage 72d016be6ce24fe1
+(spec
+  (globals ("x" int (i 0)))
+  (main "Main")
+  (pending ("Main"))
+  (action "Inc" () () ((assign "x" (bin add (var "x") (const (i 1))))))
+  (action "Dbl" () () ((assign "x" (bin mul (const (i 2)) (var "x")))))
+  (action "Probe" () () ((assert (bin ne (var "x") (const (i 1))) "probe observed the racing intermediate x = 1")))
+  (action "Main" () () ((async "Inc") (async "Dbl") (async "Probe")))
+)

@@ -1,0 +1,16 @@
+; Scenario-zoo protocol `zoo-starved-relay` (see `inseq_protocols::zoo`),
+; promoted from the coverage-guided campaign and pinned with
+; verified-replay metadata. Regenerate with `fuzz --export-zoo`.
+;@ seed 0
+;@ kind promoted
+;@ verdict deadlock
+;@ visited 6
+;@ trace-len 5
+;@ coverage f58ab4a5b45110f6
+(spec
+  (globals ("hops" int (i 3)) ("ring" (bag int) (vbag)))
+  (main "Main")
+  (pending ("Main"))
+  (action "Station" () (("t" int)) ((recv "t" "ring" nokey) (assert (bin and (bin ge (var "t") (const (i 0))) (bin le (var "t") (var "hops"))) "relayed token out of range") (if (bin lt (var "t") (var "hops")) ((send "ring" nokey (bin add (var "t") (const (i 1)))) (async "Station")) ())))
+  (action "Main" () () ((send "ring" nokey (const (i 0))) (async "Station") (async "Station")))
+)

@@ -1,0 +1,17 @@
+; Scenario-zoo protocol `zoo-sum-guard` (see `inseq_protocols::zoo`),
+; promoted from the coverage-guided campaign and pinned with
+; verified-replay metadata. Regenerate with `fuzz --export-zoo`.
+;@ seed 0
+;@ kind promoted
+;@ verdict pass
+;@ visited 11
+;@ trace-len 0
+;@ coverage 86e6a6b802635984
+(spec
+  (globals ("n" int (i 3)) ("pool" (set int) (vset)))
+  (main "Main")
+  (pending ("Main"))
+  (action "Put" (("i" int)) () ((assign "pool" (with (var "pool") (var "i"))) (if (bin lt (var "i") (var "n")) ((async "Put" (bin add (var "i") (const (i 1))))) ())))
+  (action "Audit" () (("s" int)) ((assert (forall "q" (var "pool") (contains (range (const (i 0)) (var "n")) (var "q"))) "pool escaped {0..n}") (assign "s" (sum (filter "q" (var "pool") (bin gt (var "q") (const (i 0)))))) (assert (bin le (var "s") (bin mul (var "n") (var "n"))) "positive sum too large") (assert (bin le (size (image "q" (var "pool") (bin add (var "q") (const (i 1))))) (bin add (var "n") (const (i 1)))) "shifted pool too large")))
+  (action "Main" () () ((async "Put" (const (i 0))) (async "Audit")))
+)
